@@ -1,0 +1,1 @@
+"""pytest-benchmark modules regenerating the paper's tables and figures."""

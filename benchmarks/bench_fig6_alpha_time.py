@@ -1,0 +1,46 @@
+"""Figure 6 — encryption time per step for varying alpha.
+
+Paper observation: the MAX, SYN, and FP step times are essentially flat in
+alpha, while the SSE (splitting-and-scaling) time grows as alpha decreases
+(tighter security needs more artificial equivalence classes); the SSE step
+dominates on the synthetic dataset because of its large number of equivalence
+classes.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.bench.sweeps import fig6_time_vs_alpha
+
+from benchmarks.conftest import scale
+
+ALPHAS = (1 / 5, 1 / 10, 1 / 15, 1 / 20, 1 / 25)
+
+
+def test_fig6a_synthetic_time_vs_alpha(benchmark):
+    rows = benchmark.pedantic(
+        fig6_time_vs_alpha,
+        kwargs={"dataset": "synthetic", "num_rows": scale(1500), "alphas": ALPHAS},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(rows, title="Figure 6 (a): synthetic — per-step time vs alpha"))
+    # SSE dominates on the synthetic dataset (many equivalence classes).
+    for row in rows:
+        assert row["SSE_seconds"] >= row["SYN_seconds"]
+    assert rows[-1]["total_seconds"] > 0
+
+
+def test_fig6b_orders_time_vs_alpha(benchmark):
+    rows = benchmark.pedantic(
+        fig6_time_vs_alpha,
+        kwargs={"dataset": "orders", "num_rows": scale(1200), "alphas": ALPHAS},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(rows, title="Figure 6 (b): orders — per-step time vs alpha"))
+    # The MAX step cost does not depend on alpha: it is constant across the sweep.
+    max_seconds = [row["MAX_seconds"] for row in rows]
+    assert max(max_seconds) - min(max_seconds) <= max(0.5, 0.8 * max(max_seconds))

@@ -1,0 +1,41 @@
+"""Figure 7 — encryption time per step for growing data sizes.
+
+Paper observation: every step's time grows with the data size; the SSE step is
+super-linear in the number of equivalence classes and dominates on the
+synthetic dataset, while MAX and FP matter more on Orders.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.bench.sweeps import fig7_time_vs_size
+
+from benchmarks.conftest import scale
+
+
+def test_fig7a_synthetic_time_vs_size(benchmark):
+    sizes = tuple(scale(size) for size in (400, 800, 1600, 3200))
+    rows = benchmark.pedantic(
+        fig7_time_vs_size,
+        kwargs={"dataset": "synthetic", "sizes": sizes, "alpha": 0.25},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(rows, title="Figure 7 (a): synthetic — per-step time vs data size"))
+    totals = [row["total_seconds"] for row in rows]
+    assert totals == sorted(totals), "encryption time must grow with the data size"
+
+
+def test_fig7b_orders_time_vs_size(benchmark):
+    sizes = tuple(scale(size) for size in (400, 800, 1600, 3200))
+    rows = benchmark.pedantic(
+        fig7_time_vs_size,
+        kwargs={"dataset": "orders", "sizes": sizes, "alpha": 0.2},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(rows, title="Figure 7 (b): orders — per-step time vs data size"))
+    totals = [row["total_seconds"] for row in rows]
+    assert totals[-1] > totals[0], "encryption time must grow with the data size"

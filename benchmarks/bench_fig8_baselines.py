@@ -1,0 +1,43 @@
+"""Figure 8 — F2 vs deterministic AES vs Paillier encryption time.
+
+Paper observation: F2 is slower than plain deterministic AES (it pays for the
+FD-preserving machinery) but orders of magnitude faster than cell-level
+Paillier, which could not even finish the larger Orders sizes within a day.
+The shape reproduced here: AES < F2 << Paillier at every size.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.bench.sweeps import fig8_baseline_comparison
+
+from benchmarks.conftest import scale
+
+
+def test_fig8a_synthetic_baselines(benchmark):
+    sizes = tuple(scale(size) for size in (300, 600, 1200))
+    rows = benchmark.pedantic(
+        fig8_baseline_comparison,
+        kwargs={"dataset": "synthetic", "sizes": sizes, "alpha": 0.25},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(rows, title="Figure 8 (a): synthetic — F2 vs AES vs Paillier"))
+    for row in rows:
+        assert row["paillier_seconds"] > row["f2_seconds"], "Paillier must be the slowest"
+        assert row["aes_seconds"] < row["paillier_seconds"]
+
+
+def test_fig8b_orders_baselines(benchmark):
+    sizes = tuple(scale(size) for size in (300, 600, 1200))
+    rows = benchmark.pedantic(
+        fig8_baseline_comparison,
+        kwargs={"dataset": "orders", "sizes": sizes, "alpha": 0.2},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(rows, title="Figure 8 (b): orders — F2 vs AES vs Paillier"))
+    for row in rows:
+        assert row["paillier_seconds"] > row["f2_seconds"], "Paillier must be the slowest"

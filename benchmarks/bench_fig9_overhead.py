@@ -1,0 +1,82 @@
+"""Figure 9 — artificial-record space overhead per step.
+
+Paper observations reproduced here:
+
+* On Customer (large attribute domains) the overhead is small and *decreases*
+  as the table grows — the FP step inserts a size-independent number of
+  records and the GROUP step rarely needs fake classes.
+* On Orders (tiny attribute domains) the GROUP step dominates the overhead.
+* Overhead grows as alpha decreases (larger groups need more fake classes and
+  more false-positive pairs).
+
+Absolute ratios are larger than the paper's (percent-level) numbers because
+the fake-class cost is amortised over millions of rows there and over a few
+thousand here; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.bench.sweeps import fig9_overhead
+
+from benchmarks.conftest import scale
+
+ALPHAS = (1, 1 / 2, 1 / 4, 1 / 6, 1 / 8, 1 / 10)
+
+
+def test_fig9a_customer_overhead_vs_alpha(benchmark):
+    rows = benchmark.pedantic(
+        fig9_overhead,
+        kwargs={"dataset": "customer", "num_rows": scale(1200), "alphas": ALPHAS},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(rows, title="Figure 9 (a): customer — overhead vs alpha"))
+    overheads = [row["total_overhead"] for row in rows]
+    assert overheads[-1] >= overheads[0], "smaller alpha must not reduce the overhead"
+
+
+def test_fig9b_orders_overhead_vs_alpha(benchmark):
+    rows = benchmark.pedantic(
+        fig9_overhead,
+        kwargs={"dataset": "orders", "num_rows": scale(1000), "alphas": ALPHAS},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(rows, title="Figure 9 (b): orders — overhead vs alpha"))
+    overheads = [row["total_overhead"] for row in rows]
+    assert overheads == sorted(overheads), "overhead must grow as alpha shrinks"
+    # At tight alpha the fake classes added by grouping dominate, as in the paper.
+    tightest = rows[-1]
+    assert tightest["GROUP_overhead"] >= tightest["SCALE_overhead"]
+    assert tightest["GROUP_overhead"] >= tightest["FP_overhead"]
+
+
+def test_fig9c_customer_overhead_vs_size(benchmark):
+    sizes = tuple(scale(size) for size in (600, 1200, 2400))
+    rows = benchmark.pedantic(
+        fig9_overhead,
+        kwargs={"dataset": "customer", "alphas": (), "sizes": sizes, "alpha_for_sizes": 0.2},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(rows, title="Figure 9 (c): customer — overhead vs data size"))
+    overheads = [row["total_overhead"] for row in rows]
+    assert overheads[-1] <= overheads[0], "customer overhead must shrink as the table grows"
+
+
+def test_fig9d_orders_overhead_vs_size(benchmark):
+    sizes = tuple(scale(size) for size in (600, 1200, 2400))
+    rows = benchmark.pedantic(
+        fig9_overhead,
+        kwargs={"dataset": "orders", "alphas": (), "sizes": sizes, "alpha_for_sizes": 0.2},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(rows, title="Figure 9 (d): orders — overhead vs data size"))
+    for row in rows:
+        assert row["GROUP_overhead"] > row["FP_overhead"], "GROUP dominates on Orders"

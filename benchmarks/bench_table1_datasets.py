@@ -1,0 +1,36 @@
+"""Table 1 — dataset description (attributes, tuples, size, MAS structure).
+
+The paper's Table 1 lists the three evaluation datasets.  This benchmark
+generates the laptop-scale substitutes, measures how long MAS discovery
+(Step 1, the part of the pipeline whose cost the data owner pays up front)
+takes on each, and prints the regenerated table.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.bench.sweeps import table1_dataset_description
+
+from benchmarks.conftest import scale
+
+
+def test_table1_dataset_description(benchmark):
+    sizes = {
+        "orders": scale(1500),
+        "customer": scale(1200),
+        "synthetic": scale(1500),
+    }
+    rows = benchmark.pedantic(
+        table1_dataset_description, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
+    print()
+    print(format_table(rows, title="Table 1: dataset description (laptop-scale substitutes)"))
+
+    by_name = {row["dataset"]: row for row in rows}
+    assert by_name["orders"]["attributes"] == 9
+    assert by_name["customer"]["attributes"] == 21
+    assert by_name["synthetic"]["attributes"] == 7
+    # The synthetic and customer tables have the planted overlapping MASs.
+    assert by_name["synthetic"]["num_mas"] >= 2
+    assert by_name["customer"]["num_mas"] >= 2
+    assert by_name["orders"]["num_mas"] >= 1

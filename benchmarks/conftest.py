@@ -1,0 +1,33 @@
+"""Shared configuration of the benchmark suite.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation (Section 5).  Sizes default to laptop scale so that the whole
+suite finishes in a few minutes; set the ``F2_BENCH_SCALE`` environment
+variable to a float (e.g. ``4``) to multiply every dataset size for
+longer, more faithful runs.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module prints the regenerated table after its benchmark finishes, so the
+series the paper plots can be read directly from the pytest output (captured
+output is shown with ``-s`` or on failure; the tables are also asserted on).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def scale(value: int) -> int:
+    """Scale a default dataset size by the F2_BENCH_SCALE env variable."""
+    factor = float(os.environ.get("F2_BENCH_SCALE", "1"))
+    return max(8, int(value * factor))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return float(os.environ.get("F2_BENCH_SCALE", "1"))

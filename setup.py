@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that fully offline environments (no ``wheel`` package available) can still do
+an editable install via ``python setup.py develop`` or legacy
+``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

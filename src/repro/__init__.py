@@ -1,0 +1,62 @@
+"""repro: a reproduction of F2 — frequency-hiding, FD-preserving encryption.
+
+This package implements the system described in *Frequency-Hiding
+Dependency-Preserving Encryption for Outsourced Databases* (Dong & Wang,
+ICDE 2017): a cell-level encryption scheme that lets a data owner outsource a
+relational table to an untrusted server such that
+
+* the server can still discover the table's functional dependencies (they are
+  exactly preserved), while
+* the value-frequency distribution is hidden, with a provable
+  ``alpha``-security bound against frequency-analysis attacks.
+
+Quickstart
+----------
+>>> from repro import F2Config, F2Scheme, Relation
+>>> from repro.fd import tane
+>>> table = Relation(
+...     ["Zipcode", "City", "Street"],
+...     [["07030", "Hoboken", "Washington"], ["07030", "Hoboken", "Hudson"],
+...      ["07302", "Jersey City", "Grove"], ["07302", "Jersey City", "Newark"]],
+... )
+>>> scheme = F2Scheme(config=F2Config(alpha=0.5))
+>>> encrypted = scheme.encrypt(table)
+
+The top-level namespace re-exports the objects most users need; the
+subpackages (:mod:`repro.relational`, :mod:`repro.fd`, :mod:`repro.crypto`,
+:mod:`repro.core`, :mod:`repro.attack`, :mod:`repro.datasets`,
+:mod:`repro.bench`) hold the full API.
+"""
+
+from repro.core.config import F2Config
+from repro.core.encrypted import EncryptedTable
+from repro.core.scheme import F2Scheme
+from repro.core.security import verify_alpha_security
+from repro.crypto.keys import KeyGen
+from repro.exceptions import (
+    ConfigurationError,
+    DecryptionError,
+    EncryptionError,
+    ReproError,
+    SecurityViolation,
+)
+from repro.relational.schema import Schema
+from repro.relational.table import Relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "DecryptionError",
+    "EncryptedTable",
+    "EncryptionError",
+    "F2Config",
+    "F2Scheme",
+    "KeyGen",
+    "Relation",
+    "ReproError",
+    "Schema",
+    "SecurityViolation",
+    "verify_alpha_security",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Frequency-analysis attacks and their empirical evaluation (Sections 2.4, 4).
+
+The adversary is the curious-but-honest server: it holds the ciphertext table
+and the exact plaintext frequency distribution, and tries to map ciphertext
+values back to plaintext values.
+
+* :mod:`~repro.attack.frequency` — the basic frequency-analysis adversary of
+  the security game ``Exp_freq`` (Section 2.4): given a ciphertext value and
+  its frequency, guess among the plaintext values of matching frequency.
+* :mod:`~repro.attack.kerckhoffs` — the 4-step adversary of Section 4.2 that
+  additionally knows the F2 algorithm: estimate the split factor, bucket the
+  ciphertexts into ECGs, narrow the candidate plaintexts per bucket, then
+  guess within the bucket.
+* :mod:`~repro.attack.evaluate` — run either adversary many times against an
+  encryption of a table and estimate its empirical success probability, which
+  the alpha-security theorems bound by ``alpha``.
+"""
+
+from repro.attack.evaluate import AttackOutcome, evaluate_attack
+from repro.attack.frequency import FrequencyAttack
+from repro.attack.kerckhoffs import KerckhoffsAttack
+
+__all__ = [
+    "AttackOutcome",
+    "FrequencyAttack",
+    "KerckhoffsAttack",
+    "evaluate_attack",
+]

@@ -1,0 +1,190 @@
+"""Empirical evaluation of frequency-analysis adversaries.
+
+The security game of Section 2.4 picks a ciphertext value at random, hands
+the adversary the value, its ciphertext frequency, and the plaintext
+frequency distribution, and scores whether the adversary names the correct
+plaintext.  This module plays that game many times against an actual
+encryption of a table and reports the empirical success probability, which
+the alpha-security theorems bound by ``alpha`` for F2 — and which is close to
+1 for deterministic encryption.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Protocol
+
+from repro.core.encrypted import EncryptedTable
+from repro.crypto.deterministic import DeterministicCipher
+from repro.exceptions import ReproError
+from repro.relational.table import Relation
+
+
+class Adversary(Protocol):
+    """Common interface of the attack classes."""
+
+    name: str
+
+    def guess(
+        self,
+        ciphertext_value: Hashable,
+        ciphertext_frequencies: Counter,
+        plaintext_frequencies: Counter,
+        rng: random.Random,
+    ) -> Any:  # pragma: no cover - protocol signature
+        ...
+
+
+@dataclass(frozen=True)
+class AttackSample:
+    """One playable instance of the security game: a cell with known truth."""
+
+    attribute: str
+    ciphertext_value: Hashable
+    true_value: Any
+
+
+@dataclass
+class AttackOutcome:
+    """Aggregated result of many runs of the security game."""
+
+    attack_name: str
+    trials: int
+    successes: int
+    per_attribute: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+    def attribute_success_rate(self, attribute: str) -> float:
+        successes, trials = self.per_attribute.get(attribute, (0, 0))
+        return successes / trials if trials else 0.0
+
+    def satisfies_alpha(self, alpha: float, slack: float = 0.05) -> bool:
+        """True iff the measured success rate respects the alpha bound.
+
+        ``slack`` absorbs sampling noise of the empirical estimate.
+        """
+        return self.success_rate <= alpha + slack
+
+
+# ----------------------------------------------------------------------
+# Sample construction
+# ----------------------------------------------------------------------
+def samples_from_encrypted(
+    encrypted: EncryptedTable,
+    plaintext: Relation,
+    attributes: list[str] | None = None,
+) -> list[AttackSample]:
+    """Build game samples from an F2 output.
+
+    Only authentic cells (cells that encrypt an original record's value) are
+    sampled — artificial cells have no plaintext, so the game is undefined
+    for them.
+    """
+    attributes = list(attributes or plaintext.attributes)
+    samples: list[AttackSample] = []
+    for row_index, provenance in enumerate(encrypted.provenance):
+        if provenance.source_row is None or provenance.is_artificial:
+            continue
+        for attribute in attributes:
+            if attribute not in provenance.authentic_attributes:
+                continue
+            samples.append(
+                AttackSample(
+                    attribute=attribute,
+                    ciphertext_value=encrypted.relation.value(row_index, attribute),
+                    true_value=plaintext.value(provenance.source_row, attribute),
+                )
+            )
+    return samples
+
+
+def samples_from_deterministic(
+    plaintext: Relation,
+    cipher: DeterministicCipher,
+    attributes: list[str] | None = None,
+) -> tuple[Relation, list[AttackSample]]:
+    """Encrypt a table with the deterministic baseline and build game samples.
+
+    Returns both the deterministic ciphertext relation (the adversary's view)
+    and the samples.
+    """
+    attributes = list(attributes or plaintext.attributes)
+    encrypted = Relation(plaintext.schema, name=f"{plaintext.name}-deterministic")
+    samples: list[AttackSample] = []
+    cache: dict[tuple[str, Any], Any] = {}
+    for row_index in range(plaintext.num_rows):
+        row = []
+        for attribute in plaintext.attributes:
+            value = plaintext.value(row_index, attribute)
+            key = (attribute, value)
+            if key not in cache:
+                cache[key] = cipher.encrypt(f"{attribute}|{value}")
+            row.append(cache[key])
+        encrypted.append(row)
+        for attribute in attributes:
+            samples.append(
+                AttackSample(
+                    attribute=attribute,
+                    ciphertext_value=encrypted.value(row_index, attribute),
+                    true_value=plaintext.value(row_index, attribute),
+                )
+            )
+    return encrypted, samples
+
+
+# ----------------------------------------------------------------------
+# Game evaluation
+# ----------------------------------------------------------------------
+def evaluate_attack(
+    attack: Adversary,
+    samples: list[AttackSample],
+    plaintext: Relation,
+    ciphertext: Relation,
+    trials: int = 500,
+    seed: int | None = 0,
+) -> AttackOutcome:
+    """Play the security game ``trials`` times and report the success rate.
+
+    Parameters
+    ----------
+    attack:
+        The adversary (``FrequencyAttack`` or ``KerckhoffsAttack``).
+    samples:
+        Playable samples (see :func:`samples_from_encrypted`).
+    plaintext / ciphertext:
+        The two relations; per-attribute frequency distributions are computed
+        from them (the adversary's auxiliary knowledge and view).
+    trials:
+        Number of random game rounds.
+    seed:
+        RNG seed for reproducibility.
+    """
+    if not samples:
+        raise ReproError("cannot evaluate an attack without samples")
+    rng = random.Random(seed)
+    plain_frequencies = {
+        attribute: Counter(plaintext.column(attribute)) for attribute in plaintext.attributes
+    }
+    cipher_frequencies = {
+        attribute: Counter(ciphertext.column(attribute)) for attribute in ciphertext.attributes
+    }
+    outcome = AttackOutcome(attack_name=attack.name, trials=0, successes=0)
+    for _ in range(trials):
+        sample = rng.choice(samples)
+        guess = attack.guess(
+            sample.ciphertext_value,
+            cipher_frequencies[sample.attribute],
+            plain_frequencies[sample.attribute],
+            rng,
+        )
+        success = guess == sample.true_value
+        outcome.trials += 1
+        outcome.successes += int(success)
+        attr_successes, attr_trials = outcome.per_attribute.get(sample.attribute, (0, 0))
+        outcome.per_attribute[sample.attribute] = (attr_successes + int(success), attr_trials + 1)
+    return outcome

@@ -1,0 +1,104 @@
+"""The basic frequency-analysis adversary (security game of Section 2.4).
+
+The adversary receives a ciphertext value ``e``, its frequency in the
+ciphertext column, and the full plaintext frequency distribution of that
+column (the conservative assumption of the paper: the attacker knows *exact*
+plaintext frequencies).  It outputs a guess for the plaintext behind ``e``.
+
+Two classic strategies are provided:
+
+* ``"matching"`` — candidates are the plaintext values whose frequency equals
+  the ciphertext frequency (the set ``G(e)`` of Section 4.1); the guess is
+  drawn uniformly from the candidates.  Against deterministic encryption the
+  candidate set is usually a singleton and the attack succeeds; against F2
+  the candidate set has at least ``ceil(1/alpha)`` members.
+* ``"rank"`` — sort plaintext and ciphertext values by frequency and map them
+  rank-by-rank (the textbook frequency-analysis attack on substitution
+  ciphers); used as a second, more aggressive baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Any, Hashable
+
+from repro.exceptions import ReproError
+
+
+class FrequencyAttack:
+    """Frequency-matching adversary for the ``Exp_freq`` game."""
+
+    def __init__(self, strategy: str = "matching"):
+        if strategy not in {"matching", "rank"}:
+            raise ReproError(f"unknown frequency-attack strategy: {strategy!r}")
+        self.strategy = strategy
+
+    @property
+    def name(self) -> str:
+        return f"frequency-{self.strategy}"
+
+    def guess(
+        self,
+        ciphertext_value: Hashable,
+        ciphertext_frequencies: Counter,
+        plaintext_frequencies: Counter,
+        rng: random.Random,
+    ) -> Any:
+        """Output a plaintext guess for ``ciphertext_value``."""
+        if self.strategy == "rank":
+            return self._guess_by_rank(ciphertext_value, ciphertext_frequencies, plaintext_frequencies, rng)
+        return self._guess_by_matching(ciphertext_value, ciphertext_frequencies, plaintext_frequencies, rng)
+
+    # ------------------------------------------------------------------
+    # Strategies
+    # ------------------------------------------------------------------
+    def _guess_by_matching(
+        self,
+        ciphertext_value: Hashable,
+        ciphertext_frequencies: Counter,
+        plaintext_frequencies: Counter,
+        rng: random.Random,
+    ) -> Any:
+        target = ciphertext_frequencies.get(ciphertext_value, 1)
+        candidates = self.candidate_set(target, plaintext_frequencies)
+        return rng.choice(candidates)
+
+    def _guess_by_rank(
+        self,
+        ciphertext_value: Hashable,
+        ciphertext_frequencies: Counter,
+        plaintext_frequencies: Counter,
+        rng: random.Random,
+    ) -> Any:
+        cipher_ranked = [value for value, _ in ciphertext_frequencies.most_common()]
+        plain_ranked = [value for value, _ in plaintext_frequencies.most_common()]
+        try:
+            rank = cipher_ranked.index(ciphertext_value)
+        except ValueError:
+            return rng.choice(plain_ranked)
+        if rank < len(plain_ranked):
+            return plain_ranked[rank]
+        return rng.choice(plain_ranked)
+
+    @staticmethod
+    def candidate_set(target_frequency: int, plaintext_frequencies: Counter) -> list:
+        """The set ``G(e)`` of plaintext values with a matching frequency.
+
+        When no plaintext value matches exactly (the ciphertext frequency was
+        scaled up by F2), the candidates fall back to the values with the
+        nearest frequency not exceeding the target, and finally to every
+        plaintext value.
+        """
+        exact = [value for value, count in plaintext_frequencies.items() if count == target_frequency]
+        if exact:
+            return exact
+        below = [
+            (target_frequency - count, value)
+            for value, count in plaintext_frequencies.items()
+            if count <= target_frequency
+        ]
+        if below:
+            best_gap = min(gap for gap, _ in below)
+            return [value for gap, value in below if gap == best_gap]
+        return list(plaintext_frequencies)

@@ -1,0 +1,47 @@
+"""Benchmark harness regenerating the paper's evaluation (Section 5).
+
+The harness is organised as one sweep function per table/figure of the paper
+(:mod:`~repro.bench.sweeps`), a small set of timing/measurement helpers
+(:mod:`~repro.bench.harness`), and plain-text/CSV reporting
+(:mod:`~repro.bench.reporting`).  The ``benchmarks/`` directory at the
+repository root contains one pytest-benchmark module per experiment that
+calls into these sweeps; the same sweeps are also reachable through the CLI
+(``f2-repro bench ...``) for ad-hoc runs at larger scales.
+"""
+
+from repro.bench.harness import (
+    BaselineTimings,
+    dataset_by_name,
+    measure_baselines,
+    run_f2,
+    time_tane,
+)
+from repro.bench.reporting import format_table, write_csv
+from repro.bench.sweeps import (
+    fig6_time_vs_alpha,
+    fig7_time_vs_size,
+    fig8_baseline_comparison,
+    fig9_overhead,
+    fig10_discovery_overhead,
+    sec54_local_vs_outsourcing,
+    security_attack_evaluation,
+    table1_dataset_description,
+)
+
+__all__ = [
+    "BaselineTimings",
+    "dataset_by_name",
+    "fig10_discovery_overhead",
+    "fig6_time_vs_alpha",
+    "fig7_time_vs_size",
+    "fig8_baseline_comparison",
+    "fig9_overhead",
+    "format_table",
+    "measure_baselines",
+    "run_f2",
+    "sec54_local_vs_outsourcing",
+    "security_attack_evaluation",
+    "table1_dataset_description",
+    "time_tane",
+    "write_csv",
+]

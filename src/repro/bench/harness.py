@@ -1,0 +1,158 @@
+"""Measurement helpers shared by all benchmark sweeps.
+
+Everything here measures the same quantities the paper reports — per-step
+encryption time, total encryption time of F2 and of the two baselines, FD
+discovery time — on the synthetic substitutes of the paper's datasets.
+Absolute numbers differ from the paper (pure Python on laptop-scale data vs.
+Java on GB-scale data); the *shapes* are what the benchmarks reproduce.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.config import F2Config
+from repro.core.encrypted import EncryptedTable
+from repro.core.scheme import F2Scheme
+from repro.crypto.deterministic import DeterministicCipher
+from repro.crypto.keys import KeyGen
+from repro.crypto.paillier import PaillierCipher, PaillierKeyPair
+from repro.datasets.synthetic import generate_synthetic
+from repro.datasets.tpch import generate_customer, generate_orders
+from repro.exceptions import DatasetError
+from repro.fd.tane import TaneResult, tane_with_stats
+from repro.relational.table import Relation
+
+DATASET_GENERATORS: dict[str, Callable[..., Relation]] = {
+    "orders": generate_orders,
+    "customer": generate_customer,
+    "synthetic": generate_synthetic,
+}
+
+
+def dataset_by_name(name: str, num_rows: int, seed: int = 0) -> Relation:
+    """Generate one of the three evaluation datasets by name."""
+    try:
+        generator = DATASET_GENERATORS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_GENERATORS)}"
+        ) from None
+    return generator(num_rows, seed=seed)
+
+
+def run_f2(
+    relation: Relation,
+    alpha: float = 0.2,
+    split_factor: int = 2,
+    seed: int = 0,
+    **config_overrides,
+) -> EncryptedTable:
+    """Encrypt ``relation`` with F2 using a seeded key and configuration."""
+    config = F2Config(alpha=alpha, split_factor=split_factor, seed=seed, **config_overrides)
+    scheme = F2Scheme(key=KeyGen.symmetric_from_seed(seed), config=config)
+    return scheme.encrypt(relation)
+
+
+def time_tane(relation: Relation, max_lhs_size: int | None = None) -> TaneResult:
+    """Run TANE and return its result (which carries elapsed time)."""
+    return tane_with_stats(relation, max_lhs_size=max_lhs_size)
+
+
+@dataclass
+class BaselineTimings:
+    """Total cell-encryption time of F2 and the two baselines (Figure 8)."""
+
+    rows: int
+    cells: int
+    f2_seconds: float
+    aes_seconds: float
+    paillier_seconds: float
+    f2_overhead_rows: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rows": self.rows,
+            "cells": self.cells,
+            "f2_seconds": round(self.f2_seconds, 6),
+            "aes_seconds": round(self.aes_seconds, 6),
+            "paillier_seconds": round(self.paillier_seconds, 6),
+            "f2_overhead_rows": self.f2_overhead_rows,
+        }
+
+
+def measure_baselines(
+    relation: Relation,
+    alpha: float = 0.2,
+    split_factor: int = 2,
+    seed: int = 0,
+    paillier_bits: int = 256,
+    paillier_cell_limit: int | None = 2000,
+    deterministic_backend: str = "prf",
+) -> BaselineTimings:
+    """Measure F2 vs deterministic AES vs Paillier on one table (Figure 8).
+
+    Parameters
+    ----------
+    paillier_bits:
+        Paillier modulus size.  The default (256) keeps laptop runtimes
+        manageable while preserving the orders-of-magnitude gap; the paper
+        used a full-strength toolbox and observed the same qualitative gap.
+    paillier_cell_limit:
+        Paillier encrypts at most this many cells and the measured time is
+        extrapolated linearly to the full table (the paper itself could not
+        finish Paillier runs beyond 0.65 GB within a day).  ``None`` encrypts
+        every cell.
+    deterministic_backend:
+        Backend of the deterministic baseline.  ``"prf"`` (default) uses the
+        HMAC construction, which plays the role of the paper's *native* AES:
+        a fast symmetric primitive per cell.  ``"aes"`` uses the from-scratch
+        pure-Python AES-128, which is cryptographically faithful but so slow
+        in pure Python that it would distort the comparison the figure is
+        about (the paper's baseline ran hardware-accelerated ``javax.crypto``).
+    """
+    cells = relation.num_rows * relation.num_attributes
+
+    start = time.perf_counter()
+    encrypted = run_f2(relation, alpha=alpha, split_factor=split_factor, seed=seed)
+    f2_seconds = time.perf_counter() - start
+
+    aes_cipher = DeterministicCipher(
+        KeyGen.symmetric_from_seed(seed + 1), backend=deterministic_backend
+    )
+    start = time.perf_counter()
+    for row in relation.rows():
+        for value in row:
+            aes_cipher.encrypt(value)
+    aes_seconds = time.perf_counter() - start
+
+    paillier = PaillierCipher(PaillierKeyPair.generate(bits=paillier_bits))
+    limit = cells if paillier_cell_limit is None else min(cells, paillier_cell_limit)
+    start = time.perf_counter()
+    encrypted_cells = 0
+    for row in relation.rows():
+        for value in row:
+            paillier.encrypt_int(hash(value) % paillier.public_key.n)
+            encrypted_cells += 1
+            if encrypted_cells >= limit:
+                break
+        if encrypted_cells >= limit:
+            break
+    measured = time.perf_counter() - start
+    paillier_seconds = measured * (cells / max(1, encrypted_cells))
+
+    return BaselineTimings(
+        rows=relation.num_rows,
+        cells=cells,
+        f2_seconds=f2_seconds,
+        aes_seconds=aes_seconds,
+        paillier_seconds=paillier_seconds,
+        f2_overhead_rows=encrypted.stats.rows_added_total,
+    )
+
+
+def approximate_megabytes(relation: Relation) -> float:
+    """Approximate serialized size in MB (used to label data-size sweeps)."""
+    return relation.approximate_size_bytes() / (1024 * 1024)

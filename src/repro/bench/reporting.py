@@ -1,0 +1,65 @@
+"""Plain-text and CSV reporting of benchmark sweep results.
+
+The sweeps return lists of flat dictionaries; these helpers render them as
+aligned text tables (what the benchmark scripts print and EXPERIMENTS.md
+embeds) and persist them as CSV for further analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Mapping
+
+
+def format_table(rows: Iterable[Mapping[str, object]], title: str | None = None) -> str:
+    """Render result rows as an aligned, pipe-separated text table."""
+    rows = [dict(row) for row in rows]
+    if not rows:
+        return f"{title or 'results'}: (no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        column: max(len(column), *(len(_cell(row.get(column))) for row in rows))
+        for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(_cell(row.get(column)).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def write_csv(rows: Iterable[Mapping[str, object]], path: str | Path) -> Path:
+    """Write result rows to a CSV file and return the path."""
+    rows = [dict(row) for row in rows]
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path

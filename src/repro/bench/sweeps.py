@@ -1,0 +1,350 @@
+"""One sweep per table/figure of the paper's evaluation (Section 5).
+
+Every function returns a list of flat dictionaries (one per measured point)
+so the results can be printed with :func:`repro.bench.reporting.format_table`,
+written to CSV, or asserted on by the pytest benchmarks.  Default sizes are
+laptop-scale; every sweep takes explicit row counts so larger runs are a
+parameter change away.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.attack.evaluate import (
+    evaluate_attack,
+    samples_from_deterministic,
+    samples_from_encrypted,
+)
+from repro.attack.frequency import FrequencyAttack
+from repro.attack.kerckhoffs import KerckhoffsAttack
+from repro.bench.harness import (
+    approximate_megabytes,
+    dataset_by_name,
+    measure_baselines,
+    run_f2,
+    time_tane,
+)
+from repro.crypto.deterministic import DeterministicCipher
+from repro.crypto.keys import KeyGen
+from repro.fd.mas import find_mas_with_stats
+
+DEFAULT_ALPHAS_SYNTHETIC = (1 / 5, 1 / 10, 1 / 15, 1 / 20, 1 / 25)
+DEFAULT_ALPHAS_ORDERS = (1 / 5, 1 / 10, 1 / 15, 1 / 20, 1 / 25)
+DEFAULT_ALPHAS_OVERHEAD = (1, 1 / 2, 1 / 3, 1 / 4, 1 / 5, 1 / 6, 1 / 8, 1 / 10)
+DEFAULT_ALPHAS_DISCOVERY = (1 / 2, 1 / 4, 1 / 6, 1 / 8, 1 / 10)
+
+
+def _alpha_label(alpha: float) -> str:
+    fraction = Fraction(alpha).limit_denominator(64)
+    if fraction.numerator == 1:
+        return f"1/{fraction.denominator}"
+    return f"{alpha:g}"
+
+
+# ----------------------------------------------------------------------
+# Table 1: dataset description
+# ----------------------------------------------------------------------
+def table1_dataset_description(
+    sizes: dict[str, int] | None = None,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Regenerate Table 1: attributes, tuples, size, and MAS structure."""
+    sizes = sizes or {"orders": 3000, "customer": 1500, "synthetic": 2000}
+    rows = []
+    for name, num_rows in sizes.items():
+        relation = dataset_by_name(name, num_rows, seed=seed)
+        mas_result = find_mas_with_stats(relation)
+        mas_sizes = [len(mas) for mas in mas_result.masses]
+        rows.append(
+            {
+                "dataset": name,
+                "attributes": relation.num_attributes,
+                "tuples": relation.num_rows,
+                "size_mb": round(approximate_megabytes(relation), 3),
+                "num_mas": len(mas_result.masses),
+                "mas_sizes": ",".join(str(size) for size in sorted(mas_sizes)),
+                "overlapping_mas_pairs": len(mas_result.overlapping_pairs()),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 6: encryption time per step vs alpha
+# ----------------------------------------------------------------------
+def fig6_time_vs_alpha(
+    dataset: str = "synthetic",
+    num_rows: int = 2000,
+    alphas: tuple[float, ...] | None = None,
+    split_factor: int = 2,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Per-step encryption time (MAX/SSE/SYN/FP) for decreasing alpha."""
+    alphas = alphas or (
+        DEFAULT_ALPHAS_SYNTHETIC if dataset == "synthetic" else DEFAULT_ALPHAS_ORDERS
+    )
+    relation = dataset_by_name(dataset, num_rows, seed=seed)
+    results = []
+    for alpha in alphas:
+        encrypted = run_f2(relation, alpha=alpha, split_factor=split_factor, seed=seed)
+        point = {
+            "dataset": dataset,
+            "rows": num_rows,
+            "alpha": _alpha_label(alpha),
+            "total_seconds": round(encrypted.stats.seconds_total, 4),
+        }
+        for step, seconds in encrypted.stats.step_seconds().items():
+            point[f"{step}_seconds"] = round(seconds, 4)
+        results.append(point)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 7: encryption time per step vs data size
+# ----------------------------------------------------------------------
+def fig7_time_vs_size(
+    dataset: str = "synthetic",
+    sizes: tuple[int, ...] = (500, 1000, 2000, 4000),
+    alpha: float | None = None,
+    split_factor: int = 2,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Per-step encryption time for growing data sizes (fixed alpha)."""
+    if alpha is None:
+        alpha = 0.25 if dataset == "synthetic" else 0.2
+    results = []
+    for num_rows in sizes:
+        relation = dataset_by_name(dataset, num_rows, seed=seed)
+        encrypted = run_f2(relation, alpha=alpha, split_factor=split_factor, seed=seed)
+        point = {
+            "dataset": dataset,
+            "rows": num_rows,
+            "size_mb": round(approximate_megabytes(relation), 3),
+            "alpha": _alpha_label(alpha),
+            "total_seconds": round(encrypted.stats.seconds_total, 4),
+        }
+        for step, seconds in encrypted.stats.step_seconds().items():
+            point[f"{step}_seconds"] = round(seconds, 4)
+        results.append(point)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 8: F2 vs AES vs Paillier
+# ----------------------------------------------------------------------
+def fig8_baseline_comparison(
+    dataset: str = "synthetic",
+    sizes: tuple[int, ...] = (500, 1000, 2000),
+    alpha: float | None = None,
+    seed: int = 0,
+    paillier_bits: int = 256,
+) -> list[dict[str, object]]:
+    """Total encryption time of F2, deterministic AES, and Paillier."""
+    if alpha is None:
+        alpha = 0.25 if dataset == "synthetic" else 0.2
+    results = []
+    for num_rows in sizes:
+        relation = dataset_by_name(dataset, num_rows, seed=seed)
+        timings = measure_baselines(
+            relation, alpha=alpha, seed=seed, paillier_bits=paillier_bits
+        )
+        point = {"dataset": dataset, "alpha": _alpha_label(alpha)}
+        point.update(timings.to_dict())
+        results.append(point)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 9: artificial-record overhead
+# ----------------------------------------------------------------------
+def fig9_overhead(
+    dataset: str = "customer",
+    num_rows: int = 1500,
+    alphas: tuple[float, ...] | None = None,
+    sizes: tuple[int, ...] | None = None,
+    alpha_for_sizes: float = 0.2,
+    split_factor: int = 2,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Artificial-record overhead per step, vs alpha and (optionally) vs size.
+
+    Returns one row per (sweep variable value); the sweep over alpha is run
+    when ``alphas`` is not an empty tuple (``None`` selects the default alpha
+    list), the sweep over sizes when ``sizes`` is given.
+    """
+    alphas = DEFAULT_ALPHAS_OVERHEAD if alphas is None else alphas
+    results = []
+    relation = dataset_by_name(dataset, num_rows, seed=seed)
+    for alpha in alphas:
+        encrypted = run_f2(relation, alpha=alpha, split_factor=split_factor, seed=seed)
+        point = {
+            "dataset": dataset,
+            "sweep": "alpha",
+            "rows": num_rows,
+            "alpha": _alpha_label(alpha),
+            "total_overhead": round(encrypted.stats.total_overhead_ratio, 4),
+        }
+        for step, ratio in encrypted.stats.overhead_ratios().items():
+            point[f"{step}_overhead"] = round(ratio, 4)
+        results.append(point)
+    for num_rows_point in sizes or ():
+        relation = dataset_by_name(dataset, num_rows_point, seed=seed)
+        encrypted = run_f2(relation, alpha=alpha_for_sizes, split_factor=split_factor, seed=seed)
+        point = {
+            "dataset": dataset,
+            "sweep": "size",
+            "rows": num_rows_point,
+            "alpha": _alpha_label(alpha_for_sizes),
+            "total_overhead": round(encrypted.stats.total_overhead_ratio, 4),
+        }
+        for step, ratio in encrypted.stats.overhead_ratios().items():
+            point[f"{step}_overhead"] = round(ratio, 4)
+        results.append(point)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 10: FD-discovery time overhead on encrypted data
+# ----------------------------------------------------------------------
+def fig10_discovery_overhead(
+    dataset: str = "orders",
+    num_rows: int = 1500,
+    alphas: tuple[float, ...] | None = None,
+    split_factor: int = 2,
+    seed: int = 0,
+    max_lhs_size: int | None = 4,
+) -> list[dict[str, object]]:
+    """Relative FD-discovery slowdown on the ciphertext, ``(T' - T) / T``."""
+    alphas = alphas or DEFAULT_ALPHAS_DISCOVERY
+    relation = dataset_by_name(dataset, num_rows, seed=seed)
+    baseline = time_tane(relation, max_lhs_size=max_lhs_size)
+    results = []
+    for alpha in alphas:
+        encrypted = run_f2(relation, alpha=alpha, split_factor=split_factor, seed=seed)
+        on_cipher = time_tane(encrypted.server_view(), max_lhs_size=max_lhs_size)
+        overhead = (
+            (on_cipher.elapsed_seconds - baseline.elapsed_seconds) / baseline.elapsed_seconds
+            if baseline.elapsed_seconds > 0
+            else 0.0
+        )
+        results.append(
+            {
+                "dataset": dataset,
+                "rows": num_rows,
+                "alpha": _alpha_label(alpha),
+                "plaintext_discovery_seconds": round(baseline.elapsed_seconds, 4),
+                "ciphertext_discovery_seconds": round(on_cipher.elapsed_seconds, 4),
+                "time_overhead": round(overhead, 4),
+                "ciphertext_rows": encrypted.num_rows,
+                "fds_plaintext": len(baseline.fds),
+                "fds_ciphertext": len(on_cipher.fds),
+            }
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Section 5.4 (text): local FD discovery vs encrypting for outsourcing
+# ----------------------------------------------------------------------
+def sec54_local_vs_outsourcing(
+    dataset: str = "customer",
+    sizes: tuple[int, ...] = (400, 800, 1600),
+    alpha: float = 0.25,
+    seed: int = 0,
+    max_lhs_size: int | None = None,
+) -> list[dict[str, object]]:
+    """Compare the owner's cost of local TANE vs. encrypting with F2.
+
+    The default uses the 21-attribute Customer table, where the FD-discovery
+    lattice is widest and local discovery is the most expensive relative to
+    encryption (the regime the paper's Section 5.4 numbers come from).
+    """
+    results = []
+    for num_rows in sizes:
+        relation = dataset_by_name(dataset, num_rows, seed=seed)
+        discovery = time_tane(relation, max_lhs_size=max_lhs_size)
+        encrypted = run_f2(relation, alpha=alpha, seed=seed)
+        results.append(
+            {
+                "dataset": dataset,
+                "rows": num_rows,
+                "local_fd_discovery_seconds": round(discovery.elapsed_seconds, 4),
+                "f2_encryption_seconds": round(encrypted.stats.seconds_total, 4),
+                "speedup": round(
+                    discovery.elapsed_seconds / max(encrypted.stats.seconds_total, 1e-9), 2
+                ),
+                "fds_found": len(discovery.fds),
+            }
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Security claims of Section 4: empirical attack success
+# ----------------------------------------------------------------------
+def security_attack_evaluation(
+    dataset: str = "orders",
+    num_rows: int = 800,
+    alphas: tuple[float, ...] = (1 / 2, 1 / 4, 1 / 8),
+    trials: int = 400,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Empirical success of the frequency and Kerckhoffs attacks vs alpha.
+
+    Also measures both attacks against the deterministic baseline to show the
+    leakage F2 removes.
+    """
+    relation = dataset_by_name(dataset, num_rows, seed=seed)
+    domain_sizes = relation.domain_sizes()
+    # Attack skewed, moderate-cardinality attributes: these are the ones where
+    # frequency analysis is informative (unique columns have flat frequencies,
+    # 2-3-value columns cannot be guessed worse than 1/domain by anyone).
+    target_attributes = [
+        attribute
+        for attribute, domain in domain_sizes.items()
+        if 3 <= domain <= max(40, num_rows // 10)
+    ] or list(relation.attributes[:2])
+    random_guess_rate = sum(1.0 / domain_sizes[attr] for attr in target_attributes) / len(
+        target_attributes
+    )
+    results = []
+
+    deterministic = DeterministicCipher(KeyGen.symmetric_from_seed(seed))
+    det_relation, det_samples = samples_from_deterministic(
+        relation, deterministic, attributes=target_attributes
+    )
+    for attack in (FrequencyAttack(), KerckhoffsAttack()):
+        outcome = evaluate_attack(
+            attack, det_samples, relation, det_relation, trials=trials, seed=seed
+        )
+        results.append(
+            {
+                "dataset": dataset,
+                "scheme": "deterministic",
+                "alpha": "-",
+                "attack": attack.name,
+                "success_rate": round(outcome.success_rate, 4),
+                "random_guess_rate": round(random_guess_rate, 4),
+            }
+        )
+
+    for alpha in alphas:
+        encrypted = run_f2(relation, alpha=alpha, seed=seed)
+        samples = samples_from_encrypted(encrypted, relation, attributes=target_attributes)
+        for attack in (FrequencyAttack(), KerckhoffsAttack()):
+            outcome = evaluate_attack(
+                attack, samples, relation, encrypted.relation, trials=trials, seed=seed
+            )
+            results.append(
+                {
+                    "dataset": dataset,
+                    "scheme": "f2",
+                    "alpha": _alpha_label(alpha),
+                    "attack": attack.name,
+                    "success_rate": round(outcome.success_rate, 4),
+                    "random_guess_rate": round(random_guess_rate, 4),
+                    "bound": round(max(alpha, random_guess_rate), 4),
+                }
+            )
+    return results

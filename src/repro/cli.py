@@ -1,0 +1,158 @@
+"""Command-line interface: ``f2-repro``.
+
+Subcommands
+-----------
+``encrypt``
+    Encrypt a CSV table with F2 and write the ciphertext CSV (plus a summary).
+``discover``
+    Run TANE FD discovery on a CSV table (plaintext or ciphertext) and print
+    the dependencies — this is what the service provider would run.
+``attack``
+    Encrypt a generated dataset and report the empirical success of the
+    frequency-analysis and Kerckhoffs attacks against it and against the
+    deterministic baseline.
+``bench``
+    Run one of the paper's experiment sweeps and print the result table.
+``dataset``
+    Generate one of the evaluation datasets as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench import (
+    fig6_time_vs_alpha,
+    fig7_time_vs_size,
+    fig8_baseline_comparison,
+    fig9_overhead,
+    fig10_discovery_overhead,
+    format_table,
+    sec54_local_vs_outsourcing,
+    security_attack_evaluation,
+    table1_dataset_description,
+    write_csv,
+)
+from repro.bench.harness import dataset_by_name
+from repro.core.config import F2Config
+from repro.core.scheme import F2Scheme
+from repro.crypto.keys import KeyGen
+from repro.fd.tane import tane
+from repro.relational.csvio import read_csv, write_csv as write_relation_csv
+
+_SWEEPS = {
+    "table1": table1_dataset_description,
+    "fig6": fig6_time_vs_alpha,
+    "fig7": fig7_time_vs_size,
+    "fig8": fig8_baseline_comparison,
+    "fig9": fig9_overhead,
+    "fig10": fig10_discovery_overhead,
+    "sec54": sec54_local_vs_outsourcing,
+    "security": security_attack_evaluation,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="f2-repro",
+        description="F2: frequency-hiding, FD-preserving encryption (ICDE 2017 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    encrypt = subparsers.add_parser("encrypt", help="encrypt a CSV table with F2")
+    encrypt.add_argument("input", help="plaintext CSV file (header row required)")
+    encrypt.add_argument("output", help="ciphertext CSV file to write")
+    encrypt.add_argument("--alpha", type=float, default=0.2, help="alpha-security threshold")
+    encrypt.add_argument("--split-factor", type=int, default=2, help="split factor (omega)")
+    encrypt.add_argument("--key-seed", type=int, default=None, help="derive the key from a seed")
+    encrypt.add_argument("--summary", default=None, help="optional JSON summary output path")
+
+    discover = subparsers.add_parser("discover", help="run TANE FD discovery on a CSV table")
+    discover.add_argument("input", help="CSV file (plaintext or ciphertext)")
+    discover.add_argument("--max-lhs", type=int, default=None, help="cap the LHS size")
+
+    attack = subparsers.add_parser("attack", help="evaluate frequency-analysis attacks")
+    attack.add_argument("--dataset", default="orders", choices=["orders", "customer", "synthetic"])
+    attack.add_argument("--rows", type=int, default=800)
+    attack.add_argument("--trials", type=int, default=400)
+
+    bench = subparsers.add_parser("bench", help="run one of the paper's experiment sweeps")
+    bench.add_argument("experiment", choices=sorted(_SWEEPS))
+    bench.add_argument("--csv", default=None, help="also write the results to this CSV path")
+
+    dataset = subparsers.add_parser("dataset", help="generate an evaluation dataset as CSV")
+    dataset.add_argument("name", choices=["orders", "customer", "synthetic"])
+    dataset.add_argument("output", help="CSV file to write")
+    dataset.add_argument("--rows", type=int, default=1000)
+    dataset.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "encrypt":
+        return _cmd_encrypt(args)
+    if args.command == "discover":
+        return _cmd_discover(args)
+    if args.command == "attack":
+        return _cmd_attack(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "dataset":
+        return _cmd_dataset(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _cmd_encrypt(args: argparse.Namespace) -> int:
+    relation = read_csv(args.input)
+    key = KeyGen.symmetric_from_seed(args.key_seed) if args.key_seed is not None else None
+    config = F2Config(alpha=args.alpha, split_factor=args.split_factor)
+    scheme = F2Scheme(key=key, config=config)
+    encrypted = scheme.encrypt(relation)
+    write_relation_csv(encrypted.server_view(), args.output)
+    summary = encrypted.describe()
+    print(json.dumps(summary, indent=2, default=str))
+    if args.summary:
+        Path(args.summary).write_text(json.dumps(summary, indent=2, default=str), encoding="utf-8")
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    relation = read_csv(args.input)
+    dependencies = tane(relation, max_lhs_size=args.max_lhs)
+    for fd in dependencies:
+        print(str(fd))
+    print(f"# {len(dependencies)} functional dependencies", file=sys.stderr)
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    results = security_attack_evaluation(
+        dataset=args.dataset, num_rows=args.rows, trials=args.trials
+    )
+    print(format_table(results, title=f"Attack evaluation on {args.dataset} ({args.rows} rows)"))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    sweep = _SWEEPS[args.experiment]
+    results = sweep()
+    print(format_table(results, title=f"Experiment {args.experiment}"))
+    if args.csv:
+        write_csv(results, args.csv)
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    relation = dataset_by_name(args.name, args.rows, seed=args.seed)
+    write_relation_csv(relation, args.output)
+    print(f"wrote {relation.num_rows} rows x {relation.num_attributes} attributes to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""The F2 encryption scheme (the paper's primary contribution).
+
+The public entry point is :class:`~repro.core.scheme.F2Scheme`, which runs the
+four steps of Section 3 — MAS discovery, equivalence-class grouping,
+splitting-and-scaling, conflict resolution, and false-positive FD elimination
+— and produces an :class:`~repro.core.encrypted.EncryptedTable` the data owner
+can outsource.  The remaining modules implement the individual steps and are
+exposed for tests, ablation benchmarks, and advanced use:
+
+* :mod:`~repro.core.config` — tunable parameters (alpha, split factor, ...).
+* :mod:`~repro.core.ecg` — Step 2.1, equivalence-class grouping.
+* :mod:`~repro.core.split_scale` — Step 2.2, splitting-and-scaling with the
+  optimal split point.
+* :mod:`~repro.core.conflict` — Step 3, conflict resolution across MASs.
+* :mod:`~repro.core.false_positive` — Step 4, false-positive FD elimination.
+* :mod:`~repro.core.security` — structural alpha-security verification.
+* :mod:`~repro.core.encrypted` / :mod:`~repro.core.stats` — the output
+  artifact and its per-step statistics.
+"""
+
+from repro.core.config import F2Config
+from repro.core.encrypted import EncryptedTable, RowProvenance
+from repro.core.scheme import F2Scheme
+from repro.core.security import verify_alpha_security
+from repro.core.stats import EncryptionStats
+
+__all__ = [
+    "EncryptedTable",
+    "EncryptionStats",
+    "F2Config",
+    "F2Scheme",
+    "RowProvenance",
+    "verify_alpha_security",
+]

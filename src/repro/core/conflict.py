@@ -1,0 +1,428 @@
+"""Row assembly and Step 3: conflict resolution across multiple MASs.
+
+Splitting-and-scaling is planned per MAS.  When a table has several MASs the
+per-MAS plans must be synchronised (Section 3.3):
+
+* **Type-1 conflicts (scaling)** — a tuple is scaled (copied) because of one
+  MAS but not another.  Resolution: the copies keep the instance's ciphertext
+  values on the MAS's attributes and receive *fresh* values (not occurring in
+  the original data) everywhere else, so no other MAS's frequency
+  homogenisation is disturbed.  This falls out of how scaling-copy rows are
+  assembled here and adds no extra records beyond the copies themselves.
+* **Type-2 conflicts (shared attributes)** — a tuple's value on the shared
+  attributes ``Z = X & Y`` of two overlapping MASs is bound to two different
+  ciphertext instances.  Resolution (the paper's robust method): the tuple is
+  replaced by two tuples — one keeping the ``X``-side encryption and fresh
+  values on ``Y - Z``, the other keeping the ``Y``-side encryption and fresh
+  values elsewhere.
+
+A per-MAS instance only *binds* a tuple when the instance's ciphertext value
+must be shared with other rows (post-scaling frequency of at least two); an
+instance of frequency one is free to adopt whatever value the other MAS
+requires, which is why conflicts are rare in practice (the paper reports only
+24 conflict records on a 0.3 GB Orders table).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.core.ecg import GroupingResult
+from repro.core.plan import (
+    CellSpec,
+    FreshCell,
+    FreshValueFactory,
+    InstanceCell,
+    RandomCell,
+    RowPlan,
+    RowProvenanceSpec,
+)
+from repro.core.split_scale import EcgPlan, InstanceAssignment
+from repro.exceptions import EncryptionError
+from repro.fd.mas import MaximalAttributeSet
+from repro.relational.table import Relation
+
+
+@dataclass
+class MasPlan:
+    """Everything planned for one MAS: its grouping and split/scale plans."""
+
+    index: int
+    mas: MaximalAttributeSet
+    grouping: GroupingResult
+    ecg_plans: list[EcgPlan] = field(default_factory=list)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self.mas.attributes
+
+    @property
+    def attribute_set(self) -> frozenset[str]:
+        return self.mas.as_set
+
+    def fake_rows(self) -> int:
+        return sum(
+            instance.frequency
+            for plan in self.ecg_plans
+            for member_plan in plan.member_plans
+            if member_plan.member.is_fake
+            for instance in member_plan.instances
+        )
+
+    def scaling_rows(self) -> int:
+        return sum(
+            instance.scaling_copies
+            for plan in self.ecg_plans
+            for member_plan in plan.member_plans
+            if not member_plan.member.is_fake
+            for instance in member_plan.instances
+        )
+
+
+@dataclass
+class _RowBinding:
+    """The instance a MAS assigned to one original row."""
+
+    mas_index: int
+    attributes: tuple[str, ...]
+    instance: InstanceAssignment
+    representative: tuple
+
+    @property
+    def constrained(self) -> bool:
+        """True iff the instance's value must be shared with other rows."""
+        return self.instance.frequency >= 2
+
+    def cell_for(self, attribute: str, plaintext_value: object) -> InstanceCell:
+        return InstanceCell(value=plaintext_value, variant=self.instance.variant)
+
+
+@dataclass
+class AssemblyResult:
+    """All planned ciphertext rows before Step 4, plus counters."""
+
+    row_plans: list[RowPlan]
+    conflicting_tuples: int
+    conflict_rows_added: int
+    scaling_rows_added: int
+    fake_ec_rows_added: int
+
+
+def assemble_row_plans(
+    relation: Relation,
+    mas_plans: list[MasPlan],
+    fresh_factory: FreshValueFactory,
+    resolve_conflicts: bool = True,
+    seed: int | None = 0,
+) -> AssemblyResult:
+    """Assemble the symbolic ciphertext rows for the whole table.
+
+    Produces, in order: one (or more, after conflict resolution) row plan per
+    original row, then the scaling-copy rows and fake-EC rows of every MAS.
+    Step 4's artificial rows are appended later by the scheme.
+    """
+    schema_attributes = relation.attributes
+    mas_attribute_map = _attribute_to_mas_indexes(schema_attributes, mas_plans)
+    bindings = _collect_row_bindings(relation, mas_plans)
+    rng = random.Random(seed)
+
+    row_plans: list[RowPlan] = []
+    conflicting_tuples = 0
+    conflict_rows_added = 0
+
+    for row_index in range(relation.num_rows):
+        row_values = {attr: relation.value(row_index, attr) for attr in schema_attributes}
+        row_bindings = bindings.get(row_index, [])
+        versions, had_conflict = _build_versions_for_row(
+            row_index,
+            row_values,
+            row_bindings,
+            mas_attribute_map,
+            schema_attributes,
+            fresh_factory,
+            resolve_conflicts,
+            rng,
+        )
+        if had_conflict:
+            conflicting_tuples += 1
+            conflict_rows_added += len(versions) - 1
+        row_plans.extend(versions)
+
+    scaling_rows_added = 0
+    fake_ec_rows_added = 0
+    for mas_plan in mas_plans:
+        scaling, fake = _artificial_rows_for_mas(
+            mas_plan, schema_attributes, fresh_factory, row_plans
+        )
+        scaling_rows_added += scaling
+        fake_ec_rows_added += fake
+
+    return AssemblyResult(
+        row_plans=row_plans,
+        conflicting_tuples=conflicting_tuples,
+        conflict_rows_added=conflict_rows_added,
+        scaling_rows_added=scaling_rows_added,
+        fake_ec_rows_added=fake_ec_rows_added,
+    )
+
+
+# ----------------------------------------------------------------------
+# Binding collection
+# ----------------------------------------------------------------------
+def _attribute_to_mas_indexes(
+    attributes: tuple[str, ...],
+    mas_plans: list[MasPlan],
+) -> dict[str, list[int]]:
+    mapping: dict[str, list[int]] = {attr: [] for attr in attributes}
+    for plan in mas_plans:
+        for attr in plan.attributes:
+            mapping[attr].append(plan.index)
+    return mapping
+
+
+def _collect_row_bindings(
+    relation: Relation,
+    mas_plans: list[MasPlan],
+) -> dict[int, list[_RowBinding]]:
+    """For every original row, the instance each MAS assigned it to."""
+    bindings: dict[int, list[_RowBinding]] = {}
+    for mas_plan in mas_plans:
+        for ecg_plan in mas_plan.ecg_plans:
+            for member_plan in ecg_plan.member_plans:
+                if member_plan.member.is_fake:
+                    continue
+                for instance in member_plan.instances:
+                    for row in instance.original_rows:
+                        bindings.setdefault(row, []).append(
+                            _RowBinding(
+                                mas_index=mas_plan.index,
+                                attributes=mas_plan.attributes,
+                                instance=instance,
+                                representative=member_plan.member.representative,
+                            )
+                        )
+    return bindings
+
+
+# ----------------------------------------------------------------------
+# Per-row version construction with type-2 conflict resolution
+# ----------------------------------------------------------------------
+def _build_versions_for_row(
+    row_index: int,
+    row_values: dict[str, object],
+    row_bindings: list[_RowBinding],
+    mas_attribute_map: dict[str, list[int]],
+    schema_attributes: tuple[str, ...],
+    fresh_factory: FreshValueFactory,
+    resolve_conflicts: bool,
+    rng: random.Random,
+) -> tuple[list[RowPlan], bool]:
+    """Build the ciphertext row(s) representing one original row."""
+    binding_by_mas = {binding.mas_index: binding for binding in row_bindings}
+
+    # A "version" is a candidate output row: the set of MASs whose authentic
+    # binding it retains, plus the attributes already replaced by fresh values.
+    versions: list[dict[str, object]] = [
+        {"mas_indexes": set(binding_by_mas), "fresh_attributes": set()}
+    ]
+    had_conflict = False
+
+    if resolve_conflicts:
+        conflict_pairs = _conflicting_pairs(binding_by_mas, rng)
+        for first_mas, second_mas in conflict_pairs:
+            for version in list(versions):
+                retained: set[int] = version["mas_indexes"]  # type: ignore[assignment]
+                if first_mas not in retained or second_mas not in retained:
+                    continue
+                had_conflict = True
+                versions.remove(version)
+                first_attrs = frozenset(binding_by_mas[first_mas].attributes)
+                second_attrs = frozenset(binding_by_mas[second_mas].attributes)
+                shared = first_attrs & second_attrs
+                fresh_attrs: set[str] = version["fresh_attributes"]  # type: ignore[assignment]
+                # Version 1 keeps the X-side binding; Y - Z becomes fresh.
+                versions.append(
+                    {
+                        "mas_indexes": retained - {second_mas},
+                        "fresh_attributes": fresh_attrs | (second_attrs - shared),
+                    }
+                )
+                # Version 2 keeps only the Y-side binding; everything outside
+                # Y becomes fresh so that no other MAS's frequency is doubled.
+                versions.append(
+                    {
+                        "mas_indexes": {second_mas},
+                        "fresh_attributes": fresh_attrs
+                        | (set(schema_attributes) - second_attrs),
+                    }
+                )
+                break  # A conflicting pair splits exactly one version.
+
+    row_plans = []
+    for version_index, version in enumerate(versions):
+        retained: set[int] = version["mas_indexes"]  # type: ignore[assignment]
+        fresh_attrs: set[str] = version["fresh_attributes"]  # type: ignore[assignment]
+        cells: dict[str, CellSpec] = {}
+        authentic: set[str] = set()
+        for attr in schema_attributes:
+            if attr in fresh_attrs:
+                cells[attr] = fresh_factory.fresh_cell(f"conflict:{row_index}")
+                continue
+            spec = _cell_for_original(
+                attr, row_values[attr], binding_by_mas, mas_attribute_map, retained
+            )
+            cells[attr] = spec
+            authentic.add(attr)
+        kind = "original" if len(versions) == 1 else "conflict"
+        row_plans.append(
+            RowPlan(
+                cells=cells,
+                provenance=RowProvenanceSpec(
+                    kind=kind,
+                    source_row=row_index,
+                    authentic_attributes=frozenset(authentic),
+                ),
+            )
+        )
+    return row_plans, had_conflict
+
+
+def _conflicting_pairs(
+    binding_by_mas: dict[int, _RowBinding],
+    rng: random.Random,
+) -> list[tuple[int, int]]:
+    """Overlapping MAS pairs whose bindings for this row genuinely conflict.
+
+    Both bindings must be constrained (post-scaling frequency >= 2) and must
+    disagree on the variant; otherwise the unconstrained side simply adopts
+    the other side's value.
+    """
+    pairs = []
+    for first, second in combinations(sorted(binding_by_mas), 2):
+        first_binding = binding_by_mas[first]
+        second_binding = binding_by_mas[second]
+        shared = set(first_binding.attributes) & set(second_binding.attributes)
+        if not shared:
+            continue
+        if not (first_binding.constrained and second_binding.constrained):
+            continue
+        if first_binding.instance.variant == second_binding.instance.variant:
+            continue
+        pairs.append((first, second))
+    rng.shuffle(pairs)
+    return pairs
+
+
+def _cell_for_original(
+    attribute: str,
+    value: object,
+    binding_by_mas: dict[int, _RowBinding],
+    mas_attribute_map: dict[str, list[int]],
+    retained: set[int],
+) -> CellSpec:
+    """Pick the cell specification of one original-row cell.
+
+    Preference order: a retained *constrained* binding covering the attribute,
+    then any retained binding covering it, then plain probabilistic encryption
+    (attributes outside every MAS).
+    """
+    covering = [index for index in mas_attribute_map.get(attribute, []) if index in retained]
+    constrained = [
+        index for index in covering if binding_by_mas[index].constrained
+    ]
+    chosen = constrained[0] if constrained else (covering[0] if covering else None)
+    if chosen is None:
+        return RandomCell(value=value)
+    return binding_by_mas[chosen].cell_for(attribute, value)
+
+
+# ----------------------------------------------------------------------
+# Artificial rows: scaling copies and fake-EC rows (type-1 resolution)
+# ----------------------------------------------------------------------
+def _artificial_rows_for_mas(
+    mas_plan: MasPlan,
+    schema_attributes: tuple[str, ...],
+    fresh_factory: FreshValueFactory,
+    row_plans: list[RowPlan],
+) -> tuple[int, int]:
+    """Append the scaling-copy and fake-EC rows of one MAS to ``row_plans``.
+
+    Returns ``(scaling_rows, fake_ec_rows)`` added.
+    """
+    mas_attrs = set(mas_plan.attributes)
+    scaling_rows = 0
+    fake_rows = 0
+    for ecg_plan in mas_plan.ecg_plans:
+        for member_plan in ecg_plan.member_plans:
+            member = member_plan.member
+            for instance in member_plan.instances:
+                copies = instance.scaling_copies
+                if copies <= 0:
+                    continue
+                for _ in range(copies):
+                    cells: dict[str, CellSpec] = {}
+                    for position, attr in enumerate(mas_plan.attributes):
+                        if member.is_fake:
+                            cells[attr] = FreshCell(token=member.fake_tokens[position])
+                        else:
+                            cells[attr] = InstanceCell(
+                                value=member.representative[position],
+                                variant=instance.variant,
+                            )
+                    for attr in schema_attributes:
+                        if attr not in mas_attrs:
+                            cells[attr] = fresh_factory.fresh_cell(f"scale:{mas_plan.index}")
+                    kind = "fake_ec" if member.is_fake else "scaling"
+                    row_plans.append(
+                        RowPlan(
+                            cells=cells,
+                            provenance=RowProvenanceSpec(kind=kind, source_row=None),
+                        )
+                    )
+                    if member.is_fake:
+                        fake_rows += 1
+                    else:
+                        scaling_rows += 1
+    return scaling_rows, fake_rows
+
+
+def count_overlapping_pairs(mas_plans: list[MasPlan]) -> int:
+    """Number of overlapping MAS pairs (the paper's ``h`` in Theorem 3.3)."""
+    count = 0
+    for first, second in combinations(mas_plans, 2):
+        if first.attribute_set & second.attribute_set:
+            count += 1
+    return count
+
+
+def validate_assembly(result: AssemblyResult, relation: Relation) -> None:
+    """Internal consistency checks on an assembly (used by tests and scheme).
+
+    Every original row must be represented, every row plan must cover every
+    attribute, and the union of authentic attributes of the rows derived from
+    one original row must cover the whole schema (so decryption can
+    reconstruct the record).
+    """
+    schema = set(relation.attributes)
+    coverage: dict[int, set[str]] = {}
+    represented: set[int] = set()
+    for plan in result.row_plans:
+        missing = schema - set(plan.cells)
+        if missing:
+            raise EncryptionError(f"row plan missing cells for attributes: {sorted(missing)}")
+        if plan.provenance.kind in {"original", "conflict"}:
+            source = plan.provenance.source_row
+            if source is None:
+                raise EncryptionError("original/conflict row plan without a source row")
+            represented.add(source)
+            coverage.setdefault(source, set()).update(plan.provenance.authentic_attributes)
+    expected = set(range(relation.num_rows))
+    if represented != expected:
+        raise EncryptionError("some original rows are not represented in the assembly")
+    for row, attrs in coverage.items():
+        if attrs != schema:
+            raise EncryptionError(
+                f"original row {row} is not fully recoverable (missing {sorted(schema - attrs)})"
+            )

@@ -1,0 +1,122 @@
+"""The output artifact of F2: the encrypted table plus owner-side metadata.
+
+What the *server* receives is only the ciphertext relation
+(:meth:`EncryptedTable.server_view`).  Everything else — row provenance, the
+ECG summaries, the configuration — stays with the data owner and is what
+allows her to decrypt, to strip artificial records, and to audit the
+alpha-security invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.config import F2Config
+from repro.core.stats import EncryptionStats
+from repro.exceptions import DecryptionError
+from repro.fd.mas import MaximalAttributeSet
+from repro.relational.table import Relation
+
+
+@dataclass(frozen=True)
+class RowProvenance:
+    """Owner-side provenance of one ciphertext row.
+
+    ``kind`` is one of ``"original"``, ``"conflict"``, ``"scaling"``,
+    ``"fake_ec"``, ``"false_positive"``, or ``"repair"``.
+    """
+
+    kind: str
+    source_row: int | None
+    authentic_attributes: frozenset[str]
+
+    @property
+    def is_artificial(self) -> bool:
+        """True for rows that carry no original record."""
+        return self.kind in {"scaling", "fake_ec", "false_positive", "repair"}
+
+
+@dataclass(frozen=True)
+class EcgSummary:
+    """Owner-side summary of one equivalence-class group (for auditing)."""
+
+    mas_attributes: tuple[str, ...]
+    group_index: int
+    num_members: int
+    num_fake_members: int
+    target_frequency: int
+    instance_frequencies: tuple[int, ...]
+    member_sizes: tuple[int, ...]
+
+
+@dataclass
+class EncryptedTable:
+    """The F2 encryption of one relation."""
+
+    relation: Relation
+    provenance: list[RowProvenance]
+    config: F2Config
+    stats: EncryptionStats
+    masses: list[MaximalAttributeSet] = field(default_factory=list)
+    ecg_summaries: list[EcgSummary] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.provenance) != self.relation.num_rows:
+            raise DecryptionError(
+                "provenance length does not match the number of ciphertext rows"
+            )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self.relation.num_rows
+
+    @property
+    def num_original_rows(self) -> int:
+        return self.stats.rows_original
+
+    def server_view(self) -> Relation:
+        """The relation the server receives (no provenance, no metadata)."""
+        return self.relation.copy(name=f"{self.relation.name}")
+
+    def artificial_row_indexes(self) -> list[int]:
+        """Indexes of rows that carry no original record."""
+        return [index for index, row in enumerate(self.provenance) if row.is_artificial]
+
+    def original_row_groups(self) -> dict[int, list[int]]:
+        """Map from original row index to the ciphertext rows derived from it."""
+        groups: dict[int, list[int]] = {}
+        for index, row in enumerate(self.provenance):
+            if row.source_row is not None and not row.is_artificial:
+                groups.setdefault(row.source_row, []).append(index)
+        return groups
+
+    def artificial_fraction(self) -> float:
+        """Fraction of ciphertext rows that are artificial (space overhead)."""
+        if self.num_rows == 0:
+            return 0.0
+        return len(self.artificial_row_indexes()) / self.num_rows
+
+    def rows_by_kind(self) -> dict[str, int]:
+        """Row counts per provenance kind (reported in EXPERIMENTS.md)."""
+        counts: dict[str, int] = {}
+        for row in self.provenance:
+            counts[row.kind] = counts.get(row.kind, 0) + 1
+        return counts
+
+    def describe(self) -> dict[str, Any]:
+        """A compact description used by the CLI and the examples."""
+        return {
+            "name": self.relation.name,
+            "attributes": self.relation.num_attributes,
+            "ciphertext_rows": self.num_rows,
+            "original_rows": self.num_original_rows,
+            "artificial_rows": len(self.artificial_row_indexes()),
+            "masses": [str(mas) for mas in self.masses],
+            "rows_by_kind": self.rows_by_kind(),
+            "config": self.config.to_dict(),
+        }

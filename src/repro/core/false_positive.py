@@ -1,0 +1,190 @@
+"""Step 4: eliminating false-positive FDs (Section 3.4).
+
+Because Steps 1-3 give every equivalence class of a MAS ciphertext values
+that never collide with any other class, *every* candidate dependency
+``X -> Y`` inside a MAS holds trivially on the ciphertext — including the
+ones that are violated in the plaintext.  Those are the false positives.
+
+The data owner walks the FD lattice of each MAS top-down.  At node ``X : Y``
+she checks, against the plaintext partition of the MAS, whether two
+equivalence classes agree on ``X`` but differ on ``Y`` (i.e. ``X -> Y`` is
+violated in the original data).  If so the node is a *maximum false-positive
+FD*: she inserts ``k = ceil(1/alpha)`` artificial record pairs that restore a
+violation in the ciphertext, and skips the node's descendants (their
+violations are restored by the same records).  Otherwise she descends.
+
+Implementation note (documented in DESIGN.md): instead of giving the two
+records of a pair distinct artificial values on *every* non-``X`` attribute —
+which could accidentally violate a *true* dependency ``X -> W`` — each pair
+mimics the agreement pattern of an actual violating row pair of the
+plaintext: the two artificial records share a fresh value exactly on the
+attributes where the template rows agree, and carry distinct fresh values
+elsewhere.  A pair therefore only violates dependencies that the plaintext
+already violates, while still violating ``X -> Y`` (and every descendant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.conflict import MasPlan
+from repro.core.lattice import LatticeNode, top_level_nodes
+from repro.core.plan import CellSpec, FreshCell, FreshValueFactory, RowPlan, RowProvenanceSpec
+from repro.relational.partition import Partition
+from repro.relational.table import Relation
+
+
+@dataclass
+class FalsePositiveResult:
+    """Artificial rows added by Step 4 plus bookkeeping."""
+
+    row_plans: list[RowPlan] = field(default_factory=list)
+    triggered_nodes: list[tuple[tuple[str, ...], LatticeNode]] = field(default_factory=list)
+
+    @property
+    def rows_added(self) -> int:
+        return len(self.row_plans)
+
+    @property
+    def num_triggered(self) -> int:
+        return len(self.triggered_nodes)
+
+
+def eliminate_false_positives(
+    relation: Relation,
+    mas_plans: list[MasPlan],
+    group_size: int,
+    fresh_factory: FreshValueFactory,
+) -> FalsePositiveResult:
+    """Run Step 4 for every MAS and return the artificial rows to append.
+
+    Parameters
+    ----------
+    relation:
+        The *plaintext* table (the checks run against plaintext partitions).
+    mas_plans:
+        The per-MAS plans produced by Steps 1-2 (only the MAS identities are
+        needed here).
+    group_size:
+        ``k = ceil(1/alpha)``: the number of artificial record pairs inserted
+        per maximum false-positive FD.
+    fresh_factory:
+        Source of artificial values.
+    """
+    result = FalsePositiveResult()
+    for mas_plan in mas_plans:
+        _eliminate_for_mas(relation, mas_plan, group_size, fresh_factory, result)
+    return result
+
+
+def _eliminate_for_mas(
+    relation: Relation,
+    mas_plan: MasPlan,
+    group_size: int,
+    fresh_factory: FreshValueFactory,
+    result: FalsePositiveResult,
+) -> None:
+    attributes = mas_plan.attributes
+    if len(attributes) < 2:
+        return
+    partition = Partition.build(relation, attributes)
+    representatives = [ec.representative for ec in partition.classes]
+    sample_rows = [ec.rows[0] for ec in partition.classes]
+    attribute_positions = {attr: position for position, attr in enumerate(attributes)}
+
+    triggered: list[LatticeNode] = []
+    frontier = top_level_nodes(attributes)
+    visited: set[LatticeNode] = set()
+    while frontier:
+        next_frontier: list[LatticeNode] = []
+        for node in frontier:
+            if node in visited:
+                continue
+            visited.add(node)
+            if any(existing.covers(node) for existing in triggered):
+                continue
+            witness = _find_violation_witnesses(
+                representatives, sample_rows, attribute_positions, node, limit=group_size
+            )
+            if witness:
+                triggered.append(node)
+                result.triggered_nodes.append((attributes, node))
+                result.row_plans.extend(
+                    build_violation_pairs(relation, witness, group_size, fresh_factory)
+                )
+            else:
+                next_frontier.extend(node.children())
+        frontier = next_frontier
+
+
+def _find_violation_witnesses(
+    representatives: list[tuple],
+    sample_rows: list[int],
+    attribute_positions: dict[str, int],
+    node: LatticeNode,
+    limit: int,
+) -> list[tuple[int, int]]:
+    """Row-index pairs witnessing that ``node.lhs -> node.rhs`` is violated.
+
+    Works on the equivalence classes of the MAS partition: two classes that
+    agree on the LHS projection but differ on the RHS value yield a violating
+    pair of (sample) rows.  Returns up to ``limit`` distinct pairs.
+    """
+    lhs_positions = tuple(attribute_positions[attr] for attr in sorted(node.lhs))
+    rhs_position = attribute_positions[node.rhs]
+    groups: dict[tuple, list[int]] = {}
+    for class_index, representative in enumerate(representatives):
+        key = tuple(representative[position] for position in lhs_positions)
+        groups.setdefault(key, []).append(class_index)
+
+    witnesses: list[tuple[int, int]] = []
+    for class_indexes in groups.values():
+        if len(class_indexes) < 2:
+            continue
+        by_rhs: dict[object, int] = {}
+        for class_index in class_indexes:
+            rhs_value = representatives[class_index][rhs_position]
+            for other_rhs, other_class in by_rhs.items():
+                if other_rhs != rhs_value:
+                    witnesses.append((sample_rows[other_class], sample_rows[class_index]))
+                    if len(witnesses) >= limit:
+                        return witnesses
+            by_rhs.setdefault(rhs_value, class_index)
+    return witnesses
+
+
+def build_violation_pairs(
+    relation: Relation,
+    witnesses: list[tuple[int, int]],
+    group_size: int,
+    fresh_factory: FreshValueFactory,
+) -> list[RowPlan]:
+    """Build ``group_size`` artificial record pairs mimicking real violations.
+
+    Each pair copies the agreement pattern of one witness row pair: the two
+    artificial records share a fresh value exactly on the attributes where
+    the witness rows agree, and carry distinct fresh values everywhere else.
+    Witnesses are cycled if fewer than ``group_size`` distinct ones exist.
+    """
+    plans: list[RowPlan] = []
+    if not witnesses:
+        return plans
+    schema_attributes = relation.attributes
+    for pair_index in range(group_size):
+        first_row, second_row = witnesses[pair_index % len(witnesses)]
+        first_cells: dict[str, CellSpec] = {}
+        second_cells: dict[str, CellSpec] = {}
+        for attr in schema_attributes:
+            if relation.value(first_row, attr) == relation.value(second_row, attr):
+                shared = fresh_factory.new_token(f"fp-shared:{attr}")
+                first_cells[attr] = FreshCell(token=shared)
+                second_cells[attr] = FreshCell(token=shared)
+            else:
+                first_cells[attr] = fresh_factory.fresh_cell(f"fp:{attr}")
+                second_cells[attr] = fresh_factory.fresh_cell(f"fp:{attr}")
+        provenance = RowProvenanceSpec(kind="false_positive", source_row=None)
+        plans.append(RowPlan(cells=first_cells, provenance=provenance))
+        plans.append(
+            RowPlan(cells=second_cells, provenance=RowProvenanceSpec(kind="false_positive"))
+        )
+    return plans

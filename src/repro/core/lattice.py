@@ -1,0 +1,80 @@
+"""The FD lattice of a MAS (Section 3.4, Figure 5).
+
+Each MAS ``M`` induces a lattice of candidate dependencies ``X : Y`` with
+``Y`` a single attribute of ``M`` and ``X`` a subset of ``M - {Y}``.  The
+level-2 nodes use ``X = M - {Y}``; every node's children shrink ``X`` by one
+attribute while keeping ``Y`` fixed.  Step 4 walks this lattice top-down,
+checking each node against the plaintext partition of ``M`` and stopping the
+descent below any node that triggered (a *maximum false-positive FD*): the
+artificial records inserted for it also cover every descendant.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LatticeNode:
+    """One candidate dependency ``X : Y`` within a MAS."""
+
+    lhs: frozenset[str]
+    rhs: str
+
+    @property
+    def level(self) -> int:
+        """Lattice level: level 2 nodes have the largest LHS (|M| - 1)."""
+        return len(self.lhs)
+
+    def children(self) -> Iterator["LatticeNode"]:
+        """Nodes with the same RHS and the LHS shrunk by one attribute."""
+        if len(self.lhs) <= 1:
+            return
+        for attribute in sorted(self.lhs):
+            yield LatticeNode(lhs=self.lhs - {attribute}, rhs=self.rhs)
+
+    def covers(self, other: "LatticeNode") -> bool:
+        """True iff eliminating this node also eliminates ``other``.
+
+        Eliminating ``X -> Y`` eliminates every ``X' -> Y`` with ``X'`` a
+        subset of ``X`` (Section 3.4).
+        """
+        return self.rhs == other.rhs and other.lhs <= self.lhs
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(sorted(self.lhs)) + "}:" + self.rhs
+
+
+def top_level_nodes(mas_attributes: tuple[str, ...]) -> list[LatticeNode]:
+    """The level-2 nodes of the lattice of one MAS.
+
+    A MAS with a single attribute has no candidate dependencies and yields no
+    nodes.
+    """
+    if len(mas_attributes) < 2:
+        return []
+    attribute_set = frozenset(mas_attributes)
+    return [
+        LatticeNode(lhs=attribute_set - {rhs}, rhs=rhs)
+        for rhs in sorted(mas_attributes)
+    ]
+
+
+def walk_lattice(mas_attributes: tuple[str, ...]) -> Iterator[LatticeNode]:
+    """Iterate over every node of the lattice, level by level (no pruning).
+
+    Step 4 uses its own pruned walk; this exhaustive generator exists for
+    tests and for computing the node-count bounds of Theorem 3.6.
+    """
+    frontier = top_level_nodes(mas_attributes)
+    seen: set[LatticeNode] = set()
+    while frontier:
+        next_frontier: list[LatticeNode] = []
+        for node in frontier:
+            if node in seen:
+                continue
+            seen.add(node)
+            yield node
+            next_frontier.extend(node.children())
+        frontier = next_frontier

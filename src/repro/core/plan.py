@@ -1,0 +1,147 @@
+"""Symbolic cell/row plans used while assembling the ciphertext table.
+
+F2's steps reason about *which rows exist* and *which ciphertext instance each
+cell belongs to* long before any actual encryption happens: splitting assigns
+rows to instances, conflict resolution rewires assignments and creates rows,
+false-positive elimination adds rows of entirely fresh values.  Doing all of
+this symbolically — and only materialising ciphertexts at the very end — keeps
+the steps independent, testable, and cheap (no ciphertext is ever thrown
+away).
+
+Three kinds of cell specifications exist:
+
+* :class:`InstanceCell` — the cell carries the plaintext value of a MAS
+  instance and must encrypt identically across every row of that instance
+  (the probabilistic cipher is called with the instance's variant tag).
+* :class:`RandomCell` — the cell carries a plaintext value that is encrypted
+  with a fresh random nonce (pure probabilistic encryption); used for
+  attributes outside every MAS, whose values are unique anyway.
+* :class:`FreshCell` — the cell carries *no* plaintext: it is an artificial
+  value that must simply be unique (or shared with explicitly named peers);
+  used for fake ECs, scaling copies outside the MAS, conflict-resolution
+  replacements, and false-positive elimination records.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+from repro.crypto.probabilistic import Ciphertext
+
+
+@dataclass(frozen=True)
+class InstanceCell:
+    """A cell bound to a ciphertext instance of a MAS equivalence class."""
+
+    value: Any
+    variant: str
+
+    def cache_key(self) -> tuple[str, str, str]:
+        return ("instance", str(self.value), self.variant)
+
+
+@dataclass(frozen=True)
+class RandomCell:
+    """A cell encrypted with a fresh random nonce (frequency-one plaintext)."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class FreshCell:
+    """An artificial cell value identified by a unique token.
+
+    Two fresh cells with the same token materialise to the same ciphertext
+    value; distinct tokens always materialise to distinct values.
+    """
+
+    token: str
+
+
+CellSpec = Union[InstanceCell, RandomCell, FreshCell]
+
+
+@dataclass
+class RowProvenanceSpec:
+    """Owner-side provenance of a planned row (never sent to the server).
+
+    Attributes
+    ----------
+    kind:
+        ``"original"`` (carries an original record), ``"conflict"`` (one of
+        the two replacements of a conflicting record), ``"scaling"`` (a copy
+        added by splitting-and-scaling), ``"fake_ec"`` (member of a fake EC
+        added by grouping), or ``"false_positive"`` (artificial record of
+        Step 4).
+    source_row:
+        The original row index this row derives from, if any.
+    authentic_attributes:
+        Attributes whose cell is a genuine encryption of the source row's
+        value (used by decryption to reassemble original records).
+    """
+
+    kind: str
+    source_row: int | None = None
+    authentic_attributes: frozenset[str] = frozenset()
+
+
+@dataclass
+class RowPlan:
+    """A planned ciphertext row: one cell specification per attribute."""
+
+    cells: dict[str, CellSpec]
+    provenance: RowProvenanceSpec
+
+    def replace_cell(self, attribute: str, spec: CellSpec) -> None:
+        self.cells[attribute] = spec
+
+
+class FreshValueFactory:
+    """Generates unique artificial ciphertext-looking values.
+
+    Artificial values must be indistinguishable from real ciphertexts to the
+    server (Section 3.2.1: "the server cannot distinguish the fake values from
+    real ones ... because both true and fake values are encrypted before
+    outsourcing").  The factory therefore emits :class:`Ciphertext` objects
+    with random nonce and payload.  Each distinct token maps to one value;
+    values never repeat across tokens.
+    """
+
+    def __init__(self, seed: int | None = 0, nonce_length: int = 16, payload_length: int = 24):
+        self._rng = random.Random(seed)
+        self._nonce_length = nonce_length
+        self._payload_length = payload_length
+        self._counter = 0
+        self._materialized: dict[str, Ciphertext] = {}
+        self._issued_values: set[Ciphertext] = set()
+
+    def new_token(self, label: str = "fresh") -> str:
+        """Return a new unique token (one artificial value identity)."""
+        self._counter += 1
+        return f"{label}#{self._counter}"
+
+    def fresh_cell(self, label: str = "fresh") -> FreshCell:
+        """Convenience: a :class:`FreshCell` with a brand-new token."""
+        return FreshCell(token=self.new_token(label))
+
+    def materialize(self, token: str) -> Ciphertext:
+        """Return the ciphertext value for ``token`` (stable per token)."""
+        existing = self._materialized.get(token)
+        if existing is not None:
+            return existing
+        while True:
+            value = Ciphertext(
+                nonce=bytes(self._rng.getrandbits(8) for _ in range(self._nonce_length)),
+                payload=bytes(self._rng.getrandbits(8) for _ in range(self._payload_length)),
+            )
+            if value not in self._issued_values:
+                break
+        self._materialized[token] = value
+        self._issued_values.add(value)
+        return value
+
+    @property
+    def tokens_issued(self) -> int:
+        return self._counter

@@ -1,0 +1,112 @@
+"""Structural alpha-security verification of an F2 output (Section 4.1).
+
+The security argument of the paper rests on three structural facts about the
+encrypted table:
+
+1. every equivalence-class group has at least ``k = ceil(1/alpha)`` members,
+2. members of the same group are pairwise collision-free on the MAS
+   attributes (so the group contributes ``k`` distinct candidate plaintext
+   values per attribute), and
+3. after splitting-and-scaling, every ciphertext instance of a group has the
+   same frequency (so frequency reveals at most the group, never the member).
+
+This module checks those facts on the owner-side plan summaries, and can also
+measure the observable ciphertext frequency distribution on the materialised
+table (what the adversary actually sees).  The empirical attack itself lives
+in :mod:`repro.attack`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.encrypted import EncryptedTable
+from repro.exceptions import SecurityViolation
+from repro.relational.table import Relation
+
+
+@dataclass
+class SecurityReport:
+    """Result of the structural verification."""
+
+    alpha: float
+    group_size_required: int
+    groups_checked: int
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def satisfied(self) -> bool:
+        return not self.violations
+
+    def raise_if_violated(self) -> None:
+        if self.violations:
+            raise SecurityViolation(
+                "alpha-security structural check failed: " + "; ".join(self.violations)
+            )
+
+
+def verify_alpha_security(encrypted: EncryptedTable, alpha: float | None = None) -> SecurityReport:
+    """Check the structural alpha-security invariants of an encrypted table.
+
+    Parameters
+    ----------
+    encrypted:
+        The F2 output (must carry its ECG summaries).
+    alpha:
+        The threshold to verify against; defaults to the alpha the table was
+        encrypted with.
+    """
+    alpha = alpha if alpha is not None else encrypted.config.alpha
+    required = max(1, math.ceil(1.0 / alpha))
+    report = SecurityReport(alpha=alpha, group_size_required=required, groups_checked=0)
+
+    for summary in encrypted.ecg_summaries:
+        report.groups_checked += 1
+        label = f"ECG {summary.group_index} of MAS {{{', '.join(summary.mas_attributes)}}}"
+        if summary.num_members < required:
+            report.violations.append(
+                f"{label} has {summary.num_members} members, requires {required}"
+            )
+        frequencies = set(summary.instance_frequencies)
+        if len(frequencies) > 1:
+            report.violations.append(
+                f"{label} has heterogeneous instance frequencies {sorted(frequencies)}"
+            )
+        if summary.instance_frequencies and summary.target_frequency not in frequencies:
+            report.violations.append(
+                f"{label} instances do not reach the target frequency {summary.target_frequency}"
+            )
+    return report
+
+
+def ciphertext_frequency_distribution(relation: Relation, attribute: str) -> Counter:
+    """Frequency of every ciphertext value of one attribute (server view)."""
+    return Counter(relation.column(attribute))
+
+
+def frequency_hiding_score(plaintext: Relation, ciphertext: Relation, attribute: str) -> float:
+    """A simple frequency-leakage measure in ``[0, 1]``.
+
+    Compares the (sorted, normalised) frequency histograms of an attribute in
+    the plaintext and ciphertext tables; ``0`` means the histograms are
+    identical (deterministic encryption — full leakage) and values close to
+    ``1`` mean the ciphertext histogram is flat relative to the plaintext
+    (frequencies hidden).  The score is total-variation distance between the
+    two sorted histograms.
+    """
+    plain_counts = sorted(Counter(plaintext.column(attribute)).values(), reverse=True)
+    cipher_counts = sorted(Counter(ciphertext.column(attribute)).values(), reverse=True)
+    plain_total = sum(plain_counts)
+    cipher_total = sum(cipher_counts)
+    if plain_total == 0 or cipher_total == 0:
+        return 0.0
+    length = max(len(plain_counts), len(cipher_counts))
+    plain_histogram = [count / plain_total for count in plain_counts] + [0.0] * (
+        length - len(plain_counts)
+    )
+    cipher_histogram = [count / cipher_total for count in cipher_counts] + [0.0] * (
+        length - len(cipher_counts)
+    )
+    return 0.5 * sum(abs(p - c) for p, c in zip(plain_histogram, cipher_histogram))

@@ -1,0 +1,245 @@
+"""Step 2.2: splitting-and-scaling (Section 3.2.2).
+
+Each equivalence-class group (ECG) is processed independently.  With split
+factor ``omega``:
+
+* **splitting** divides the rows of a split class into ``omega`` distinct
+  ciphertext instances, and
+* **scaling** tops every ciphertext instance of the group up to the same
+  target frequency by adding artificial copies, so that every ciphertext
+  value of the group ends up with identical frequency (the frequency-hiding
+  property).
+
+Only a suffix of the (size-ascending) group is split: the *split point* ``j``
+is chosen to minimise the number of copies added by scaling, using the two
+cases of the paper (whether the largest class still dominates after its
+split).  This module is purely combinatorial — it decides row-to-instance
+assignments and copy counts; materialisation into ciphertexts happens later.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.ecg import EcgMember, EquivalenceClassGroup
+from repro.exceptions import EncryptionError
+
+
+@dataclass
+class InstanceAssignment:
+    """One ciphertext instance of one equivalence class.
+
+    Attributes
+    ----------
+    variant:
+        The variant tag passed to the probabilistic cipher; rows of the same
+        instance share it (hence share ciphertexts on the MAS attributes).
+    original_rows:
+        Original row indexes assigned to this instance (empty for fake ECs).
+    scaling_copies:
+        Number of artificial copies added so the instance reaches the group's
+        target frequency.
+    """
+
+    variant: str
+    original_rows: tuple[int, ...]
+    scaling_copies: int
+
+    @property
+    def frequency(self) -> int:
+        """Ciphertext frequency of the instance after scaling."""
+        return len(self.original_rows) + self.scaling_copies
+
+
+@dataclass
+class MemberPlan:
+    """The split/scale plan of one ECG member (one equivalence class)."""
+
+    member: EcgMember
+    instances: list[InstanceAssignment] = field(default_factory=list)
+    was_split: bool = False
+
+    @property
+    def copies_added(self) -> int:
+        """Artificial rows this member contributes (scaling copies; fake ECs
+        contribute all of their rows here too since none are original)."""
+        return sum(instance.scaling_copies for instance in self.instances)
+
+
+@dataclass
+class EcgPlan:
+    """The complete splitting-and-scaling plan of one ECG."""
+
+    group: EquivalenceClassGroup
+    target_frequency: int
+    split_point: int
+    member_plans: list[MemberPlan] = field(default_factory=list)
+
+    @property
+    def copies_added(self) -> int:
+        return sum(plan.copies_added for plan in self.member_plans)
+
+    @property
+    def num_instances(self) -> int:
+        return sum(len(plan.instances) for plan in self.member_plans)
+
+    def instance_frequencies(self) -> list[int]:
+        return [
+            instance.frequency
+            for plan in self.member_plans
+            for instance in plan.instances
+        ]
+
+
+def find_optimal_split_point(sizes: list[int], split_factor: int) -> tuple[int, int, int]:
+    """Find the split point minimising the copies added by scaling.
+
+    Parameters
+    ----------
+    sizes:
+        Member sizes in ascending order (``f_1 <= ... <= f_k``).
+    split_factor:
+        The split factor ``omega``.
+
+    Returns
+    -------
+    (split_point, target_frequency, copies_added)
+        ``split_point`` is 1-based: members with index >= ``split_point`` (in
+        the ascending order) are split, members before it are not.  A split
+        point of ``len(sizes) + 1`` means nothing is split.
+    """
+    if not sizes:
+        raise EncryptionError("cannot compute a split point for an empty group")
+    if any(earlier > later for earlier, later in zip(sizes, sizes[1:])):
+        raise EncryptionError("sizes must be given in ascending order")
+    if split_factor < 1:
+        raise EncryptionError("split factor must be >= 1")
+
+    count = len(sizes)
+    f_max = sizes[-1]
+    best: tuple[int, int, int] | None = None
+    for split_point in range(1, count + 2):
+        unsplit_max = sizes[split_point - 2] if split_point > 1 else 0
+        if split_point <= count:
+            split_instance_freq = math.ceil(f_max / split_factor)
+            target = max(split_instance_freq, unsplit_max, 1)
+        else:
+            target = max(f_max, 1)
+        copies = 0
+        for index, size in enumerate(sizes, start=1):
+            if split_point <= count and index >= split_point:
+                copies += split_factor * target - size
+            else:
+                copies += target - size
+        if copies < 0:
+            # A target below some member's size is infeasible; skip.
+            continue
+        candidate = (split_point, target, copies)
+        if best is None or candidate[2] < best[2]:
+            best = candidate
+    if best is None:
+        # Degenerate fallback: no split, target = max size.
+        target = max(sizes)
+        return count + 1, target, sum(target - size for size in sizes)
+    return best
+
+
+def build_ecg_plan(
+    group: EquivalenceClassGroup,
+    split_factor: int,
+    keep_pairs_together: bool = True,
+    namespace: str = "",
+) -> EcgPlan:
+    """Build the splitting-and-scaling plan of one ECG.
+
+    Parameters
+    ----------
+    group:
+        The ECG (members sorted is not required; the plan sorts internally).
+    split_factor:
+        The split factor ``omega``.
+    namespace:
+        A prefix (typically the MAS identity) included in every instance
+        variant so that instances of different MASs never share a variant.
+    keep_pairs_together:
+        Implementation guard (see :class:`repro.core.config.F2Config`): when
+        splitting a class with at least two original rows, never create a
+        chunk with fewer than two original rows.  This caps the effective
+        split factor of small classes.
+    """
+    members = sorted(group.members, key=lambda member: member.size)
+    sizes = [member.size for member in members]
+    split_point, target, _ = find_optimal_split_point(sizes, split_factor)
+
+    # First pass: decide each member's effective split factor and chunk its
+    # rows.  The keep_pairs_together guard can lower a member's factor below
+    # the planned one, so the final target frequency is the maximum of the
+    # optimizer's target and every chunk actually produced.
+    chunked: list[tuple[EcgMember, bool, list[list[int]]]] = []
+    for index, member in enumerate(members, start=1):
+        should_split = split_point <= len(members) and index >= split_point and split_factor > 1
+        effective_factor = split_factor if should_split else 1
+        if should_split and keep_pairs_together and not member.is_fake and member.size >= 2:
+            # Never produce a chunk with a single original row.
+            effective_factor = min(split_factor, member.size // 2)
+            effective_factor = max(1, effective_factor)
+        if member.is_fake:
+            # Fake classes have no original rows; splitting them only inflates
+            # the overhead, so they always stay in a single instance.
+            effective_factor = 1
+        chunks = _chunk_rows(member.rows, effective_factor)
+        chunked.append((member, effective_factor > 1, chunks))
+
+    largest_chunk = max(
+        (len(chunk) for _, _, chunks in chunked for chunk in chunks), default=0
+    )
+    target = max(target, largest_chunk, 1)
+
+    plans: list[MemberPlan] = []
+    for member, was_split, chunks in chunked:
+        plan = MemberPlan(member=member, was_split=was_split)
+        for chunk_index, chunk in enumerate(chunks):
+            variant = (
+                f"{namespace}"
+                f"|ecg{group.index}"
+                f"|rep{_representative_tag(member)}"
+                f"|inst{chunk_index}"
+            )
+            plan.instances.append(
+                InstanceAssignment(
+                    variant=variant,
+                    original_rows=tuple(chunk),
+                    scaling_copies=max(0, target - len(chunk)),
+                )
+            )
+        plans.append(plan)
+
+    return EcgPlan(
+        group=group,
+        target_frequency=target,
+        split_point=split_point,
+        member_plans=plans,
+    )
+
+
+def _chunk_rows(rows: tuple[int, ...], parts: int) -> list[list[int]]:
+    """Divide rows into ``parts`` contiguous chunks of near-equal size.
+
+    Fake members (no rows) still get ``parts`` (empty) chunks so that they
+    contribute the expected number of ciphertext instances.
+    """
+    if parts <= 1:
+        return [list(rows)]
+    if not rows:
+        return [[] for _ in range(parts)]
+    chunk_size = math.ceil(len(rows) / parts)
+    chunks = [list(rows[i : i + chunk_size]) for i in range(0, len(rows), chunk_size)]
+    while len(chunks) < parts:
+        chunks.append([])
+    return chunks
+
+
+def _representative_tag(member: EcgMember) -> str:
+    """A short stable tag identifying the member inside its group."""
+    return "|".join(str(value) for value in member.representative)

@@ -1,0 +1,131 @@
+"""Per-step statistics of an F2 encryption run.
+
+The paper's evaluation is organised around per-step measurements: encryption
+time split into MAX / SSE / SYN / FP (Figures 6-8) and artificial-record
+overhead split into GROUP / SCALE / SYN / FP (Figure 9).  Every F2 run records
+exactly those counters so that the benchmark harness can print the paper's
+series directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+# Step labels as used in the paper's figures.
+STEP_MAX = "MAX"  # Step 1: finding maximal attribute sets
+STEP_SSE = "SSE"  # Step 2: splitting-and-scaling encryption (incl. grouping)
+STEP_SYN = "SYN"  # Step 3: conflict resolution
+STEP_FP = "FP"    # Step 4: eliminating false positive FDs
+
+OVERHEAD_GROUP = "GROUP"  # rows added by fake ECs during grouping
+OVERHEAD_SCALE = "SCALE"  # rows added by splitting-and-scaling
+OVERHEAD_SYN = "SYN"      # rows added by conflict resolution
+OVERHEAD_FP = "FP"        # rows added by false-positive elimination
+
+
+@dataclass
+class EncryptionStats:
+    """Counters and timers collected while encrypting one relation."""
+
+    rows_original: int = 0
+    attributes: int = 0
+    num_masses: int = 0
+    num_overlapping_mas_pairs: int = 0
+    num_ecgs: int = 0
+    num_equivalence_classes: int = 0
+    num_fake_ecs: int = 0
+    num_split_ecs: int = 0
+    num_conflicting_tuples: int = 0
+    num_false_positive_nodes: int = 0
+    num_repaired_false_positives: int = 0
+
+    rows_added_group: int = 0
+    rows_added_scale: int = 0
+    rows_added_conflict: int = 0
+    rows_added_false_positive: int = 0
+
+    seconds_max: float = 0.0
+    seconds_sse: float = 0.0
+    seconds_syn: float = 0.0
+    seconds_fp: float = 0.0
+    seconds_materialize: float = 0.0
+    seconds_total: float = 0.0
+
+    parameters: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Derived quantities used by the figures
+    # ------------------------------------------------------------------
+    @property
+    def rows_added_total(self) -> int:
+        return (
+            self.rows_added_group
+            + self.rows_added_scale
+            + self.rows_added_conflict
+            + self.rows_added_false_positive
+        )
+
+    @property
+    def rows_encrypted(self) -> int:
+        """Total rows of the ciphertext table."""
+        return self.rows_original + self.rows_added_total
+
+    def step_seconds(self) -> dict[str, float]:
+        """Encryption time per paper step (Figure 6/7 series)."""
+        return {
+            STEP_MAX: self.seconds_max,
+            STEP_SSE: self.seconds_sse,
+            STEP_SYN: self.seconds_syn,
+            STEP_FP: self.seconds_fp,
+        }
+
+    def overhead_rows(self) -> dict[str, int]:
+        """Artificial rows per step (Figure 9 series, absolute counts)."""
+        return {
+            OVERHEAD_GROUP: self.rows_added_group,
+            OVERHEAD_SCALE: self.rows_added_scale,
+            OVERHEAD_SYN: self.rows_added_conflict,
+            OVERHEAD_FP: self.rows_added_false_positive,
+        }
+
+    def overhead_ratios(self) -> dict[str, float]:
+        """Artificial-row overhead per step relative to the original size.
+
+        The paper reports, for each step, ``(s' - s) / s`` where ``s`` is the
+        size before the step; because the steps only ever add rows, the
+        per-step ratio relative to the original row count is the directly
+        comparable series.
+        """
+        base = max(1, self.rows_original)
+        return {name: count / base for name, count in self.overhead_rows().items()}
+
+    @property
+    def total_overhead_ratio(self) -> float:
+        """Total artificial-row overhead relative to the original size."""
+        return self.rows_added_total / max(1, self.rows_original)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat dictionary for reporting and benchmark metadata."""
+        result: dict[str, Any] = {
+            "rows_original": self.rows_original,
+            "rows_encrypted": self.rows_encrypted,
+            "attributes": self.attributes,
+            "num_masses": self.num_masses,
+            "num_overlapping_mas_pairs": self.num_overlapping_mas_pairs,
+            "num_ecgs": self.num_ecgs,
+            "num_equivalence_classes": self.num_equivalence_classes,
+            "num_fake_ecs": self.num_fake_ecs,
+            "num_split_ecs": self.num_split_ecs,
+            "num_conflicting_tuples": self.num_conflicting_tuples,
+            "num_false_positive_nodes": self.num_false_positive_nodes,
+            "num_repaired_false_positives": self.num_repaired_false_positives,
+            "total_overhead_ratio": self.total_overhead_ratio,
+            "seconds_total": self.seconds_total,
+        }
+        for step, seconds in self.step_seconds().items():
+            result[f"seconds_{step.lower()}"] = seconds
+        for step, rows in self.overhead_rows().items():
+            result[f"rows_added_{step.lower()}"] = rows
+        result.update({f"param_{k}": v for k, v in self.parameters.items()})
+        return result

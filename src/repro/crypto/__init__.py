@@ -1,0 +1,36 @@
+"""Cryptographic substrate.
+
+The paper builds F2 on a private probabilistic cipher based on pseudorandom
+functions (Section 2.3): the ciphertext of a plaintext ``p`` is
+``e = <r, F_k(r) XOR p>`` for a fresh random string ``r``.  Its evaluation
+additionally compares against two cell-level baselines: deterministic AES and
+probabilistic Paillier (Section 5.1).  Everything here is implemented from
+scratch on the standard library so that the repository is self-contained:
+
+* :mod:`~repro.crypto.prf` — HMAC-SHA256 pseudorandom function.
+* :mod:`~repro.crypto.keys` — `KeyGen` for symmetric and Paillier keys.
+* :mod:`~repro.crypto.probabilistic` — the paper's probabilistic cipher.
+* :mod:`~repro.crypto.deterministic` — deterministic cell encryption (the AES
+  baseline role), with a synthetic-value mode used for fake/artificial cells.
+* :mod:`~repro.crypto.aes` — a from-scratch AES-128 block cipher used by the
+  deterministic baseline benchmark.
+* :mod:`~repro.crypto.paillier` — the Paillier public-key cryptosystem
+  (probabilistic baseline of Figure 8).
+"""
+
+from repro.crypto.deterministic import DeterministicCipher
+from repro.crypto.keys import KeyGen, SymmetricKey
+from repro.crypto.paillier import PaillierCipher, PaillierKeyPair
+from repro.crypto.prf import Prf
+from repro.crypto.probabilistic import Ciphertext, ProbabilisticCipher
+
+__all__ = [
+    "Ciphertext",
+    "DeterministicCipher",
+    "KeyGen",
+    "PaillierCipher",
+    "PaillierKeyPair",
+    "Prf",
+    "ProbabilisticCipher",
+    "SymmetricKey",
+]

@@ -1,0 +1,212 @@
+"""A from-scratch AES-128 block cipher.
+
+The paper's deterministic baseline uses ``javax.crypto`` AES.  To keep this
+repository dependency-free the block cipher is implemented here directly from
+FIPS-197: key expansion, SubBytes/ShiftRows/MixColumns/AddRoundKey and their
+inverses, operating on 16-byte blocks.  ECB helpers are provided because the
+baseline encrypts each (padded) cell independently and deterministically —
+exactly the property the frequency-analysis attack exploits.
+
+This implementation favours clarity over speed; it is used by the baseline
+benchmark (Figure 8) and by tests that check it against the FIPS-197 vectors.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import EncryptionError
+
+_SBOX = [
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B, 0xFE, 0xD7, 0xAB, 0x76,
+    0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0, 0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0,
+    0xB7, 0xFD, 0x93, 0x26, 0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2, 0xEB, 0x27, 0xB2, 0x75,
+    0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0, 0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84,
+    0x53, 0xD1, 0x00, 0xED, 0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F, 0x50, 0x3C, 0x9F, 0xA8,
+    0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5, 0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2,
+    0xCD, 0x0C, 0x13, 0xEC, 0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14, 0xDE, 0x5E, 0x0B, 0xDB,
+    0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C, 0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79,
+    0xE7, 0xC8, 0x37, 0x6D, 0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F, 0x4B, 0xBD, 0x8B, 0x8A,
+    0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E, 0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E,
+    0xE1, 0xF8, 0x98, 0x11, 0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F, 0xB0, 0x54, 0xBB, 0x16,
+]
+
+_INV_SBOX = [0] * 256
+for _index, _value in enumerate(_SBOX):
+    _INV_SBOX[_value] = _index
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x in GF(2^8)."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _gf_multiply(a: int, b: int) -> int:
+    """Multiply two bytes in GF(2^8) with the AES polynomial."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+class Aes128:
+    """AES-128 over 16-byte blocks, plus minimal ECB helpers."""
+
+    BLOCK_SIZE = 16
+    ROUNDS = 10
+
+    def __init__(self, key: bytes):
+        if len(key) != 16:
+            raise EncryptionError("AES-128 requires a 16-byte key")
+        self._round_keys = self._expand_key(key)
+
+    # ------------------------------------------------------------------
+    # Key schedule
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _expand_key(key: bytes) -> list[list[int]]:
+        words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 4 * (Aes128.ROUNDS + 1)):
+            word = list(words[i - 1])
+            if i % 4 == 0:
+                word = word[1:] + word[:1]
+                word = [_SBOX[b] for b in word]
+                word[0] ^= _RCON[i // 4 - 1]
+            words.append([a ^ b for a, b in zip(words[i - 4], word)])
+        return [
+            [byte for word in words[4 * r : 4 * r + 4] for byte in word]
+            for r in range(Aes128.ROUNDS + 1)
+        ]
+
+    # ------------------------------------------------------------------
+    # Block operations
+    # ------------------------------------------------------------------
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != self.BLOCK_SIZE:
+            raise EncryptionError("AES block must be exactly 16 bytes")
+        state = list(block)
+        state = self._add_round_key(state, self._round_keys[0])
+        for round_number in range(1, self.ROUNDS):
+            state = [_SBOX[b] for b in state]
+            state = self._shift_rows(state)
+            state = self._mix_columns(state)
+            state = self._add_round_key(state, self._round_keys[round_number])
+        state = [_SBOX[b] for b in state]
+        state = self._shift_rows(state)
+        state = self._add_round_key(state, self._round_keys[self.ROUNDS])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != self.BLOCK_SIZE:
+            raise EncryptionError("AES block must be exactly 16 bytes")
+        state = list(block)
+        state = self._add_round_key(state, self._round_keys[self.ROUNDS])
+        for round_number in range(self.ROUNDS - 1, 0, -1):
+            state = self._inv_shift_rows(state)
+            state = [_INV_SBOX[b] for b in state]
+            state = self._add_round_key(state, self._round_keys[round_number])
+            state = self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        state = [_INV_SBOX[b] for b in state]
+        state = self._add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+    # ------------------------------------------------------------------
+    # ECB helpers (cells are independently padded and encrypted)
+    # ------------------------------------------------------------------
+    def encrypt_ecb(self, message: bytes) -> bytes:
+        if len(message) % self.BLOCK_SIZE:
+            raise EncryptionError("ECB input must be a multiple of the block size")
+        return b"".join(
+            self.encrypt_block(message[i : i + self.BLOCK_SIZE])
+            for i in range(0, len(message), self.BLOCK_SIZE)
+        )
+
+    def decrypt_ecb(self, message: bytes) -> bytes:
+        if len(message) % self.BLOCK_SIZE:
+            raise EncryptionError("ECB input must be a multiple of the block size")
+        return b"".join(
+            self.decrypt_block(message[i : i + self.BLOCK_SIZE])
+            for i in range(0, len(message), self.BLOCK_SIZE)
+        )
+
+    # ------------------------------------------------------------------
+    # Round transformations (column-major state layout, as in FIPS-197)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _add_round_key(state: list[int], round_key: list[int]) -> list[int]:
+        return [b ^ k for b, k in zip(state, round_key)]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> list[int]:
+        # state[i] holds row (i % 4) of column (i // 4).
+        result = list(state)
+        for row in range(1, 4):
+            column_values = [state[row + 4 * col] for col in range(4)]
+            shifted = column_values[row:] + column_values[:row]
+            for col in range(4):
+                result[row + 4 * col] = shifted[col]
+        return result
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> list[int]:
+        result = list(state)
+        for row in range(1, 4):
+            column_values = [state[row + 4 * col] for col in range(4)]
+            shifted = column_values[-row:] + column_values[:-row]
+            for col in range(4):
+                result[row + 4 * col] = shifted[col]
+        return result
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> list[int]:
+        result = list(state)
+        for col in range(4):
+            column = state[4 * col : 4 * col + 4]
+            result[4 * col + 0] = (
+                _gf_multiply(column[0], 2) ^ _gf_multiply(column[1], 3) ^ column[2] ^ column[3]
+            )
+            result[4 * col + 1] = (
+                column[0] ^ _gf_multiply(column[1], 2) ^ _gf_multiply(column[2], 3) ^ column[3]
+            )
+            result[4 * col + 2] = (
+                column[0] ^ column[1] ^ _gf_multiply(column[2], 2) ^ _gf_multiply(column[3], 3)
+            )
+            result[4 * col + 3] = (
+                _gf_multiply(column[0], 3) ^ column[1] ^ column[2] ^ _gf_multiply(column[3], 2)
+            )
+        return result
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> list[int]:
+        result = list(state)
+        for col in range(4):
+            column = state[4 * col : 4 * col + 4]
+            result[4 * col + 0] = (
+                _gf_multiply(column[0], 14) ^ _gf_multiply(column[1], 11)
+                ^ _gf_multiply(column[2], 13) ^ _gf_multiply(column[3], 9)
+            )
+            result[4 * col + 1] = (
+                _gf_multiply(column[0], 9) ^ _gf_multiply(column[1], 14)
+                ^ _gf_multiply(column[2], 11) ^ _gf_multiply(column[3], 13)
+            )
+            result[4 * col + 2] = (
+                _gf_multiply(column[0], 13) ^ _gf_multiply(column[1], 9)
+                ^ _gf_multiply(column[2], 14) ^ _gf_multiply(column[3], 11)
+            )
+            result[4 * col + 3] = (
+                _gf_multiply(column[0], 11) ^ _gf_multiply(column[1], 13)
+                ^ _gf_multiply(column[2], 9) ^ _gf_multiply(column[3], 14)
+            )
+        return result

@@ -1,0 +1,84 @@
+"""Deterministic cell encryption (the AES baseline role).
+
+The paper's first baseline encrypts every cell with deterministic AES: the
+same plaintext always maps to the same ciphertext, which trivially preserves
+FDs but leaks the exact frequency distribution (Figure 1 (b)).  This module
+provides that baseline as a cipher over opaque cell values.  Two backends are
+available:
+
+* ``"prf"`` (default) — a deterministic PRF construction (synthetic-IV style):
+  the nonce is derived from the plaintext itself, so equal plaintexts yield
+  equal ciphertexts.  Fast, and sufficient for all correctness experiments.
+* ``"aes"`` — the from-scratch AES-128 block cipher of
+  :mod:`repro.crypto.aes` in ECB mode over padded cells, used by the Figure 8
+  baseline benchmark so that the deterministic baseline pays a realistic
+  block-cipher cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.aes import Aes128
+from repro.crypto.keys import SymmetricKey
+from repro.crypto.prf import Prf, xor_bytes
+from repro.crypto.probabilistic import Ciphertext, _encode
+from repro.exceptions import DecryptionError, EncryptionError
+
+
+class DeterministicCipher:
+    """Deterministic cell cipher: equal plaintexts map to equal ciphertexts."""
+
+    def __init__(self, key: SymmetricKey, backend: str = "prf", nonce_length: int = 16):
+        if backend not in {"prf", "aes"}:
+            raise EncryptionError(f"unknown deterministic backend: {backend!r}")
+        self._backend = backend
+        self._nonce_length = nonce_length
+        self._prf = Prf(key.material)
+        self._nonce_prf = Prf(key.subkey("deterministic-nonce").material)
+        self._aes = Aes128(key.subkey("aes-backend").material[:16]) if backend == "aes" else None
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    def encrypt(self, plaintext: Any) -> Ciphertext:
+        """Encrypt one cell value deterministically."""
+        message = _encode(plaintext)
+        if self._backend == "aes":
+            assert self._aes is not None
+            return Ciphertext(nonce=b"", payload=self._aes.encrypt_ecb(_pad(message)))
+        nonce = self._nonce_prf.evaluate(message, self._nonce_length)
+        pad = self._prf.evaluate(nonce, len(message))
+        return Ciphertext(nonce=nonce, payload=xor_bytes(pad, message))
+
+    def decrypt(self, ciphertext: Ciphertext) -> str:
+        """Recover the plaintext cell text."""
+        if not isinstance(ciphertext, Ciphertext):
+            raise DecryptionError(f"not a ciphertext: {ciphertext!r}")
+        if self._backend == "aes":
+            assert self._aes is not None
+            return _unpad(self._aes.decrypt_ecb(ciphertext.payload)).decode("utf-8")
+        pad = self._prf.evaluate(ciphertext.nonce, len(ciphertext.payload))
+        try:
+            return xor_bytes(pad, ciphertext.payload).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DecryptionError("decryption produced invalid UTF-8 (wrong key?)") from exc
+
+
+def _pad(message: bytes, block: int = 16) -> bytes:
+    """PKCS#7 padding to a multiple of the AES block size."""
+    remainder = block - (len(message) % block)
+    return message + bytes([remainder]) * remainder
+
+
+def _unpad(message: bytes) -> bytes:
+    """Strip PKCS#7 padding."""
+    if not message:
+        raise DecryptionError("cannot unpad an empty message")
+    pad_length = message[-1]
+    if pad_length < 1 or pad_length > 16 or len(message) < pad_length:
+        raise DecryptionError("invalid padding (wrong key or corrupted ciphertext)")
+    if message[-pad_length:] != bytes([pad_length]) * pad_length:
+        raise DecryptionError("invalid padding (wrong key or corrupted ciphertext)")
+    return message[:-pad_length]

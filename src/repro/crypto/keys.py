@@ -1,0 +1,71 @@
+"""Key generation (the ``KeyGen`` algorithm of Section 2.3).
+
+``KeyGen(lambda)`` produces the secret material the data owner keeps locally:
+a symmetric key for the PRF-based ciphers, plus — for the Paillier baseline —
+a public/private key pair.  Keys can be generated from the OS entropy source
+or derived deterministically from a seed (useful for reproducible tests and
+benchmarks; the security analysis in the paper never depends on *which* key is
+used, only on the adversary not knowing it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SymmetricKey:
+    """A symmetric key for the PRF-based ciphers."""
+
+    material: bytes
+
+    def __post_init__(self) -> None:
+        if not self.material:
+            raise ValueError("key material must be non-empty")
+
+    @property
+    def bits(self) -> int:
+        return len(self.material) * 8
+
+    def subkey(self, label: str) -> "SymmetricKey":
+        """Derive an independent subkey for a labelled purpose.
+
+        F2 uses one logical key but distinct cipher instances (per attribute,
+        plus internal bookkeeping); deriving subkeys with a hash keeps the
+        instances independent while the owner still stores a single secret.
+        """
+        digest = hashlib.sha256(self.material + b"|" + label.encode("utf-8")).digest()
+        return SymmetricKey(digest)
+
+
+class KeyGen:
+    """Factory for the keys used across the library."""
+
+    DEFAULT_SECURITY_PARAMETER = 128
+
+    @staticmethod
+    def symmetric(security_parameter: int = DEFAULT_SECURITY_PARAMETER) -> SymmetricKey:
+        """Generate a fresh random symmetric key of ``security_parameter`` bits."""
+        if security_parameter < 64:
+            raise ValueError("security parameter below 64 bits is not allowed")
+        return SymmetricKey(os.urandom((security_parameter + 7) // 8))
+
+    @staticmethod
+    def symmetric_from_seed(
+        seed: int | str | bytes,
+        security_parameter: int = DEFAULT_SECURITY_PARAMETER,
+    ) -> SymmetricKey:
+        """Derive a deterministic symmetric key from a seed (for reproducibility)."""
+        if isinstance(seed, int):
+            seed_bytes = seed.to_bytes(16, "big", signed=True)
+        elif isinstance(seed, str):
+            seed_bytes = seed.encode("utf-8")
+        else:
+            seed_bytes = bytes(seed)
+        material = hashlib.sha256(b"f2-symmetric-key|" + seed_bytes).digest()
+        num_bytes = (security_parameter + 7) // 8
+        while len(material) < num_bytes:
+            material += hashlib.sha256(material).digest()
+        return SymmetricKey(material[:num_bytes])

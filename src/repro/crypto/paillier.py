@@ -1,0 +1,184 @@
+"""The Paillier cryptosystem (probabilistic baseline of Figure 8).
+
+The paper's second baseline encrypts every cell with Paillier (via the UTD
+Paillier Threshold Encryption Toolbox).  Paillier is a probabilistic
+public-key scheme, so it hides frequencies, but it destroys FDs and — as
+Figure 8 shows — it is orders of magnitude slower than F2's symmetric
+construction.  This module implements textbook Paillier from scratch:
+
+* key generation with two random primes (Miller–Rabin tested),
+* ``Enc(m) = g^m * r^n mod n^2`` with a fresh random ``r`` per call,
+* ``Dec(c) = L(c^lambda mod n^2) * mu mod n``,
+* the additive homomorphism (useful for the homomorphic-aggregation example).
+
+Cells are encrypted by hashing/encoding their text into an integer smaller
+than ``n``; the baseline only needs timing-realistic probabilistic public-key
+encryption, not recoverable cell text, but encode/decode of short cells is
+supported and exact.
+"""
+
+from __future__ import annotations
+
+import math
+import secrets
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import DecryptionError, EncryptionError
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71,
+    73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151,
+]
+
+
+def _is_probable_prime(candidate: int, rounds: int = 40, rng: secrets.SystemRandom | None = None) -> bool:
+    """Miller–Rabin primality test."""
+    if candidate < 2:
+        return False
+    for prime in _SMALL_PRIMES:
+        if candidate == prime:
+            return True
+        if candidate % prime == 0:
+            return False
+    rng = rng or secrets.SystemRandom()
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        witness = rng.randrange(2, candidate - 1)
+        x = pow(witness, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, candidate)
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: secrets.SystemRandom) -> int:
+    """Generate a random prime with exactly ``bits`` bits."""
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """Public parameters ``(n, g)`` with ``g = n + 1``."""
+
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    @property
+    def g(self) -> int:
+        return self.n + 1
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """Private parameters ``(lambda, mu)``."""
+
+    lam: int
+    mu: int
+
+
+@dataclass(frozen=True)
+class PaillierKeyPair:
+    """A Paillier public/private key pair."""
+
+    public: PaillierPublicKey
+    private: PaillierPrivateKey
+
+    @classmethod
+    def generate(cls, bits: int = 512) -> "PaillierKeyPair":
+        """Generate a key pair with an ``bits``-bit modulus.
+
+        The default of 512 bits keeps the benchmark runtimes laptop-friendly
+        while preserving the paper's qualitative result (Paillier is orders of
+        magnitude slower than the symmetric ciphers); pass 1024 or 2048 for
+        realistic key sizes.
+        """
+        if bits < 128:
+            raise EncryptionError("Paillier modulus below 128 bits is not allowed")
+        rng = secrets.SystemRandom()
+        half = bits // 2
+        while True:
+            p = _random_prime(half, rng)
+            q = _random_prime(bits - half, rng)
+            if p != q and math.gcd(p * q, (p - 1) * (q - 1)) == 1:
+                break
+        n = p * q
+        lam = math.lcm(p - 1, q - 1)
+        public = PaillierPublicKey(n=n)
+        mu = pow(_l_function(pow(public.g, lam, public.n_squared), n), -1, n)
+        return cls(public=public, private=PaillierPrivateKey(lam=lam, mu=mu))
+
+
+def _l_function(x: int, n: int) -> int:
+    return (x - 1) // n
+
+
+class PaillierCipher:
+    """Cell-level Paillier encryption with the additive homomorphism."""
+
+    def __init__(self, keys: PaillierKeyPair):
+        self._keys = keys
+        self._rng = secrets.SystemRandom()
+
+    @property
+    def public_key(self) -> PaillierPublicKey:
+        return self._keys.public
+
+    # ------------------------------------------------------------------
+    # Integer API
+    # ------------------------------------------------------------------
+    def encrypt_int(self, message: int) -> int:
+        """Encrypt an integer ``0 <= message < n``."""
+        n = self._keys.public.n
+        if not 0 <= message < n:
+            raise EncryptionError("Paillier plaintext out of range")
+        n_squared = self._keys.public.n_squared
+        while True:
+            r = self._rng.randrange(1, n)
+            if math.gcd(r, n) == 1:
+                break
+        return (pow(self._keys.public.g, message, n_squared) * pow(r, n, n_squared)) % n_squared
+
+    def decrypt_int(self, ciphertext: int) -> int:
+        """Decrypt an integer ciphertext."""
+        n = self._keys.public.n
+        n_squared = self._keys.public.n_squared
+        if not 0 <= ciphertext < n_squared:
+            raise DecryptionError("Paillier ciphertext out of range")
+        x = pow(ciphertext, self._keys.private.lam, n_squared)
+        return (_l_function(x, n) * self._keys.private.mu) % n
+
+    def add(self, first: int, second: int) -> int:
+        """Homomorphic addition: Enc(a) * Enc(b) = Enc(a + b)."""
+        return (first * second) % self._keys.public.n_squared
+
+    # ------------------------------------------------------------------
+    # Cell API (text values)
+    # ------------------------------------------------------------------
+    def encrypt_cell(self, value: Any) -> int:
+        """Encrypt an arbitrary short cell value (text-encoded)."""
+        message = int.from_bytes(str(value).encode("utf-8"), "big")
+        if message >= self._keys.public.n:
+            raise EncryptionError("cell value too long for the Paillier modulus")
+        return self.encrypt_int(message)
+
+    def decrypt_cell(self, ciphertext: int) -> str:
+        """Recover the text of a cell encrypted with :meth:`encrypt_cell`."""
+        message = self.decrypt_int(ciphertext)
+        length = (message.bit_length() + 7) // 8
+        return message.to_bytes(length, "big").decode("utf-8")

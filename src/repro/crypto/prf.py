@@ -1,0 +1,64 @@
+"""Pseudorandom function used by the probabilistic and deterministic ciphers.
+
+The paper's cipher needs a keyed pseudorandom function ``F_k`` whose output is
+XOR-ed with the plaintext.  HMAC-SHA256 in counter mode is the standard
+construction: it is a PRF under the usual assumptions, available in the Python
+standard library, and extensible to arbitrary output lengths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+
+class Prf:
+    """HMAC-SHA256 based pseudorandom function with arbitrary output length."""
+
+    _BLOCK_BYTES = 32
+
+    def __init__(self, key: bytes):
+        if not key:
+            raise ValueError("the PRF key must be non-empty")
+        self._key = bytes(key)
+
+    @property
+    def key(self) -> bytes:
+        return self._key
+
+    def evaluate(self, message: bytes, output_length: int) -> bytes:
+        """Return ``F_k(message)`` truncated/extended to ``output_length`` bytes.
+
+        Outputs longer than one HMAC block are produced in counter mode:
+        ``HMAC(k, message || counter)`` for counter = 0, 1, ... — each block is
+        an independent PRF evaluation, so the concatenation is still
+        pseudorandom.
+        """
+        if output_length < 0:
+            raise ValueError("output_length must be non-negative")
+        blocks = []
+        produced = 0
+        counter = 0
+        while produced < output_length:
+            block = hmac.new(
+                self._key,
+                message + counter.to_bytes(4, "big"),
+                hashlib.sha256,
+            ).digest()
+            blocks.append(block)
+            produced += len(block)
+            counter += 1
+        return b"".join(blocks)[:output_length]
+
+    def evaluate_int(self, message: bytes, bits: int) -> int:
+        """Return ``F_k(message)`` as an integer with at most ``bits`` bits."""
+        num_bytes = (bits + 7) // 8
+        raw = int.from_bytes(self.evaluate(message, num_bytes), "big")
+        return raw >> (num_bytes * 8 - bits) if bits % 8 else raw
+
+
+def xor_bytes(first: bytes, second: bytes) -> bytes:
+    """Byte-wise XOR of two equal-length byte strings."""
+    if len(first) != len(second):
+        raise ValueError("xor_bytes requires equal-length inputs")
+    return bytes(a ^ b for a, b in zip(first, second))

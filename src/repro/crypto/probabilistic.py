@@ -1,0 +1,122 @@
+"""The paper's probabilistic cell cipher: ``e = <r, F_k(r) XOR p>``.
+
+Section 2.3 and Section 3.2.2 describe the construction: to encrypt a
+plaintext cell ``p``, draw a fresh random string ``r`` of length ``lambda``,
+and output the pair ``(r, F_k(r) XOR p)`` where ``F`` is a pseudorandom
+function keyed by ``k``.  Decryption recomputes ``F_k(r)`` and XORs it away.
+Encrypting the same plaintext twice yields different ciphertexts (different
+``r``), which is what lets F2 split one equivalence class into several
+distinct ciphertext instances.
+
+For F2's purposes the cipher exposes one extra knob: a *variant tag*.  F2
+needs the copies of the same plaintext that belong to the same split to be
+*identical* ciphertext values (so the server sees a frequency), while copies
+belonging to different splits must be *distinct*.  Passing the same
+``variant`` value reproduces the same ciphertext; different variants produce
+different ciphertexts.  Internally the variant simply selects the random
+string ``r`` deterministically from (key, plaintext, variant), which keeps
+the construction identical to the paper's while making encryption
+reproducible for the data owner.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.keys import SymmetricKey
+from repro.crypto.prf import Prf, xor_bytes
+from repro.exceptions import DecryptionError, EncryptionError
+
+
+@dataclass(frozen=True)
+class Ciphertext:
+    """A probabilistic ciphertext ``<r, F_k(r) XOR p>``.
+
+    The object is hashable and comparable so it can live inside a
+    :class:`repro.relational.table.Relation` cell and be grouped/counted by
+    the server-side algorithms exactly like any other value.
+    """
+
+    nonce: bytes
+    payload: bytes
+
+    def __str__(self) -> str:
+        return f"{self.nonce.hex()}:{self.payload.hex()}"
+
+    @classmethod
+    def from_text(cls, text: str) -> "Ciphertext":
+        """Parse the compact ``nonce:payload`` hex form produced by ``str``."""
+        try:
+            nonce_hex, payload_hex = text.split(":", 1)
+            return cls(bytes.fromhex(nonce_hex), bytes.fromhex(payload_hex))
+        except ValueError as exc:
+            raise DecryptionError(f"malformed ciphertext text: {text!r}") from exc
+
+
+class ProbabilisticCipher:
+    """The PRF-based probabilistic cipher of Section 2.3.
+
+    Parameters
+    ----------
+    key:
+        The symmetric key produced by :class:`repro.crypto.keys.KeyGen`.
+    nonce_length:
+        Length (bytes) of the random string ``r``; the paper's ``lambda``.
+    """
+
+    def __init__(self, key: SymmetricKey, nonce_length: int = 16):
+        if nonce_length < 8:
+            raise EncryptionError("nonce_length below 8 bytes is not allowed")
+        self._prf = Prf(key.material)
+        self._nonce_prf = Prf(key.subkey("nonce-derivation").material)
+        self._nonce_length = nonce_length
+
+    @property
+    def nonce_length(self) -> int:
+        return self._nonce_length
+
+    # ------------------------------------------------------------------
+    # Core API (Encrypt / Decrypt of Section 2.3)
+    # ------------------------------------------------------------------
+    def encrypt(self, plaintext: Any, variant: Any = None) -> Ciphertext:
+        """Encrypt one cell value.
+
+        Parameters
+        ----------
+        plaintext:
+            The cell value; serialized with ``str`` (cells are opaque values).
+        variant:
+            ``None`` draws a fresh random nonce (pure probabilistic
+            encryption — every call returns a new ciphertext).  Any other
+            value derives the nonce deterministically from
+            ``(key, plaintext, variant)`` so the same (plaintext, variant)
+            pair always maps to the same ciphertext; F2 uses this to realise
+            the "split into t unique instances" requirement of Definition 3.1.
+        """
+        message = _encode(plaintext)
+        if variant is None:
+            nonce = os.urandom(self._nonce_length)
+        else:
+            nonce = self._nonce_prf.evaluate(
+                _encode(plaintext) + b"|variant|" + _encode(variant),
+                self._nonce_length,
+            )
+        pad = self._prf.evaluate(nonce, len(message))
+        return Ciphertext(nonce=nonce, payload=xor_bytes(pad, message))
+
+    def decrypt(self, ciphertext: Ciphertext) -> str:
+        """Recover the plaintext cell (as text) from a ciphertext."""
+        if not isinstance(ciphertext, Ciphertext):
+            raise DecryptionError(f"not a ciphertext: {ciphertext!r}")
+        pad = self._prf.evaluate(ciphertext.nonce, len(ciphertext.payload))
+        try:
+            return xor_bytes(pad, ciphertext.payload).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DecryptionError("decryption produced invalid UTF-8 (wrong key?)") from exc
+
+
+def _encode(value: Any) -> bytes:
+    """Serialize a cell value for encryption (cells are opaque strings)."""
+    return str(value).encode("utf-8")

@@ -1,0 +1,30 @@
+"""Dataset generators used by the evaluation (Section 5.1, Table 1).
+
+The paper evaluates on two TPC-H benchmark tables (Orders and Customer) and
+one synthetic dataset.  TPC-H data cannot be redistributed here, so this
+package generates synthetic substitutes that preserve the structural
+properties the experiments depend on (see DESIGN.md, "Substitutions"):
+
+* :func:`~repro.datasets.tpch.generate_orders` — 9 attributes; several
+  low-cardinality attributes (order status, priority) that make equivalence
+  classes collide heavily, which drives the GROUP overhead of Figure 9 (b, d).
+* :func:`~repro.datasets.tpch.generate_customer` — 21 attributes; mostly
+  high-cardinality attributes (thousands of distinct names/balances), so EC
+  collisions are rare and the space overhead is small (Figure 9 (a, c)).
+* :func:`~repro.datasets.synthetic.generate_synthetic` — 7 attributes forming
+  two overlapping MASs (3 and 6 attributes overlapping at one attribute),
+  with many equivalence classes, which makes the SSE step dominate the
+  encryption time exactly as the paper observes (Figure 6 (a), 7 (a)).
+* :func:`~repro.datasets.synthetic.generate_fd_table` — a parametric table
+  with planted FDs, used by tests and examples.
+"""
+
+from repro.datasets.synthetic import generate_fd_table, generate_synthetic
+from repro.datasets.tpch import generate_customer, generate_orders
+
+__all__ = [
+    "generate_customer",
+    "generate_fd_table",
+    "generate_orders",
+    "generate_synthetic",
+]

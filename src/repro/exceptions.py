@@ -1,0 +1,46 @@
+"""Exception hierarchy for the F2 reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so a
+caller embedding the library can catch a single base class.  Narrow subclasses
+exist for the distinct failure domains (schema handling, encryption,
+decryption, configuration, and dataset generation) because each one is
+actionable in a different way by the data owner.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation/schema operation referenced unknown or duplicate attributes."""
+
+
+class RelationError(ReproError):
+    """A relation was constructed or manipulated inconsistently."""
+
+
+class ConfigurationError(ReproError):
+    """An :class:`repro.core.config.F2Config` value is out of its legal range."""
+
+
+class EncryptionError(ReproError):
+    """The F2 encryption pipeline could not produce a valid ciphertext table."""
+
+
+class DecryptionError(ReproError):
+    """A ciphertext value could not be decrypted (wrong key or corrupted data)."""
+
+
+class SecurityViolation(ReproError):
+    """An encrypted table failed an alpha-security or collision-freeness check."""
+
+
+class DiscoveryError(ReproError):
+    """FD or MAS discovery was invoked on an unsupported input."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator received inconsistent parameters."""

@@ -1,0 +1,74 @@
+"""Brute-force FD discovery (test oracle).
+
+This module exhaustively enumerates candidate FDs ``X -> A`` over all subsets
+``X`` of the schema (optionally capped in size) and checks each one with
+partition refinement.  It is exponential in the number of attributes and only
+intended as a correctness oracle against which TANE and the F2
+FD-preservation guarantee are validated on small tables, and as the slow
+baseline in ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.exceptions import DiscoveryError
+from repro.fd.fd import FDSet, FunctionalDependency
+from repro.relational.partition import Partition
+from repro.relational.table import Relation
+
+
+def discover_fds_naive(
+    relation: Relation,
+    max_lhs_size: int | None = None,
+    minimal_only: bool = True,
+) -> FDSet:
+    """Discover every FD of ``relation`` by exhaustive enumeration.
+
+    Parameters
+    ----------
+    relation:
+        The table to analyse.
+    max_lhs_size:
+        Optional cap on the size of the left-hand side; ``None`` means all
+        sizes up to ``m - 1``.
+    minimal_only:
+        When true (the default), an FD ``X -> A`` is reported only if no
+        proper subset of ``X`` also determines ``A`` — matching TANE's output
+        of minimal dependencies.
+
+    Returns
+    -------
+    FDSet
+        The discovered (minimal) functional dependencies.
+    """
+    if relation.num_rows == 0:
+        raise DiscoveryError("cannot discover FDs of an empty relation")
+    attributes = list(relation.attributes)
+    limit = max_lhs_size if max_lhs_size is not None else len(attributes) - 1
+    limit = max(1, min(limit, len(attributes) - 1))
+
+    # Pre-build single-attribute partitions; larger ones are built on demand.
+    single_partitions = {attr: Partition.build(relation, [attr]) for attr in attributes}
+    partition_cache: dict[tuple[str, ...], Partition] = {
+        (attr,): part for attr, part in single_partitions.items()
+    }
+
+    def partition_for(attrs: tuple[str, ...]) -> Partition:
+        if attrs not in partition_cache:
+            partition_cache[attrs] = Partition.build(relation, attrs)
+        return partition_cache[attrs]
+
+    discovered = FDSet()
+    for rhs in attributes:
+        rhs_partition = single_partitions[rhs]
+        holders: list[frozenset[str]] = []
+        for size in range(1, limit + 1):
+            for lhs in combinations([a for a in attributes if a != rhs], size):
+                lhs_set = frozenset(lhs)
+                if minimal_only and any(holder <= lhs_set for holder in holders):
+                    continue
+                if partition_for(lhs).refines(rhs_partition):
+                    holders.append(lhs_set)
+                    discovered.add(FunctionalDependency(lhs, rhs))
+    return discovered

@@ -1,0 +1,165 @@
+"""Functional dependency objects and their algebra.
+
+The paper (Section 2.2) restricts attention to non-trivial FDs with a single
+attribute on the right-hand side; :class:`FunctionalDependency` enforces that
+normal form, and :class:`FDSet` provides the set-level operations needed by
+the test suite and the verification module: attribute-set closure (Armstrong's
+axioms via the standard closure algorithm), implication testing, logical
+equivalence of two FD sets, and a minimal cover.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.exceptions import DiscoveryError
+
+
+@dataclass(frozen=True, order=True)
+class FunctionalDependency:
+    """A non-trivial FD ``lhs -> rhs`` with a single right-hand-side attribute.
+
+    ``lhs`` is stored as a sorted tuple so that FDs are hashable, comparable,
+    and have a canonical textual form.
+    """
+
+    lhs: tuple[str, ...]
+    rhs: str
+
+    def __init__(self, lhs: Iterable[str], rhs: str):
+        lhs_tuple = tuple(sorted(set(lhs)))
+        if not lhs_tuple:
+            raise DiscoveryError("an FD requires a non-empty left-hand side")
+        if not rhs:
+            raise DiscoveryError("an FD requires a right-hand side attribute")
+        if rhs in lhs_tuple:
+            raise DiscoveryError(f"trivial FD rejected: {rhs!r} already in LHS {lhs_tuple!r}")
+        object.__setattr__(self, "lhs", lhs_tuple)
+        object.__setattr__(self, "rhs", rhs)
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        """All attributes mentioned by the FD (LHS union RHS)."""
+        return frozenset(self.lhs) | {self.rhs}
+
+    def __str__(self) -> str:
+        return f"{{{', '.join(self.lhs)}}} -> {self.rhs}"
+
+    @classmethod
+    def parse(cls, text: str) -> "FunctionalDependency":
+        """Parse ``"A,B -> C"`` (or ``"A B -> C"``) into an FD."""
+        if "->" not in text:
+            raise DiscoveryError(f"cannot parse FD from {text!r} (missing '->')")
+        left, _, right = text.partition("->")
+        lhs = [token for token in left.replace(",", " ").replace("{", " ").replace("}", " ").split() if token]
+        rhs = right.strip().strip("{}").strip()
+        return cls(lhs, rhs)
+
+
+class FDSet:
+    """A set of functional dependencies with closure-based reasoning."""
+
+    __slots__ = ("_fds",)
+
+    def __init__(self, fds: Iterable[FunctionalDependency] = ()):
+        self._fds: set[FunctionalDependency] = set(fds)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def add(self, fd: FunctionalDependency) -> None:
+        self._fds.add(fd)
+
+    def __len__(self) -> int:
+        return len(self._fds)
+
+    def __iter__(self) -> Iterator[FunctionalDependency]:
+        return iter(sorted(self._fds))
+
+    def __contains__(self, fd: object) -> bool:
+        return fd in self._fds
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FDSet):
+            return NotImplemented
+        return self._fds == other._fds
+
+    def __repr__(self) -> str:
+        return f"FDSet({sorted(str(fd) for fd in self._fds)!r})"
+
+    def as_set(self) -> set[FunctionalDependency]:
+        return set(self._fds)
+
+    # ------------------------------------------------------------------
+    # Closure-based reasoning
+    # ------------------------------------------------------------------
+    def closure(self, attributes: Iterable[str]) -> frozenset[str]:
+        """The attribute-set closure ``X+`` under this FD set."""
+        closure = set(attributes)
+        changed = True
+        while changed:
+            changed = False
+            for fd in self._fds:
+                if fd.rhs not in closure and set(fd.lhs) <= closure:
+                    closure.add(fd.rhs)
+                    changed = True
+        return frozenset(closure)
+
+    def implies(self, fd: FunctionalDependency) -> bool:
+        """True iff ``fd`` is logically implied by this FD set."""
+        return fd.rhs in self.closure(fd.lhs)
+
+    def equivalent_to(self, other: "FDSet") -> bool:
+        """Logical equivalence: each set implies every FD of the other."""
+        return all(self.implies(fd) for fd in other) and all(other.implies(fd) for fd in self)
+
+    def minimal_cover(self) -> "FDSet":
+        """Return a minimal (canonical) cover of this FD set.
+
+        Left-reduces every FD, then removes redundant FDs.  The result implies
+        exactly the same dependencies (useful for compact reporting of
+        discovered FD sets).
+        """
+        # Left-reduction: drop extraneous LHS attributes.
+        reduced: set[FunctionalDependency] = set()
+        for fd in self._fds:
+            lhs = list(fd.lhs)
+            for attr in list(lhs):
+                if len(lhs) == 1:
+                    break
+                candidate = [a for a in lhs if a != attr]
+                if fd.rhs in self.closure(candidate):
+                    lhs = candidate
+            reduced.add(FunctionalDependency(lhs, fd.rhs))
+
+        # Redundancy elimination: drop FDs implied by the rest.
+        result = set(reduced)
+        for fd in sorted(reduced):
+            remaining = FDSet(result - {fd})
+            if remaining.implies(fd):
+                result.discard(fd)
+        return FDSet(result)
+
+    def restricted_to(self, attributes: Iterable[str]) -> "FDSet":
+        """FDs whose attributes all lie within ``attributes``."""
+        allowed = set(attributes)
+        return FDSet(fd for fd in self._fds if fd.attributes <= allowed)
+
+    def maximal_lhs_only(self) -> "FDSet":
+        """Keep only FDs whose LHS is not a subset of another FD's LHS with the same RHS.
+
+        Mirrors the paper's notion of *maximum* FDs used when eliminating
+        false positives (Section 3.4): eliminating ``X -> Y`` also eliminates
+        every ``X' -> Y`` with ``X' subset of X``.
+        """
+        kept: set[FunctionalDependency] = set()
+        for fd in self._fds:
+            dominated = any(
+                other.rhs == fd.rhs and set(fd.lhs) < set(other.lhs)
+                for other in self._fds
+                if other != fd
+            )
+            if not dominated:
+                kept.add(fd)
+        return FDSet(kept)

@@ -1,0 +1,384 @@
+"""Step 1 of F2: discovery of Maximal Attribute Sets (MASs).
+
+Definition 3.2 of the paper: an attribute set ``A`` is a *maximum attribute
+set* if (1) at least one instance of ``A`` occurs more than once in the table
+and (2) no proper superset of ``A`` has that property.  The paper observes
+that MASs are exactly the *maximal non-unique column combinations* of Heise
+et al. (DUCC, PVLDB 2013) and adapts that algorithm.
+
+Two exact strategies are provided:
+
+``apriori``
+    A level-wise bottom-up walk over non-unique attribute sets.  Simple and
+    exact, but exponential in the number of attributes; suitable for narrow
+    schemas (the paper's synthetic and Orders tables).
+
+``ducc``
+    A DUCC-style lattice walk: random greedy walks that bounce off the
+    unique/non-unique boundary, with subset/superset pruning against the sets
+    already classified, plus a hole-detection step based on minimal hitting
+    sets that guarantees completeness.  Its cost depends on the size of the
+    solution (number of MASs and minimal uniques), not on ``2^m`` — this is
+    the property the paper relies on to make Step 1 affordable for the data
+    owner.
+
+``auto`` (default) picks ``apriori`` for schemas of at most 12 attributes and
+``ducc`` otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.exceptions import DiscoveryError
+from repro.relational.partition import Partition
+from repro.relational.table import Relation
+
+AttrSet = frozenset[str]
+
+
+@dataclass(frozen=True)
+class MaximalAttributeSet:
+    """One MAS: the attribute set plus its partition statistics.
+
+    Attributes
+    ----------
+    attributes:
+        The attributes of the MAS, in schema order.
+    num_equivalence_classes:
+        Number of ECs of ``pi_MAS`` (the paper's ``t``).
+    num_duplicate_classes:
+        Number of ECs of size greater than one.
+    """
+
+    attributes: tuple[str, ...]
+    num_equivalence_classes: int
+    num_duplicate_classes: int
+
+    @property
+    def as_set(self) -> AttrSet:
+        return frozenset(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def overlaps(self, other: "MaximalAttributeSet") -> bool:
+        """True iff the two MASs share at least one attribute (Section 3.3)."""
+        return bool(self.as_set & other.as_set)
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(self.attributes) + "}"
+
+
+@dataclass
+class MasResult:
+    """Output of MAS discovery with profiling counters."""
+
+    masses: list[MaximalAttributeSet]
+    elapsed_seconds: float
+    partitions_computed: int
+    strategy: str
+    parameters: dict[str, object] = field(default_factory=dict)
+
+    def overlapping_pairs(self) -> list[tuple[MaximalAttributeSet, MaximalAttributeSet]]:
+        """All pairs of MASs that share at least one attribute (the paper's ``h``)."""
+        pairs = []
+        for first, second in combinations(self.masses, 2):
+            if first.overlaps(second):
+                pairs.append((first, second))
+        return pairs
+
+
+def find_maximal_attribute_sets(
+    relation: Relation,
+    strategy: str = "auto",
+    seed: int | None = 0,
+) -> list[MaximalAttributeSet]:
+    """Find every MAS of ``relation`` (Definition 3.2).
+
+    Convenience wrapper around :func:`find_mas_with_stats`.
+    """
+    return find_mas_with_stats(relation, strategy=strategy, seed=seed).masses
+
+
+def find_mas_with_stats(
+    relation: Relation,
+    strategy: str = "auto",
+    seed: int | None = 0,
+) -> MasResult:
+    """Find every MAS and return profiling counters.
+
+    Parameters
+    ----------
+    relation:
+        The table to analyse (at least one row).
+    strategy:
+        ``"apriori"``, ``"ducc"``, or ``"auto"``.
+    seed:
+        Seed for the DUCC random walk (ignored by ``apriori``).  ``None``
+        draws from the system RNG.
+    """
+    if relation.num_rows == 0:
+        raise DiscoveryError("cannot discover MASs of an empty relation")
+    if strategy not in {"auto", "apriori", "ducc"}:
+        raise DiscoveryError(f"unknown MAS discovery strategy: {strategy!r}")
+    if strategy == "auto":
+        strategy = "apriori" if relation.num_attributes <= 12 else "ducc"
+
+    start = time.perf_counter()
+    finder = _MasFinder(relation)
+    if strategy == "apriori":
+        maximal_sets = finder.apriori()
+    else:
+        maximal_sets = finder.ducc(seed=seed)
+    masses = [finder.describe(attrs) for attrs in sorted(maximal_sets, key=_canonical)]
+    elapsed = time.perf_counter() - start
+    return MasResult(
+        masses=masses,
+        elapsed_seconds=elapsed,
+        partitions_computed=finder.partitions_computed,
+        strategy=strategy,
+        parameters={"rows": relation.num_rows, "attributes": relation.num_attributes},
+    )
+
+
+def _canonical(attrs: AttrSet) -> tuple[str, ...]:
+    return tuple(sorted(attrs))
+
+
+class _MasFinder:
+    """Shared machinery for both MAS discovery strategies."""
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self.all_attributes: AttrSet = frozenset(relation.attributes)
+        self.partitions_computed = 0
+        self._non_unique_cache: dict[AttrSet, bool] = {}
+        # Boundary knowledge for pruning: known non-unique and unique sets.
+        self._known_non_unique: set[AttrSet] = set()
+        self._known_unique: set[AttrSet] = set()
+
+    # ------------------------------------------------------------------
+    # Classification with pruning
+    # ------------------------------------------------------------------
+    def is_non_unique(self, attrs: AttrSet) -> bool:
+        """True iff some instance of ``attrs`` occurs more than once.
+
+        Uses monotonicity for pruning: subsets of non-unique sets are
+        non-unique, supersets of unique sets are unique.
+        """
+        if not attrs:
+            return self.relation.num_rows > 1
+        cached = self._non_unique_cache.get(attrs)
+        if cached is not None:
+            return cached
+        for known in self._known_non_unique:
+            if attrs <= known:
+                self._non_unique_cache[attrs] = True
+                return True
+        for known in self._known_unique:
+            if attrs >= known:
+                self._non_unique_cache[attrs] = False
+                return False
+        result = self._compute_non_unique(attrs)
+        self._non_unique_cache[attrs] = result
+        if result:
+            self._known_non_unique.add(attrs)
+        else:
+            self._known_unique.add(attrs)
+        return result
+
+    def _compute_non_unique(self, attrs: AttrSet) -> bool:
+        self.partitions_computed += 1
+        frequencies = self.relation.value_frequencies(attrs)
+        return any(count > 1 for count in frequencies.values())
+
+    def describe(self, attrs: AttrSet) -> MaximalAttributeSet:
+        """Build the MAS descriptor (with partition statistics) for ``attrs``."""
+        partition = Partition.build(self.relation, attrs)
+        return MaximalAttributeSet(
+            attributes=self.relation.schema.ordered(attrs),
+            num_equivalence_classes=len(partition),
+            num_duplicate_classes=len(partition.non_singleton_classes()),
+        )
+
+    def is_maximal_non_unique(self, attrs: AttrSet) -> bool:
+        """``attrs`` is non-unique and every one-attribute extension is unique."""
+        if not self.is_non_unique(attrs):
+            return False
+        return all(
+            not self.is_non_unique(attrs | {extra})
+            for extra in self.all_attributes - attrs
+        )
+
+    # ------------------------------------------------------------------
+    # Strategy 1: level-wise apriori walk
+    # ------------------------------------------------------------------
+    def apriori(self) -> set[AttrSet]:
+        """Exact bottom-up enumeration of maximal non-unique sets."""
+        non_unique_singletons = [
+            frozenset([attr]) for attr in self.all_attributes if self.is_non_unique(frozenset([attr]))
+        ]
+        maximal: set[AttrSet] = set()
+        current_level = set(non_unique_singletons)
+        while current_level:
+            next_level: set[AttrSet] = set()
+            for attrs in current_level:
+                extensions = [
+                    attrs | {extra}
+                    for extra in self.all_attributes - attrs
+                ]
+                grown = False
+                for extension in extensions:
+                    if all(
+                        extension - {attr} in current_level or self.is_non_unique(extension - {attr})
+                        for attr in extension
+                    ) and self.is_non_unique(extension):
+                        next_level.add(extension)
+                        grown = True
+                if not grown:
+                    maximal.add(attrs)
+            current_level = next_level
+        return self._retain_maximal(maximal)
+
+    # ------------------------------------------------------------------
+    # Strategy 2: DUCC-style random walk with hole detection
+    # ------------------------------------------------------------------
+    def ducc(self, seed: int | None = 0, max_rounds: int = 64) -> set[AttrSet]:
+        """Exact maximal non-unique set discovery via boundary random walks.
+
+        The walk repeatedly maximises non-unique seeds (adding attributes while
+        the set stays non-unique) and minimises unique seeds (removing
+        attributes while the set stays unique), recording the boundary sets.
+        After each round a hole-detection step derives candidate unclassified
+        sets from the minimal hitting sets of the complements of the maximal
+        non-unique sets found so far; the algorithm terminates when no
+        unclassified candidate remains, which guarantees completeness.
+        """
+        rng = random.Random(seed)
+        maximal_non_unique: set[AttrSet] = set()
+        minimal_unique: set[AttrSet] = set()
+
+        non_unique_singletons = {
+            frozenset([attr]) for attr in self.all_attributes if self.is_non_unique(frozenset([attr]))
+        }
+        for attr in self.all_attributes:
+            single = frozenset([attr])
+            if single not in non_unique_singletons:
+                minimal_unique.add(single)
+        if not non_unique_singletons:
+            return set()
+
+        seeds: list[AttrSet] = sorted(non_unique_singletons, key=_canonical)
+        for _ in range(max_rounds):
+            while seeds:
+                seed_set = seeds.pop()
+                if self.is_non_unique(seed_set):
+                    maximal_non_unique.add(self._maximise(seed_set, rng))
+                else:
+                    minimal_unique.add(self._minimise(seed_set, rng))
+            holes = self._find_holes(maximal_non_unique, minimal_unique)
+            if not holes:
+                break
+            seeds = sorted(holes, key=_canonical)
+        return self._retain_maximal(maximal_non_unique)
+
+    def _maximise(self, attrs: AttrSet, rng: random.Random) -> AttrSet:
+        """Greedily grow a non-unique set until every extension is unique."""
+        current = attrs
+        while True:
+            candidates = [
+                extra for extra in self.all_attributes - current
+                if self.is_non_unique(current | {extra})
+            ]
+            if not candidates:
+                return current
+            current = current | {rng.choice(candidates)}
+
+    def _minimise(self, attrs: AttrSet, rng: random.Random) -> AttrSet:
+        """Greedily shrink a unique set until every reduction is non-unique."""
+        current = attrs
+        while True:
+            candidates = [
+                attr for attr in current
+                if len(current) > 1 and not self.is_non_unique(current - {attr})
+            ]
+            if not candidates:
+                return current
+            current = current - {rng.choice(candidates)}
+
+    def _find_holes(
+        self,
+        maximal_non_unique: set[AttrSet],
+        minimal_unique: set[AttrSet],
+    ) -> set[AttrSet]:
+        """Hole detection: unclassified candidate sets implied by duality.
+
+        Every minimal unique column combination is a minimal hitting set of
+        the complements of the maximal non-unique sets.  We enumerate those
+        minimal hitting sets; any that is not (a superset of) a known minimal
+        unique, or whose classification turns out to be non-unique, is an
+        unexplored part of the boundary and is returned as a new seed.
+        """
+        complements = [self.all_attributes - attrs for attrs in maximal_non_unique]
+        if not complements:
+            return {self.all_attributes}
+        holes: set[AttrSet] = set()
+        for hitting_set in _minimal_hitting_sets(complements, self.all_attributes):
+            covered = any(hitting_set >= unique for unique in minimal_unique)
+            if not covered:
+                holes.add(hitting_set)
+            elif self.is_non_unique(hitting_set):
+                holes.add(hitting_set)
+        return holes
+
+    def _retain_maximal(self, candidates: set[AttrSet]) -> set[AttrSet]:
+        """Drop any candidate strictly contained in another candidate."""
+        return {
+            attrs for attrs in candidates
+            if not any(attrs < other for other in candidates)
+        }
+
+
+def _minimal_hitting_sets(
+    sets: list[AttrSet],
+    universe: AttrSet,
+    limit: int = 4096,
+) -> list[AttrSet]:
+    """Enumerate minimal hitting sets of ``sets`` over ``universe``.
+
+    Incremental construction: process the input sets one by one, extending
+    each partial hitting set that misses the new input set with every element
+    of that set, then discarding non-minimal results.  The ``limit`` bounds
+    the intermediate frontier to keep worst cases in check (the DUCC walk only
+    needs *some* unclassified candidates per round; completeness is still
+    reached because remaining holes surface in later rounds).
+    """
+    frontier: list[AttrSet] = [frozenset()]
+    for target in sets:
+        next_frontier: list[AttrSet] = []
+        for partial in frontier:
+            if partial & target:
+                next_frontier.append(partial)
+                continue
+            for element in target:
+                candidate = partial | {element}
+                next_frontier.append(candidate)
+        frontier = _drop_supersets(next_frontier)
+        if len(frontier) > limit:
+            frontier = frontier[:limit]
+    return [attrs for attrs in frontier if attrs <= universe]
+
+
+def _drop_supersets(candidates: list[AttrSet]) -> list[AttrSet]:
+    """Remove candidates that are strict supersets of another candidate."""
+    unique_candidates = list(dict.fromkeys(candidates))
+    unique_candidates.sort(key=len)
+    kept: list[AttrSet] = []
+    for candidate in unique_candidates:
+        if not any(existing <= candidate for existing in kept):
+            kept.append(candidate)
+    return kept

@@ -1,0 +1,27 @@
+"""In-memory relational substrate.
+
+The paper operates on a single private relational table ``D`` with ``m``
+attributes and ``n`` records, encrypts it cell by cell, and reasons about
+*partitions* (sets of equivalence classes) of attribute sets.  This package
+provides that substrate without any external dependency:
+
+* :class:`~repro.relational.schema.Schema` — ordered attribute names.
+* :class:`~repro.relational.table.Relation` — column-oriented table of cells.
+* :class:`~repro.relational.partition.Partition` /
+  :class:`~repro.relational.partition.EquivalenceClass` — the pi_X machinery
+  (Definition 3.3 of the paper) shared by FD discovery, MAS discovery, and the
+  F2 encryption steps.
+* :mod:`~repro.relational.csvio` — plain CSV import/export used by the
+  examples and the CLI.
+"""
+
+from repro.relational.partition import EquivalenceClass, Partition
+from repro.relational.schema import Schema
+from repro.relational.table import Relation
+
+__all__ = [
+    "EquivalenceClass",
+    "Partition",
+    "Relation",
+    "Schema",
+]

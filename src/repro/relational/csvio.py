@@ -1,0 +1,75 @@
+"""CSV import/export for relations.
+
+The data owner in the paper holds a plain relational table; the natural
+interchange format for the examples and the CLI is CSV with a header row.
+Cells are read back as strings — the encryption scheme treats every cell as an
+opaque value, so no type inference is needed or wanted.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TextIO
+
+from repro.exceptions import RelationError
+from repro.relational.schema import Schema
+from repro.relational.table import Relation
+
+
+def read_csv(source: str | Path | TextIO, name: str | None = None) -> Relation:
+    """Read a relation from a CSV file with a header row.
+
+    Parameters
+    ----------
+    source:
+        A file path or an open text file object.
+    name:
+        Optional relation name; defaults to the file stem when a path is given.
+    """
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        with path.open("r", newline="", encoding="utf-8") as handle:
+            return _read_csv_handle(handle, name or path.stem)
+    return _read_csv_handle(source, name or "relation")
+
+
+def _read_csv_handle(handle: TextIO, name: str) -> Relation:
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise RelationError("CSV input is empty (missing header row)") from None
+    schema = Schema([column.strip() for column in header])
+    relation = Relation(schema, name=name)
+    for line_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(schema):
+            raise RelationError(
+                f"CSV line {line_number} has {len(row)} fields, expected {len(schema)}"
+            )
+        relation.append(row)
+    return relation
+
+
+def write_csv(relation: Relation, target: str | Path | TextIO) -> None:
+    """Write a relation to CSV with a header row.
+
+    Every cell is serialized with ``str``; ciphertext cells use their compact
+    textual form (see :class:`repro.crypto.probabilistic.Ciphertext`).
+    """
+    if isinstance(target, (str, Path)):
+        path = Path(target)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            _write_csv_handle(relation, handle)
+        return
+    _write_csv_handle(relation, target)
+
+
+def _write_csv_handle(relation: Relation, handle: TextIO) -> None:
+    writer = csv.writer(handle)
+    writer.writerow(relation.attributes)
+    for row in relation.rows():
+        writer.writerow([str(value) for value in row])

@@ -1,0 +1,132 @@
+"""Relation schemas: ordered, named attribute lists.
+
+A schema is deliberately minimal — the paper treats every cell as an opaque
+value to be encrypted, so no column types are needed.  What the rest of the
+library does need, constantly, is a fast and canonical way to refer to
+*attribute sets* (for FDs, MASs, and partitions), so the schema offers helpers
+to validate, normalise, and order attribute collections.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import FrozenSet
+
+from repro.exceptions import SchemaError
+
+AttributeSet = FrozenSet[str]
+
+
+class Schema:
+    """An ordered collection of uniquely named attributes.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute names in column order.  Names must be non-empty strings and
+        unique.
+
+    Examples
+    --------
+    >>> schema = Schema(["A", "B", "C"])
+    >>> schema.index_of("B")
+    1
+    >>> sorted(schema.attribute_set({"C", "A"}))
+    ['A', 'C']
+    """
+
+    __slots__ = ("_attributes", "_index")
+
+    def __init__(self, attributes: Sequence[str]):
+        names = list(attributes)
+        if not names:
+            raise SchemaError("a schema requires at least one attribute")
+        seen: set[str] = set()
+        for name in names:
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"invalid attribute name: {name!r}")
+            if name in seen:
+                raise SchemaError(f"duplicate attribute name: {name!r}")
+            seen.add(name)
+        self._attributes: tuple[str, ...] = tuple(names)
+        self._index: dict[str, int] = {name: i for i, name in enumerate(names)}
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """The attribute names in column order."""
+        return self._attributes
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._attributes)!r})"
+
+    # ------------------------------------------------------------------
+    # Attribute-set helpers
+    # ------------------------------------------------------------------
+    def index_of(self, name: str) -> int:
+        """Return the column position of ``name``.
+
+        Raises
+        ------
+        SchemaError
+            If the attribute does not exist.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute: {name!r}") from None
+
+    def validate_attributes(self, names: Iterable[str]) -> AttributeSet:
+        """Check that every name exists and return them as a frozenset."""
+        result = frozenset(names)
+        unknown = [name for name in result if name not in self._index]
+        if unknown:
+            raise SchemaError(f"unknown attributes: {sorted(unknown)!r}")
+        return result
+
+    def attribute_set(self, names: Iterable[str]) -> AttributeSet:
+        """Alias of :meth:`validate_attributes` (reads better at call sites)."""
+        return self.validate_attributes(names)
+
+    def ordered(self, names: Iterable[str]) -> tuple[str, ...]:
+        """Return the given attributes sorted into schema (column) order."""
+        subset = self.validate_attributes(names)
+        return tuple(name for name in self._attributes if name in subset)
+
+    def complement(self, names: Iterable[str]) -> AttributeSet:
+        """Return all schema attributes *not* in ``names``."""
+        subset = self.validate_attributes(names)
+        return frozenset(name for name in self._attributes if name not in subset)
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Return a new schema containing only ``names`` (in schema order)."""
+        ordered = self.ordered(names)
+        if not ordered:
+            raise SchemaError("cannot project a schema onto zero attributes")
+        return Schema(ordered)
+
+    def canonical_key(self, names: Iterable[str]) -> tuple[str, ...]:
+        """A hashable, order-independent canonical form of an attribute set.
+
+        Used as dictionary key for partitions and MASs throughout the library.
+        """
+        return self.ordered(names)

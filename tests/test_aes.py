@@ -1,0 +1,76 @@
+"""Tests for the from-scratch AES-128 block cipher (FIPS-197 vectors)."""
+
+import pytest
+
+from repro.crypto.aes import Aes128
+from repro.exceptions import EncryptionError
+
+
+class TestFips197Vectors:
+    def test_appendix_b_vector(self):
+        # FIPS-197 Appendix B: plaintext/key/ciphertext.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert Aes128(key).encrypt_block(plaintext) == expected
+
+    def test_appendix_c_vector(self):
+        # FIPS-197 Appendix C.1 AES-128 example vector.
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert Aes128(key).encrypt_block(plaintext) == expected
+
+    def test_decrypt_inverts_encrypt_on_vectors(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ciphertext = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        expected = bytes.fromhex("00112233445566778899aabbccddeeff")
+        assert Aes128(key).decrypt_block(ciphertext) == expected
+
+
+class TestBlockCipherProperties:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_roundtrip_random_blocks(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        key = bytes(rng.getrandbits(8) for _ in range(16))
+        block = bytes(rng.getrandbits(8) for _ in range(16))
+        aes = Aes128(key)
+        assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+    def test_wrong_key_length_rejected(self):
+        with pytest.raises(EncryptionError):
+            Aes128(b"short")
+
+    def test_wrong_block_length_rejected(self):
+        aes = Aes128(bytes(16))
+        with pytest.raises(EncryptionError):
+            aes.encrypt_block(b"tiny")
+        with pytest.raises(EncryptionError):
+            aes.decrypt_block(b"tiny")
+
+    def test_ecb_multi_block_roundtrip(self):
+        aes = Aes128(bytes(range(16)))
+        message = bytes(range(48))
+        assert aes.decrypt_ecb(aes.encrypt_ecb(message)) == message
+
+    def test_ecb_rejects_partial_blocks(self):
+        aes = Aes128(bytes(range(16)))
+        with pytest.raises(EncryptionError):
+            aes.encrypt_ecb(b"123")
+        with pytest.raises(EncryptionError):
+            aes.decrypt_ecb(b"123")
+
+    def test_ecb_equal_blocks_equal_ciphertext(self):
+        """The ECB weakness the frequency-analysis attack exploits."""
+        aes = Aes128(bytes(range(16)))
+        ciphertext = aes.encrypt_ecb(b"A" * 16 + b"A" * 16)
+        assert ciphertext[:16] == ciphertext[16:]
+
+    def test_avalanche_effect(self):
+        aes = Aes128(bytes(range(16)))
+        first = aes.encrypt_block(b"\x00" * 16)
+        second = aes.encrypt_block(b"\x00" * 15 + b"\x01")
+        differing_bits = sum(bin(a ^ b).count("1") for a, b in zip(first, second))
+        assert differing_bits > 30

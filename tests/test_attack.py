@@ -1,0 +1,170 @@
+"""Tests for the frequency-analysis adversaries and their evaluation."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.attack.evaluate import (
+    AttackSample,
+    evaluate_attack,
+    samples_from_deterministic,
+    samples_from_encrypted,
+)
+from repro.attack.frequency import FrequencyAttack
+from repro.attack.kerckhoffs import KerckhoffsAttack
+from repro.core.config import F2Config
+from repro.core.scheme import F2Scheme
+from repro.crypto.deterministic import DeterministicCipher
+from repro.crypto.keys import KeyGen
+from repro.exceptions import ReproError
+from repro.relational.table import Relation
+
+
+@pytest.fixture
+def skewed_table() -> Relation:
+    """A table with a skewed, moderate-cardinality attack target column."""
+    rng = random.Random(5)
+    values = ["alpha"] * 30 + ["beta"] * 14 + ["gamma"] * 8 + ["delta"] * 4 + ["epsilon"] * 2
+    rng.shuffle(values)
+    rows = [[value, f"id-{index}"] for index, value in enumerate(values)]
+    return Relation(["Category", "RowId"], rows, name="skewed")
+
+
+class TestFrequencyAttack:
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ReproError):
+            FrequencyAttack(strategy="voodoo")
+
+    def test_candidate_set_exact_match(self):
+        plain = Counter({"a": 5, "b": 3, "c": 3})
+        assert set(FrequencyAttack.candidate_set(3, plain)) == {"b", "c"}
+
+    def test_candidate_set_fallback_to_nearest_below(self):
+        plain = Counter({"a": 5, "b": 3})
+        assert FrequencyAttack.candidate_set(4, plain) == ["b"]
+
+    def test_candidate_set_fallback_to_all(self):
+        plain = Counter({"a": 5, "b": 3})
+        assert set(FrequencyAttack.candidate_set(1, plain)) == {"a", "b"}
+
+    def test_matching_guess_recovers_deterministic_encryption(self, skewed_table):
+        cipher = DeterministicCipher(KeyGen.symmetric_from_seed(3))
+        encrypted, samples = samples_from_deterministic(skewed_table, cipher, ["Category"])
+        outcome = evaluate_attack(
+            FrequencyAttack(), samples, skewed_table, encrypted, trials=300, seed=1
+        )
+        assert outcome.success_rate > 0.9
+
+    def test_rank_strategy_also_breaks_deterministic(self, skewed_table):
+        cipher = DeterministicCipher(KeyGen.symmetric_from_seed(3))
+        encrypted, samples = samples_from_deterministic(skewed_table, cipher, ["Category"])
+        outcome = evaluate_attack(
+            FrequencyAttack(strategy="rank"), samples, skewed_table, encrypted, trials=300, seed=1
+        )
+        assert outcome.success_rate > 0.9
+
+    def test_attack_name(self):
+        assert FrequencyAttack().name == "frequency-matching"
+        assert FrequencyAttack("rank").name == "frequency-rank"
+
+
+class TestKerckhoffsAttack:
+    def test_split_factor_estimation(self):
+        attack = KerckhoffsAttack()
+        cipher_freqs = Counter({f"c{i}": 4 for i in range(10)})
+        plain_freqs = Counter({"a": 8, "b": 4})
+        assert attack.estimate_split_factor(cipher_freqs, plain_freqs) == 1
+        cipher_freqs = Counter({f"c{i}": 16 for i in range(4)})
+        assert attack.estimate_split_factor(cipher_freqs, plain_freqs) == 2
+
+    def test_split_factor_override(self):
+        attack = KerckhoffsAttack(assume_split_factor=3)
+        assert attack.estimate_split_factor(Counter({"x": 1}), Counter({"p": 1})) == 3
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(ReproError):
+            KerckhoffsAttack(assume_split_factor=0)
+
+    def test_bucketing_by_frequency(self):
+        buckets = KerckhoffsAttack.bucket_by_frequency(Counter({"a": 2, "b": 2, "c": 5}))
+        assert sorted(buckets[2]) == ["a", "b"]
+        assert buckets[5] == ["c"]
+
+    def test_candidate_plaintexts_primary_rule(self):
+        plain = Counter({"a": 10, "b": 2, "c": 1})
+        candidates = KerckhoffsAttack.candidate_plaintexts(4, 2, plain)
+        assert set(candidates) == {"b", "c"}
+
+    def test_candidate_plaintexts_fallbacks(self):
+        plain = Counter({"a": 10})
+        assert KerckhoffsAttack.candidate_plaintexts(12, 2, plain) == ["a"]
+        assert KerckhoffsAttack.candidate_plaintexts(1, 2, plain) == ["a"]
+
+
+class TestAttackAgainstF2:
+    @pytest.fixture
+    def encrypted_pair(self, skewed_table):
+        scheme = F2Scheme(
+            key=KeyGen.symmetric_from_seed(8),
+            config=F2Config(alpha=0.25, split_factor=2, seed=4),
+        )
+        return skewed_table, scheme.encrypt(skewed_table)
+
+    def test_samples_only_from_authentic_cells(self, encrypted_pair):
+        plaintext, encrypted = encrypted_pair
+        samples = samples_from_encrypted(encrypted, plaintext, ["Category"])
+        artificial = set(encrypted.artificial_row_indexes())
+        assert samples
+        assert len(samples) <= encrypted.num_rows - len(artificial)
+
+    def test_f2_defeats_frequency_matching(self, encrypted_pair):
+        plaintext, encrypted = encrypted_pair
+        samples = samples_from_encrypted(encrypted, plaintext, ["Category"])
+        outcome = evaluate_attack(
+            FrequencyAttack(), samples, plaintext, encrypted.relation, trials=400, seed=2
+        )
+        # alpha = 0.25; allow generous sampling slack plus the 1/domain floor.
+        assert outcome.success_rate <= 0.45
+
+    def test_f2_defeats_kerckhoffs_adversary(self, encrypted_pair):
+        plaintext, encrypted = encrypted_pair
+        samples = samples_from_encrypted(encrypted, plaintext, ["Category"])
+        outcome = evaluate_attack(
+            KerckhoffsAttack(), samples, plaintext, encrypted.relation, trials=400, seed=2
+        )
+        assert outcome.success_rate <= 0.45
+
+    def test_f2_much_stronger_than_deterministic(self, skewed_table, encrypted_pair):
+        plaintext, encrypted = encrypted_pair
+        f2_samples = samples_from_encrypted(encrypted, plaintext, ["Category"])
+        f2_outcome = evaluate_attack(
+            FrequencyAttack(), f2_samples, plaintext, encrypted.relation, trials=400, seed=3
+        )
+        det_cipher = DeterministicCipher(KeyGen.symmetric_from_seed(3))
+        det_relation, det_samples = samples_from_deterministic(
+            skewed_table, det_cipher, ["Category"]
+        )
+        det_outcome = evaluate_attack(
+            FrequencyAttack(), det_samples, skewed_table, det_relation, trials=400, seed=3
+        )
+        assert det_outcome.success_rate - f2_outcome.success_rate > 0.4
+
+    def test_outcome_bookkeeping(self, encrypted_pair):
+        plaintext, encrypted = encrypted_pair
+        samples = samples_from_encrypted(encrypted, plaintext, ["Category"])
+        outcome = evaluate_attack(
+            FrequencyAttack(), samples, plaintext, encrypted.relation, trials=100, seed=0
+        )
+        assert outcome.trials == 100
+        assert 0 <= outcome.successes <= 100
+        assert outcome.attribute_success_rate("Category") == outcome.success_rate
+        assert outcome.satisfies_alpha(1.0)
+
+    def test_evaluate_without_samples_rejected(self, skewed_table):
+        with pytest.raises(ReproError):
+            evaluate_attack(FrequencyAttack(), [], skewed_table, skewed_table)
+
+    def test_attack_sample_dataclass(self):
+        sample = AttackSample(attribute="A", ciphertext_value="c", true_value="p")
+        assert sample.attribute == "A"

@@ -1,0 +1,134 @@
+"""Tests for the benchmark harness, sweeps, and reporting (tiny scales)."""
+
+import pytest
+
+from repro.bench.harness import (
+    approximate_megabytes,
+    dataset_by_name,
+    measure_baselines,
+    run_f2,
+    time_tane,
+)
+from repro.bench.reporting import format_table, write_csv
+from repro.bench.sweeps import (
+    fig6_time_vs_alpha,
+    fig7_time_vs_size,
+    fig9_overhead,
+    fig10_discovery_overhead,
+    sec54_local_vs_outsourcing,
+    security_attack_evaluation,
+    table1_dataset_description,
+)
+from repro.exceptions import DatasetError
+
+
+class TestHarness:
+    def test_dataset_by_name(self):
+        for name, attributes in (("orders", 9), ("customer", 21), ("synthetic", 7)):
+            relation = dataset_by_name(name, 60)
+            assert relation.num_attributes == attributes
+            assert relation.num_rows == 60
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            dataset_by_name("lineitem", 10)
+
+    def test_run_f2_returns_encrypted_table(self):
+        relation = dataset_by_name("synthetic", 80)
+        encrypted = run_f2(relation, alpha=0.5, seed=1)
+        assert encrypted.num_rows >= 80
+        assert encrypted.config.alpha == 0.5
+
+    def test_run_f2_accepts_config_overrides(self):
+        relation = dataset_by_name("synthetic", 60)
+        encrypted = run_f2(relation, alpha=0.5, eliminate_false_positives=False)
+        assert encrypted.stats.rows_added_false_positive == 0
+
+    def test_time_tane(self):
+        result = time_tane(dataset_by_name("synthetic", 60), max_lhs_size=2)
+        assert result.elapsed_seconds >= 0
+
+    def test_measure_baselines_orders_paillier_slowest(self):
+        relation = dataset_by_name("orders", 40)
+        timings = measure_baselines(relation, alpha=0.5, paillier_bits=160, paillier_cell_limit=40)
+        assert timings.cells == 40 * 9
+        assert timings.paillier_seconds > 0
+        assert timings.f2_seconds > 0
+        assert timings.aes_seconds > 0
+
+    def test_approximate_megabytes_positive(self):
+        assert approximate_megabytes(dataset_by_name("orders", 30)) > 0
+
+
+class TestSweeps:
+    def test_table1(self):
+        rows = table1_dataset_description(sizes={"orders": 50, "synthetic": 50})
+        assert {row["dataset"] for row in rows} == {"orders", "synthetic"}
+        for row in rows:
+            assert row["tuples"] == 50
+
+    def test_fig6_rows_have_step_columns(self):
+        rows = fig6_time_vs_alpha(dataset="synthetic", num_rows=60, alphas=(0.5, 0.25))
+        assert len(rows) == 2
+        for row in rows:
+            assert {"MAX_seconds", "SSE_seconds", "SYN_seconds", "FP_seconds"} <= set(row)
+
+    def test_fig7_sizes_reported(self):
+        rows = fig7_time_vs_size(dataset="synthetic", sizes=(40, 80), alpha=0.5)
+        assert [row["rows"] for row in rows] == [40, 80]
+
+    def test_fig9_alpha_and_size_sweeps(self):
+        rows = fig9_overhead(
+            dataset="customer", num_rows=60, alphas=(0.5,), sizes=(40,), alpha_for_sizes=0.5
+        )
+        sweeps = {row["sweep"] for row in rows}
+        assert sweeps == {"alpha", "size"}
+
+    def test_fig9_empty_alpha_skips_alpha_sweep(self):
+        rows = fig9_overhead(dataset="customer", num_rows=60, alphas=(), sizes=(40,))
+        assert {row["sweep"] for row in rows} == {"size"}
+
+    def test_fig10_overhead_fields(self):
+        rows = fig10_discovery_overhead(
+            dataset="synthetic", num_rows=60, alphas=(0.5,), max_lhs_size=2
+        )
+        assert rows[0]["fds_plaintext"] >= 0
+        assert "time_overhead" in rows[0]
+
+    def test_sec54_fields(self):
+        rows = sec54_local_vs_outsourcing(dataset="synthetic", sizes=(40,), alpha=0.5)
+        assert rows[0]["local_fd_discovery_seconds"] >= 0
+        assert rows[0]["f2_encryption_seconds"] > 0
+
+    def test_security_attack_evaluation_rows(self):
+        rows = security_attack_evaluation(
+            dataset="orders", num_rows=80, alphas=(0.5,), trials=50
+        )
+        schemes = {row["scheme"] for row in rows}
+        assert schemes == {"deterministic", "f2"}
+        for row in rows:
+            assert 0.0 <= row["success_rate"] <= 1.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z", "c": 3.5}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "c" in lines[1]
+        assert len(lines) == 2 + 1 + len(rows)
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_format_table_float_formatting(self):
+        text = format_table([{"x": 0.123456}])
+        assert "0.1235" in text
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y", "c": 3}]
+        path = write_csv(rows, tmp_path / "out" / "results.csv")
+        content = path.read_text().splitlines()
+        assert content[0] == "a,b,c"
+        assert len(content) == 3

@@ -1,0 +1,99 @@
+"""Tests for the f2-repro command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.fd import tane
+from repro.fd.verify import fds_equivalent
+from repro.relational.csvio import read_csv, write_csv
+from repro.datasets import generate_fd_table
+
+
+@pytest.fixture
+def plaintext_csv(tmp_path):
+    path = tmp_path / "addresses.csv"
+    write_csv(generate_fd_table(60, num_zipcodes=6, seed=1), path)
+    return path
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("encrypt", "discover", "attack", "bench", "dataset"):
+            args = {
+                "encrypt": ["encrypt", "in.csv", "out.csv"],
+                "discover": ["discover", "in.csv"],
+                "attack": ["attack"],
+                "bench": ["bench", "table1"],
+                "dataset": ["dataset", "orders", "out.csv"],
+            }[command]
+            assert parser.parse_args(args).command == command
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestEncryptCommand:
+    def test_encrypt_writes_ciphertext_and_summary(self, plaintext_csv, tmp_path, capsys):
+        output = tmp_path / "encrypted.csv"
+        summary = tmp_path / "summary.json"
+        exit_code = main(
+            [
+                "encrypt",
+                str(plaintext_csv),
+                str(output),
+                "--alpha",
+                "0.5",
+                "--key-seed",
+                "7",
+                "--summary",
+                str(summary),
+            ]
+        )
+        assert exit_code == 0
+        assert output.exists()
+        description = json.loads(summary.read_text())
+        assert description["original_rows"] == 60
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["original_rows"] == 60
+
+    def test_encrypted_output_preserves_fds(self, plaintext_csv, tmp_path, capsys):
+        output = tmp_path / "encrypted.csv"
+        main(["encrypt", str(plaintext_csv), str(output), "--alpha", "0.5", "--key-seed", "3"])
+        capsys.readouterr()
+        plaintext = read_csv(plaintext_csv)
+        ciphertext = read_csv(output)
+        assert fds_equivalent(tane(plaintext, max_lhs_size=2), tane(ciphertext, max_lhs_size=2))
+
+
+class TestDiscoverCommand:
+    def test_discover_prints_fds(self, plaintext_csv, capsys):
+        exit_code = main(["discover", str(plaintext_csv), "--max-lhs", "2"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "->" in output
+        assert "Zipcode" in output
+
+
+class TestDatasetCommand:
+    @pytest.mark.parametrize("name,attributes", [("orders", 9), ("customer", 21), ("synthetic", 7)])
+    def test_dataset_generation(self, tmp_path, capsys, name, attributes):
+        output = tmp_path / f"{name}.csv"
+        exit_code = main(["dataset", name, str(output), "--rows", "40"])
+        assert exit_code == 0
+        relation = read_csv(output)
+        assert relation.num_rows == 40
+        assert relation.num_attributes == attributes
+        assert "wrote 40 rows" in capsys.readouterr().out
+
+
+class TestAttackCommand:
+    def test_attack_prints_table(self, capsys):
+        exit_code = main(["attack", "--dataset", "orders", "--rows", "120", "--trials", "60"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "deterministic" in output
+        assert "f2" in output

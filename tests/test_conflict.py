@@ -1,0 +1,170 @@
+"""Tests for row assembly and Step 3: conflict resolution."""
+
+import pytest
+
+from repro.core.conflict import (
+    MasPlan,
+    assemble_row_plans,
+    count_overlapping_pairs,
+    validate_assembly,
+)
+from repro.core.config import F2Config
+from repro.core.ecg import build_equivalence_class_groups
+from repro.core.plan import FreshValueFactory, InstanceCell
+from repro.core.split_scale import build_ecg_plan
+from repro.exceptions import EncryptionError
+from repro.fd.mas import find_maximal_attribute_sets
+from repro.relational.partition import Partition
+from repro.relational.table import Relation
+
+
+def build_mas_plans(relation: Relation, config: F2Config, factory: FreshValueFactory):
+    """Run Steps 1-2 the way the scheme does, returning the per-MAS plans."""
+    plans = []
+    for index, mas in enumerate(find_maximal_attribute_sets(relation)):
+        partition = Partition.build(relation, mas.attributes)
+        grouping = build_equivalence_class_groups(partition, config.group_size, factory)
+        plan = MasPlan(index=index, mas=mas, grouping=grouping)
+        for group in grouping.groups:
+            plan.ecg_plans.append(
+                build_ecg_plan(
+                    group,
+                    config.split_factor,
+                    keep_pairs_together=config.keep_pairs_together,
+                    namespace=f"mas{index}",
+                )
+            )
+        plans.append(plan)
+    return plans
+
+
+@pytest.fixture
+def factory() -> FreshValueFactory:
+    return FreshValueFactory(seed=3)
+
+
+class TestAssemblySingleMas:
+    def test_every_original_row_represented(self, paper_figure1_table, factory):
+        config = F2Config(alpha=0.5)
+        plans = build_mas_plans(paper_figure1_table, config, factory)
+        result = assemble_row_plans(paper_figure1_table, plans, factory)
+        validate_assembly(result, paper_figure1_table)
+
+    def test_no_conflicts_with_single_mas(self, paper_figure1_table, factory):
+        config = F2Config(alpha=0.5)
+        plans = build_mas_plans(paper_figure1_table, config, factory)
+        result = assemble_row_plans(paper_figure1_table, plans, factory)
+        assert result.conflicting_tuples == 0
+        assert result.conflict_rows_added == 0
+
+    def test_rows_of_same_instance_share_cells(self, paper_figure1_table, factory):
+        config = F2Config(alpha=0.5)
+        plans = build_mas_plans(paper_figure1_table, config, factory)
+        result = assemble_row_plans(paper_figure1_table, plans, factory)
+        # Collect the instance cell of attribute A for every original row; rows
+        # assigned to the same variant must carry identical specs.
+        by_variant = {}
+        for plan in result.row_plans:
+            if plan.provenance.kind != "original":
+                continue
+            cell = plan.cells["A"]
+            if isinstance(cell, InstanceCell):
+                by_variant.setdefault(cell.variant, set()).add(cell.value)
+        for values in by_variant.values():
+            assert len(values) == 1
+
+    def test_scaling_rows_counted(self, factory):
+        # Classes of sizes 1 and 5 in one group force scaling copies.
+        relation = Relation(
+            ["A", "B"],
+            [["a1", "b1"]] * 5 + [["a2", "b2"]],
+        )
+        config = F2Config(alpha=0.5, split_factor=1)
+        plans = build_mas_plans(relation, config, factory)
+        result = assemble_row_plans(relation, plans, factory)
+        scaling_rows = [p for p in result.row_plans if p.provenance.kind == "scaling"]
+        assert len(scaling_rows) == result.scaling_rows_added
+        assert result.scaling_rows_added > 0
+
+    def test_scaling_rows_have_fresh_values_outside_mas(self, factory):
+        relation = Relation(
+            ["A", "B", "C"],
+            [["a1", "b1", "c1"], ["a1", "b1", "c2"], ["a2", "b2", "c3"], ["a1", "b1", "c4"]],
+        )
+        config = F2Config(alpha=0.5, split_factor=1)
+        plans = build_mas_plans(relation, config, factory)
+        result = assemble_row_plans(relation, plans, factory)
+        mas_attributes = set(plans[0].attributes)
+        for plan in result.row_plans:
+            if plan.provenance.kind != "scaling":
+                continue
+            for attribute, cell in plan.cells.items():
+                if attribute not in mas_attributes:
+                    assert type(cell).__name__ == "FreshCell"
+
+
+class TestAssemblyMultiMas:
+    def test_figure3_conflicts_detected_and_resolved(self, paper_figure3_table, factory):
+        config = F2Config(alpha=0.5)
+        plans = build_mas_plans(paper_figure3_table, config, factory)
+        assert count_overlapping_pairs(plans) == 1
+        result = assemble_row_plans(paper_figure3_table, plans, factory)
+        validate_assembly(result, paper_figure3_table)
+        assert result.conflicting_tuples > 0
+        # Each conflicting tuple is replaced by two rows (one extra row each).
+        assert result.conflict_rows_added == result.conflicting_tuples
+
+    def test_conflict_rows_cover_schema_between_them(self, paper_figure3_table, factory):
+        config = F2Config(alpha=0.5)
+        plans = build_mas_plans(paper_figure3_table, config, factory)
+        result = assemble_row_plans(paper_figure3_table, plans, factory)
+        schema = set(paper_figure3_table.attributes)
+        by_source = {}
+        for plan in result.row_plans:
+            if plan.provenance.kind == "conflict":
+                by_source.setdefault(plan.provenance.source_row, set()).update(
+                    plan.provenance.authentic_attributes
+                )
+        for covered in by_source.values():
+            assert covered == schema
+
+    def test_resolution_disabled_keeps_single_row_per_tuple(self, paper_figure3_table, factory):
+        config = F2Config(alpha=0.5, resolve_conflicts=False)
+        plans = build_mas_plans(paper_figure3_table, config, factory)
+        result = assemble_row_plans(
+            paper_figure3_table, plans, factory, resolve_conflicts=False
+        )
+        original_like = [
+            p for p in result.row_plans if p.provenance.kind in {"original", "conflict"}
+        ]
+        assert len(original_like) == paper_figure3_table.num_rows
+
+    def test_conflict_bound_theorem_3_3(self, paper_figure3_table, factory):
+        """Rows added by conflict resolution never exceed h * n (Theorem 3.3)."""
+        config = F2Config(alpha=0.5)
+        plans = build_mas_plans(paper_figure3_table, config, factory)
+        overlapping_pairs = count_overlapping_pairs(plans)
+        result = assemble_row_plans(paper_figure3_table, plans, factory)
+        assert result.conflict_rows_added <= overlapping_pairs * paper_figure3_table.num_rows
+
+
+class TestValidation:
+    def test_missing_row_detected(self, paper_figure1_table, factory):
+        config = F2Config(alpha=0.5)
+        plans = build_mas_plans(paper_figure1_table, config, factory)
+        result = assemble_row_plans(paper_figure1_table, plans, factory)
+        result.row_plans = [
+            plan
+            for plan in result.row_plans
+            if not (plan.provenance.kind == "original" and plan.provenance.source_row == 0)
+        ]
+        with pytest.raises(EncryptionError):
+            validate_assembly(result, paper_figure1_table)
+
+    def test_missing_cell_detected(self, paper_figure1_table, factory):
+        config = F2Config(alpha=0.5)
+        plans = build_mas_plans(paper_figure1_table, config, factory)
+        result = assemble_row_plans(paper_figure1_table, plans, factory)
+        del result.row_plans[0].cells["A"]
+        with pytest.raises(EncryptionError):
+            validate_assembly(result, paper_figure1_table)

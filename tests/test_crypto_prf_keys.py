@@ -1,0 +1,90 @@
+"""Tests for the PRF and key-generation primitives."""
+
+import pytest
+
+from repro.crypto.keys import KeyGen, SymmetricKey
+from repro.crypto.prf import Prf, xor_bytes
+
+
+class TestPrf:
+    def test_deterministic_for_same_inputs(self):
+        prf = Prf(b"secret-key")
+        assert prf.evaluate(b"message", 32) == prf.evaluate(b"message", 32)
+
+    def test_different_messages_differ(self):
+        prf = Prf(b"secret-key")
+        assert prf.evaluate(b"m1", 32) != prf.evaluate(b"m2", 32)
+
+    def test_different_keys_differ(self):
+        assert Prf(b"key-1").evaluate(b"m", 32) != Prf(b"key-2").evaluate(b"m", 32)
+
+    def test_output_length_respected(self):
+        prf = Prf(b"k")
+        for length in (0, 1, 16, 32, 33, 100):
+            assert len(prf.evaluate(b"m", length)) == length
+
+    def test_long_output_extends_prefix(self):
+        prf = Prf(b"k")
+        assert prf.evaluate(b"m", 64)[:32] == prf.evaluate(b"m", 32)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            Prf(b"k").evaluate(b"m", -1)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            Prf(b"")
+
+    def test_evaluate_int_bit_width(self):
+        prf = Prf(b"k")
+        for bits in (1, 7, 8, 16, 31):
+            assert prf.evaluate_int(b"m", bits) < 2**bits
+
+
+class TestXorBytes:
+    def test_xor_roundtrip(self):
+        first, second = b"abcdef", b"zyxwvu"
+        assert xor_bytes(xor_bytes(first, second), second) == first
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"ab", b"abc")
+
+
+class TestKeyGen:
+    def test_symmetric_key_length(self):
+        assert KeyGen.symmetric(128).bits == 128
+        assert KeyGen.symmetric(256).bits == 256
+
+    def test_symmetric_keys_are_random(self):
+        assert KeyGen.symmetric().material != KeyGen.symmetric().material
+
+    def test_small_security_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            KeyGen.symmetric(32)
+
+    def test_seeded_key_is_deterministic(self):
+        assert KeyGen.symmetric_from_seed(7).material == KeyGen.symmetric_from_seed(7).material
+
+    def test_seeded_keys_differ_across_seeds(self):
+        assert KeyGen.symmetric_from_seed(1).material != KeyGen.symmetric_from_seed(2).material
+
+    def test_seed_types(self):
+        assert KeyGen.symmetric_from_seed("alpha").bits == 128
+        assert KeyGen.symmetric_from_seed(b"raw-bytes").bits == 128
+        assert KeyGen.symmetric_from_seed(-5).bits == 128
+
+    def test_seeded_key_length_extension(self):
+        assert KeyGen.symmetric_from_seed(3, security_parameter=512).bits == 512
+
+    def test_empty_key_material_rejected(self):
+        with pytest.raises(ValueError):
+            SymmetricKey(b"")
+
+    def test_subkeys_differ_by_label(self):
+        key = KeyGen.symmetric_from_seed(9)
+        assert key.subkey("a").material != key.subkey("b").material
+
+    def test_subkeys_deterministic(self):
+        key = KeyGen.symmetric_from_seed(9)
+        assert key.subkey("label").material == key.subkey("label").material

@@ -1,0 +1,69 @@
+"""Unit tests for CSV import/export."""
+
+import io
+
+import pytest
+
+from repro.exceptions import RelationError
+from repro.relational.csvio import read_csv, write_csv
+from repro.relational.table import Relation
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation(["A", "B"], [["x", "1"], ["y", "2"]], name="csv-test")
+
+
+class TestRoundTrip:
+    def test_roundtrip_via_path(self, relation, tmp_path):
+        path = tmp_path / "table.csv"
+        write_csv(relation, path)
+        loaded = read_csv(path)
+        assert loaded.attributes == relation.attributes
+        assert list(loaded.rows()) == list(relation.rows())
+
+    def test_roundtrip_via_handles(self, relation):
+        buffer = io.StringIO()
+        write_csv(relation, buffer)
+        buffer.seek(0)
+        loaded = read_csv(buffer)
+        assert list(loaded.rows()) == list(relation.rows())
+
+    def test_name_defaults_to_stem(self, relation, tmp_path):
+        path = tmp_path / "orders_table.csv"
+        write_csv(relation, path)
+        assert read_csv(path).name == "orders_table"
+
+    def test_explicit_name(self, relation, tmp_path):
+        path = tmp_path / "x.csv"
+        write_csv(relation, path)
+        assert read_csv(path, name="custom").name == "custom"
+
+    def test_write_creates_parent_directories(self, relation, tmp_path):
+        path = tmp_path / "nested" / "deeper" / "table.csv"
+        write_csv(relation, path)
+        assert path.exists()
+
+
+class TestErrorHandling:
+    def test_empty_file_raises(self):
+        with pytest.raises(RelationError):
+            read_csv(io.StringIO(""))
+
+    def test_ragged_row_raises(self):
+        with pytest.raises(RelationError):
+            read_csv(io.StringIO("A,B\n1,2\n3\n"))
+
+    def test_blank_lines_are_skipped(self):
+        loaded = read_csv(io.StringIO("A,B\n1,2\n\n3,4\n"))
+        assert loaded.num_rows == 2
+
+    def test_header_whitespace_stripped(self):
+        loaded = read_csv(io.StringIO(" A , B \n1,2\n"))
+        assert loaded.attributes == ("A", "B")
+
+    def test_values_with_commas_survive_roundtrip(self, tmp_path):
+        relation = Relation(["A"], [["hello, world"]])
+        path = tmp_path / "quoted.csv"
+        write_csv(relation, path)
+        assert read_csv(path).value(0, "A") == "hello, world"

@@ -1,0 +1,133 @@
+"""Tests for Step 2.1: equivalence-class grouping (ECGs)."""
+
+import pytest
+
+from repro.core.ecg import EcgMember, build_equivalence_class_groups
+from repro.core.plan import FreshValueFactory
+from repro.exceptions import EncryptionError
+from repro.relational.partition import Partition
+from repro.relational.table import Relation
+
+
+@pytest.fixture
+def factory() -> FreshValueFactory:
+    return FreshValueFactory(seed=1)
+
+
+def partition_of(rows, attributes=("A", "B")):
+    relation = Relation(list(attributes), rows)
+    return Partition.build(relation, attributes)
+
+
+class TestGroupingInvariants:
+    def test_every_group_reaches_required_size(self, paper_figure4_table, factory):
+        partition = Partition.build(paper_figure4_table, ["A", "B"])
+        result = build_equivalence_class_groups(partition, group_size=3, fresh_factory=factory)
+        assert all(len(group.members) >= 3 for group in result.groups)
+
+    def test_groups_are_collision_free(self, paper_figure4_table, factory):
+        partition = Partition.build(paper_figure4_table, ["A", "B"])
+        result = build_equivalence_class_groups(partition, group_size=3, fresh_factory=factory)
+        assert all(group.is_collision_free() for group in result.groups)
+
+    def test_every_real_class_assigned_exactly_once(self, zipcode_table, factory):
+        partition = Partition.build(zipcode_table, ["Zipcode", "City"])
+        result = build_equivalence_class_groups(partition, group_size=2, fresh_factory=factory)
+        assigned = [
+            member.representative
+            for group in result.groups
+            for member in group.members
+            if not member.is_fake
+        ]
+        expected = [ec.representative for ec in partition.classes]
+        assert sorted(map(str, assigned)) == sorted(map(str, expected))
+
+    def test_fake_members_fill_small_groups(self, factory):
+        # Two colliding classes (same value on A) can never share a group, so
+        # with k=2 each group needs one fake member.
+        partition = partition_of([["a1", "b1"], ["a1", "b1"], ["a1", "b2"], ["a1", "b2"]])
+        result = build_equivalence_class_groups(partition, group_size=2, fresh_factory=factory)
+        assert result.fake_ec_count >= 2
+        assert all(len(group.members) == 2 for group in result.groups)
+
+    def test_fake_member_size_is_group_minimum(self, factory):
+        partition = partition_of(
+            [["a1", "b1"]] * 4 + [["a1", "b2"]] * 2
+        )
+        result = build_equivalence_class_groups(partition, group_size=2, fresh_factory=factory)
+        for group in result.groups:
+            real_sizes = [member.size for member in group.members if not member.is_fake]
+            for member in group.members:
+                if member.is_fake:
+                    assert member.size == min(real_sizes)
+
+    def test_grouping_prefers_similar_sizes(self, factory):
+        # Classes of sizes 1,1,5,5 with no collisions: expect {1,1} and {5,5}.
+        rows = (
+            [["a1", "b1"]] * 5
+            + [["a2", "b2"]] * 5
+            + [["a3", "b3"]]
+            + [["a4", "b4"]]
+        )
+        partition = partition_of(rows)
+        result = build_equivalence_class_groups(partition, group_size=2, fresh_factory=factory)
+        size_sets = sorted(sorted(group.sizes) for group in result.groups)
+        assert size_sets == [[1, 1], [5, 5]]
+
+    def test_group_size_one_never_adds_fakes(self, zipcode_table, factory):
+        partition = Partition.build(zipcode_table, ["Zipcode", "City"])
+        result = build_equivalence_class_groups(partition, group_size=1, fresh_factory=factory)
+        assert result.fake_ec_count == 0
+
+    def test_invalid_group_size_rejected(self, paper_figure4_table, factory):
+        partition = Partition.build(paper_figure4_table, ["A", "B"])
+        with pytest.raises(EncryptionError):
+            build_equivalence_class_groups(partition, group_size=0, fresh_factory=factory)
+
+    def test_fake_rows_added_counter_matches_sizes(self, factory):
+        partition = partition_of([["a1", "b1"], ["a1", "b1"], ["a1", "b2"], ["a1", "b2"]])
+        result = build_equivalence_class_groups(partition, group_size=3, fresh_factory=factory)
+        total_fake_rows = sum(
+            member.size for group in result.groups for member in group.members if member.is_fake
+        )
+        assert result.fake_rows_added == total_fake_rows
+
+
+class TestPaperExample:
+    def test_figure2_grouping(self, factory):
+        """Figure 2: five ECs of sizes 5,4,3,2,2 over MAS {A,B} with alpha=1/3.
+
+        The paper groups them as {C1, C3, fake} and {C2, C4, C5} because C1/C2
+        share a1, C2/C3 share b2, and C3/C4 share a2.
+        """
+        rows = (
+            [["a1", "b1"]] * 5
+            + [["a1", "b2"]] * 4
+            + [["a2", "b2"]] * 3
+            + [["a2", "b1"]] * 2
+            + [["a3", "b3"]] * 2
+        )
+        partition = partition_of(rows)
+        result = build_equivalence_class_groups(partition, group_size=3, fresh_factory=factory)
+        assert len(result.groups) == 2
+        assert all(len(group.members) == 3 for group in result.groups)
+        assert all(group.is_collision_free() for group in result.groups)
+        # Exactly one fake EC is needed (the paper's C6).
+        assert result.fake_ec_count == 1
+
+
+class TestEcgMember:
+    def test_collision_on_any_attribute(self):
+        first = EcgMember(representative=("x", "y"), rows=(0,))
+        second = EcgMember(representative=("x", "z"), rows=(1,))
+        third = EcgMember(representative=("p", "q"), rows=(2,))
+        assert first.collides_with(second)
+        assert not first.collides_with(third)
+
+    def test_fake_member_size(self):
+        fake = EcgMember(representative=("t1", "t2"), rows=(), is_fake=True, fake_size=7)
+        assert fake.size == 7
+
+    def test_real_member_size(self):
+        real = EcgMember(representative=("x", "y"), rows=(3, 4, 5))
+        assert real.size == 3

@@ -1,0 +1,89 @@
+"""Tests for the EncryptedTable artifact and its owner-side metadata."""
+
+import pytest
+
+from repro.core.config import F2Config
+from repro.core.encrypted import EncryptedTable, RowProvenance
+from repro.core.stats import EncryptionStats
+from repro.exceptions import DecryptionError
+from repro.relational.table import Relation
+
+
+def make_encrypted(num_rows=3, kinds=("original", "scaling", "false_positive")) -> EncryptedTable:
+    relation = Relation(["A"], [[f"cipher-{index}"] for index in range(num_rows)])
+    provenance = [
+        RowProvenance(
+            kind=kinds[index % len(kinds)],
+            source_row=index if kinds[index % len(kinds)] in {"original", "conflict"} else None,
+            authentic_attributes=frozenset({"A"})
+            if kinds[index % len(kinds)] in {"original", "conflict"}
+            else frozenset(),
+        )
+        for index in range(num_rows)
+    ]
+    stats = EncryptionStats(rows_original=sum(1 for p in provenance if p.kind == "original"))
+    return EncryptedTable(
+        relation=relation, provenance=provenance, config=F2Config(), stats=stats
+    )
+
+
+class TestRowProvenance:
+    def test_artificial_kinds(self):
+        assert RowProvenance("scaling", None, frozenset()).is_artificial
+        assert RowProvenance("fake_ec", None, frozenset()).is_artificial
+        assert RowProvenance("false_positive", None, frozenset()).is_artificial
+        assert RowProvenance("repair", None, frozenset()).is_artificial
+        assert not RowProvenance("original", 0, frozenset({"A"})).is_artificial
+        assert not RowProvenance("conflict", 0, frozenset({"A"})).is_artificial
+
+
+class TestEncryptedTable:
+    def test_provenance_length_mismatch_rejected(self):
+        relation = Relation(["A"], [["x"], ["y"]])
+        with pytest.raises(DecryptionError):
+            EncryptedTable(
+                relation=relation,
+                provenance=[RowProvenance("original", 0, frozenset({"A"}))],
+                config=F2Config(),
+                stats=EncryptionStats(rows_original=2),
+            )
+
+    def test_server_view_is_a_copy(self):
+        encrypted = make_encrypted()
+        view = encrypted.server_view()
+        view.append(["extra"])
+        assert encrypted.num_rows == 3
+
+    def test_artificial_row_indexes(self):
+        encrypted = make_encrypted(6)
+        artificial = encrypted.artificial_row_indexes()
+        assert all(encrypted.provenance[index].is_artificial for index in artificial)
+        assert len(artificial) == 4
+
+    def test_original_row_groups(self):
+        encrypted = make_encrypted(6)
+        groups = encrypted.original_row_groups()
+        assert set(groups) == {0, 3}
+
+    def test_artificial_fraction(self):
+        encrypted = make_encrypted(6)
+        assert encrypted.artificial_fraction() == pytest.approx(4 / 6)
+
+    def test_rows_by_kind(self):
+        encrypted = make_encrypted(6)
+        counts = encrypted.rows_by_kind()
+        assert counts["original"] == 2
+        assert counts["scaling"] == 2
+        assert counts["false_positive"] == 2
+
+    def test_describe_fields(self, seeded_scheme, zipcode_table):
+        encrypted = seeded_scheme.encrypt(zipcode_table)
+        description = encrypted.describe()
+        assert description["original_rows"] == zipcode_table.num_rows
+        assert description["ciphertext_rows"] == encrypted.num_rows
+        assert description["attributes"] == zipcode_table.num_attributes
+        assert description["masses"]
+
+    def test_artificial_fraction_empty(self):
+        encrypted = make_encrypted(3)
+        assert 0 <= encrypted.artificial_fraction() <= 1

@@ -1,0 +1,41 @@
+"""Smoke tests that run every example script end to end (small sizes)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "completed successfully" in result.stdout
+
+    def test_outsourced_fd_discovery(self):
+        result = run_example("outsourced_fd_discovery.py", "300")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "returned FDs match the plaintext FDs: True" in result.stdout
+
+    def test_attack_resistance(self):
+        result = run_example("attack_resistance.py", "300")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "completed successfully" in result.stdout
+
+    def test_data_cleaning_service(self):
+        result = run_example("data_cleaning_service.py", "250")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "completed successfully" in result.stdout

@@ -1,0 +1,147 @@
+"""Tests for Step 4: false-positive FD elimination."""
+
+import pytest
+
+from repro.core.config import F2Config
+from repro.core.false_positive import build_violation_pairs, eliminate_false_positives
+from repro.core.plan import FreshValueFactory
+from repro.core.scheme import F2Scheme
+from repro.crypto.keys import KeyGen
+from repro.fd.fd import FunctionalDependency
+from repro.fd.tane import tane
+from repro.fd.verify import violating_row_pairs
+from repro.relational.table import Relation
+
+from tests.test_conflict import build_mas_plans
+
+
+@pytest.fixture
+def factory() -> FreshValueFactory:
+    return FreshValueFactory(seed=5)
+
+
+class TestEliminationOnFigure4:
+    """The paper's Example 3.1 / Figure 4: A -> B must not appear in the output."""
+
+    def test_nodes_triggered(self, paper_figure4_table, factory):
+        config = F2Config(alpha=1 / 3)
+        plans = build_mas_plans(paper_figure4_table, config, factory)
+        result = eliminate_false_positives(
+            paper_figure4_table, plans, config.group_size, factory
+        )
+        triggered = {str(node) for _, node in result.triggered_nodes}
+        assert "{A}:B" in triggered
+
+    def test_k_pairs_inserted_per_node(self, paper_figure4_table, factory):
+        config = F2Config(alpha=1 / 3)
+        plans = build_mas_plans(paper_figure4_table, config, factory)
+        result = eliminate_false_positives(
+            paper_figure4_table, plans, config.group_size, factory
+        )
+        # Figure 4 (c): alpha = 1/3 means k = 3 pairs = 6 records per node.
+        assert result.rows_added == result.num_triggered * 2 * config.group_size
+
+    def test_without_step4_false_positive_appears(self, paper_figure4_table):
+        config = F2Config(alpha=1 / 3, eliminate_false_positives=False, seed=1)
+        scheme = F2Scheme(key=KeyGen.symmetric_from_seed(0), config=config)
+        encrypted = scheme.encrypt(paper_figure4_table)
+        cipher_fds = tane(encrypted.server_view())
+        assert cipher_fds.implies(FunctionalDependency(["A"], "B"))
+
+    def test_with_step4_false_positive_removed(self, paper_figure4_table):
+        config = F2Config(alpha=1 / 3, seed=1)
+        scheme = F2Scheme(key=KeyGen.symmetric_from_seed(0), config=config)
+        encrypted = scheme.encrypt(paper_figure4_table)
+        cipher_fds = tane(encrypted.server_view())
+        # A -> B does not hold in D and must not hold in the ciphertext either;
+        # B -> A *does* hold in D (every B value maps to a single A value) and
+        # must survive.
+        assert not cipher_fds.implies(FunctionalDependency(["A"], "B"))
+        assert cipher_fds.implies(FunctionalDependency(["B"], "A"))
+
+
+class TestEliminationGeneral:
+    def test_no_insertion_when_fd_holds(self, paper_figure1_table, factory):
+        """Figure 1: A -> B holds, so the node {A}:B must not trigger."""
+        config = F2Config(alpha=0.5)
+        plans = build_mas_plans(paper_figure1_table, config, factory)
+        result = eliminate_false_positives(
+            paper_figure1_table, plans, config.group_size, factory
+        )
+        triggered = {str(node) for _, node in result.triggered_nodes}
+        assert "{A}:B" not in triggered
+        assert "{B}:A" not in triggered
+
+    def test_descendants_of_triggered_nodes_are_skipped(self, factory):
+        # B -> C and A -> C are both violated; the top node {A,B}:C already
+        # covers them, so only the maximal node triggers.
+        relation = Relation(
+            ["A", "B", "C"],
+            [
+                ["a1", "b1", "c1"],
+                ["a1", "b1", "c2"],
+                ["a1", "b1", "c1"],
+                ["a2", "b2", "c3"],
+                ["a2", "b2", "c3"],
+            ],
+        )
+        config = F2Config(alpha=0.5)
+        plans = build_mas_plans(relation, config, factory)
+        result = eliminate_false_positives(relation, plans, config.group_size, factory)
+        triggered = [str(node) for attrs, node in result.triggered_nodes]
+        assert "{A, B}:C" in triggered
+        assert "{A}:C" not in triggered and "{B}:C" not in triggered
+
+    def test_single_attribute_mas_adds_nothing(self, factory):
+        relation = Relation(["A", "B"], [["a1", "b1"], ["a1", "b2"], ["a2", "b3"]])
+        config = F2Config(alpha=0.5)
+        plans = build_mas_plans(relation, config, factory)
+        single_attribute_plans = [plan for plan in plans if len(plan.attributes) == 1]
+        result = eliminate_false_positives(
+            relation, single_attribute_plans, config.group_size, factory
+        )
+        assert result.rows_added == 0
+
+    def test_artificial_records_have_frequency_one_outside_shared_pattern(
+        self, paper_figure4_table, factory
+    ):
+        config = F2Config(alpha=0.5)
+        plans = build_mas_plans(paper_figure4_table, config, factory)
+        result = eliminate_false_positives(
+            paper_figure4_table, plans, config.group_size, factory
+        )
+        tokens = [
+            cell.token
+            for plan in result.row_plans
+            for cell in plan.cells.values()
+        ]
+        # Every token appears at most twice (shared within one pair only).
+        from collections import Counter
+
+        assert max(Counter(tokens).values()) <= 2
+
+
+class TestViolationPairs:
+    def test_pairs_mimic_agreement_pattern(self, zipcode_table, factory):
+        fd = FunctionalDependency(["City"], "Zipcode")
+        witnesses = violating_row_pairs(zipcode_table, fd, limit=2)
+        assert witnesses
+        pairs = build_violation_pairs(zipcode_table, witnesses, group_size=2, fresh_factory=factory)
+        assert len(pairs) == 4  # 2 pairs of 2 records
+        first, second = pairs[0], pairs[1]
+        template_first, template_second = witnesses[0]
+        for attribute in zipcode_table.attributes:
+            same_in_template = zipcode_table.value(template_first, attribute) == zipcode_table.value(
+                template_second, attribute
+            )
+            same_in_artificial = first.cells[attribute] == second.cells[attribute]
+            assert same_in_template == same_in_artificial
+
+    def test_no_witnesses_no_pairs(self, zipcode_table, factory):
+        assert build_violation_pairs(zipcode_table, [], group_size=3, fresh_factory=factory) == []
+
+    def test_provenance_kind(self, zipcode_table, factory):
+        fd = FunctionalDependency(["City"], "Zipcode")
+        witnesses = violating_row_pairs(zipcode_table, fd, limit=1)
+        pairs = build_violation_pairs(zipcode_table, witnesses, group_size=1, fresh_factory=factory)
+        assert all(plan.provenance.kind == "false_positive" for plan in pairs)

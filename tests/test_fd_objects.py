@@ -1,0 +1,140 @@
+"""Unit tests for FD objects and FD-set algebra."""
+
+import pytest
+
+from repro.exceptions import DiscoveryError
+from repro.fd.fd import FDSet, FunctionalDependency
+
+
+class TestFunctionalDependency:
+    def test_lhs_is_sorted_and_deduplicated(self):
+        fd = FunctionalDependency(["B", "A", "B"], "C")
+        assert fd.lhs == ("A", "B")
+
+    def test_trivial_fd_rejected(self):
+        with pytest.raises(DiscoveryError):
+            FunctionalDependency(["A", "B"], "A")
+
+    def test_empty_lhs_rejected(self):
+        with pytest.raises(DiscoveryError):
+            FunctionalDependency([], "A")
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(DiscoveryError):
+            FunctionalDependency(["A"], "")
+
+    def test_attributes_property(self):
+        fd = FunctionalDependency(["A", "B"], "C")
+        assert fd.attributes == frozenset({"A", "B", "C"})
+
+    def test_str_format(self):
+        assert str(FunctionalDependency(["A"], "B")) == "{A} -> B"
+
+    def test_parse_comma_separated(self):
+        fd = FunctionalDependency.parse("A, B -> C")
+        assert fd == FunctionalDependency(["A", "B"], "C")
+
+    def test_parse_with_braces(self):
+        fd = FunctionalDependency.parse("{Zip} -> {City}")
+        assert fd == FunctionalDependency(["Zip"], "City")
+
+    def test_parse_without_arrow_raises(self):
+        with pytest.raises(DiscoveryError):
+            FunctionalDependency.parse("A B C")
+
+    def test_hashable_and_orderable(self):
+        first = FunctionalDependency(["A"], "B")
+        second = FunctionalDependency(["A"], "C")
+        assert len({first, second, FunctionalDependency(["A"], "B")}) == 2
+        assert sorted([second, first])[0] == first
+
+
+class TestFDSet:
+    @pytest.fixture
+    def chain(self) -> FDSet:
+        return FDSet(
+            [
+                FunctionalDependency(["A"], "B"),
+                FunctionalDependency(["B"], "C"),
+            ]
+        )
+
+    def test_add_and_contains(self, chain):
+        fd = FunctionalDependency(["C"], "D")
+        chain.add(fd)
+        assert fd in chain
+        assert len(chain) == 3
+
+    def test_closure_follows_chain(self, chain):
+        assert chain.closure(["A"]) == frozenset({"A", "B", "C"})
+
+    def test_closure_of_unrelated_attribute(self, chain):
+        assert chain.closure(["C"]) == frozenset({"C"})
+
+    def test_implies_transitive_fd(self, chain):
+        assert chain.implies(FunctionalDependency(["A"], "C"))
+
+    def test_does_not_imply_reverse(self, chain):
+        assert not chain.implies(FunctionalDependency(["C"], "A"))
+
+    def test_equivalence_of_different_covers(self, chain):
+        other = FDSet(
+            [
+                FunctionalDependency(["A"], "B"),
+                FunctionalDependency(["B"], "C"),
+                FunctionalDependency(["A"], "C"),  # redundant
+            ]
+        )
+        assert chain.equivalent_to(other)
+        assert other.equivalent_to(chain)
+
+    def test_non_equivalence(self, chain):
+        other = FDSet([FunctionalDependency(["A"], "B")])
+        assert not chain.equivalent_to(other)
+
+    def test_minimal_cover_removes_redundant_fd(self):
+        fds = FDSet(
+            [
+                FunctionalDependency(["A"], "B"),
+                FunctionalDependency(["B"], "C"),
+                FunctionalDependency(["A"], "C"),
+            ]
+        )
+        cover = fds.minimal_cover()
+        assert len(cover) == 2
+        assert cover.equivalent_to(fds)
+
+    def test_minimal_cover_left_reduces(self):
+        fds = FDSet(
+            [
+                FunctionalDependency(["A"], "B"),
+                FunctionalDependency(["A", "C"], "B"),
+            ]
+        )
+        cover = fds.minimal_cover()
+        assert FunctionalDependency(["A"], "B") in cover
+        assert FunctionalDependency(["A", "C"], "B") not in cover
+
+    def test_restricted_to(self, chain):
+        restricted = chain.restricted_to(["A", "B"])
+        assert list(restricted) == [FunctionalDependency(["A"], "B")]
+
+    def test_maximal_lhs_only(self):
+        fds = FDSet(
+            [
+                FunctionalDependency(["A"], "C"),
+                FunctionalDependency(["A", "B"], "C"),
+                FunctionalDependency(["B"], "D"),
+            ]
+        )
+        maximal = fds.maximal_lhs_only()
+        assert FunctionalDependency(["A", "B"], "C") in maximal
+        assert FunctionalDependency(["A"], "C") not in maximal
+        assert FunctionalDependency(["B"], "D") in maximal
+
+    def test_iteration_is_sorted(self, chain):
+        assert list(chain) == sorted(chain.as_set())
+
+    def test_equality(self, chain):
+        assert chain == FDSet(chain.as_set())
+        assert chain != FDSet()

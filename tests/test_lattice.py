@@ -1,0 +1,70 @@
+"""Tests for the FD lattice of Section 3.4 (Figure 5)."""
+
+import pytest
+
+from repro.core.lattice import LatticeNode, top_level_nodes, walk_lattice
+
+
+class TestLatticeNode:
+    def test_level(self):
+        node = LatticeNode(lhs=frozenset({"A", "B"}), rhs="C")
+        assert node.level == 2
+
+    def test_children_shrink_lhs_keep_rhs(self):
+        node = LatticeNode(lhs=frozenset({"A", "B"}), rhs="C")
+        children = list(node.children())
+        assert {child.rhs for child in children} == {"C"}
+        assert sorted(sorted(child.lhs) for child in children) == [["A"], ["B"]]
+
+    def test_leaf_has_no_children(self):
+        node = LatticeNode(lhs=frozenset({"A"}), rhs="B")
+        assert list(node.children()) == []
+
+    def test_covers_subset_same_rhs(self):
+        parent = LatticeNode(lhs=frozenset({"A", "B"}), rhs="C")
+        child = LatticeNode(lhs=frozenset({"A"}), rhs="C")
+        other_rhs = LatticeNode(lhs=frozenset({"A"}), rhs="D")
+        assert parent.covers(child)
+        assert parent.covers(parent)
+        assert not parent.covers(other_rhs)
+        assert not child.covers(parent)
+
+    def test_str(self):
+        node = LatticeNode(lhs=frozenset({"B", "A"}), rhs="C")
+        assert str(node) == "{A, B}:C"
+
+
+class TestTopLevelNodes:
+    def test_counts(self):
+        nodes = top_level_nodes(("A", "B", "C"))
+        assert len(nodes) == 3
+        for node in nodes:
+            assert node.level == 2
+            assert node.rhs not in node.lhs
+
+    def test_single_attribute_mas_has_no_nodes(self):
+        assert top_level_nodes(("A",)) == []
+
+    def test_figure5_example(self):
+        """Figure 5: the lattice of MAS {A, B, C} has AB:C, AC:B, BC:A on top."""
+        nodes = {str(node) for node in top_level_nodes(("A", "B", "C"))}
+        assert nodes == {"{A, B}:C", "{A, C}:B", "{B, C}:A"}
+
+
+class TestWalkLattice:
+    def test_walk_visits_every_candidate_once(self):
+        nodes = list(walk_lattice(("A", "B", "C")))
+        assert len(nodes) == len(set(nodes))
+        # For m attributes: each of the m RHS choices has 2^(m-1)-1 non-empty
+        # LHS subsets of the remaining attributes.
+        assert len(nodes) == 3 * (2**2 - 1)
+
+    def test_walk_levels_descend(self):
+        nodes = list(walk_lattice(("A", "B", "C", "D")))
+        levels = [node.level for node in nodes]
+        assert levels == sorted(levels, reverse=True)
+
+    @pytest.mark.parametrize("width,expected", [(2, 2), (3, 9), (4, 28)])
+    def test_node_counts_for_width(self, width, expected):
+        attributes = tuple(f"X{i}" for i in range(width))
+        assert len(list(walk_lattice(attributes))) == expected

@@ -1,0 +1,131 @@
+"""Tests for MAS (maximal attribute set) discovery — Step 1 of F2."""
+
+from itertools import chain, combinations
+
+import pytest
+
+from repro.exceptions import DiscoveryError
+from repro.fd.mas import (
+    MaximalAttributeSet,
+    find_mas_with_stats,
+    find_maximal_attribute_sets,
+)
+from repro.relational.table import Relation
+
+from tests.conftest import make_random_table
+
+
+def brute_force_mas(relation: Relation) -> set[frozenset[str]]:
+    """Reference implementation: enumerate every subset (exponential)."""
+    attributes = list(relation.attributes)
+
+    def non_unique(attrs) -> bool:
+        return any(count > 1 for count in relation.value_frequencies(attrs).values())
+
+    all_subsets = [
+        frozenset(subset)
+        for size in range(1, len(attributes) + 1)
+        for subset in combinations(attributes, size)
+    ]
+    non_unique_sets = {subset for subset in all_subsets if non_unique(subset)}
+    return {
+        subset
+        for subset in non_unique_sets
+        if not any(subset < other for other in non_unique_sets)
+    }
+
+
+class TestMasOnPaperExamples:
+    def test_figure1_single_mas(self, paper_figure1_table):
+        masses = find_maximal_attribute_sets(paper_figure1_table)
+        assert {mas.as_set for mas in masses} == {frozenset({"A", "B", "C"})}
+
+    def test_figure3_two_overlapping_mas(self, paper_figure3_table):
+        masses = find_maximal_attribute_sets(paper_figure3_table)
+        assert {mas.as_set for mas in masses} == {
+            frozenset({"A", "B"}),
+            frozenset({"B", "C"}),
+        }
+
+    def test_figure4_single_mas(self, paper_figure4_table):
+        masses = find_maximal_attribute_sets(paper_figure4_table)
+        assert {mas.as_set for mas in masses} == {frozenset({"A", "B"})}
+
+    def test_mas_contains_every_fd(self, zipcode_table):
+        # Property stated in Section 3.1: every FD's attributes fit in a MAS.
+        from repro.fd.tane import tane
+
+        masses = find_maximal_attribute_sets(zipcode_table)
+        for fd in tane(zipcode_table):
+            if all(
+                count <= 1
+                for count in zipcode_table.value_frequencies(fd.lhs).values()
+            ):
+                continue  # key-based FDs need not be covered by a MAS
+            assert any(fd.attributes <= mas.as_set for mas in masses)
+
+
+class TestMasStrategies:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_apriori_matches_brute_force(self, seed):
+        table = make_random_table(seed, num_attributes=4)
+        found = {mas.as_set for mas in find_maximal_attribute_sets(table, strategy="apriori")}
+        assert found == brute_force_mas(table)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_ducc_matches_brute_force(self, seed):
+        table = make_random_table(seed, num_attributes=5)
+        found = {mas.as_set for mas in find_maximal_attribute_sets(table, strategy="ducc")}
+        assert found == brute_force_mas(table)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_strategies_agree(self, seed):
+        table = make_random_table(seed + 50, num_attributes=6)
+        apriori = {mas.as_set for mas in find_maximal_attribute_sets(table, strategy="apriori")}
+        ducc = {mas.as_set for mas in find_maximal_attribute_sets(table, strategy="ducc")}
+        assert apriori == ducc
+
+    def test_all_unique_table_has_no_mas(self):
+        table = Relation(["A", "B"], [["a1", "b1"], ["a2", "b2"], ["a3", "b3"]])
+        assert find_maximal_attribute_sets(table) == []
+
+    def test_all_identical_rows(self):
+        table = Relation(["A", "B"], [["x", "y"]] * 4)
+        masses = find_maximal_attribute_sets(table)
+        assert {mas.as_set for mas in masses} == {frozenset({"A", "B"})}
+
+    def test_unknown_strategy_rejected(self, paper_figure1_table):
+        with pytest.raises(DiscoveryError):
+            find_maximal_attribute_sets(paper_figure1_table, strategy="magic")
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(DiscoveryError):
+            find_maximal_attribute_sets(Relation(["A"]))
+
+
+class TestMasResult:
+    def test_stats_counters(self, paper_figure3_table):
+        result = find_mas_with_stats(paper_figure3_table)
+        assert result.partitions_computed > 0
+        assert result.elapsed_seconds >= 0
+        assert result.strategy in {"apriori", "ducc"}
+
+    def test_overlapping_pairs(self, paper_figure3_table):
+        result = find_mas_with_stats(paper_figure3_table)
+        assert len(result.overlapping_pairs()) == 1
+
+    def test_descriptor_fields(self, paper_figure4_table):
+        (mas,) = find_maximal_attribute_sets(paper_figure4_table)
+        assert isinstance(mas, MaximalAttributeSet)
+        assert mas.attributes == ("A", "B")
+        assert mas.num_equivalence_classes == 4
+        assert mas.num_duplicate_classes == 4
+        assert len(mas) == 2
+        assert str(mas) == "{A, B}"
+
+    def test_overlap_predicate(self):
+        first = MaximalAttributeSet(("A", "B"), 1, 1)
+        second = MaximalAttributeSet(("B", "C"), 1, 1)
+        third = MaximalAttributeSet(("C", "D"), 1, 1)
+        assert first.overlaps(second)
+        assert not first.overlaps(third)

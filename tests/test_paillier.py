@@ -1,0 +1,71 @@
+"""Tests for the from-scratch Paillier cryptosystem (the Figure 8 baseline)."""
+
+import pytest
+
+from repro.crypto.paillier import PaillierCipher, PaillierKeyPair, _is_probable_prime
+from repro.exceptions import DecryptionError, EncryptionError
+
+
+@pytest.fixture(scope="module")
+def keypair() -> PaillierKeyPair:
+    # 256-bit keys keep the test suite fast; correctness is size-independent.
+    return PaillierKeyPair.generate(bits=256)
+
+
+@pytest.fixture(scope="module")
+def cipher(keypair) -> PaillierCipher:
+    return PaillierCipher(keypair)
+
+
+class TestPrimality:
+    def test_known_primes(self):
+        for prime in (2, 3, 5, 7, 97, 7919, 104729):
+            assert _is_probable_prime(prime)
+
+    def test_known_composites(self):
+        for composite in (1, 0, 4, 100, 561, 7917, 104730):
+            assert not _is_probable_prime(composite)
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, keypair):
+        assert keypair.public.n.bit_length() >= 255
+
+    def test_g_is_n_plus_one(self, keypair):
+        assert keypair.public.g == keypair.public.n + 1
+
+    def test_too_small_modulus_rejected(self):
+        with pytest.raises(EncryptionError):
+            PaillierKeyPair.generate(bits=64)
+
+
+class TestEncryption:
+    def test_int_roundtrip(self, cipher):
+        for message in (0, 1, 42, 10**9, 2**100):
+            assert cipher.decrypt_int(cipher.encrypt_int(message)) == message
+
+    def test_probabilistic(self, cipher):
+        assert cipher.encrypt_int(7) != cipher.encrypt_int(7)
+
+    def test_out_of_range_plaintext_rejected(self, cipher):
+        with pytest.raises(EncryptionError):
+            cipher.encrypt_int(-1)
+        with pytest.raises(EncryptionError):
+            cipher.encrypt_int(cipher.public_key.n)
+
+    def test_out_of_range_ciphertext_rejected(self, cipher):
+        with pytest.raises(DecryptionError):
+            cipher.decrypt_int(cipher.public_key.n_squared)
+
+    def test_additive_homomorphism(self, cipher):
+        left = cipher.encrypt_int(123)
+        right = cipher.encrypt_int(456)
+        assert cipher.decrypt_int(cipher.add(left, right)) == 579
+
+    def test_cell_roundtrip(self, cipher):
+        for value in ("Hoboken", "07030", "order#42"):
+            assert cipher.decrypt_cell(cipher.encrypt_cell(value)) == value
+
+    def test_cell_too_long_rejected(self, cipher):
+        with pytest.raises(EncryptionError):
+            cipher.encrypt_cell("x" * 200)

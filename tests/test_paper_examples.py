@@ -1,0 +1,122 @@
+"""Integration tests that replay the paper's running examples end to end.
+
+Each test corresponds to a concrete figure or example of the paper and checks
+the behaviour the paper uses that example to illustrate.
+"""
+
+import pytest
+
+from repro.core.config import F2Config
+from repro.core.scheme import F2Scheme
+from repro.crypto.deterministic import DeterministicCipher
+from repro.crypto.keys import KeyGen
+from repro.fd.fd import FunctionalDependency
+from repro.fd.mas import find_maximal_attribute_sets
+from repro.fd.tane import tane
+from repro.fd.verify import fd_holds, fds_equivalent
+
+
+class TestFigure1:
+    """Figure 1: deterministic vs probabilistic vs FD-preserving encryption."""
+
+    def test_base_table_has_fd_a_to_b(self, paper_figure1_table):
+        assert fd_holds(paper_figure1_table, FunctionalDependency(["A"], "B"))
+
+    def test_deterministic_encryption_preserves_fd_but_leaks_frequencies(
+        self, paper_figure1_table
+    ):
+        from collections import Counter
+
+        cipher = DeterministicCipher(KeyGen.symmetric_from_seed(1))
+        encrypted = paper_figure1_table.empty_like()
+        for row in paper_figure1_table.rows():
+            encrypted.append([cipher.encrypt(value) for value in row])
+        # FD preserved (Figure 1 (b))...
+        assert fd_holds(encrypted, FunctionalDependency(["A"], "B"))
+        # ... but the frequency histogram of every column is identical.
+        for attribute in paper_figure1_table.attributes:
+            plain = sorted(Counter(paper_figure1_table.column(attribute)).values())
+            cipher_counts = sorted(Counter(encrypted.column(attribute)).values())
+            assert plain == cipher_counts
+
+    def test_f2_preserves_fd_and_hides_frequencies(self, paper_figure1_table):
+        from collections import Counter
+
+        scheme = F2Scheme(
+            key=KeyGen.symmetric_from_seed(2), config=F2Config(alpha=0.5, split_factor=2, seed=2)
+        )
+        encrypted = scheme.encrypt(paper_figure1_table)
+        # FD preserved on the server view (Figure 1 (d))...
+        assert fds_equivalent(tane(paper_figure1_table), tane(encrypted.server_view()))
+        # ... and the dominant frequency of column A is strictly reduced.
+        plain_max = max(Counter(paper_figure1_table.column("A")).values())
+        cipher_max = max(Counter(encrypted.relation.column("A")).values())
+        assert cipher_max < plain_max
+
+
+class TestFigure3:
+    """Figure 3: conflict resolution across the overlapping MASs {A,B}, {B,C}."""
+
+    def test_mas_structure(self, paper_figure3_table):
+        masses = {mas.as_set for mas in find_maximal_attribute_sets(paper_figure3_table)}
+        assert masses == {frozenset({"A", "B"}), frozenset({"B", "C"})}
+
+    def test_fd_c_to_b_holds_in_plaintext(self, paper_figure3_table):
+        assert fd_holds(paper_figure3_table, FunctionalDependency(["C"], "B"))
+
+    def test_fd_c_to_b_survives_encryption(self, paper_figure3_table):
+        """The paper's point: the naive conflict fix breaks C -> B; ours must not."""
+        scheme = F2Scheme(
+            key=KeyGen.symmetric_from_seed(3), config=F2Config(alpha=0.34, seed=3)
+        )
+        encrypted = scheme.encrypt(paper_figure3_table)
+        assert fd_holds(encrypted.server_view(), FunctionalDependency(["C"], "B"))
+
+    def test_conflicting_tuples_are_replaced_by_two_rows(self, paper_figure3_table):
+        scheme = F2Scheme(
+            key=KeyGen.symmetric_from_seed(3), config=F2Config(alpha=0.34, seed=3)
+        )
+        encrypted = scheme.encrypt(paper_figure3_table)
+        assert encrypted.stats.num_conflicting_tuples >= 1
+        assert encrypted.stats.rows_added_conflict == encrypted.stats.num_conflicting_tuples
+
+    def test_full_fd_equivalence(self, paper_figure3_table):
+        scheme = F2Scheme(
+            key=KeyGen.symmetric_from_seed(4), config=F2Config(alpha=0.34, seed=4)
+        )
+        encrypted = scheme.encrypt(paper_figure3_table)
+        assert fds_equivalent(tane(paper_figure3_table), tane(encrypted.server_view()))
+
+
+class TestFigure4:
+    """Figure 4 / Example 3.1: eliminating the false positive A -> B."""
+
+    def test_a_to_b_does_not_hold_in_plaintext(self, paper_figure4_table):
+        assert not fd_holds(paper_figure4_table, FunctionalDependency(["A"], "B"))
+
+    def test_steps_1_to_3_alone_introduce_the_false_positive(self, paper_figure4_table):
+        config = F2Config(alpha=1 / 3, eliminate_false_positives=False, seed=5)
+        scheme = F2Scheme(key=KeyGen.symmetric_from_seed(5), config=config)
+        encrypted = scheme.encrypt(paper_figure4_table)
+        assert fd_holds(encrypted.server_view(), FunctionalDependency(["A"], "B"))
+
+    def test_step_4_restores_the_violation(self, paper_figure4_table):
+        config = F2Config(alpha=1 / 3, seed=5)
+        scheme = F2Scheme(key=KeyGen.symmetric_from_seed(5), config=config)
+        encrypted = scheme.encrypt(paper_figure4_table)
+        assert not fd_holds(encrypted.server_view(), FunctionalDependency(["A"], "B"))
+
+    def test_artificial_record_count_matches_theorem_3_6(self, paper_figure4_table):
+        """2k <= added <= bound, with k = ceil(1/alpha) (Theorem 3.6)."""
+        import math
+
+        alpha = 1 / 3
+        config = F2Config(alpha=alpha, seed=5)
+        scheme = F2Scheme(key=KeyGen.symmetric_from_seed(5), config=config)
+        encrypted = scheme.encrypt(paper_figure4_table)
+        k = math.ceil(1 / alpha)
+        added = encrypted.stats.rows_added_false_positive
+        assert added >= 2 * k
+        num_attributes = paper_figure4_table.num_attributes
+        loose_bound = 2 * k * num_attributes * math.comb(num_attributes - 1, (num_attributes - 1) // 2)
+        assert added <= loose_bound

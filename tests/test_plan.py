@@ -1,0 +1,66 @@
+"""Tests for the symbolic cell/row plan primitives."""
+
+from repro.core.plan import (
+    FreshCell,
+    FreshValueFactory,
+    InstanceCell,
+    RandomCell,
+    RowPlan,
+    RowProvenanceSpec,
+)
+from repro.crypto.probabilistic import Ciphertext
+
+
+class TestCellSpecs:
+    def test_instance_cell_cache_key(self):
+        cell = InstanceCell(value="a1", variant="mas0|ecg1|inst0")
+        assert cell.cache_key() == ("instance", "a1", "mas0|ecg1|inst0")
+
+    def test_cell_specs_are_hashable_values(self):
+        assert InstanceCell("a", "v") == InstanceCell("a", "v")
+        assert RandomCell("a") == RandomCell("a")
+        assert FreshCell("t1") != FreshCell("t2")
+
+    def test_row_plan_replace_cell(self):
+        plan = RowPlan(
+            cells={"A": RandomCell("x")},
+            provenance=RowProvenanceSpec(kind="original", source_row=0),
+        )
+        plan.replace_cell("A", FreshCell("tok"))
+        assert plan.cells["A"] == FreshCell("tok")
+
+
+class TestFreshValueFactory:
+    def test_tokens_are_unique(self):
+        factory = FreshValueFactory(seed=0)
+        tokens = {factory.new_token("x") for _ in range(100)}
+        assert len(tokens) == 100
+        assert factory.tokens_issued == 100
+
+    def test_same_token_materializes_to_same_value(self):
+        factory = FreshValueFactory(seed=0)
+        token = factory.new_token()
+        assert factory.materialize(token) == factory.materialize(token)
+
+    def test_different_tokens_materialize_to_different_values(self):
+        factory = FreshValueFactory(seed=0)
+        first = factory.materialize(factory.new_token())
+        second = factory.materialize(factory.new_token())
+        assert first != second
+
+    def test_materialized_values_look_like_ciphertexts(self):
+        factory = FreshValueFactory(seed=0, nonce_length=16)
+        value = factory.materialize(factory.new_token())
+        assert isinstance(value, Ciphertext)
+        assert len(value.nonce) == 16
+
+    def test_seeded_factories_are_reproducible(self):
+        first = FreshValueFactory(seed=5)
+        second = FreshValueFactory(seed=5)
+        assert first.materialize("token") == second.materialize("token")
+
+    def test_fresh_cell_helper(self):
+        factory = FreshValueFactory(seed=0)
+        cell = factory.fresh_cell("label")
+        assert isinstance(cell, FreshCell)
+        assert cell.token.startswith("label#")

@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) for the core invariants of the library.
+
+These cover the invariants listed in DESIGN.md section 5 on randomly generated
+small tables: FD preservation, requirement 1/2 of the FD-preserving
+probabilistic encryption, ECG structural invariants, decryption round-trips,
+and the agreement of TANE with the brute-force oracle.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import F2Config
+from repro.core.ecg import build_equivalence_class_groups
+from repro.core.plan import FreshValueFactory
+from repro.core.scheme import F2Scheme
+from repro.core.security import verify_alpha_security
+from repro.core.split_scale import build_ecg_plan, find_optimal_split_point
+from repro.crypto.keys import KeyGen
+from repro.crypto.probabilistic import ProbabilisticCipher
+from repro.fd.discovery import discover_fds_naive
+from repro.fd.fd import FDSet, FunctionalDependency
+from repro.fd.mas import find_maximal_attribute_sets
+from repro.fd.tane import tane
+from repro.relational.partition import Partition
+from repro.relational.table import Relation
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+FAST = settings(max_examples=60, deadline=None)
+
+
+@st.composite
+def small_tables(draw, max_attributes=4, max_rows=18, max_domain=3):
+    """Random categorical tables small enough for exhaustive oracles."""
+    num_attributes = draw(st.integers(min_value=2, max_value=max_attributes))
+    num_rows = draw(st.integers(min_value=2, max_value=max_rows))
+    domains = [draw(st.integers(min_value=1, max_value=max_domain)) for _ in range(num_attributes)]
+    attributes = [f"X{i}" for i in range(num_attributes)]
+    rows = []
+    for _ in range(num_rows):
+        rows.append(
+            [f"v{i}_{draw(st.integers(min_value=0, max_value=domains[i] - 1))}" for i in range(num_attributes)]
+        )
+    return Relation(attributes, rows, name="hypothesis")
+
+
+@st.composite
+def size_lists(draw):
+    sizes = draw(st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=8))
+    return sorted(sizes)
+
+
+# ----------------------------------------------------------------------
+# FD discovery properties
+# ----------------------------------------------------------------------
+@given(small_tables())
+@SLOW
+def test_tane_equals_naive_oracle(table):
+    assert tane(table).equivalent_to(discover_fds_naive(table))
+
+
+@given(small_tables())
+@SLOW
+def test_discovered_fds_actually_hold(table):
+    for fd in tane(table):
+        lhs_partition = Partition.build(table, fd.lhs)
+        rhs_partition = Partition.build(table, [fd.rhs])
+        assert lhs_partition.refines(rhs_partition)
+
+
+@given(small_tables())
+@SLOW
+def test_mas_covers_every_non_key_fd(table):
+    masses = find_maximal_attribute_sets(table)
+    for fd in tane(table):
+        lhs_has_duplicates = any(
+            count > 1 for count in table.value_frequencies(fd.lhs).values()
+        )
+        if lhs_has_duplicates:
+            assert any(fd.attributes <= mas.as_set for mas in masses)
+
+
+@given(small_tables())
+@SLOW
+def test_mas_maximality_property(table):
+    masses = find_maximal_attribute_sets(table)
+    all_attributes = set(table.attributes)
+    for mas in masses:
+        frequencies = table.value_frequencies(mas.attributes)
+        assert any(count > 1 for count in frequencies.values())
+        for extra in all_attributes - mas.as_set:
+            extended = table.value_frequencies(list(mas.attributes) + [extra])
+            assert all(count <= 1 for count in extended.values())
+
+
+# ----------------------------------------------------------------------
+# End-to-end F2 properties
+# ----------------------------------------------------------------------
+@given(small_tables(max_attributes=4, max_rows=14), st.sampled_from([0.5, 0.34]))
+@SLOW
+def test_f2_preserves_fds(table, alpha):
+    scheme = F2Scheme(key=KeyGen.symmetric_from_seed(1), config=F2Config(alpha=alpha, seed=1))
+    encrypted = scheme.encrypt(table)
+    assert tane(table).equivalent_to(tane(encrypted.server_view()))
+
+
+@given(small_tables(max_attributes=4, max_rows=14))
+@SLOW
+def test_f2_decryption_roundtrip(table):
+    scheme = F2Scheme(key=KeyGen.symmetric_from_seed(2), config=F2Config(alpha=0.5, seed=2))
+    encrypted = scheme.encrypt(table)
+    decrypted = scheme.decrypt(encrypted)
+    original = sorted(tuple(str(v) for v in row) for row in table.rows())
+    recovered = sorted(tuple(row) for row in decrypted.rows())
+    assert original == recovered
+
+
+@given(small_tables(max_attributes=3, max_rows=12), st.sampled_from([0.5, 0.25]))
+@SLOW
+def test_f2_alpha_security_invariants(table, alpha):
+    scheme = F2Scheme(key=KeyGen.symmetric_from_seed(3), config=F2Config(alpha=alpha, seed=3))
+    encrypted = scheme.encrypt(table)
+    assert verify_alpha_security(encrypted).satisfied
+
+
+# ----------------------------------------------------------------------
+# Step-level properties
+# ----------------------------------------------------------------------
+@given(small_tables(max_attributes=3, max_rows=16), st.integers(min_value=1, max_value=5))
+@SLOW
+def test_ecg_invariants(table, group_size):
+    factory = FreshValueFactory(seed=0)
+    masses = find_maximal_attribute_sets(table)
+    for mas in masses:
+        partition = Partition.build(table, mas.attributes)
+        result = build_equivalence_class_groups(partition, group_size, factory)
+        for group in result.groups:
+            assert len(group.members) >= group_size
+            assert group.is_collision_free()
+
+
+@given(size_lists(), st.integers(min_value=1, max_value=4))
+@FAST
+def test_split_point_copies_match_target(sizes, split_factor):
+    split_point, target, copies = find_optimal_split_point(sizes, split_factor)
+    assert copies >= 0
+    assert target >= 1
+    # Re-derive the copy count from the definition and compare.
+    derived = 0
+    count = len(sizes)
+    for index, size in enumerate(sizes, start=1):
+        if split_point <= count and index >= split_point:
+            derived += split_factor * target - size
+        else:
+            derived += target - size
+    assert derived == copies
+
+
+@given(size_lists(), st.integers(min_value=1, max_value=4))
+@FAST
+def test_ecg_plan_homogenises_frequencies(sizes, split_factor):
+    from tests.test_split_scale import make_group
+
+    plan = build_ecg_plan(make_group(sizes), split_factor=split_factor)
+    frequencies = plan.instance_frequencies()
+    assert len(set(frequencies)) == 1
+
+
+@given(
+    st.lists(st.text(min_size=0, max_size=20), min_size=1, max_size=10),
+    st.integers(min_value=0, max_value=2**32),
+)
+@FAST
+def test_probabilistic_cipher_roundtrip(values, key_seed):
+    cipher = ProbabilisticCipher(KeyGen.symmetric_from_seed(key_seed))
+    for value in values:
+        assert cipher.decrypt(cipher.encrypt(value)) == value
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=2, max_size=30))
+@FAST
+def test_closure_is_monotone_and_idempotent(symbols):
+    fds = FDSet(
+        FunctionalDependency([symbols[i]], symbols[i + 1])
+        for i in range(len(symbols) - 1)
+        if symbols[i] != symbols[i + 1]
+    )
+    closure = fds.closure(["a"])
+    assert "a" in closure
+    assert fds.closure(closure) == closure

@@ -1,0 +1,152 @@
+"""Unit tests for repro.relational.table."""
+
+import pytest
+
+from repro.exceptions import RelationError, SchemaError
+from repro.relational.schema import Schema
+from repro.relational.table import Relation
+
+
+@pytest.fixture
+def small_relation() -> Relation:
+    return Relation(
+        ["A", "B", "C"],
+        [["a1", "b1", "c1"], ["a1", "b2", "c2"], ["a2", "b1", "c3"]],
+        name="small",
+    )
+
+
+class TestConstruction:
+    def test_from_rows(self, small_relation):
+        assert small_relation.num_rows == 3
+        assert small_relation.num_attributes == 3
+
+    def test_from_dicts_infers_schema(self):
+        relation = Relation.from_dicts([{"X": 1, "Y": 2}, {"X": 3, "Y": 4}])
+        assert relation.attributes == ("X", "Y")
+        assert relation.row(1) == (3, 4)
+
+    def test_from_dicts_missing_key_raises(self):
+        with pytest.raises(RelationError):
+            Relation.from_dicts([{"X": 1}], schema=["X", "Y"])
+
+    def test_from_dicts_empty_without_schema_raises(self):
+        with pytest.raises(RelationError):
+            Relation.from_dicts([])
+
+    def test_from_columns(self):
+        relation = Relation.from_columns({"A": [1, 2], "B": [3, 4]})
+        assert relation.row(0) == (1, 3)
+
+    def test_from_columns_inconsistent_lengths(self):
+        with pytest.raises(RelationError):
+            Relation.from_columns({"A": [1, 2], "B": [3]})
+
+    def test_accepts_schema_object(self):
+        relation = Relation(Schema(["A"]), [["x"]])
+        assert relation.num_rows == 1
+
+    def test_empty_like_and_copy(self, small_relation):
+        empty = small_relation.empty_like()
+        assert empty.num_rows == 0 and empty.schema == small_relation.schema
+        clone = small_relation.copy()
+        clone.append(["a9", "b9", "c9"])
+        assert small_relation.num_rows == 3 and clone.num_rows == 4
+
+    def test_repr(self, small_relation):
+        assert "rows=3" in repr(small_relation)
+
+    def test_equality(self, small_relation):
+        assert small_relation == small_relation.copy()
+        assert small_relation != small_relation.project(["A", "B"])
+
+
+class TestRowAccess:
+    def test_append_sequence_and_mapping(self):
+        relation = Relation(["A", "B"])
+        relation.append(["x", "y"])
+        relation.append({"B": "q", "A": "p"})
+        assert relation.row(1) == ("p", "q")
+
+    def test_append_wrong_arity_raises(self):
+        with pytest.raises(RelationError):
+            Relation(["A", "B"]).append(["only-one"])
+
+    def test_append_mapping_missing_attribute_raises(self):
+        with pytest.raises(RelationError):
+            Relation(["A", "B"]).append({"A": 1})
+
+    def test_row_out_of_range(self, small_relation):
+        with pytest.raises(RelationError):
+            small_relation.row(99)
+
+    def test_rows_iteration(self, small_relation):
+        assert list(small_relation.rows())[0] == ("a1", "b1", "c1")
+
+    def test_rows_iteration_empty(self):
+        assert list(Relation(["A"]).rows()) == []
+
+    def test_row_dict(self, small_relation):
+        assert small_relation.row_dict(0) == {"A": "a1", "B": "b1", "C": "c1"}
+
+    def test_value_and_set_value(self, small_relation):
+        assert small_relation.value(1, "B") == "b2"
+        small_relation.set_value(1, "B", "patched")
+        assert small_relation.value(1, "B") == "patched"
+
+    def test_set_value_out_of_range(self, small_relation):
+        with pytest.raises(RelationError):
+            small_relation.set_value(10, "B", "x")
+
+    def test_column_access(self, small_relation):
+        assert small_relation.column("A") == ["a1", "a1", "a2"]
+
+
+class TestRelationalOperations:
+    def test_project_row(self, small_relation):
+        assert small_relation.project_row(0, ["C", "A"]) == ("a1", "c1")
+
+    def test_project(self, small_relation):
+        projected = small_relation.project(["C", "A"])
+        assert projected.attributes == ("A", "C")
+        assert projected.num_rows == 3
+
+    def test_project_empty_raises(self, small_relation):
+        with pytest.raises(SchemaError):
+            small_relation.project([])
+
+    def test_select_rows(self, small_relation):
+        selected = small_relation.select_rows([2, 0])
+        assert selected.row(0) == ("a2", "b1", "c3")
+        assert selected.num_rows == 2
+
+    def test_value_frequencies(self, small_relation):
+        frequencies = small_relation.value_frequencies(["A"])
+        assert frequencies[("a1",)] == 2
+        assert frequencies[("a2",)] == 1
+
+    def test_value_frequencies_multi_attribute(self, small_relation):
+        frequencies = small_relation.value_frequencies(["A", "B"])
+        assert frequencies[("a1", "b1")] == 1
+
+    def test_distinct_values(self, small_relation):
+        assert small_relation.distinct_values("B") == {"b1", "b2"}
+
+    def test_domain_sizes(self, small_relation):
+        assert small_relation.domain_sizes() == {"A": 2, "B": 2, "C": 3}
+
+    def test_concat(self, small_relation):
+        merged = small_relation.concat(small_relation.copy())
+        assert merged.num_rows == 6
+        assert small_relation.num_rows == 3
+
+    def test_concat_schema_mismatch(self, small_relation):
+        with pytest.raises(RelationError):
+            small_relation.concat(Relation(["X"], [["v"]]))
+
+    def test_approximate_size_is_positive(self, small_relation):
+        assert small_relation.approximate_size_bytes() > 0
+
+    def test_to_dicts_roundtrip(self, small_relation):
+        rebuilt = Relation.from_dicts(small_relation.to_dicts())
+        assert rebuilt == small_relation

@@ -1,0 +1,85 @@
+"""Unit tests for repro.relational.schema."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.schema import Schema
+
+
+class TestSchemaConstruction:
+    def test_attributes_preserved_in_order(self):
+        schema = Schema(["B", "A", "C"])
+        assert schema.attributes == ("B", "A", "C")
+
+    def test_len_and_iteration(self):
+        schema = Schema(["A", "B", "C"])
+        assert len(schema) == 3
+        assert list(schema) == ["A", "B", "C"]
+
+    def test_contains(self):
+        schema = Schema(["A", "B"])
+        assert "A" in schema
+        assert "Z" not in schema
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", "B", "A"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", ""])
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", 3])
+
+    def test_equality_and_hash(self):
+        assert Schema(["A", "B"]) == Schema(["A", "B"])
+        assert Schema(["A", "B"]) != Schema(["B", "A"])
+        assert hash(Schema(["A", "B"])) == hash(Schema(["A", "B"]))
+
+    def test_repr_mentions_attributes(self):
+        assert "A" in repr(Schema(["A"]))
+
+
+class TestSchemaAttributeSets:
+    def test_index_of(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.index_of("B") == 1
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["A"]).index_of("B")
+
+    def test_validate_attributes_returns_frozenset(self):
+        schema = Schema(["A", "B", "C"])
+        result = schema.validate_attributes(["C", "A"])
+        assert result == frozenset({"A", "C"})
+
+    def test_validate_attributes_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", "B"]).validate_attributes(["A", "Z"])
+
+    def test_ordered_returns_schema_order(self):
+        schema = Schema(["A", "B", "C", "D"])
+        assert schema.ordered(["D", "B"]) == ("B", "D")
+
+    def test_complement(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.complement(["B"]) == frozenset({"A", "C"})
+
+    def test_project_preserves_order(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.project(["C", "A"]).attributes == ("A", "C")
+
+    def test_project_empty_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["A"]).project([])
+
+    def test_canonical_key_is_order_independent(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.canonical_key(["C", "A"]) == schema.canonical_key({"A", "C"})

@@ -1,0 +1,203 @@
+"""End-to-end tests of the F2 scheme: encryption, preservation, decryption."""
+
+import pytest
+
+from repro.core.config import F2Config
+from repro.core.scheme import F2Scheme
+from repro.core.security import verify_alpha_security
+from repro.crypto.keys import KeyGen
+from repro.crypto.probabilistic import Ciphertext
+from repro.exceptions import DecryptionError, EncryptionError
+from repro.fd.discovery import discover_fds_naive
+from repro.fd.tane import tane
+from repro.fd.verify import fds_equivalent
+from repro.relational.table import Relation
+
+from tests.conftest import make_random_table
+
+
+def roundtrip_rows(relation: Relation) -> list[tuple[str, ...]]:
+    return sorted(tuple(str(value) for value in row) for row in relation.rows())
+
+
+class TestEncryptBasics:
+    def test_encrypt_empty_relation_rejected(self, seeded_scheme):
+        with pytest.raises(EncryptionError):
+            seeded_scheme.encrypt(Relation(["A"]))
+
+    def test_ciphertext_table_has_same_schema(self, seeded_scheme, zipcode_table):
+        encrypted = seeded_scheme.encrypt(zipcode_table)
+        assert encrypted.relation.schema == zipcode_table.schema
+
+    def test_every_cell_is_a_ciphertext(self, seeded_scheme, zipcode_table):
+        encrypted = seeded_scheme.encrypt(zipcode_table)
+        for row in encrypted.relation.rows():
+            assert all(isinstance(cell, Ciphertext) for cell in row)
+
+    def test_ciphertext_has_at_least_original_rows(self, seeded_scheme, zipcode_table):
+        encrypted = seeded_scheme.encrypt(zipcode_table)
+        assert encrypted.num_rows >= zipcode_table.num_rows
+        assert encrypted.num_original_rows == zipcode_table.num_rows
+
+    def test_provenance_covers_every_row(self, seeded_scheme, zipcode_table):
+        encrypted = seeded_scheme.encrypt(zipcode_table)
+        assert len(encrypted.provenance) == encrypted.num_rows
+
+    def test_stats_rows_match_relation(self, seeded_scheme, zipcode_table):
+        encrypted = seeded_scheme.encrypt(zipcode_table)
+        assert encrypted.stats.rows_encrypted == encrypted.num_rows
+
+    def test_step_timings_recorded(self, seeded_scheme, zipcode_table):
+        encrypted = seeded_scheme.encrypt(zipcode_table)
+        timings = encrypted.stats.step_seconds()
+        assert all(seconds >= 0 for seconds in timings.values())
+        assert encrypted.stats.seconds_total > 0
+
+    def test_describe_is_json_friendly(self, seeded_scheme, zipcode_table):
+        import json
+
+        encrypted = seeded_scheme.encrypt(zipcode_table)
+        assert json.dumps(encrypted.describe(), default=str)
+
+    def test_plaintext_values_never_appear_in_ciphertext(self, seeded_scheme, zipcode_table):
+        encrypted = seeded_scheme.encrypt(zipcode_table)
+        plaintext_values = {str(v) for row in zipcode_table.rows() for v in row}
+        ciphertext_values = {str(v) for row in encrypted.relation.rows() for v in row}
+        assert not plaintext_values & ciphertext_values
+
+
+class TestFrequencyHiding:
+    def test_same_plaintext_value_maps_to_multiple_ciphertexts(self, seeded_scheme, zipcode_table):
+        encrypted = seeded_scheme.encrypt(zipcode_table)
+        # Zipcode has 3 plaintext values over 48 rows; after F2 the ciphertext
+        # column must contain strictly more distinct values than the plaintext.
+        plain_domain = len(zipcode_table.distinct_values("Zipcode"))
+        cipher_domain = len(encrypted.relation.distinct_values("Zipcode"))
+        assert cipher_domain > plain_domain
+
+    def test_ciphertext_frequencies_flattened(self, seeded_scheme, zipcode_table):
+        from collections import Counter
+
+        encrypted = seeded_scheme.encrypt(zipcode_table)
+        plain_max = max(Counter(zipcode_table.column("Zipcode")).values())
+        cipher_max = max(Counter(encrypted.relation.column("Zipcode")).values())
+        assert cipher_max < plain_max
+
+    def test_alpha_security_structural_check(self, seeded_scheme, zipcode_table):
+        encrypted = seeded_scheme.encrypt(zipcode_table)
+        report = verify_alpha_security(encrypted)
+        assert report.satisfied, report.violations
+
+
+class TestFdPreservation:
+    @pytest.mark.parametrize("alpha", [0.5, 0.34, 0.2])
+    def test_preserved_on_zipcode_table(self, zipcode_table, alpha):
+        scheme = F2Scheme(key=KeyGen.symmetric_from_seed(1), config=F2Config(alpha=alpha, seed=2))
+        encrypted = scheme.encrypt(zipcode_table)
+        assert fds_equivalent(tane(zipcode_table), tane(encrypted.server_view()))
+
+    def test_preserved_on_figure1(self, seeded_scheme, paper_figure1_table):
+        encrypted = seeded_scheme.encrypt(paper_figure1_table)
+        assert fds_equivalent(tane(paper_figure1_table), tane(encrypted.server_view()))
+
+    def test_preserved_on_figure3_with_overlapping_mas(self, seeded_scheme, paper_figure3_table):
+        encrypted = seeded_scheme.encrypt(paper_figure3_table)
+        assert fds_equivalent(tane(paper_figure3_table), tane(encrypted.server_view()))
+
+    def test_preserved_on_figure4_no_false_positive(self, seeded_scheme, paper_figure4_table):
+        encrypted = seeded_scheme.encrypt(paper_figure4_table)
+        assert fds_equivalent(tane(paper_figure4_table), tane(encrypted.server_view()))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_preserved_on_random_tables(self, seed):
+        table = make_random_table(seed + 300, num_attributes=4)
+        scheme = F2Scheme(
+            key=KeyGen.symmetric_from_seed(seed),
+            config=F2Config(alpha=0.34, split_factor=2, seed=seed),
+        )
+        encrypted = scheme.encrypt(table)
+        assert fds_equivalent(
+            discover_fds_naive(table), discover_fds_naive(encrypted.server_view())
+        )
+
+    @pytest.mark.parametrize("split_factor", [1, 2, 3])
+    def test_preserved_across_split_factors(self, zipcode_table, split_factor):
+        scheme = F2Scheme(
+            key=KeyGen.symmetric_from_seed(11),
+            config=F2Config(alpha=0.34, split_factor=split_factor, seed=3),
+        )
+        encrypted = scheme.encrypt(zipcode_table)
+        assert fds_equivalent(tane(zipcode_table), tane(encrypted.server_view()))
+
+    def test_strict_mode_also_preserves(self, strict_scheme, zipcode_table):
+        encrypted = strict_scheme.encrypt(zipcode_table)
+        assert fds_equivalent(tane(zipcode_table), tane(encrypted.server_view()))
+
+
+class TestDecryption:
+    def test_roundtrip_zipcode_table(self, seeded_scheme, zipcode_table):
+        encrypted = seeded_scheme.encrypt(zipcode_table)
+        decrypted = seeded_scheme.decrypt(encrypted)
+        assert roundtrip_rows(decrypted) == roundtrip_rows(zipcode_table)
+
+    def test_roundtrip_with_conflicts(self, seeded_scheme, paper_figure3_table):
+        encrypted = seeded_scheme.encrypt(paper_figure3_table)
+        decrypted = seeded_scheme.decrypt(encrypted)
+        assert roundtrip_rows(decrypted) == roundtrip_rows(paper_figure3_table)
+
+    def test_decrypt_single_cell(self, seeded_scheme, zipcode_table):
+        encrypted = seeded_scheme.encrypt(zipcode_table)
+        groups = encrypted.original_row_groups()
+        row_index = groups[0][0]
+        provenance = encrypted.provenance[row_index]
+        attribute = next(iter(provenance.authentic_attributes))
+        cell = encrypted.relation.value(row_index, attribute)
+        assert seeded_scheme.decrypt_cell(cell) == str(
+            zipcode_table.value(provenance.source_row, attribute)
+        )
+
+    def test_wrong_key_cannot_decrypt(self, zipcode_table):
+        owner = F2Scheme(key=KeyGen.symmetric_from_seed(1), config=F2Config(seed=1))
+        attacker = F2Scheme(key=KeyGen.symmetric_from_seed(2), config=F2Config(seed=1))
+        encrypted = owner.encrypt(zipcode_table)
+        try:
+            recovered = attacker.decrypt(encrypted)
+        except DecryptionError:
+            return
+        assert roundtrip_rows(recovered) != roundtrip_rows(zipcode_table)
+
+    def test_decrypt_cell_rejects_plain_value(self, seeded_scheme):
+        with pytest.raises(DecryptionError):
+            seeded_scheme.decrypt_cell("plaintext")
+
+
+class TestSchemeConfigurationVariants:
+    def test_without_conflict_resolution(self, paper_figure3_table):
+        config = F2Config(alpha=0.5, resolve_conflicts=False, seed=1)
+        scheme = F2Scheme(key=KeyGen.symmetric_from_seed(7), config=config)
+        encrypted = scheme.encrypt(paper_figure3_table)
+        assert encrypted.stats.rows_added_conflict == 0
+
+    def test_alpha_one_needs_no_fakes(self, zipcode_table):
+        config = F2Config(alpha=1.0, seed=1)
+        scheme = F2Scheme(key=KeyGen.symmetric_from_seed(7), config=config)
+        encrypted = scheme.encrypt(zipcode_table)
+        assert encrypted.stats.num_fake_ecs == 0
+
+    def test_smaller_alpha_means_more_artificial_rows(self, zipcode_table):
+        def rows_added(alpha):
+            scheme = F2Scheme(
+                key=KeyGen.symmetric_from_seed(7), config=F2Config(alpha=alpha, seed=1)
+            )
+            return scheme.encrypt(zipcode_table).stats.rows_added_total
+
+        assert rows_added(0.1) >= rows_added(0.5)
+
+    def test_random_key_generated_when_missing(self, zipcode_table):
+        scheme = F2Scheme(config=F2Config(alpha=0.5))
+        encrypted = scheme.encrypt(zipcode_table)
+        assert encrypted.num_rows >= zipcode_table.num_rows
+
+    def test_masses_recorded_in_output(self, seeded_scheme, paper_figure3_table):
+        encrypted = seeded_scheme.encrypt(paper_figure3_table)
+        assert {str(mas) for mas in encrypted.masses} == {"{A, B}", "{B, C}"}

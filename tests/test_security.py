@@ -1,0 +1,91 @@
+"""Tests for the structural alpha-security verification and leakage measures."""
+
+import pytest
+
+from repro.core.config import F2Config
+from repro.core.encrypted import EcgSummary
+from repro.core.scheme import F2Scheme
+from repro.core.security import (
+    ciphertext_frequency_distribution,
+    frequency_hiding_score,
+    verify_alpha_security,
+)
+from repro.crypto.deterministic import DeterministicCipher
+from repro.crypto.keys import KeyGen
+from repro.exceptions import SecurityViolation
+from repro.relational.table import Relation
+
+
+class TestVerifyAlphaSecurity:
+    def test_valid_encryption_passes(self, seeded_scheme, zipcode_table):
+        encrypted = seeded_scheme.encrypt(zipcode_table)
+        report = verify_alpha_security(encrypted)
+        assert report.satisfied
+        assert report.groups_checked == len(encrypted.ecg_summaries)
+        report.raise_if_violated()  # must not raise
+
+    def test_stricter_alpha_than_encrypted_fails(self, seeded_scheme, zipcode_table):
+        encrypted = seeded_scheme.encrypt(zipcode_table)  # alpha = 0.25 -> k = 4
+        report = verify_alpha_security(encrypted, alpha=0.05)  # requires k = 20
+        assert not report.satisfied
+        with pytest.raises(SecurityViolation):
+            report.raise_if_violated()
+
+    def test_detects_undersized_group(self, seeded_scheme, zipcode_table):
+        encrypted = seeded_scheme.encrypt(zipcode_table)
+        encrypted.ecg_summaries.append(
+            EcgSummary(
+                mas_attributes=("Zipcode", "City"),
+                group_index=99,
+                num_members=1,
+                num_fake_members=0,
+                target_frequency=2,
+                instance_frequencies=(2,),
+                member_sizes=(2,),
+            )
+        )
+        assert not verify_alpha_security(encrypted).satisfied
+
+    def test_detects_heterogeneous_frequencies(self, seeded_scheme, zipcode_table):
+        encrypted = seeded_scheme.encrypt(zipcode_table)
+        encrypted.ecg_summaries.append(
+            EcgSummary(
+                mas_attributes=("Zipcode", "City"),
+                group_index=98,
+                num_members=4,
+                num_fake_members=0,
+                target_frequency=3,
+                instance_frequencies=(3, 3, 2),
+                member_sizes=(3, 3, 2),
+            )
+        )
+        assert not verify_alpha_security(encrypted).satisfied
+
+    def test_alpha_defaults_to_config(self, seeded_scheme, zipcode_table):
+        encrypted = seeded_scheme.encrypt(zipcode_table)
+        report = verify_alpha_security(encrypted)
+        assert report.alpha == encrypted.config.alpha
+
+
+class TestLeakageMeasures:
+    def test_frequency_distribution_counts(self):
+        relation = Relation(["A"], [["x"], ["x"], ["y"]])
+        counts = ciphertext_frequency_distribution(relation, "A")
+        assert counts["x"] == 2 and counts["y"] == 1
+
+    def test_deterministic_encryption_has_zero_hiding_score(self, zipcode_table):
+        cipher = DeterministicCipher(KeyGen.symmetric_from_seed(1))
+        encrypted = Relation(zipcode_table.schema)
+        for row in zipcode_table.rows():
+            encrypted.append([cipher.encrypt(value) for value in row])
+        score = frequency_hiding_score(zipcode_table, encrypted, "Zipcode")
+        assert score == pytest.approx(0.0, abs=1e-9)
+
+    def test_f2_encryption_has_positive_hiding_score(self, seeded_scheme, zipcode_table):
+        encrypted = seeded_scheme.encrypt(zipcode_table)
+        score = frequency_hiding_score(zipcode_table, encrypted.relation, "Zipcode")
+        assert score > 0.2
+
+    def test_score_of_empty_column_is_zero(self):
+        empty = Relation(["A"])
+        assert frequency_hiding_score(empty, empty, "A") == 0.0

@@ -1,0 +1,168 @@
+"""Tests for Step 2.2: splitting-and-scaling and the optimal split point."""
+
+import math
+
+import pytest
+
+from repro.core.ecg import EcgMember, EquivalenceClassGroup
+from repro.core.split_scale import build_ecg_plan, find_optimal_split_point
+from repro.exceptions import EncryptionError
+
+
+def make_group(sizes, attributes=("A", "B"), index=0):
+    """Build a collision-free ECG with real members of the given sizes."""
+    members = []
+    next_row = 0
+    for position, size in enumerate(sizes):
+        rows = tuple(range(next_row, next_row + size))
+        next_row += size
+        members.append(
+            EcgMember(representative=(f"a{position}", f"b{position}"), rows=rows)
+        )
+    return EquivalenceClassGroup(mas_attributes=attributes, members=members, index=index)
+
+
+class TestOptimalSplitPoint:
+    def test_uniform_sizes_need_no_copies_without_split(self):
+        split_point, target, copies = find_optimal_split_point([4, 4, 4], split_factor=1)
+        assert copies == 0
+        assert target == 4
+
+    def test_split_reduces_copies_for_one_large_class(self):
+        # Sizes 1,1,8 with omega=2: splitting only the large class gives
+        # target 4 and copies (4-1)+(4-1)+0 = 6; not splitting costs 14.
+        split_point, target, copies = find_optimal_split_point([1, 1, 8], split_factor=2)
+        assert copies <= 6
+        assert target <= 4
+
+    def test_no_split_when_factor_is_one(self):
+        split_point, target, copies = find_optimal_split_point([2, 3, 5], split_factor=1)
+        assert target == 5
+        assert copies == (5 - 2) + (5 - 3)
+
+    def test_single_class(self):
+        split_point, target, copies = find_optimal_split_point([6], split_factor=3)
+        assert copies in (0, 6 * 3 - 6) or copies >= 0
+        assert target >= 1
+
+    def test_copies_never_negative(self):
+        for sizes in ([1], [1, 2, 3], [5, 5, 5], [1, 10], [2, 2, 9]):
+            for omega in (1, 2, 3, 4):
+                _, _, copies = find_optimal_split_point(sorted(sizes), omega)
+                assert copies >= 0
+
+    def test_unsorted_sizes_rejected(self):
+        with pytest.raises(EncryptionError):
+            find_optimal_split_point([3, 1], split_factor=2)
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(EncryptionError):
+            find_optimal_split_point([], split_factor=2)
+
+    def test_invalid_split_factor_rejected(self):
+        with pytest.raises(EncryptionError):
+            find_optimal_split_point([1, 2], split_factor=0)
+
+    def test_exhaustive_optimality_small_cases(self):
+        """The returned copy count matches brute-force evaluation of all split points."""
+
+        def brute_force(sizes, omega):
+            best = None
+            count = len(sizes)
+            for j in range(1, count + 2):
+                unsplit_max = sizes[j - 2] if j > 1 else 0
+                if j <= count:
+                    target = max(math.ceil(sizes[-1] / omega), unsplit_max, 1)
+                else:
+                    target = max(sizes[-1], 1)
+                copies = 0
+                for index, size in enumerate(sizes, start=1):
+                    if j <= count and index >= j:
+                        copies += omega * target - size
+                    else:
+                        copies += target - size
+                if copies >= 0 and (best is None or copies < best):
+                    best = copies
+            return best
+
+        cases = [[1, 2, 8], [2, 2, 2], [1, 1, 1, 9], [3, 5, 7, 11], [1, 4]]
+        for sizes in cases:
+            for omega in (1, 2, 3):
+                _, _, copies = find_optimal_split_point(sizes, omega)
+                assert copies == brute_force(sizes, omega)
+
+
+class TestEcgPlan:
+    def test_all_instances_reach_target_frequency(self):
+        plan = build_ecg_plan(make_group([2, 3, 7]), split_factor=2)
+        frequencies = plan.instance_frequencies()
+        assert len(set(frequencies)) == 1
+        assert frequencies[0] == plan.target_frequency
+
+    def test_requirement_one_rows_are_partitioned(self):
+        """Every original row of every member appears in exactly one instance."""
+        group = make_group([2, 3, 7])
+        plan = build_ecg_plan(group, split_factor=2)
+        for member_plan in plan.member_plans:
+            planned_rows = [
+                row for instance in member_plan.instances for row in instance.original_rows
+            ]
+            assert sorted(planned_rows) == sorted(member_plan.member.rows)
+
+    def test_variants_are_unique_per_instance(self):
+        plan = build_ecg_plan(make_group([4, 4, 8]), split_factor=2, namespace="m0")
+        variants = [
+            instance.variant
+            for member_plan in plan.member_plans
+            for instance in member_plan.instances
+        ]
+        assert len(variants) == len(set(variants))
+
+    def test_namespace_included_in_variants(self):
+        plan = build_ecg_plan(make_group([2, 2]), split_factor=1, namespace="mas7")
+        for member_plan in plan.member_plans:
+            for instance in member_plan.instances:
+                assert instance.variant.startswith("mas7|")
+
+    def test_keep_pairs_together_guard(self):
+        """With the guard, no split chunk of a real class holds a single original row."""
+        plan = build_ecg_plan(make_group([2, 2, 2]), split_factor=4, keep_pairs_together=True)
+        for member_plan in plan.member_plans:
+            for instance in member_plan.instances:
+                if instance.original_rows:
+                    assert len(instance.original_rows) >= 2
+
+    def test_guard_disabled_allows_small_chunks(self):
+        plan = build_ecg_plan(make_group([2, 2, 4]), split_factor=4, keep_pairs_together=False)
+        chunk_sizes = [
+            len(instance.original_rows)
+            for member_plan in plan.member_plans
+            for instance in member_plan.instances
+        ]
+        assert min(chunk_sizes) <= 1
+
+    def test_copies_added_matches_difference(self):
+        group = make_group([1, 2, 5])
+        plan = build_ecg_plan(group, split_factor=2)
+        original_rows = sum(member.size for member in group.members)
+        planned_rows = sum(plan.instance_frequencies())
+        assert plan.copies_added == planned_rows - original_rows
+
+    def test_fake_members_are_never_split(self):
+        fake = EcgMember(representative=("f1", "f2"), rows=(), is_fake=True, fake_tokens=("t1", "t2"), fake_size=4)
+        group = EquivalenceClassGroup(
+            mas_attributes=("A", "B"),
+            members=[EcgMember(representative=("a", "b"), rows=(0, 1, 2, 3)), fake],
+            index=0,
+        )
+        plan = build_ecg_plan(group, split_factor=3)
+        fake_plan = next(p for p in plan.member_plans if p.member.is_fake)
+        assert len(fake_plan.instances) == 1
+        assert not fake_plan.was_split
+
+    def test_split_marks_was_split(self):
+        plan = build_ecg_plan(make_group([1, 1, 12]), split_factor=2)
+        split_flags = {
+            member_plan.member.size: member_plan.was_split for member_plan in plan.member_plans
+        }
+        assert split_flags[12] is True
