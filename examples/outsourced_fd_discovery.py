@@ -1,15 +1,17 @@
 """Outsourced FD discovery on a TPC-H-style Orders table.
 
-This is the paper's motivating scenario (database-as-a-service): the data
-owner holds an Orders table whose schema quality she wants a service provider
-to analyse, but the order details are confidential.  The example shows the
-complete round trip at a realistic (laptop) scale:
+This is the paper's motivating scenario (database-as-a-service), driven
+through the protocol API: a :class:`repro.DataOwner` holds an Orders table
+whose schema quality she wants a :class:`repro.ServiceProvider` to analyse,
+but the order details are confidential.  The example shows the complete
+round trip at a realistic (laptop) scale:
 
-* generate the Orders table and encrypt it with F2,
-* "ship" the ciphertext to the server (here: a CSV file on disk),
-* the server loads the CSV, runs TANE, and returns the FDs it found,
-* the owner verifies the returned FDs against her plaintext and reports the
-  cost split (local encryption vs. what local discovery would have cost her).
+* the owner generates the Orders table and outsources it with F2,
+* the ciphertext is "shipped" to the server (here: a CSV file on disk),
+* the provider loads the CSV, runs TANE, and returns the FDs it found,
+* the owner validates the returned FDs against her plaintext and reports the
+  cost split (local encryption vs. what local discovery would have cost her),
+  using the stage timings recorded by the pipeline hooks.
 
 Run with::
 
@@ -20,42 +22,44 @@ from __future__ import annotations
 
 import sys
 import tempfile
-import time
 from pathlib import Path
 
-from repro import F2Config, F2Scheme, KeyGen
+from repro import DataOwner, F2Config, ServiceProvider, StageRecorder
 from repro.datasets import generate_orders
-from repro.fd import tane
 from repro.fd.tane import tane_with_stats
 from repro.relational.csvio import read_csv, write_csv
 
 
 def owner_encrypts(num_rows: int, outbox: Path):
-    """Data-owner side: generate, encrypt, and export the ciphertext CSV."""
+    """Data-owner side: generate, outsource, and export the ciphertext CSV."""
     table = generate_orders(num_rows, seed=3)
-    config = F2Config(alpha=0.25, split_factor=2, seed=3)
-    scheme = F2Scheme(key=KeyGen.symmetric_from_seed(99), config=config)
-
-    started = time.perf_counter()
-    encrypted = scheme.encrypt(table)
-    encryption_seconds = time.perf_counter() - started
+    recorder = StageRecorder()
+    owner = DataOwner.from_seed(
+        99, config=F2Config(alpha=0.25, split_factor=2, seed=3), hooks=[recorder]
+    )
+    encrypted = owner.outsource(table)
 
     ciphertext_path = outbox / "orders_encrypted.csv"
-    write_csv(encrypted.server_view(), ciphertext_path)
+    write_csv(owner.server_view(), ciphertext_path)
     print(
         f"[owner]  encrypted {table.num_rows} rows -> {encrypted.num_rows} ciphertext rows "
-        f"in {encryption_seconds:.2f}s; wrote {ciphertext_path.name}"
+        f"in {recorder.total_seconds:.2f}s; wrote {ciphertext_path.name}"
     )
-    return table, scheme, encrypted, ciphertext_path, encryption_seconds
+    stage_split = ", ".join(
+        f"{record.stage}={record.seconds:.2f}s" for record in recorder.records
+    )
+    print(f"[owner]  stage split: {stage_split}")
+    return owner, ciphertext_path, recorder.total_seconds
 
 
 def server_discovers(ciphertext_path: Path):
     """Service-provider side: load the ciphertext and discover FDs with TANE."""
-    server_table = read_csv(ciphertext_path)
-    result = tane_with_stats(server_table, max_lhs_size=4)
+    provider = ServiceProvider(name="discovery-service")
+    provider.receive(read_csv(ciphertext_path))
+    result = provider.discover_fds(max_lhs_size=4)
     print(
         f"[server] discovered {len(result.fds)} FDs on the ciphertext "
-        f"in {result.elapsed_seconds:.2f}s ({server_table.num_rows} rows)"
+        f"in {result.elapsed_seconds:.2f}s ({provider.num_rows} rows)"
     )
     return result
 
@@ -64,16 +68,14 @@ def main() -> None:
     num_rows = int(sys.argv[1]) if len(sys.argv) > 1 else 1200
     with tempfile.TemporaryDirectory(prefix="f2-outsourcing-") as workdir:
         outbox = Path(workdir)
-        table, scheme, encrypted, ciphertext_path, encryption_seconds = owner_encrypts(
-            num_rows, outbox
-        )
+        owner, ciphertext_path, encryption_seconds = owner_encrypts(num_rows, outbox)
         server_result = server_discovers(ciphertext_path)
 
         # Owner-side verification: are the returned FDs exactly the FDs of D?
         # (The server returns dependencies over ciphertext *values*; their
         # attribute structure is what the owner consumes, e.g. for
         # normalisation, so the comparison is on the dependency sets.)
-        local = tane_with_stats(table, max_lhs_size=4)
+        local = tane_with_stats(owner.plaintext, max_lhs_size=4)
         preserved = local.fds.equivalent_to(server_result.fds)
         print(f"[owner]  returned FDs match the plaintext FDs: {preserved}")
         print(

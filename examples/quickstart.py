@@ -15,8 +15,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import F2Config, F2Scheme, KeyGen, Relation, verify_alpha_security
-from repro.fd import tane
+from repro import DataOwner, F2Config, Relation, ServiceProvider
 
 
 def build_table() -> Relation:
@@ -38,10 +37,10 @@ def main() -> None:
     table = build_table()
     print(f"Plaintext table: {table.num_rows} rows x {table.num_attributes} attributes")
 
-    # --- Data owner: encrypt with F2 -----------------------------------
+    # --- Data owner: encrypt with F2 and outsource -----------------------
     config = F2Config(alpha=0.5, split_factor=2, seed=7)
-    scheme = F2Scheme(key=KeyGen.symmetric_from_seed(42), config=config)
-    encrypted = scheme.encrypt(table)
+    owner = DataOwner.from_seed(42, config=config)
+    encrypted = owner.outsource(table)
     print(
         f"Encrypted table: {encrypted.num_rows} rows "
         f"({encrypted.num_rows - table.num_rows} artificial), "
@@ -50,21 +49,21 @@ def main() -> None:
     print(f"Maximal attribute sets found: {[str(mas) for mas in encrypted.masses]}")
 
     # --- Service provider: discover FDs on the ciphertext ---------------
-    server_table = encrypted.server_view()
-    server_fds = tane(server_table)
+    provider = ServiceProvider()
+    provider.receive(owner.server_view())
+    discovery = provider.discover_fds()
     print("\nFDs the server discovers on the ciphertext:")
-    for fd in server_fds:
+    for fd in discovery.fds:
         print(f"  {fd}")
 
     # --- Data owner: validate the result --------------------------------
-    owner_fds = tane(table)
-    preserved = owner_fds.equivalent_to(server_fds)
+    preserved = owner.validate_fds(discovery.fds)
     print(f"\nFDs preserved exactly: {preserved}")
 
-    security = verify_alpha_security(encrypted)
+    security = owner.audit_security()
     print(f"Alpha-security structural check: {'OK' if security.satisfied else security.violations}")
 
-    decrypted = scheme.decrypt(encrypted)
+    decrypted = owner.decrypt()
     roundtrip = sorted(map(tuple, decrypted.rows())) == sorted(
         tuple(map(str, row)) for row in table.rows()
     )

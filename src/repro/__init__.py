@@ -10,24 +10,37 @@ relational table to an untrusted server such that
 * the value-frequency distribution is hidden, with a provable
   ``alpha``-security bound against frequency-analysis attacks.
 
-Quickstart
-----------
->>> from repro import F2Config, F2Scheme, Relation
->>> from repro.fd import tane
+Quickstart — the session API models the paper's two-party protocol:
+
+>>> from repro import DataOwner, F2Config, Relation, ServiceProvider
 >>> table = Relation(
 ...     ["Zipcode", "City", "Street"],
 ...     [["07030", "Hoboken", "Washington"], ["07030", "Hoboken", "Hudson"],
 ...      ["07302", "Jersey City", "Grove"], ["07302", "Jersey City", "Newark"]],
 ... )
->>> scheme = F2Scheme(config=F2Config(alpha=0.5))
->>> encrypted = scheme.encrypt(table)
+>>> owner = DataOwner.from_seed(42, config=F2Config(alpha=0.5))
+>>> provider = ServiceProvider()
+>>> encrypted = owner.outsource(table)
+>>> rows_shipped = provider.receive(encrypted.server_view())
+>>> discovery = provider.discover_fds()
+>>> owner.validate_fds(discovery.fds)
+True
+>>> updated = owner.insert_rows([["07302", "Jersey City", "Montgomery"]])
+>>> recovered = owner.decrypt()
+
+The legacy one-shot facade is still available:
+
+>>> from repro import F2Scheme
+>>> encrypted = F2Scheme(config=F2Config(alpha=0.5)).encrypt(table)
 
 The top-level namespace re-exports the objects most users need; the
-subpackages (:mod:`repro.relational`, :mod:`repro.fd`, :mod:`repro.crypto`,
-:mod:`repro.core`, :mod:`repro.attack`, :mod:`repro.datasets`,
-:mod:`repro.bench`) hold the full API.
+subpackages (:mod:`repro.api`, :mod:`repro.relational`, :mod:`repro.fd`,
+:mod:`repro.crypto`, :mod:`repro.core`, :mod:`repro.attack`,
+:mod:`repro.datasets`, :mod:`repro.bench`) hold the full API.
 """
 
+from repro.api.pipeline import EncryptionPipeline, StageHook, StageRecorder
+from repro.api.session import DataOwner, ServiceProvider, run_protocol
 from repro.core.config import F2Config
 from repro.core.encrypted import EncryptedTable
 from repro.core.scheme import F2Scheme
@@ -43,13 +56,15 @@ from repro.exceptions import (
 from repro.relational.schema import Schema
 from repro.relational.table import Relation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ConfigurationError",
+    "DataOwner",
     "DecryptionError",
     "EncryptedTable",
     "EncryptionError",
+    "EncryptionPipeline",
     "F2Config",
     "F2Scheme",
     "KeyGen",
@@ -57,6 +72,10 @@ __all__ = [
     "ReproError",
     "Schema",
     "SecurityViolation",
+    "ServiceProvider",
+    "StageHook",
+    "StageRecorder",
+    "run_protocol",
     "verify_alpha_security",
     "__version__",
 ]

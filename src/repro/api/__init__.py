@@ -1,0 +1,67 @@
+"""repro.api: the layered protocol API of the F2 reproduction.
+
+Three layers, bottom up:
+
+* :mod:`repro.api.pipeline` / :mod:`repro.api.stages` — the composable
+  :class:`EncryptionPipeline`: the four F2 steps (plus materialisation and
+  the optional repair pass) as pluggable :class:`Stage` objects threaded
+  through an :class:`EncryptionContext`, instrumented via :class:`StageHook`.
+* :mod:`repro.api.session` — :class:`DataOwner` and :class:`ServiceProvider`
+  model the paper's two-party outsourcing workflow end to end.
+* :mod:`repro.api.incremental` — batch :func:`insert_rows` against an
+  already outsourced table, reusing the owner's retained ECG plans.
+
+The legacy :class:`repro.F2Scheme` remains available as a thin facade over
+the pipeline; new code should prefer the session objects.
+"""
+
+from repro.api.incremental import IncrementalReport, insert_rows
+from repro.api.pipeline import (
+    EncryptionContext,
+    EncryptionPipeline,
+    Stage,
+    StageHook,
+    StageRecord,
+    StageRecorder,
+    TimingHook,
+)
+from repro.api.session import (
+    DataOwner,
+    ServiceProvider,
+    decrypt_cell,
+    decrypt_table,
+    run_protocol,
+)
+from repro.api.stages import (
+    ConflictResolutionStage,
+    FalsePositiveStage,
+    MasDiscoveryStage,
+    MaterializeStage,
+    SplitScaleStage,
+    VerifyRepairStage,
+    default_stages,
+)
+
+__all__ = [
+    "ConflictResolutionStage",
+    "DataOwner",
+    "EncryptionContext",
+    "EncryptionPipeline",
+    "FalsePositiveStage",
+    "IncrementalReport",
+    "MasDiscoveryStage",
+    "MaterializeStage",
+    "ServiceProvider",
+    "SplitScaleStage",
+    "Stage",
+    "StageHook",
+    "StageRecord",
+    "StageRecorder",
+    "TimingHook",
+    "VerifyRepairStage",
+    "decrypt_cell",
+    "decrypt_table",
+    "default_stages",
+    "insert_rows",
+    "run_protocol",
+]

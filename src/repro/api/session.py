@@ -1,0 +1,277 @@
+"""The two-party protocol surface: :class:`DataOwner` and :class:`ServiceProvider`.
+
+The paper's workflow (Section 1, Figure 2) is a protocol between two
+parties, not a function call:
+
+1. the **data owner** encrypts her relation with F2 and ships only the
+   ciphertext relation (the *server view*) to the provider,
+2. the **service provider** runs FD discovery (TANE) on the ciphertext and
+   returns the dependencies it found,
+3. the owner validates the returned dependencies against her plaintext and
+   decrypts locally whenever she needs her records back.
+
+These session objects model exactly that: the owner retains the key, the
+plaintext, and the pipeline context (plans + fresh-value factory) as local
+state, which is also what makes *incremental* updates possible —
+:meth:`DataOwner.insert_rows` appends a batch to the outsourced relation by
+reusing the retained plans (see :mod:`repro.api.incremental`).
+
+::
+
+    owner = DataOwner(key=KeyGen.symmetric_from_seed(1))
+    provider = ServiceProvider()
+    encrypted = owner.outsource(relation)
+    provider.receive(encrypted.server_view())
+    discovery = provider.discover_fds()
+    assert owner.validate_fds(discovery.fds)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.api.incremental import IncrementalReport, insert_rows as _insert_rows
+from repro.api.pipeline import EncryptionContext, EncryptionPipeline, StageHook
+from repro.core.config import F2Config
+from repro.core.encrypted import EncryptedTable
+from repro.core.security import SecurityReport, verify_alpha_security
+from repro.crypto.keys import KeyGen, SymmetricKey
+from repro.crypto.probabilistic import Ciphertext, ProbabilisticCipher
+from repro.exceptions import DecryptionError, EncryptionError
+from repro.fd.fd import FDSet
+from repro.fd.tane import TaneResult, tane, tane_with_stats
+from repro.relational.table import Relation
+
+
+# ----------------------------------------------------------------------
+# Decryption helpers (the inverse of materialisation; shared with the
+# legacy F2Scheme facade)
+# ----------------------------------------------------------------------
+def decrypt_cell(cell: object, cipher: ProbabilisticCipher) -> str:
+    """Decrypt a single authentic ciphertext cell."""
+    if not isinstance(cell, Ciphertext):
+        raise DecryptionError(f"cell is not a ciphertext: {cell!r}")
+    return cipher.decrypt(cell)
+
+
+def decrypt_table(encrypted: EncryptedTable, cipher: ProbabilisticCipher) -> Relation:
+    """Reconstruct the original plaintext relation from an F2 output.
+
+    Artificial rows are dropped; original records are reassembled from the
+    authentic cells of the rows derived from them (a record replaced by
+    conflict resolution is spread over two ciphertext rows).
+    """
+    schema = encrypted.relation.schema
+    groups = encrypted.original_row_groups()
+    if not groups:
+        raise DecryptionError("the encrypted table contains no original rows")
+    recovered = Relation(schema, name=f"{encrypted.relation.name}-decrypted")
+    for original_index in sorted(groups):
+        values: dict[str, str] = {}
+        for row_index in groups[original_index]:
+            provenance = encrypted.provenance[row_index]
+            for attr in provenance.authentic_attributes:
+                if attr in values:
+                    continue
+                cell = encrypted.relation.value(row_index, attr)
+                values[attr] = decrypt_cell(cell, cipher)
+        missing = [attr for attr in schema if attr not in values]
+        if missing:
+            raise DecryptionError(
+                f"original row {original_index} cannot be reconstructed; "
+                f"missing attributes {missing}"
+            )
+        recovered.append([values[attr] for attr in schema])
+    return recovered
+
+
+class DataOwner:
+    """The owner side of the outsourcing protocol.
+
+    Holds the symmetric key, the configuration, and — once a relation has
+    been outsourced — the plaintext and the pipeline context needed to
+    decrypt, audit, and incrementally extend the encrypted table.
+
+    Parameters
+    ----------
+    key:
+        The owner's symmetric key (``None`` generates a fresh random key).
+    config:
+        The :class:`F2Config`; defaults are the paper's common setting.
+    hooks:
+        Optional extra :class:`StageHook` instances attached to every
+        pipeline run (e.g. a :class:`repro.api.pipeline.StageRecorder`).
+    """
+
+    def __init__(
+        self,
+        key: SymmetricKey | None = None,
+        config: F2Config | None = None,
+        hooks: list[StageHook] | None = None,
+    ):
+        self.pipeline = EncryptionPipeline(key=key, config=config, hooks=hooks)
+        self._context: EncryptionContext | None = None
+        self._encrypted: EncryptedTable | None = None
+        self._last_report: IncrementalReport | None = None
+
+    # ------------------------------------------------------------------
+    # Key material / configuration
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> SymmetricKey:
+        return self.pipeline.key
+
+    @property
+    def config(self) -> F2Config:
+        return self.pipeline.config
+
+    @classmethod
+    def from_seed(cls, seed: int, config: F2Config | None = None, **kwargs) -> "DataOwner":
+        """An owner with a key derived from ``seed`` (reproducible runs)."""
+        return cls(key=KeyGen.symmetric_from_seed(seed), config=config, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Outsourcing
+    # ------------------------------------------------------------------
+    def outsource(self, relation: Relation) -> EncryptedTable:
+        """Encrypt ``relation`` and retain the owner-side state.
+
+        Returns the full :class:`EncryptedTable`; ship only
+        ``table.server_view()`` to the provider.
+        """
+        ctx = self.pipeline.new_context(relation.copy())
+        encrypted = self.pipeline.execute(ctx)
+        self._context = ctx
+        self._encrypted = encrypted
+        self._last_report = None
+        return encrypted
+
+    # Alias kept for symmetry with the legacy facade vocabulary.
+    encrypt = outsource
+
+    def insert_rows(
+        self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]
+    ) -> EncryptedTable:
+        """Append a batch of plaintext rows to the outsourced relation.
+
+        Re-encrypts incrementally by reusing the retained ECG plans and
+        re-running split-and-scale only where equivalence-class frequencies
+        changed; falls back to a full run when the batch changes the MAS
+        structure.  The per-call report is available as
+        :attr:`last_update_report` and in ``table.metadata['update']``.
+        """
+        if self._context is None:
+            raise EncryptionError("no outsourced table; call outsource() first")
+        ctx, encrypted, report = _insert_rows(self.pipeline, self._context, list(rows))
+        self._context = ctx
+        self._encrypted = encrypted
+        self._last_report = report
+        return encrypted
+
+    @property
+    def last_update_report(self) -> IncrementalReport | None:
+        """The report of the most recent :meth:`insert_rows` call, if any."""
+        return self._last_report
+
+    # ------------------------------------------------------------------
+    # Owner-side state
+    # ------------------------------------------------------------------
+    @property
+    def encrypted(self) -> EncryptedTable:
+        if self._encrypted is None:
+            raise EncryptionError("no outsourced table; call outsource() first")
+        return self._encrypted
+
+    @property
+    def plaintext(self) -> Relation:
+        """The owner's current plaintext (original rows plus inserted batches)."""
+        if self._context is None:
+            raise EncryptionError("no outsourced table; call outsource() first")
+        return self._context.relation
+
+    def server_view(self) -> Relation:
+        """The ciphertext relation to ship to the provider."""
+        return self.encrypted.server_view()
+
+    # ------------------------------------------------------------------
+    # Validation / audit / decryption
+    # ------------------------------------------------------------------
+    def expected_fds(self, max_lhs_size: int | None = None) -> FDSet:
+        """The FDs of the owner's plaintext (what the provider should find)."""
+        return tane(self.plaintext, max_lhs_size=max_lhs_size)
+
+    def validate_fds(self, fds: FDSet, max_lhs_size: int | None = None) -> bool:
+        """True iff the provider's dependencies match the plaintext's exactly."""
+        return self.expected_fds(max_lhs_size=max_lhs_size).equivalent_to(fds)
+
+    def audit_security(self, alpha: float | None = None) -> SecurityReport:
+        """Structural alpha-security check of the current encrypted table."""
+        return verify_alpha_security(self.encrypted, alpha=alpha)
+
+    def decrypt(self, encrypted: EncryptedTable | None = None) -> Relation:
+        """Decrypt ``encrypted`` (default: the owner's current table)."""
+        return decrypt_table(encrypted or self.encrypted, self.pipeline.cipher)
+
+    def decrypt_cell(self, cell: object) -> str:
+        """Decrypt a single authentic ciphertext cell."""
+        return decrypt_cell(cell, self.pipeline.cipher)
+
+
+class ServiceProvider:
+    """The untrusted server side of the outsourcing protocol.
+
+    Only ever sees ciphertext relations; offers FD discovery as its service.
+    """
+
+    def __init__(self, name: str = "service-provider"):
+        self.name = name
+        self._table: Relation | None = None
+        self._last_discovery: TaneResult | None = None
+
+    def receive(self, relation: Relation) -> int:
+        """Accept an outsourced (ciphertext) relation; returns its row count.
+
+        Each call replaces the previously received table — the owner ships a
+        fresh server view after every (batch of) update(s).
+        """
+        self._table = relation
+        return relation.num_rows
+
+    @property
+    def table(self) -> Relation:
+        if self._table is None:
+            raise EncryptionError(f"{self.name} has not received a table yet")
+        return self._table
+
+    @property
+    def num_rows(self) -> int:
+        return self.table.num_rows
+
+    def discover_fds(self, max_lhs_size: int | None = None) -> TaneResult:
+        """Run TANE on the received ciphertext and return FDs plus counters."""
+        result = tane_with_stats(self.table, max_lhs_size=max_lhs_size)
+        self._last_discovery = result
+        return result
+
+    @property
+    def last_discovery(self) -> TaneResult | None:
+        return self._last_discovery
+
+
+def run_protocol(
+    owner: DataOwner,
+    provider: ServiceProvider,
+    relation: Relation,
+    max_lhs_size: int | None = None,
+) -> TaneResult:
+    """Drive one full outsourcing round trip and return the discovery result.
+
+    Convenience for examples and tests: the owner outsources ``relation``,
+    the provider discovers FDs on the server view, and the owner's validation
+    result is attached to ``result.parameters['validated']``.
+    """
+    owner.outsource(relation)
+    provider.receive(owner.server_view())
+    result = provider.discover_fds(max_lhs_size=max_lhs_size)
+    result.parameters["validated"] = owner.validate_fds(result.fds, max_lhs_size=max_lhs_size)
+    return result

@@ -1,0 +1,317 @@
+"""The standard F2 pipeline stages.
+
+Each stage wraps one step of the paper's algorithm (plus the two
+implementation extras, materialisation and the optional verify/repair pass)
+around the step modules in :mod:`repro.core`.  The stage list produced by
+:func:`default_stages` reproduces the legacy ``F2Scheme.encrypt`` monolith
+operation for operation, so a seeded run through the pipeline is
+byte-for-byte identical to the historical output.
+"""
+
+from __future__ import annotations
+
+from repro.api.pipeline import EncryptionContext, Stage
+from repro.core.conflict import MasPlan, assemble_row_plans, validate_assembly
+from repro.core.config import F2Config
+from repro.core.ecg import build_equivalence_class_groups
+from repro.core.encrypted import EcgSummary, EncryptedTable, RowProvenance
+from repro.core.false_positive import build_violation_pairs, eliminate_false_positives
+from repro.core.plan import (
+    FreshCell,
+    FreshValueFactory,
+    InstanceCell,
+    RandomCell,
+    RowPlan,
+)
+from repro.core.split_scale import build_ecg_plan
+from repro.core.stats import EncryptionStats
+from repro.crypto.probabilistic import Ciphertext, ProbabilisticCipher
+from repro.exceptions import EncryptionError
+from repro.fd.mas import MaximalAttributeSet, find_mas_with_stats
+from repro.fd.tane import tane
+from repro.fd.verify import fd_holds, violating_row_pairs
+from repro.relational.partition import Partition
+from repro.relational.table import Relation
+
+
+def mas_namespace(index: int, mas: MaximalAttributeSet) -> str:
+    """The variant namespace of one MAS (stable across incremental updates)."""
+    return f"mas{index}:{','.join(mas.attributes)}"
+
+
+def record_planning_stats(stats: EncryptionStats, mas_plans: list[MasPlan]) -> None:
+    """Derive the grouping/splitting counters of ``stats`` from the plans.
+
+    Both the full pipeline and the incremental updater call this, so the
+    counters always describe the plans actually in effect rather than
+    whatever increments happened to run.
+    """
+    stats.num_equivalence_classes = sum(
+        1
+        for plan in mas_plans
+        for group in plan.grouping.groups
+        for member in group.members
+        if not member.is_fake
+    )
+    stats.num_fake_ecs = sum(
+        1
+        for plan in mas_plans
+        for group in plan.grouping.groups
+        for member in group.members
+        if member.is_fake
+    )
+    stats.num_ecgs = sum(len(plan.grouping.groups) for plan in mas_plans)
+    stats.num_split_ecs = sum(
+        1
+        for plan in mas_plans
+        for ecg_plan in plan.ecg_plans
+        for member_plan in ecg_plan.member_plans
+        if member_plan.was_split
+    )
+
+
+def plan_single_mas(
+    relation: Relation,
+    index: int,
+    mas: MaximalAttributeSet,
+    config: F2Config,
+    fresh_factory: FreshValueFactory,
+) -> MasPlan:
+    """Group and split/scale one MAS (Step 2 for a single attribute set)."""
+    partition = Partition.build(relation, mas.attributes)
+    grouping = build_equivalence_class_groups(partition, config.group_size, fresh_factory)
+    plan = MasPlan(index=index, mas=mas, grouping=grouping)
+    for group in grouping.groups:
+        plan.ecg_plans.append(
+            build_ecg_plan(
+                group,
+                config.split_factor,
+                keep_pairs_together=config.keep_pairs_together,
+                namespace=mas_namespace(index, mas),
+            )
+        )
+    return plan
+
+
+def materialize_row_plans(
+    relation: Relation,
+    row_plans: list[RowPlan],
+    cipher: ProbabilisticCipher,
+    fresh_factory: FreshValueFactory,
+) -> tuple[Relation, list[RowProvenance]]:
+    """Turn symbolic row plans into a ciphertext relation plus provenance."""
+    schema = relation.schema
+    encrypted_relation = Relation(schema, name=f"{relation.name}-encrypted")
+    provenance: list[RowProvenance] = []
+    instance_cache: dict[tuple[str, str, str], Ciphertext] = {}
+
+    for plan in row_plans:
+        row = []
+        for attr in schema:
+            spec = plan.cells[attr]
+            if isinstance(spec, InstanceCell):
+                key = spec.cache_key()
+                cached = instance_cache.get(key)
+                if cached is None:
+                    cached = cipher.encrypt(spec.value, variant=spec.variant)
+                    instance_cache[key] = cached
+                row.append(cached)
+            elif isinstance(spec, RandomCell):
+                row.append(cipher.encrypt(spec.value, variant=None))
+            elif isinstance(spec, FreshCell):
+                row.append(fresh_factory.materialize(spec.token))
+            else:  # pragma: no cover - defensive
+                raise EncryptionError(f"unknown cell specification: {spec!r}")
+        encrypted_relation.append(row)
+        provenance.append(
+            RowProvenance(
+                kind=plan.provenance.kind,
+                source_row=plan.provenance.source_row,
+                authentic_attributes=plan.provenance.authentic_attributes,
+            )
+        )
+    return encrypted_relation, provenance
+
+
+def summarise_groups(mas_plans: list[MasPlan]) -> list[EcgSummary]:
+    """Owner-side ECG summaries (consumed by the alpha-security audit)."""
+    summaries: list[EcgSummary] = []
+    for mas_plan in mas_plans:
+        for ecg_plan in mas_plan.ecg_plans:
+            summaries.append(
+                EcgSummary(
+                    mas_attributes=mas_plan.attributes,
+                    group_index=ecg_plan.group.index,
+                    num_members=len(ecg_plan.group.members),
+                    num_fake_members=ecg_plan.group.num_fake_members,
+                    target_frequency=ecg_plan.target_frequency,
+                    instance_frequencies=tuple(ecg_plan.instance_frequencies()),
+                    member_sizes=tuple(ecg_plan.group.sizes),
+                )
+            )
+    return summaries
+
+
+# ----------------------------------------------------------------------
+# Stages
+# ----------------------------------------------------------------------
+class MasDiscoveryStage:
+    """Step 1: find the maximal attribute sets of the plaintext."""
+
+    name = "MAX"
+
+    def run(self, ctx: EncryptionContext) -> None:
+        ctx.mas_result = find_mas_with_stats(
+            ctx.relation, strategy=ctx.config.mas_strategy, seed=ctx.config.seed
+        )
+        ctx.stats.num_masses = len(ctx.mas_result.masses)
+        ctx.stats.num_overlapping_mas_pairs = len(ctx.mas_result.overlapping_pairs())
+
+
+class SplitScaleStage:
+    """Step 2: grouping plus splitting-and-scaling, planned per MAS."""
+
+    name = "SSE"
+
+    def run(self, ctx: EncryptionContext) -> None:
+        ctx.mas_plans = [
+            plan_single_mas(ctx.relation, index, mas, ctx.config, ctx.fresh_factory)
+            for index, mas in enumerate(ctx.masses)
+        ]
+        record_planning_stats(ctx.stats, ctx.mas_plans)
+
+
+class ConflictResolutionStage:
+    """Step 3: synchronise the per-MAS plans into one row-plan list."""
+
+    name = "SYN"
+
+    def run(self, ctx: EncryptionContext) -> None:
+        assembly = assemble_row_plans(
+            ctx.relation,
+            ctx.mas_plans,
+            ctx.fresh_factory,
+            resolve_conflicts=ctx.config.resolve_conflicts,
+            seed=ctx.config.seed,
+        )
+        validate_assembly(assembly, ctx.relation)
+        ctx.assembly = assembly
+        ctx.row_plans = list(assembly.row_plans)
+        ctx.stats.num_conflicting_tuples = assembly.conflicting_tuples
+        ctx.stats.rows_added_conflict = assembly.conflict_rows_added
+        ctx.stats.rows_added_scale = assembly.scaling_rows_added
+        ctx.stats.rows_added_group = assembly.fake_ec_rows_added
+
+
+class FalsePositiveStage:
+    """Step 4: insert artificial violation pairs for false-positive FDs."""
+
+    name = "FP"
+
+    def run(self, ctx: EncryptionContext) -> None:
+        if not ctx.config.eliminate_false_positives:
+            return
+        fp_result = eliminate_false_positives(
+            ctx.relation, ctx.mas_plans, ctx.config.group_size, ctx.fresh_factory
+        )
+        ctx.row_plans.extend(fp_result.row_plans)
+        ctx.stats.num_false_positive_nodes = fp_result.num_triggered
+        ctx.stats.rows_added_false_positive = fp_result.rows_added
+
+
+class MaterializeStage:
+    """Produce the ciphertext relation and assemble the encrypted table."""
+
+    name = "MATERIALIZE"
+
+    def run(self, ctx: EncryptionContext) -> None:
+        encrypted_relation, provenance = materialize_row_plans(
+            ctx.relation, ctx.row_plans, ctx.cipher, ctx.fresh_factory
+        )
+        ctx.encrypted_relation = encrypted_relation
+        ctx.provenance = provenance
+        ctx.result = EncryptedTable(
+            relation=encrypted_relation,
+            provenance=provenance,
+            config=ctx.config,
+            stats=ctx.stats,
+            masses=list(ctx.masses),
+            ecg_summaries=summarise_groups(ctx.mas_plans),
+            metadata=dict(ctx.metadata),
+        )
+
+
+class VerifyRepairStage:
+    """Optional strict pass: repair residual false-positive FDs.
+
+    The repair produces a *fresh* stats object for the repaired table (the
+    pipeline's immutable-result convention): the pre-repair table keeps the
+    counters it was built with, and the context switches to the new stats so
+    the total timer lands on the table actually returned.
+    """
+
+    name = "REPAIR"
+
+    def run(self, ctx: EncryptionContext) -> None:
+        if not ctx.config.verify_and_repair:
+            return
+        encrypted = ctx.result
+        if encrypted is None:
+            raise EncryptionError("verify/repair requires a materialised table")
+        config = ctx.config
+        ciphertext_fds = tane(encrypted.relation, max_lhs_size=config.verify_max_lhs)
+        repaired_plans: list[RowPlan] = []
+        repaired = 0
+        for fd in ciphertext_fds:
+            if fd_holds(ctx.relation, fd):
+                continue
+            witnesses = violating_row_pairs(ctx.relation, fd, limit=config.group_size)
+            if not witnesses:
+                continue
+            repaired += 1
+            repaired_plans.extend(
+                build_violation_pairs(ctx.relation, witnesses, config.group_size, ctx.fresh_factory)
+            )
+        if not repaired_plans:
+            return
+        extra_relation, extra_provenance = materialize_row_plans(
+            ctx.relation, repaired_plans, ctx.cipher, ctx.fresh_factory
+        )
+        merged_relation = encrypted.relation.concat(extra_relation)
+        merged_provenance = list(encrypted.provenance) + [
+            RowProvenance(kind="repair", source_row=None, authentic_attributes=frozenset())
+            for _ in extra_provenance
+        ]
+        new_stats = ctx.stats.copy()
+        new_stats.num_repaired_false_positives = repaired
+        new_stats.rows_added_false_positive += len(extra_provenance)
+        ctx.stats = new_stats
+        ctx.row_plans = ctx.row_plans + repaired_plans
+        ctx.encrypted_relation = merged_relation
+        ctx.provenance = merged_provenance
+        ctx.result = EncryptedTable(
+            relation=merged_relation,
+            provenance=merged_provenance,
+            config=encrypted.config,
+            stats=new_stats,
+            masses=encrypted.masses,
+            ecg_summaries=encrypted.ecg_summaries,
+            metadata=encrypted.metadata,
+        )
+
+
+def default_stages(config: F2Config) -> list[Stage]:
+    """The standard F2 stage sequence for ``config``.
+
+    ``FP`` and ``REPAIR`` gate themselves on the configuration, so the list
+    is the same surface for every config; ablations can still drop or swap
+    entries explicitly.
+    """
+    return [
+        MasDiscoveryStage(),
+        SplitScaleStage(),
+        ConflictResolutionStage(),
+        FalsePositiveStage(),
+        MaterializeStage(),
+        VerifyRepairStage(),
+    ]

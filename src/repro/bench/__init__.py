@@ -14,6 +14,7 @@ from repro.bench.harness import (
     dataset_by_name,
     measure_baselines,
     run_f2,
+    run_f2_with_stages,
     time_tane,
 )
 from repro.bench.reporting import format_table, write_csv
@@ -39,6 +40,7 @@ __all__ = [
     "format_table",
     "measure_baselines",
     "run_f2",
+    "run_f2_with_stages",
     "sec54_local_vs_outsourcing",
     "security_attack_evaluation",
     "table1_dataset_description",

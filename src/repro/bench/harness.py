@@ -13,9 +13,9 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.api.pipeline import EncryptionPipeline, StageRecord, StageRecorder
 from repro.core.config import F2Config
 from repro.core.encrypted import EncryptedTable
-from repro.core.scheme import F2Scheme
 from repro.crypto.deterministic import DeterministicCipher
 from repro.crypto.keys import KeyGen
 from repro.crypto.paillier import PaillierCipher, PaillierKeyPair
@@ -51,9 +51,33 @@ def run_f2(
     **config_overrides,
 ) -> EncryptedTable:
     """Encrypt ``relation`` with F2 using a seeded key and configuration."""
+    encrypted, _ = run_f2_with_stages(
+        relation, alpha=alpha, split_factor=split_factor, seed=seed, **config_overrides
+    )
+    return encrypted
+
+
+def run_f2_with_stages(
+    relation: Relation,
+    alpha: float = 0.2,
+    split_factor: int = 2,
+    seed: int = 0,
+    **config_overrides,
+) -> tuple[EncryptedTable, list[StageRecord]]:
+    """Encrypt ``relation`` and return per-stage timing records.
+
+    The records come from a :class:`repro.api.pipeline.StageRecorder` hook
+    attached to the pipeline — the same instrumentation channel that fills
+    :class:`repro.core.stats.EncryptionStats` — so benchmark sweeps and the
+    paper's per-step figures always report consistent measurements.
+    """
     config = F2Config(alpha=alpha, split_factor=split_factor, seed=seed, **config_overrides)
-    scheme = F2Scheme(key=KeyGen.symmetric_from_seed(seed), config=config)
-    return scheme.encrypt(relation)
+    recorder = StageRecorder()
+    pipeline = EncryptionPipeline(
+        key=KeyGen.symmetric_from_seed(seed), config=config, hooks=[recorder]
+    )
+    encrypted = pipeline.run(relation)
+    return encrypted, list(recorder.records)
 
 
 def time_tane(relation: Relation, max_lhs_size: int | None = None) -> TaneResult:

@@ -1,12 +1,22 @@
 """Command-line interface: ``f2-repro``.
 
+All data-path subcommands drive the protocol API of :mod:`repro.api` — the
+same :class:`~repro.api.session.DataOwner` / :class:`~repro.api.session.ServiceProvider`
+surface used by the examples and the benchmark harness.
+
 Subcommands
 -----------
 ``encrypt``
-    Encrypt a CSV table with F2 and write the ciphertext CSV (plus a summary).
+    Encrypt a CSV table with F2 (data-owner side) and write the ciphertext
+    CSV plus a summary; ``--stage-times`` prints the per-stage timing
+    recorded by the pipeline hooks.
+``insert``
+    Incrementally append a batch CSV to an already encrypted table: re-runs
+    the owner's pipeline reusing the retained ECG plans and reports whether
+    the update ran incrementally or fell back to a full re-encryption.
 ``discover``
-    Run TANE FD discovery on a CSV table (plaintext or ciphertext) and print
-    the dependencies — this is what the service provider would run.
+    Run TANE FD discovery on a CSV table (plaintext or ciphertext) — this is
+    what the service provider runs.
 ``attack``
     Encrypt a generated dataset and report the empirical success of the
     frequency-analysis and Kerckhoffs attacks against it and against the
@@ -24,6 +34,8 @@ import json
 import sys
 from pathlib import Path
 
+from repro.api.pipeline import StageRecorder
+from repro.api.session import DataOwner, ServiceProvider
 from repro.bench import (
     fig6_time_vs_alpha,
     fig7_time_vs_size,
@@ -38,9 +50,7 @@ from repro.bench import (
 )
 from repro.bench.harness import dataset_by_name
 from repro.core.config import F2Config
-from repro.core.scheme import F2Scheme
 from repro.crypto.keys import KeyGen
-from repro.fd.tane import tane
 from repro.relational.csvio import read_csv, write_csv as write_relation_csv
 
 _SWEEPS = {
@@ -69,6 +79,20 @@ def build_parser() -> argparse.ArgumentParser:
     encrypt.add_argument("--split-factor", type=int, default=2, help="split factor (omega)")
     encrypt.add_argument("--key-seed", type=int, default=None, help="derive the key from a seed")
     encrypt.add_argument("--summary", default=None, help="optional JSON summary output path")
+    encrypt.add_argument(
+        "--stage-times", action="store_true", help="print per-stage pipeline timings"
+    )
+
+    insert = subparsers.add_parser(
+        "insert", help="incrementally append a batch CSV to an encrypted table"
+    )
+    insert.add_argument("input", help="plaintext CSV of the already outsourced table")
+    insert.add_argument("batch", help="plaintext CSV with the rows to append (same schema)")
+    insert.add_argument("output", help="ciphertext CSV of the updated table")
+    insert.add_argument("--alpha", type=float, default=0.2, help="alpha-security threshold")
+    insert.add_argument("--split-factor", type=int, default=2, help="split factor (omega)")
+    insert.add_argument("--key-seed", type=int, default=None, help="derive the key from a seed")
+    insert.add_argument("--summary", default=None, help="optional JSON summary output path")
 
     discover = subparsers.add_parser("discover", help="run TANE FD discovery on a CSV table")
     discover.add_argument("input", help="CSV file (plaintext or ciphertext)")
@@ -96,6 +120,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "encrypt":
         return _cmd_encrypt(args)
+    if args.command == "insert":
+        return _cmd_insert(args)
     if args.command == "discover":
         return _cmd_discover(args)
     if args.command == "attack":
@@ -107,26 +133,65 @@ def main(argv: list[str] | None = None) -> int:
     return 2  # pragma: no cover - argparse enforces the choices
 
 
-def _cmd_encrypt(args: argparse.Namespace) -> int:
-    relation = read_csv(args.input)
+def _make_owner(args: argparse.Namespace, hooks=None) -> DataOwner:
     key = KeyGen.symmetric_from_seed(args.key_seed) if args.key_seed is not None else None
     config = F2Config(alpha=args.alpha, split_factor=args.split_factor)
-    scheme = F2Scheme(key=key, config=config)
-    encrypted = scheme.encrypt(relation)
+    return DataOwner(key=key, config=config, hooks=hooks)
+
+
+def _emit_summary(summary: dict, summary_path: str | None) -> None:
+    print(json.dumps(summary, indent=2, default=str))
+    if summary_path:
+        Path(summary_path).write_text(
+            json.dumps(summary, indent=2, default=str), encoding="utf-8"
+        )
+
+
+def _cmd_encrypt(args: argparse.Namespace) -> int:
+    relation = read_csv(args.input)
+    recorder = StageRecorder()
+    owner = _make_owner(args, hooks=[recorder])
+    encrypted = owner.outsource(relation)
     write_relation_csv(encrypted.server_view(), args.output)
     summary = encrypted.describe()
-    print(json.dumps(summary, indent=2, default=str))
-    if args.summary:
-        Path(args.summary).write_text(json.dumps(summary, indent=2, default=str), encoding="utf-8")
+    if args.stage_times:
+        summary["stage_seconds"] = {
+            record.stage: round(record.seconds, 6) for record in recorder.records
+        }
+    _emit_summary(summary, args.summary)
+    return 0
+
+
+def _cmd_insert(args: argparse.Namespace) -> int:
+    relation = read_csv(args.input)
+    batch = read_csv(args.batch)
+    if batch.schema != relation.schema:
+        print(
+            f"error: batch schema {list(batch.attributes)} does not match "
+            f"table schema {list(relation.attributes)}",
+            file=sys.stderr,
+        )
+        return 2
+    if batch.num_rows == 0:
+        print("error: the batch CSV contains no rows to insert", file=sys.stderr)
+        return 2
+    owner = _make_owner(args)
+    owner.outsource(relation)
+    encrypted = owner.insert_rows(list(batch.rows()))
+    write_relation_csv(encrypted.server_view(), args.output)
+    summary = encrypted.describe()
+    summary["update"] = owner.last_update_report.to_metadata()
+    _emit_summary(summary, args.summary)
     return 0
 
 
 def _cmd_discover(args: argparse.Namespace) -> int:
-    relation = read_csv(args.input)
-    dependencies = tane(relation, max_lhs_size=args.max_lhs)
-    for fd in dependencies:
+    provider = ServiceProvider()
+    provider.receive(read_csv(args.input))
+    result = provider.discover_fds(max_lhs_size=args.max_lhs)
+    for fd in result.fds:
         print(str(fd))
-    print(f"# {len(dependencies)} functional dependencies", file=sys.stderr)
+    print(f"# {len(result.fds)} functional dependencies", file=sys.stderr)
     return 0
 
 

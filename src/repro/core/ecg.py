@@ -103,13 +103,31 @@ def build_equivalence_class_groups(
         The groups (each collision-free and of size >= ``group_size``) plus
         the number of fake ECs and fake rows introduced.
     """
+    return group_equivalence_classes(
+        partition.attributes, partition.classes, group_size, fresh_factory
+    )
+
+
+def group_equivalence_classes(
+    attributes: tuple[str, ...],
+    classes: list[EquivalenceClass],
+    group_size: int,
+    fresh_factory: FreshValueFactory,
+    start_index: int = 0,
+) -> GroupingResult:
+    """Group an explicit list of equivalence classes into ECGs.
+
+    The incremental updater calls this directly with only the classes that
+    appeared since the last encryption, using ``start_index`` to keep group
+    indexes unique within the MAS (group indexes feed the ciphertext-instance
+    variant namespace, so they must never collide with existing groups).
+    """
     if group_size < 1:
         raise EncryptionError("group_size must be at least 1")
-    attributes = partition.attributes
 
     members = [
         EcgMember(representative=ec.representative, rows=ec.rows)
-        for ec in partition.classes
+        for ec in classes
     ]
     # Sort by size ascending so neighbouring members have the closest sizes.
     members.sort(key=lambda member: (member.size, str(member.representative)))
@@ -121,7 +139,9 @@ def build_equivalence_class_groups(
 
     while unassigned:
         seed = unassigned.pop(0)
-        group = EquivalenceClassGroup(mas_attributes=attributes, members=[seed], index=len(groups))
+        group = EquivalenceClassGroup(
+            mas_attributes=attributes, members=[seed], index=start_index + len(groups)
+        )
         remaining: list[EcgMember] = []
         for candidate in unassigned:
             if len(group.members) >= group_size:

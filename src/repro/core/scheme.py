@@ -1,43 +1,31 @@
-"""The F2 scheme: orchestration of the four encryption steps plus decryption.
+"""The F2 scheme facade: the legacy one-shot API over the pipeline.
 
-:class:`F2Scheme` is the public API of the library.  A data owner creates a
-scheme from a key and a configuration, calls :meth:`F2Scheme.encrypt` on her
-plaintext relation, ships the resulting :class:`EncryptedTable`'s server view
-to the service provider, and later calls :meth:`F2Scheme.decrypt` (or strips
-artificial rows) locally.  Every step records its wall-clock time and its row
-additions so the benchmark harness can regenerate the paper's figures.
+:class:`F2Scheme` was historically a monolith that hand-rolled the four
+encryption steps and their timing.  It is now a thin, fully
+backward-compatible facade over :class:`repro.api.pipeline.EncryptionPipeline`
+— for a fixed key and seeded configuration its output is byte-for-byte what
+the monolith produced.  New code should prefer the protocol surface in
+:mod:`repro.api` (:class:`~repro.api.session.DataOwner` /
+:class:`~repro.api.session.ServiceProvider`), which additionally models the
+server side and incremental updates.
 """
 
 from __future__ import annotations
 
-import time
+from typing import TYPE_CHECKING
 
-from repro.core.conflict import (
-    AssemblyResult,
-    MasPlan,
-    assemble_row_plans,
-    count_overlapping_pairs,
-    validate_assembly,
-)
 from repro.core.config import F2Config
-from repro.core.ecg import build_equivalence_class_groups
-from repro.core.encrypted import EcgSummary, EncryptedTable, RowProvenance
-from repro.core.false_positive import (
-    FalsePositiveResult,
-    build_violation_pairs,
-    eliminate_false_positives,
-)
-from repro.core.plan import FreshCell, FreshValueFactory, InstanceCell, RandomCell, RowPlan
-from repro.core.split_scale import build_ecg_plan
-from repro.core.stats import EncryptionStats
-from repro.crypto.keys import KeyGen, SymmetricKey
-from repro.crypto.probabilistic import Ciphertext, ProbabilisticCipher
-from repro.exceptions import DecryptionError, EncryptionError
-from repro.fd.mas import find_mas_with_stats
-from repro.fd.tane import tane
-from repro.fd.verify import fd_holds, violating_row_pairs
-from repro.relational.partition import Partition
+from repro.core.encrypted import EncryptedTable
+from repro.crypto.keys import SymmetricKey
+from repro.exceptions import ConfigurationError
+from repro.crypto.probabilistic import Ciphertext
 from repro.relational.table import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.api.pipeline import EncryptionPipeline
+
+# repro.api is imported lazily: the facade sits in repro.core, which the api
+# subpackage itself builds on, so a module-level import would be circular.
 
 
 class F2Scheme:
@@ -52,96 +40,36 @@ class F2Scheme:
     config:
         The :class:`F2Config`; defaults are the paper's common setting
         (``alpha = 0.2``, split factor 2).
+    pipeline:
+        An already constructed :class:`EncryptionPipeline` to wrap instead of
+        building one from ``key`` and ``config`` (advanced: custom stages or
+        hooks).  Mutually exclusive with the other two parameters.
     """
 
-    def __init__(self, key: SymmetricKey | None = None, config: F2Config | None = None):
-        self.config = config or F2Config()
-        self.key = key or KeyGen.symmetric()
-        self._cipher = ProbabilisticCipher(self.key, nonce_length=self.config.nonce_length)
+    def __init__(
+        self,
+        key: SymmetricKey | None = None,
+        config: F2Config | None = None,
+        pipeline: "EncryptionPipeline | None" = None,
+    ):
+        from repro.api.pipeline import EncryptionPipeline
+
+        if pipeline is not None and (key is not None or config is not None):
+            raise ConfigurationError(
+                "pass either a pipeline or key/config, not both: the pipeline "
+                "carries its own key and configuration"
+            )
+        self.pipeline = pipeline or EncryptionPipeline(key=key, config=config)
+        self.config = self.pipeline.config
+        self.key = self.pipeline.key
+        self._cipher = self.pipeline.cipher
 
     # ------------------------------------------------------------------
     # Encryption
     # ------------------------------------------------------------------
     def encrypt(self, relation: Relation) -> EncryptedTable:
         """Encrypt ``relation`` with the full four-step F2 pipeline."""
-        if relation.num_rows == 0:
-            raise EncryptionError("cannot encrypt an empty relation")
-        total_start = time.perf_counter()
-        stats = EncryptionStats(
-            rows_original=relation.num_rows,
-            attributes=relation.num_attributes,
-            parameters=self.config.to_dict(),
-        )
-        fresh_factory = FreshValueFactory(
-            seed=self.config.seed, nonce_length=self.config.nonce_length
-        )
-
-        # Step 1: find maximal attribute sets (MAX).
-        step_start = time.perf_counter()
-        mas_result = find_mas_with_stats(
-            relation, strategy=self.config.mas_strategy, seed=self.config.seed
-        )
-        stats.seconds_max = time.perf_counter() - step_start
-        stats.num_masses = len(mas_result.masses)
-        stats.num_overlapping_mas_pairs = len(mas_result.overlapping_pairs())
-
-        # Step 2: grouping + splitting-and-scaling (SSE), planned per MAS.
-        step_start = time.perf_counter()
-        mas_plans = self._plan_masses(relation, mas_result.masses, fresh_factory, stats)
-        stats.seconds_sse = time.perf_counter() - step_start
-
-        # Step 3: conflict resolution (SYN) while assembling the row plans.
-        step_start = time.perf_counter()
-        assembly = assemble_row_plans(
-            relation,
-            mas_plans,
-            fresh_factory,
-            resolve_conflicts=self.config.resolve_conflicts,
-            seed=self.config.seed,
-        )
-        validate_assembly(assembly, relation)
-        stats.seconds_syn = time.perf_counter() - step_start
-        stats.num_conflicting_tuples = assembly.conflicting_tuples
-        stats.rows_added_conflict = assembly.conflict_rows_added
-        stats.rows_added_scale = assembly.scaling_rows_added
-        stats.rows_added_group = assembly.fake_ec_rows_added
-
-        # Step 4: eliminate false-positive FDs (FP).
-        step_start = time.perf_counter()
-        row_plans = list(assembly.row_plans)
-        if self.config.eliminate_false_positives:
-            fp_result = eliminate_false_positives(
-                relation, mas_plans, self.config.group_size, fresh_factory
-            )
-            row_plans.extend(fp_result.row_plans)
-            stats.num_false_positive_nodes = fp_result.num_triggered
-            stats.rows_added_false_positive = fp_result.rows_added
-        stats.seconds_fp = time.perf_counter() - step_start
-
-        # Materialise ciphertexts.
-        step_start = time.perf_counter()
-        encrypted_relation, provenance = self._materialize(relation, row_plans, fresh_factory)
-        stats.seconds_materialize = time.perf_counter() - step_start
-        # The paper folds the cost of producing ciphertext bytes into the SSE
-        # step (it is the "encryption" part of splitting-and-scaling).
-        stats.seconds_sse += stats.seconds_materialize
-
-        encrypted = EncryptedTable(
-            relation=encrypted_relation,
-            provenance=provenance,
-            config=self.config,
-            stats=stats,
-            masses=list(mas_result.masses),
-            ecg_summaries=self._summarise_groups(mas_plans),
-        )
-
-        # Optional strict verification / repair pass (beyond the paper).
-        if self.config.verify_and_repair:
-            repaired = self._verify_and_repair(relation, encrypted, fresh_factory)
-            encrypted = repaired
-
-        stats.seconds_total = time.perf_counter() - total_start
-        return encrypted
+        return self.pipeline.run(relation)
 
     # ------------------------------------------------------------------
     # Decryption
@@ -153,173 +81,12 @@ class F2Scheme:
         the authentic cells of the rows derived from them (a record replaced
         by conflict resolution is spread over two ciphertext rows).
         """
-        schema = encrypted.relation.schema
-        groups = encrypted.original_row_groups()
-        if not groups:
-            raise DecryptionError("the encrypted table contains no original rows")
-        recovered = Relation(schema, name=f"{encrypted.relation.name}-decrypted")
-        for original_index in sorted(groups):
-            values: dict[str, str] = {}
-            for row_index in groups[original_index]:
-                provenance = encrypted.provenance[row_index]
-                for attr in provenance.authentic_attributes:
-                    if attr in values:
-                        continue
-                    cell = encrypted.relation.value(row_index, attr)
-                    values[attr] = self._decrypt_cell(cell)
-            missing = [attr for attr in schema if attr not in values]
-            if missing:
-                raise DecryptionError(
-                    f"original row {original_index} cannot be reconstructed; "
-                    f"missing attributes {missing}"
-                )
-            recovered.append([values[attr] for attr in schema])
-        return recovered
+        from repro.api.session import decrypt_table
+
+        return decrypt_table(encrypted, self._cipher)
 
     def decrypt_cell(self, cell: Ciphertext) -> str:
         """Decrypt a single authentic ciphertext cell."""
-        return self._decrypt_cell(cell)
+        from repro.api.session import decrypt_cell
 
-    def _decrypt_cell(self, cell: object) -> str:
-        if not isinstance(cell, Ciphertext):
-            raise DecryptionError(f"cell is not a ciphertext: {cell!r}")
-        return self._cipher.decrypt(cell)
-
-    # ------------------------------------------------------------------
-    # Internal: planning
-    # ------------------------------------------------------------------
-    def _plan_masses(
-        self,
-        relation: Relation,
-        masses,
-        fresh_factory: FreshValueFactory,
-        stats: EncryptionStats,
-    ) -> list[MasPlan]:
-        mas_plans: list[MasPlan] = []
-        for index, mas in enumerate(masses):
-            partition = Partition.build(relation, mas.attributes)
-            stats.num_equivalence_classes += len(partition)
-            grouping = build_equivalence_class_groups(
-                partition, self.config.group_size, fresh_factory
-            )
-            stats.num_fake_ecs += grouping.fake_ec_count
-            plan = MasPlan(index=index, mas=mas, grouping=grouping)
-            for group in grouping.groups:
-                ecg_plan = build_ecg_plan(
-                    group,
-                    self.config.split_factor,
-                    keep_pairs_together=self.config.keep_pairs_together,
-                    namespace=f"mas{index}:{','.join(mas.attributes)}",
-                )
-                stats.num_split_ecs += sum(
-                    1 for member_plan in ecg_plan.member_plans if member_plan.was_split
-                )
-                plan.ecg_plans.append(ecg_plan)
-            stats.num_ecgs += len(grouping.groups)
-            mas_plans.append(plan)
-        return mas_plans
-
-    # ------------------------------------------------------------------
-    # Internal: materialisation
-    # ------------------------------------------------------------------
-    def _materialize(
-        self,
-        relation: Relation,
-        row_plans: list[RowPlan],
-        fresh_factory: FreshValueFactory,
-    ) -> tuple[Relation, list[RowProvenance]]:
-        schema = relation.schema
-        encrypted_relation = Relation(schema, name=f"{relation.name}-encrypted")
-        provenance: list[RowProvenance] = []
-        instance_cache: dict[tuple[str, str, str], Ciphertext] = {}
-
-        for plan in row_plans:
-            row = []
-            for attr in schema:
-                spec = plan.cells[attr]
-                if isinstance(spec, InstanceCell):
-                    key = spec.cache_key()
-                    cached = instance_cache.get(key)
-                    if cached is None:
-                        cached = self._cipher.encrypt(spec.value, variant=spec.variant)
-                        instance_cache[key] = cached
-                    row.append(cached)
-                elif isinstance(spec, RandomCell):
-                    row.append(self._cipher.encrypt(spec.value, variant=None))
-                elif isinstance(spec, FreshCell):
-                    row.append(fresh_factory.materialize(spec.token))
-                else:  # pragma: no cover - defensive
-                    raise EncryptionError(f"unknown cell specification: {spec!r}")
-            encrypted_relation.append(row)
-            provenance.append(
-                RowProvenance(
-                    kind=plan.provenance.kind,
-                    source_row=plan.provenance.source_row,
-                    authentic_attributes=plan.provenance.authentic_attributes,
-                )
-            )
-        return encrypted_relation, provenance
-
-    @staticmethod
-    def _summarise_groups(mas_plans: list[MasPlan]) -> list[EcgSummary]:
-        summaries: list[EcgSummary] = []
-        for mas_plan in mas_plans:
-            for ecg_plan in mas_plan.ecg_plans:
-                summaries.append(
-                    EcgSummary(
-                        mas_attributes=mas_plan.attributes,
-                        group_index=ecg_plan.group.index,
-                        num_members=len(ecg_plan.group.members),
-                        num_fake_members=ecg_plan.group.num_fake_members,
-                        target_frequency=ecg_plan.target_frequency,
-                        instance_frequencies=tuple(ecg_plan.instance_frequencies()),
-                        member_sizes=tuple(ecg_plan.group.sizes),
-                    )
-                )
-        return summaries
-
-    # ------------------------------------------------------------------
-    # Internal: optional strict verification / repair (beyond the paper)
-    # ------------------------------------------------------------------
-    def _verify_and_repair(
-        self,
-        relation: Relation,
-        encrypted: EncryptedTable,
-        fresh_factory: FreshValueFactory,
-    ) -> EncryptedTable:
-        """Detect residual false-positive FDs and repair them with extra pairs."""
-        max_lhs = self.config.verify_max_lhs
-        ciphertext_fds = tane(encrypted.relation, max_lhs_size=max_lhs)
-        repaired_plans: list[RowPlan] = []
-        repaired = 0
-        for fd in ciphertext_fds:
-            if fd_holds(relation, fd):
-                continue
-            witnesses = violating_row_pairs(relation, fd, limit=self.config.group_size)
-            if not witnesses:
-                continue
-            repaired += 1
-            repaired_plans.extend(
-                build_violation_pairs(
-                    relation, witnesses, self.config.group_size, fresh_factory
-                )
-            )
-        if not repaired_plans:
-            return encrypted
-        extra_relation, extra_provenance = self._materialize(relation, repaired_plans, fresh_factory)
-        merged_relation = encrypted.relation.concat(extra_relation)
-        merged_provenance = list(encrypted.provenance) + [
-            RowProvenance(kind="repair", source_row=None, authentic_attributes=frozenset())
-            for _ in extra_provenance
-        ]
-        encrypted.stats.num_repaired_false_positives = repaired
-        encrypted.stats.rows_added_false_positive += len(extra_provenance)
-        return EncryptedTable(
-            relation=merged_relation,
-            provenance=merged_provenance,
-            config=encrypted.config,
-            stats=encrypted.stats,
-            masses=encrypted.masses,
-            ecg_summaries=encrypted.ecg_summaries,
-            metadata=encrypted.metadata,
-        )
+        return decrypt_cell(cell, self._cipher)

@@ -9,7 +9,7 @@ series directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 # Step labels as used in the paper's figures.
@@ -53,6 +53,16 @@ class EncryptionStats:
     seconds_total: float = 0.0
 
     parameters: dict[str, Any] = field(default_factory=dict)
+
+    def copy(self) -> "EncryptionStats":
+        """An independent copy (own ``parameters`` dict).
+
+        Passes that derive a new :class:`~repro.core.encrypted.EncryptedTable`
+        from an existing one (e.g. the verify/repair stage) must attach a
+        copy instead of mutating the original table's stats in place.
+        """
+        clone = replace(self, parameters=dict(self.parameters))
+        return clone
 
     # ------------------------------------------------------------------
     # Derived quantities used by the figures

@@ -1,0 +1,215 @@
+"""Tests of the DataOwner/ServiceProvider sessions and incremental updates."""
+
+import pytest
+
+from repro.api import DataOwner, ServiceProvider, run_protocol
+from repro.api.pipeline import StageRecorder
+from repro.core.config import F2Config
+from repro.core.scheme import F2Scheme
+from repro.crypto.keys import KeyGen
+from repro.exceptions import EncryptionError
+from repro.fd.tane import tane
+from repro.fd.verify import fds_equivalent
+from repro.relational.table import Relation
+
+from tests.conftest import make_random_table
+
+
+def roundtrip_rows(relation: Relation) -> list[tuple[str, ...]]:
+    return sorted(tuple(str(value) for value in row) for row in relation.rows())
+
+
+def make_owner(alpha: float = 0.25, seed: int = 7, key_seed: int = 42, **overrides) -> DataOwner:
+    return DataOwner.from_seed(key_seed, config=F2Config(alpha=alpha, seed=seed, **overrides))
+
+
+def zipcode_batch(start: int, count: int, city_map=None) -> list[list[str]]:
+    cities = city_map or {"07030": "Hoboken", "07302": "JerseyCity", "07310": "JerseyCity"}
+    zipcodes = sorted(cities)
+    return [
+        [
+            zipcodes[(start + index) % len(zipcodes)],
+            cities[zipcodes[(start + index) % len(zipcodes)]],
+            f"street-{start + index}",
+            "N" if index % 2 else "S",
+        ]
+        for index in range(count)
+    ]
+
+
+class TestProtocolRoundTrip:
+    def test_outsource_discover_validate(self, zipcode_table):
+        owner = make_owner()
+        provider = ServiceProvider()
+        result = run_protocol(owner, provider, zipcode_table)
+        assert result.parameters["validated"] is True
+        assert fds_equivalent(result.fds, tane(zipcode_table))
+
+    def test_owner_decrypts_after_roundtrip(self, zipcode_table):
+        owner = make_owner()
+        owner.outsource(zipcode_table)
+        assert roundtrip_rows(owner.decrypt()) == roundtrip_rows(zipcode_table)
+
+    def test_server_view_carries_no_owner_state(self, zipcode_table):
+        owner = make_owner()
+        encrypted = owner.outsource(zipcode_table)
+        view = owner.server_view()
+        assert view.num_rows == encrypted.num_rows
+        plaintext_values = {str(v) for row in zipcode_table.rows() for v in row}
+        ciphertext_values = {str(v) for row in view.rows() for v in row}
+        assert not plaintext_values & ciphertext_values
+
+    def test_outsource_copies_the_relation(self, zipcode_table):
+        owner = make_owner()
+        owner.outsource(zipcode_table)
+        zipcode_table.append(["07030", "Hoboken", "street-x", "N"])
+        # The owner's retained plaintext is unaffected by caller mutations.
+        assert owner.plaintext.num_rows == zipcode_table.num_rows - 1
+
+    def test_audit_security(self, zipcode_table):
+        owner = make_owner()
+        owner.outsource(zipcode_table)
+        report = owner.audit_security()
+        assert report.satisfied, report.violations
+
+    def test_owner_requires_outsourced_state(self):
+        owner = make_owner()
+        with pytest.raises(EncryptionError):
+            owner.server_view()
+        with pytest.raises(EncryptionError):
+            owner.decrypt()
+        with pytest.raises(EncryptionError):
+            owner.insert_rows([["a"]])
+
+    def test_provider_requires_received_table(self):
+        provider = ServiceProvider()
+        with pytest.raises(EncryptionError):
+            provider.discover_fds()
+
+    def test_owner_hooks_observe_every_run(self, zipcode_table):
+        recorder = StageRecorder()
+        owner = DataOwner.from_seed(42, config=F2Config(alpha=0.25, seed=7), hooks=[recorder])
+        owner.outsource(zipcode_table)
+        assert {record.stage for record in recorder.records} >= {"MAX", "SSE", "SYN", "FP"}
+
+
+class TestIncrementalInsert:
+    def test_insert_preserves_fds_vs_scratch(self, zipcode_table):
+        owner = make_owner()
+        owner.outsource(zipcode_table)
+        batch = zipcode_batch(start=100, count=10)
+        encrypted = owner.insert_rows(batch)
+
+        full_plain = zipcode_table.copy()
+        full_plain.extend(batch)
+        scratch = F2Scheme(
+            key=KeyGen.symmetric_from_seed(42), config=F2Config(alpha=0.25, seed=7)
+        ).encrypt(full_plain)
+        assert fds_equivalent(tane(encrypted.server_view()), tane(scratch.server_view()))
+        assert fds_equivalent(tane(encrypted.server_view()), tane(full_plain))
+
+    def test_insert_preserves_alpha_security(self, zipcode_table):
+        owner = make_owner()
+        owner.outsource(zipcode_table)
+        owner.insert_rows(zipcode_batch(start=100, count=10))
+        report = owner.audit_security()
+        assert report.satisfied, report.violations
+
+    def test_insert_roundtrip_includes_batch(self, zipcode_table):
+        owner = make_owner()
+        owner.outsource(zipcode_table)
+        batch = zipcode_batch(start=100, count=6)
+        owner.insert_rows(batch)
+        expected = zipcode_table.copy()
+        expected.extend(batch)
+        assert roundtrip_rows(owner.decrypt()) == roundtrip_rows(expected)
+
+    def test_consecutive_batches(self, zipcode_table):
+        owner = make_owner()
+        owner.outsource(zipcode_table)
+        expected = zipcode_table.copy()
+        for round_number in range(3):
+            batch = zipcode_batch(start=200 + 10 * round_number, count=5)
+            expected.extend(batch)
+            encrypted = owner.insert_rows(batch)
+            assert encrypted.num_original_rows == expected.num_rows
+            assert fds_equivalent(tane(encrypted.server_view()), tane(expected))
+            assert owner.audit_security().satisfied
+        assert roundtrip_rows(owner.decrypt()) == roundtrip_rows(expected)
+
+    def test_incremental_mode_reuses_groups(self, zipcode_table):
+        owner = make_owner()
+        first = owner.outsource(zipcode_table)
+        old_groups = len(first.ecg_summaries)
+        encrypted = owner.insert_rows(zipcode_batch(start=100, count=4))
+        report = owner.last_update_report
+        assert report.mode == "incremental"
+        assert report.batch_rows == 4
+        assert report.groups_reused + report.groups_replanned == old_groups
+        assert encrypted.metadata["update"]["mode"] == "incremental"
+
+    def test_duplicate_record_triggers_full_fallback(self, zipcode_table):
+        owner = make_owner()
+        owner.outsource(zipcode_table)
+        duplicate = list(zipcode_table.row(0))
+        encrypted = owner.insert_rows([duplicate])
+        report = owner.last_update_report
+        assert report.mode == "full"
+        assert report.reason == "mas-changed"
+        assert encrypted.metadata["update"]["mode"] == "full"
+        expected = zipcode_table.copy()
+        expected.append(duplicate)
+        assert fds_equivalent(tane(encrypted.server_view()), tane(expected))
+        assert roundtrip_rows(owner.decrypt()) == roundtrip_rows(expected)
+
+    def test_fd_breaking_batch_still_preserves_fds(self, zipcode_table):
+        # "Typo" breaks Zipcode -> City without changing the MAS structure;
+        # the re-run false-positive stage must restore the violation in the
+        # ciphertext.
+        owner = make_owner()
+        owner.outsource(zipcode_table)
+        encrypted = owner.insert_rows([["07030", "Typo", "street-x", "N"]])
+        expected = zipcode_table.copy()
+        expected.append(["07030", "Typo", "street-x", "N"])
+        assert fds_equivalent(tane(encrypted.server_view()), tane(expected))
+
+    def test_empty_batch_rejected(self, zipcode_table):
+        owner = make_owner()
+        owner.outsource(zipcode_table)
+        with pytest.raises(EncryptionError):
+            owner.insert_rows([])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_insert_on_random_tables_matches_scratch(self, seed):
+        table = make_random_table(seed + 500, num_attributes=4)
+        owner = DataOwner.from_seed(
+            seed, config=F2Config(alpha=0.34, split_factor=2, seed=seed)
+        )
+        owner.outsource(table)
+        batch = [list(table.row(index % table.num_rows)) for index in range(3)]
+        # Appending existing rows duplicates full records, so expect either
+        # mode; FD preservation must hold regardless.
+        encrypted = owner.insert_rows(batch)
+        expected = table.copy()
+        expected.extend(batch)
+        assert fds_equivalent(tane(encrypted.server_view()), tane(expected))
+        assert owner.audit_security().satisfied
+        assert roundtrip_rows(owner.decrypt()) == roundtrip_rows(expected)
+
+    def test_incremental_total_covers_all_steps(self, zipcode_table):
+        # Regression: the MAS recheck and replanning run before the pipeline
+        # tail, but they must still land in seconds_total.
+        owner = make_owner()
+        owner.outsource(zipcode_table)
+        encrypted = owner.insert_rows(zipcode_batch(start=100, count=6))
+        stats = encrypted.stats
+        assert stats.seconds_total >= sum(stats.step_seconds().values())
+
+    def test_provider_rediscovers_after_update(self, zipcode_table):
+        owner = make_owner()
+        provider = ServiceProvider()
+        run_protocol(owner, provider, zipcode_table)
+        owner.insert_rows(zipcode_batch(start=300, count=8))
+        provider.receive(owner.server_view())
+        discovery = provider.discover_fds()
+        assert owner.validate_fds(discovery.fds)

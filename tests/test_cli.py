@@ -21,9 +21,10 @@ def plaintext_csv(tmp_path):
 class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
-        for command in ("encrypt", "discover", "attack", "bench", "dataset"):
+        for command in ("encrypt", "insert", "discover", "attack", "bench", "dataset"):
             args = {
                 "encrypt": ["encrypt", "in.csv", "out.csv"],
+                "insert": ["insert", "in.csv", "batch.csv", "out.csv"],
                 "discover": ["discover", "in.csv"],
                 "attack": ["attack"],
                 "bench": ["bench", "table1"],
@@ -67,6 +68,54 @@ class TestEncryptCommand:
         plaintext = read_csv(plaintext_csv)
         ciphertext = read_csv(output)
         assert fds_equivalent(tane(plaintext, max_lhs_size=2), tane(ciphertext, max_lhs_size=2))
+
+
+class TestInsertCommand:
+    def test_insert_appends_batch_incrementally(self, plaintext_csv, tmp_path, capsys):
+        base = read_csv(plaintext_csv)
+        batch_path = tmp_path / "batch.csv"
+        batch = base.select_rows(range(5), name="batch")
+        # Fresh street/extra values keep the batch from duplicating full rows.
+        for index in range(batch.num_rows):
+            batch.set_value(index, "Street", f"NewStreet-{index}")
+            for attr in batch.attributes:
+                if attr.startswith("Extra"):
+                    batch.set_value(index, attr, f"new-{attr}-{index}")
+        write_csv(batch, batch_path)
+        output = tmp_path / "updated.csv"
+        exit_code = main(
+            [
+                "insert",
+                str(plaintext_csv),
+                str(batch_path),
+                str(output),
+                "--alpha",
+                "0.5",
+                "--key-seed",
+                "7",
+            ]
+        )
+        assert exit_code == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["original_rows"] == base.num_rows + batch.num_rows
+        assert printed["update"]["mode"] in {"incremental", "full"}
+        full_plain = base.copy()
+        full_plain.extend(batch.rows())
+        ciphertext = read_csv(output)
+        assert fds_equivalent(
+            tane(full_plain, max_lhs_size=2), tane(ciphertext, max_lhs_size=2)
+        )
+
+    def test_insert_rejects_mismatched_schema(self, plaintext_csv, tmp_path, capsys):
+        from repro.relational.table import Relation
+
+        batch_path = tmp_path / "bad.csv"
+        write_csv(Relation(["X", "Y"], [["1", "2"]]), batch_path)
+        exit_code = main(
+            ["insert", str(plaintext_csv), str(batch_path), str(tmp_path / "out.csv")]
+        )
+        assert exit_code == 2
+        assert "does not match" in capsys.readouterr().err
 
 
 class TestDiscoverCommand:

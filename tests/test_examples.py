@@ -39,3 +39,9 @@ class TestExamples:
         result = run_example("data_cleaning_service.py", "250")
         assert result.returncode == 0, result.stdout + result.stderr
         assert "completed successfully" in result.stdout
+
+    def test_live_outsourced_database(self):
+        result = run_example("live_outsourced_database.py", "150")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "completed successfully" in result.stdout
+        assert "mode=full (reason=mas-changed)" in result.stdout
