@@ -23,8 +23,10 @@ from repro.fd.verify import fd_holds
 
 from benchmarks.conftest import scale
 
+BENCH_NAME = "ablation"
 
-def test_ablation_split_factor(benchmark):
+
+def test_ablation_split_factor(benchmark, bench_json):
     # A skewed table: one dominant (Zipcode, City) profile plus many small
     # ones, so that splitting the dominant equivalence class genuinely reduces
     # the copies the scaling phase must add.
@@ -55,6 +57,7 @@ def test_ablation_split_factor(benchmark):
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print()
     print(format_table(rows, title="Ablation: split factor omega (skewed table)"))
+    bench_json.add("ablation_split_factor", rows)
     by_factor = {row["split_factor"]: row for row in rows}
     # With omega > 1 the dominant class is split, and the split must not
     # increase the overhead compared to omega = 1 (that is what the optimal
@@ -64,7 +67,7 @@ def test_ablation_split_factor(benchmark):
     assert by_factor[8]["total_overhead"] <= by_factor[1]["total_overhead"] + 1e-9
 
 
-def test_ablation_mas_strategy(benchmark):
+def test_ablation_mas_strategy(benchmark, bench_json):
     relation = dataset_by_name("customer", scale(700), seed=0)
 
     def compare():
@@ -100,11 +103,23 @@ def test_ablation_mas_strategy(benchmark):
             title="Ablation: MAS discovery strategy (customer, 21 attributes)",
         )
     )
+    bench_json.add(
+        "ablation_mas_strategy",
+        [
+            {
+                "strategy": strategy,
+                "masses": len(result[f"{strategy}_masses"]),
+                "partitions_computed": result[f"{strategy}_partitions"],
+                "seconds": round(result[f"{strategy}_seconds"], 4),
+            }
+            for strategy in ("apriori", "ducc")
+        ],
+    )
     assert result["apriori_masses"] == result["ducc_masses"]
     assert result["ducc_partitions"] <= result["apriori_partitions"]
 
 
-def test_ablation_false_positive_elimination(benchmark):
+def test_ablation_false_positive_elimination(benchmark, bench_json):
     relation = dataset_by_name("orders", scale(500), seed=0)
 
     def compare():
@@ -138,6 +153,7 @@ def test_ablation_false_positive_elimination(benchmark):
     rows = benchmark.pedantic(compare, rounds=1, iterations=1)
     print()
     print(format_table(rows, title="Ablation: Step 4 (false-positive elimination) on orders"))
+    bench_json.add("ablation_false_positive", rows)
     with_step4, without_step4 = rows
     assert with_step4["false_positive_fds"] == 0
     assert without_step4["false_positive_fds"] >= with_step4["false_positive_fds"]

@@ -13,10 +13,12 @@ from repro.bench.sweeps import fig10_discovery_overhead
 
 from benchmarks.conftest import scale
 
+BENCH_NAME = "fig10"
+
 ALPHAS = (1 / 2, 1 / 4, 1 / 6, 1 / 8, 1 / 10)
 
 
-def test_fig10a_customer_discovery_overhead(benchmark):
+def test_fig10a_customer_discovery_overhead(benchmark, bench_json):
     rows = benchmark.pedantic(
         fig10_discovery_overhead,
         kwargs={
@@ -30,12 +32,13 @@ def test_fig10a_customer_discovery_overhead(benchmark):
     )
     print()
     print(format_table(rows, title="Figure 10 (a): customer — FD-discovery overhead vs alpha"))
+    bench_json.add("fig10a_customer", rows)
     for row in rows:
         assert row["ciphertext_discovery_seconds"] > 0
         assert row["fds_ciphertext"] >= 0
 
 
-def test_fig10b_orders_discovery_overhead(benchmark):
+def test_fig10b_orders_discovery_overhead(benchmark, bench_json):
     rows = benchmark.pedantic(
         fig10_discovery_overhead,
         kwargs={
@@ -49,6 +52,7 @@ def test_fig10b_orders_discovery_overhead(benchmark):
     )
     print()
     print(format_table(rows, title="Figure 10 (b): orders — FD-discovery overhead vs alpha"))
+    bench_json.add("fig10b_orders", rows)
     # Discovery on the ciphertext must never be cheaper than a tenth of the
     # plaintext cost and the reported overhead must be finite.
     for row in rows:

@@ -14,10 +14,12 @@ from repro.bench.sweeps import fig6_time_vs_alpha
 
 from benchmarks.conftest import scale
 
+BENCH_NAME = "fig6"
+
 ALPHAS = (1 / 5, 1 / 10, 1 / 15, 1 / 20, 1 / 25)
 
 
-def test_fig6a_synthetic_time_vs_alpha(benchmark):
+def test_fig6a_synthetic_time_vs_alpha(benchmark, bench_json):
     rows = benchmark.pedantic(
         fig6_time_vs_alpha,
         kwargs={"dataset": "synthetic", "num_rows": scale(1500), "alphas": ALPHAS},
@@ -26,13 +28,14 @@ def test_fig6a_synthetic_time_vs_alpha(benchmark):
     )
     print()
     print(format_table(rows, title="Figure 6 (a): synthetic — per-step time vs alpha"))
+    bench_json.add("fig6a_synthetic", rows)
     # SSE dominates on the synthetic dataset (many equivalence classes).
     for row in rows:
         assert row["SSE_seconds"] >= row["SYN_seconds"]
     assert rows[-1]["total_seconds"] > 0
 
 
-def test_fig6b_orders_time_vs_alpha(benchmark):
+def test_fig6b_orders_time_vs_alpha(benchmark, bench_json):
     rows = benchmark.pedantic(
         fig6_time_vs_alpha,
         kwargs={"dataset": "orders", "num_rows": scale(1200), "alphas": ALPHAS},
@@ -41,6 +44,7 @@ def test_fig6b_orders_time_vs_alpha(benchmark):
     )
     print()
     print(format_table(rows, title="Figure 6 (b): orders — per-step time vs alpha"))
+    bench_json.add("fig6b_orders", rows)
     # The MAX step cost does not depend on alpha: it is constant across the sweep.
     max_seconds = [row["MAX_seconds"] for row in rows]
     assert max(max_seconds) - min(max_seconds) <= max(0.5, 0.8 * max(max_seconds))

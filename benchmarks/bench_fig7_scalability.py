@@ -3,17 +3,30 @@
 Paper observation: every step's time grows with the data size; the SSE step is
 super-linear in the number of equivalence classes and dominates on the
 synthetic dataset, while MAX and FP matter more on Orders.
+
+Beyond the paper, this module also benchmarks the coded-columnar compute
+engine: the same TANE + encryption hot path on the pure-Python reference
+backend versus the NumPy backend (``[perf]`` extra).  The backend comparison
+and its speedups are recorded in ``BENCH_fig7.json`` — the headline perf
+number of the engine.
 """
 
 from __future__ import annotations
 
+from repro.backend import numpy_available
 from repro.bench.reporting import format_table
-from repro.bench.sweeps import fig7_time_vs_size
+from repro.bench.sweeps import fig7_backend_scalability, fig7_time_vs_size
 
 from benchmarks.conftest import scale
 
+BENCH_NAME = "fig7"
 
-def test_fig7a_synthetic_time_vs_size(benchmark):
+#: Sizes of the backend comparison; the pure-Python ECG grouping loop is
+#: quadratic in the class count, so the vectorised win grows with the table.
+BACKEND_SIZES = (1200, 2400, 4800, 9600, 12800)
+
+
+def test_fig7a_synthetic_time_vs_size(benchmark, bench_json):
     sizes = tuple(scale(size) for size in (400, 800, 1600, 3200))
     rows = benchmark.pedantic(
         fig7_time_vs_size,
@@ -23,11 +36,12 @@ def test_fig7a_synthetic_time_vs_size(benchmark):
     )
     print()
     print(format_table(rows, title="Figure 7 (a): synthetic — per-step time vs data size"))
+    bench_json.add("fig7a_synthetic_per_step", rows)
     totals = [row["total_seconds"] for row in rows]
     assert totals == sorted(totals), "encryption time must grow with the data size"
 
 
-def test_fig7b_orders_time_vs_size(benchmark):
+def test_fig7b_orders_time_vs_size(benchmark, bench_json):
     sizes = tuple(scale(size) for size in (400, 800, 1600, 3200))
     rows = benchmark.pedantic(
         fig7_time_vs_size,
@@ -37,5 +51,61 @@ def test_fig7b_orders_time_vs_size(benchmark):
     )
     print()
     print(format_table(rows, title="Figure 7 (b): orders — per-step time vs data size"))
+    bench_json.add("fig7b_orders_per_step", rows)
     totals = [row["total_seconds"] for row in rows]
     assert totals[-1] > totals[0], "encryption time must grow with the data size"
+
+
+def test_fig7c_backend_scalability_orders(benchmark, bench_json):
+    """TANE + encryption wall time: pure-Python vs NumPy backend (orders)."""
+    sizes = tuple(scale(size) for size in BACKEND_SIZES)
+    rows = benchmark.pedantic(
+        fig7_backend_scalability,
+        kwargs={"dataset": "orders", "sizes": sizes, "alpha": 0.2},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            rows, title="Figure 7 (c): orders — TANE + encryption wall time per backend"
+        )
+    )
+    largest = rows[-1]
+    metadata = {
+        "backend_comparison_dataset": "orders",
+        "backend_comparison_sizes": list(sizes),
+        "tane_plus_encrypt_python_seconds_at_largest": largest.get("python_total_seconds"),
+        "tane_plus_encrypt_numpy_seconds_at_largest": largest.get("numpy_total_seconds"),
+        "numpy_speedup_at_largest_size": largest.get("numpy_speedup"),
+    }
+    bench_json.add("fig7c_backend_scalability_orders", rows, **metadata)
+    assert all(row["python_total_seconds"] > 0 for row in rows)
+    if numpy_available():
+        assert all("numpy_speedup" in row for row in rows)
+        # The vectorised engine's headline claim, checked at full benchmark
+        # scale (scaled-down smoke runs measure overhead, not throughput).
+        if sizes[-1] >= BACKEND_SIZES[-1]:
+            assert largest["numpy_speedup"] >= 3.0, (
+                "NumPy backend must be at least 3x faster than the pure-Python "
+                f"path on TANE + encryption at the largest size, got {largest}"
+            )
+
+
+def test_fig7d_backend_scalability_synthetic(benchmark, bench_json):
+    """The same comparison on synthetic (collision-light MASs, smaller win)."""
+    sizes = tuple(scale(size) for size in (1600, 3200, 6400))
+    rows = benchmark.pedantic(
+        fig7_backend_scalability,
+        kwargs={"dataset": "synthetic", "sizes": sizes, "alpha": 0.25},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            rows, title="Figure 7 (d): synthetic — TANE + encryption wall time per backend"
+        )
+    )
+    bench_json.add("fig7d_backend_scalability_synthetic", rows)
+    assert all(row["python_total_seconds"] > 0 for row in rows)

@@ -13,8 +13,10 @@ from repro.bench.sweeps import fig8_baseline_comparison
 
 from benchmarks.conftest import scale
 
+BENCH_NAME = "fig8"
 
-def test_fig8a_synthetic_baselines(benchmark):
+
+def test_fig8a_synthetic_baselines(benchmark, bench_json):
     sizes = tuple(scale(size) for size in (300, 600, 1200))
     rows = benchmark.pedantic(
         fig8_baseline_comparison,
@@ -24,12 +26,13 @@ def test_fig8a_synthetic_baselines(benchmark):
     )
     print()
     print(format_table(rows, title="Figure 8 (a): synthetic — F2 vs AES vs Paillier"))
+    bench_json.add("fig8a_synthetic", rows)
     for row in rows:
         assert row["paillier_seconds"] > row["f2_seconds"], "Paillier must be the slowest"
         assert row["aes_seconds"] < row["paillier_seconds"]
 
 
-def test_fig8b_orders_baselines(benchmark):
+def test_fig8b_orders_baselines(benchmark, bench_json):
     sizes = tuple(scale(size) for size in (300, 600, 1200))
     rows = benchmark.pedantic(
         fig8_baseline_comparison,
@@ -39,5 +42,6 @@ def test_fig8b_orders_baselines(benchmark):
     )
     print()
     print(format_table(rows, title="Figure 8 (b): orders — F2 vs AES vs Paillier"))
+    bench_json.add("fig8b_orders", rows)
     for row in rows:
         assert row["paillier_seconds"] > row["f2_seconds"], "Paillier must be the slowest"

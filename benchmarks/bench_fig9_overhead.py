@@ -21,10 +21,12 @@ from repro.bench.sweeps import fig9_overhead
 
 from benchmarks.conftest import scale
 
+BENCH_NAME = "fig9"
+
 ALPHAS = (1, 1 / 2, 1 / 4, 1 / 6, 1 / 8, 1 / 10)
 
 
-def test_fig9a_customer_overhead_vs_alpha(benchmark):
+def test_fig9a_customer_overhead_vs_alpha(benchmark, bench_json):
     rows = benchmark.pedantic(
         fig9_overhead,
         kwargs={"dataset": "customer", "num_rows": scale(1200), "alphas": ALPHAS},
@@ -33,11 +35,12 @@ def test_fig9a_customer_overhead_vs_alpha(benchmark):
     )
     print()
     print(format_table(rows, title="Figure 9 (a): customer — overhead vs alpha"))
+    bench_json.add("fig9a_customer_alpha", rows)
     overheads = [row["total_overhead"] for row in rows]
     assert overheads[-1] >= overheads[0], "smaller alpha must not reduce the overhead"
 
 
-def test_fig9b_orders_overhead_vs_alpha(benchmark):
+def test_fig9b_orders_overhead_vs_alpha(benchmark, bench_json):
     rows = benchmark.pedantic(
         fig9_overhead,
         kwargs={"dataset": "orders", "num_rows": scale(1000), "alphas": ALPHAS},
@@ -46,6 +49,7 @@ def test_fig9b_orders_overhead_vs_alpha(benchmark):
     )
     print()
     print(format_table(rows, title="Figure 9 (b): orders — overhead vs alpha"))
+    bench_json.add("fig9b_orders_alpha", rows)
     overheads = [row["total_overhead"] for row in rows]
     assert overheads == sorted(overheads), "overhead must grow as alpha shrinks"
     # At tight alpha the fake classes added by grouping dominate, as in the paper.
@@ -54,7 +58,7 @@ def test_fig9b_orders_overhead_vs_alpha(benchmark):
     assert tightest["GROUP_overhead"] >= tightest["FP_overhead"]
 
 
-def test_fig9c_customer_overhead_vs_size(benchmark):
+def test_fig9c_customer_overhead_vs_size(benchmark, bench_json):
     sizes = tuple(scale(size) for size in (600, 1200, 2400))
     rows = benchmark.pedantic(
         fig9_overhead,
@@ -64,11 +68,12 @@ def test_fig9c_customer_overhead_vs_size(benchmark):
     )
     print()
     print(format_table(rows, title="Figure 9 (c): customer — overhead vs data size"))
+    bench_json.add("fig9c_customer_size", rows)
     overheads = [row["total_overhead"] for row in rows]
     assert overheads[-1] <= overheads[0], "customer overhead must shrink as the table grows"
 
 
-def test_fig9d_orders_overhead_vs_size(benchmark):
+def test_fig9d_orders_overhead_vs_size(benchmark, bench_json):
     sizes = tuple(scale(size) for size in (600, 1200, 2400))
     rows = benchmark.pedantic(
         fig9_overhead,
@@ -78,5 +83,6 @@ def test_fig9d_orders_overhead_vs_size(benchmark):
     )
     print()
     print(format_table(rows, title="Figure 9 (d): orders — overhead vs data size"))
+    bench_json.add("fig9d_orders_size", rows)
     for row in rows:
         assert row["GROUP_overhead"] > row["FP_overhead"], "GROUP dominates on Orders"

@@ -16,8 +16,10 @@ from repro.bench.sweeps import sec54_local_vs_outsourcing
 
 from benchmarks.conftest import scale
 
+BENCH_NAME = "sec54"
 
-def test_sec54_local_discovery_vs_outsourcing(benchmark):
+
+def test_sec54_local_discovery_vs_outsourcing(benchmark, bench_json):
     sizes = tuple(scale(size) for size in (400, 800, 1600))
     rows = benchmark.pedantic(
         sec54_local_vs_outsourcing,
@@ -31,6 +33,7 @@ def test_sec54_local_discovery_vs_outsourcing(benchmark):
             rows, title="Section 5.4: local FD discovery (TANE) vs F2 encryption (customer)"
         )
     )
+    bench_json.add("sec54_customer", rows)
     assert all(row["local_fd_discovery_seconds"] > 0 for row in rows)
     assert all(row["f2_encryption_seconds"] > 0 for row in rows)
     # Local discovery is the more expensive of the two owner-side options.

@@ -16,8 +16,10 @@ from repro.bench.sweeps import security_attack_evaluation
 
 from benchmarks.conftest import scale
 
+BENCH_NAME = "security"
 
-def test_security_attack_success_rates(benchmark):
+
+def test_security_attack_success_rates(benchmark, bench_json):
     rows = benchmark.pedantic(
         security_attack_evaluation,
         kwargs={
@@ -31,6 +33,7 @@ def test_security_attack_success_rates(benchmark):
     )
     print()
     print(format_table(rows, title="Empirical attack success (orders)"))
+    bench_json.add("security_orders", rows)
 
     deterministic = [row for row in rows if row["scheme"] == "deterministic"]
     f2_rows = [row for row in rows if row["scheme"] == "f2"]

@@ -13,8 +13,10 @@ from repro.bench.sweeps import table1_dataset_description
 
 from benchmarks.conftest import scale
 
+BENCH_NAME = "table1"
 
-def test_table1_dataset_description(benchmark):
+
+def test_table1_dataset_description(benchmark, bench_json):
     sizes = {
         "orders": scale(1500),
         "customer": scale(1200),
@@ -25,6 +27,7 @@ def test_table1_dataset_description(benchmark):
     )
     print()
     print(format_table(rows, title="Table 1: dataset description (laptop-scale substitutes)"))
+    bench_json.add("table1", rows)
 
     by_name = {row["dataset"]: row for row in rows}
     assert by_name["orders"]["attributes"] == 9

@@ -31,3 +31,38 @@ def scale(value: int) -> int:
 @pytest.fixture(scope="session")
 def bench_scale() -> float:
     return float(os.environ.get("F2_BENCH_SCALE", "1"))
+
+
+class BenchJsonCollector:
+    """Accumulates a module's result rows for the ``BENCH_<name>.json`` artifact."""
+
+    def __init__(self) -> None:
+        self.rows: list[dict] = []
+        self.metadata: dict = {}
+
+    def add(self, section: str, rows, **metadata) -> None:
+        """Record one test's result rows (tagged with its section name)."""
+        for row in rows:
+            self.rows.append({"section": section, **dict(row)})
+        self.metadata.update(metadata)
+
+
+@pytest.fixture(scope="module")
+def bench_json(request):
+    """Machine-readable benchmark output: one ``BENCH_<name>.json`` per module.
+
+    Tests call ``bench_json.add(section, rows, **metadata)``; when the module
+    finishes, everything collected is written via
+    :func:`repro.bench.reporting.write_bench_json` under the name given by
+    the module's ``BENCH_NAME`` (default: the filename minus ``bench_``).
+    The JSON lands in ``$F2_BENCH_JSON_DIR`` or the current directory.
+    """
+    collector = BenchJsonCollector()
+    yield collector
+    if collector.rows or collector.metadata:
+        from repro.bench.reporting import write_bench_json
+
+        module_name = request.module.__name__.rsplit(".", 1)[-1]
+        name = getattr(request.module, "BENCH_NAME", module_name.removeprefix("bench_"))
+        path = write_bench_json(name, collector.rows, **collector.metadata)
+        print(f"\n[bench-json] wrote {path}")

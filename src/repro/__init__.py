@@ -41,12 +41,14 @@ subpackages (:mod:`repro.api`, :mod:`repro.relational`, :mod:`repro.fd`,
 
 from repro.api.pipeline import EncryptionPipeline, StageHook, StageRecorder
 from repro.api.session import DataOwner, ServiceProvider, run_protocol
+from repro.backend import available_backends, get_backend
 from repro.core.config import F2Config
 from repro.core.encrypted import EncryptedTable
 from repro.core.scheme import F2Scheme
 from repro.core.security import verify_alpha_security
 from repro.crypto.keys import KeyGen
 from repro.exceptions import (
+    BackendUnavailableError,
     ConfigurationError,
     DecryptionError,
     EncryptionError,
@@ -56,9 +58,10 @@ from repro.exceptions import (
 from repro.relational.schema import Schema
 from repro.relational.table import Relation
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "BackendUnavailableError",
     "ConfigurationError",
     "DataOwner",
     "DecryptionError",
@@ -75,6 +78,8 @@ __all__ = [
     "ServiceProvider",
     "StageHook",
     "StageRecorder",
+    "available_backends",
+    "get_backend",
     "run_protocol",
     "verify_alpha_security",
     "__version__",

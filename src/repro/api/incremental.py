@@ -91,7 +91,9 @@ def insert_rows(
 
     config = pipeline.config
     mas_start = time.perf_counter()
-    mas_result = find_mas_with_stats(updated, strategy=config.mas_strategy, seed=config.seed)
+    mas_result = find_mas_with_stats(
+        updated, strategy=config.mas_strategy, seed=config.seed, backend=config.backend
+    )
     mas_seconds = time.perf_counter() - mas_start
 
     old_sets = {plan.mas.as_set for plan in previous.mas_plans}
@@ -137,7 +139,7 @@ def _update_mas_plan(
 ) -> MasPlan:
     """Rebuild one MAS plan against the updated relation, reusing groups."""
     config = ctx.config
-    partition = Partition.build(updated, old_plan.attributes)
+    partition = Partition.build(updated, old_plan.attributes, backend=ctx.backend)
     by_representative = {ec.representative: ec for ec in partition.classes}
     namespace = mas_namespace(old_plan.index, old_plan.mas)
 
@@ -193,6 +195,7 @@ def _update_mas_plan(
             config.group_size,
             ctx.fresh_factory,
             start_index=len(groups),
+            backend=partition.backend,
         )
         for group in grouping_new.groups:
             groups.append(group)

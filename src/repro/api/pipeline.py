@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Protocol, runtime_checkable
 
+from repro.backend import ComputeBackend, get_backend
 from repro.core.config import F2Config
 from repro.core.conflict import AssemblyResult, MasPlan
 from repro.core.encrypted import EncryptedTable, RowProvenance
@@ -41,6 +42,7 @@ from repro.crypto.keys import KeyGen, SymmetricKey
 from repro.crypto.probabilistic import ProbabilisticCipher
 from repro.exceptions import EncryptionError
 from repro.fd.mas import MasResult
+from repro.relational.coded import CodedRelation
 from repro.relational.table import Relation
 
 
@@ -59,6 +61,8 @@ class EncryptionContext:
     cipher: ProbabilisticCipher
     fresh_factory: FreshValueFactory
     stats: EncryptionStats
+    #: Compute backend shared by every stage (resolved from the config).
+    backend: ComputeBackend | None = None
 
     # Produced by the stages, in order.
     mas_result: MasResult | None = None
@@ -83,6 +87,9 @@ class EncryptionContext:
         """Build a fresh context for one full encryption run."""
         if relation.num_rows == 0:
             raise EncryptionError("cannot encrypt an empty relation")
+        backend = get_backend(config.backend)
+        parameters = config.to_dict()
+        parameters["backend"] = backend.name
         return cls(
             relation=relation,
             config=config,
@@ -92,9 +99,21 @@ class EncryptionContext:
             stats=EncryptionStats(
                 rows_original=relation.num_rows,
                 attributes=relation.num_attributes,
-                parameters=config.to_dict(),
+                parameters=parameters,
             ),
+            backend=backend,
         )
+
+    @property
+    def coded(self) -> CodedRelation:
+        """The coded-columnar view of the plaintext under this run's backend.
+
+        Convenience accessor for owner-side tooling; it resolves through
+        ``Relation.coded``'s per-backend cache — the same cache every stage
+        hits internally (MAS tests, partition builds, false-positive witness
+        search) — so the encoding is built once per relation contents.
+        """
+        return self.relation.coded(self.backend)
 
     @property
     def masses(self):

@@ -198,7 +198,7 @@ class DataOwner:
     # ------------------------------------------------------------------
     def expected_fds(self, max_lhs_size: int | None = None) -> FDSet:
         """The FDs of the owner's plaintext (what the provider should find)."""
-        return tane(self.plaintext, max_lhs_size=max_lhs_size)
+        return tane(self.plaintext, max_lhs_size=max_lhs_size, backend=self.config.backend)
 
     def validate_fds(self, fds: FDSet, max_lhs_size: int | None = None) -> bool:
         """True iff the provider's dependencies match the plaintext's exactly."""
@@ -221,10 +221,20 @@ class ServiceProvider:
     """The untrusted server side of the outsourcing protocol.
 
     Only ever sees ciphertext relations; offers FD discovery as its service.
+
+    Parameters
+    ----------
+    name:
+        Display name used in error messages.
+    backend:
+        Compute backend for FD discovery (``"python"``, ``"numpy"``, or
+        ``None`` for the environment default) — the provider is the party
+        with the big hardware, so it benefits most from the ``[perf]`` extra.
     """
 
-    def __init__(self, name: str = "service-provider"):
+    def __init__(self, name: str = "service-provider", backend: str | None = None):
         self.name = name
+        self.backend = backend
         self._table: Relation | None = None
         self._last_discovery: TaneResult | None = None
 
@@ -249,7 +259,7 @@ class ServiceProvider:
 
     def discover_fds(self, max_lhs_size: int | None = None) -> TaneResult:
         """Run TANE on the received ciphertext and return FDs plus counters."""
-        result = tane_with_stats(self.table, max_lhs_size=max_lhs_size)
+        result = tane_with_stats(self.table, max_lhs_size=max_lhs_size, backend=self.backend)
         self._last_discovery = result
         return result
 

@@ -10,6 +10,8 @@ byte-for-byte identical to the historical output.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.api.pipeline import EncryptionContext, Stage
 from repro.core.conflict import MasPlan, assemble_row_plans, validate_assembly
 from repro.core.config import F2Config
@@ -26,7 +28,7 @@ from repro.core.plan import (
 from repro.core.split_scale import build_ecg_plan
 from repro.core.stats import EncryptionStats
 from repro.crypto.probabilistic import Ciphertext, ProbabilisticCipher
-from repro.exceptions import EncryptionError
+from repro.exceptions import EncryptionError, FdPreservationWarning
 from repro.fd.mas import MaximalAttributeSet, find_mas_with_stats
 from repro.fd.tane import tane
 from repro.fd.verify import fd_holds, violating_row_pairs
@@ -76,9 +78,10 @@ def plan_single_mas(
     mas: MaximalAttributeSet,
     config: F2Config,
     fresh_factory: FreshValueFactory,
+    backend=None,
 ) -> MasPlan:
     """Group and split/scale one MAS (Step 2 for a single attribute set)."""
-    partition = Partition.build(relation, mas.attributes)
+    partition = Partition.build(relation, mas.attributes, backend=backend)
     grouping = build_equivalence_class_groups(partition, config.group_size, fresh_factory)
     plan = MasPlan(index=index, mas=mas, grouping=grouping)
     for group in grouping.groups:
@@ -99,35 +102,47 @@ def materialize_row_plans(
     cipher: ProbabilisticCipher,
     fresh_factory: FreshValueFactory,
 ) -> tuple[Relation, list[RowProvenance]]:
-    """Turn symbolic row plans into a ciphertext relation plus provenance."""
+    """Turn symbolic row plans into a ciphertext relation plus provenance.
+
+    Cells are materialised in row-major order — the order determines which
+    random draws each artificial value receives, so it is part of the
+    byte-identity contract for seeded runs.
+    """
     schema = relation.schema
+    attributes = tuple(schema)
     encrypted_relation = Relation(schema, name=f"{relation.name}-encrypted")
     provenance: list[RowProvenance] = []
     instance_cache: dict[tuple[str, str, str], Ciphertext] = {}
+    encrypt = cipher.encrypt
+    materialize = fresh_factory.materialize
+    cache_get = instance_cache.get
 
     for plan in row_plans:
         row = []
-        for attr in schema:
-            spec = plan.cells[attr]
-            if isinstance(spec, InstanceCell):
+        cells = plan.cells
+        for attr in attributes:
+            spec = cells[attr]
+            spec_type = type(spec)
+            if spec_type is InstanceCell:
                 key = spec.cache_key()
-                cached = instance_cache.get(key)
+                cached = cache_get(key)
                 if cached is None:
-                    cached = cipher.encrypt(spec.value, variant=spec.variant)
+                    cached = encrypt(spec.value, variant=spec.variant)
                     instance_cache[key] = cached
                 row.append(cached)
-            elif isinstance(spec, RandomCell):
-                row.append(cipher.encrypt(spec.value, variant=None))
-            elif isinstance(spec, FreshCell):
-                row.append(fresh_factory.materialize(spec.token))
+            elif spec_type is RandomCell:
+                row.append(encrypt(spec.value, variant=None))
+            elif spec_type is FreshCell:
+                row.append(materialize(spec.token))
             else:  # pragma: no cover - defensive
                 raise EncryptionError(f"unknown cell specification: {spec!r}")
         encrypted_relation.append(row)
+        source = plan.provenance
         provenance.append(
             RowProvenance(
-                kind=plan.provenance.kind,
-                source_row=plan.provenance.source_row,
-                authentic_attributes=plan.provenance.authentic_attributes,
+                kind=source.kind,
+                source_row=source.source_row,
+                authentic_attributes=source.authentic_attributes,
             )
         )
     return encrypted_relation, provenance
@@ -162,7 +177,10 @@ class MasDiscoveryStage:
 
     def run(self, ctx: EncryptionContext) -> None:
         ctx.mas_result = find_mas_with_stats(
-            ctx.relation, strategy=ctx.config.mas_strategy, seed=ctx.config.seed
+            ctx.relation,
+            strategy=ctx.config.mas_strategy,
+            seed=ctx.config.seed,
+            backend=ctx.backend,
         )
         ctx.stats.num_masses = len(ctx.mas_result.masses)
         ctx.stats.num_overlapping_mas_pairs = len(ctx.mas_result.overlapping_pairs())
@@ -175,7 +193,9 @@ class SplitScaleStage:
 
     def run(self, ctx: EncryptionContext) -> None:
         ctx.mas_plans = [
-            plan_single_mas(ctx.relation, index, mas, ctx.config, ctx.fresh_factory)
+            plan_single_mas(
+                ctx.relation, index, mas, ctx.config, ctx.fresh_factory, backend=ctx.backend
+            )
             for index, mas in enumerate(ctx.masses)
         ]
         record_planning_stats(ctx.stats, ctx.mas_plans)
@@ -212,7 +232,11 @@ class FalsePositiveStage:
         if not ctx.config.eliminate_false_positives:
             return
         fp_result = eliminate_false_positives(
-            ctx.relation, ctx.mas_plans, ctx.config.group_size, ctx.fresh_factory
+            ctx.relation,
+            ctx.mas_plans,
+            ctx.config.group_size,
+            ctx.fresh_factory,
+            backend=ctx.backend,
         )
         ctx.row_plans.extend(fp_result.row_plans)
         ctx.stats.num_false_positive_nodes = fp_result.num_triggered
@@ -244,6 +268,14 @@ class MaterializeStage:
 class VerifyRepairStage:
     """Optional strict pass: repair residual false-positive FDs.
 
+    Also performs a cheap false-*negative* check: every FD of the plaintext
+    (LHS capped at ``verify_max_lhs``) is verified against the ciphertext,
+    and any lost dependency is reported via
+    :class:`repro.exceptions.FdPreservationWarning` plus the
+    ``metadata['lost_fds']`` entry.  Lost FDs can occur on tables with
+    several overlapping MASs (see the ROADMAP's falsifying example);
+    repairing them is not implemented, only detection.
+
     The repair produces a *fresh* stats object for the repaired table (the
     pipeline's immutable-result convention): the pre-repair table keeps the
     counters it was built with, and the context switches to the new stats so
@@ -259,7 +291,10 @@ class VerifyRepairStage:
         if encrypted is None:
             raise EncryptionError("verify/repair requires a materialised table")
         config = ctx.config
-        ciphertext_fds = tane(encrypted.relation, max_lhs_size=config.verify_max_lhs)
+        ciphertext_fds = tane(
+            encrypted.relation, max_lhs_size=config.verify_max_lhs, backend=ctx.backend
+        )
+        self._warn_about_lost_fds(ctx, encrypted, ciphertext_fds)
         repaired_plans: list[RowPlan] = []
         repaired = 0
         for fd in ciphertext_fds:
@@ -297,6 +332,31 @@ class VerifyRepairStage:
             masses=encrypted.masses,
             ecg_summaries=encrypted.ecg_summaries,
             metadata=encrypted.metadata,
+        )
+
+    @staticmethod
+    def _warn_about_lost_fds(ctx: EncryptionContext, encrypted, ciphertext_fds) -> None:
+        """Detect plaintext FDs absent from the ciphertext (false negatives).
+
+        Cheap by construction: the plaintext FDs are discovered with the same
+        LHS cap as the verification TANE run, and each one is checked with a
+        single partition-refinement test against the ciphertext.
+        """
+        plaintext_fds = tane(
+            ctx.relation, max_lhs_size=ctx.config.verify_max_lhs, backend=ctx.backend
+        )
+        lost = [fd for fd in plaintext_fds if not fd_holds(encrypted.relation, fd)]
+        if not lost:
+            return
+        lost_texts = sorted(str(fd) for fd in lost)
+        ctx.metadata["lost_fds"] = lost_texts
+        encrypted.metadata["lost_fds"] = lost_texts
+        warnings.warn(
+            "FD preservation failed: plaintext dependencies absent from the "
+            f"ciphertext (false negatives): {', '.join(lost_texts)}; this can "
+            "happen on tables with several overlapping MASs (see ROADMAP)",
+            FdPreservationWarning,
+            stacklevel=2,
         )
 
 

@@ -166,13 +166,11 @@ def evaluate_attack(
     """
     if not samples:
         raise ReproError("cannot evaluate an attack without samples")
+    from repro.attack.frequency import frequency_tables
+
     rng = random.Random(seed)
-    plain_frequencies = {
-        attribute: Counter(plaintext.column(attribute)) for attribute in plaintext.attributes
-    }
-    cipher_frequencies = {
-        attribute: Counter(ciphertext.column(attribute)) for attribute in ciphertext.attributes
-    }
+    plain_frequencies = frequency_tables(plaintext)
+    cipher_frequencies = frequency_tables(ciphertext)
     outcome = AttackOutcome(attack_name=attack.name, trials=0, successes=0)
     for _ in range(trials):
         sample = rng.choice(samples)

@@ -21,9 +21,33 @@ from __future__ import annotations
 
 import random
 from collections import Counter
-from typing import Any, Hashable
+from typing import TYPE_CHECKING, Any, Hashable
 
 from repro.exceptions import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.backend import ComputeBackend
+    from repro.relational.table import Relation
+
+
+def frequency_tables(
+    relation: "Relation",
+    attributes: list[str] | None = None,
+    backend: "ComputeBackend | str | None" = None,
+) -> dict[str, Counter]:
+    """Per-attribute value-frequency tables straight from code dictionaries.
+
+    Equivalent to ``{attr: Counter(relation.column(attr))}`` — including the
+    insertion order that ``most_common`` tie-breaks on — but read off the
+    relation's cached dictionary encoding, so the adversary's auxiliary
+    tables and the ciphertext-view tables reuse the same per-column pass as
+    the rest of the system.
+    """
+    coded = relation.coded(backend)
+    return {
+        attribute: coded.frequencies(attribute)
+        for attribute in (attributes if attributes is not None else relation.attributes)
+    }
 
 
 class FrequencyAttack:

@@ -1,0 +1,27 @@
+"""Pluggable compute backends for the coded-columnar engine.
+
+See :mod:`repro.backend.base` for the contract and the selection rules
+(explicit argument > ``REPRO_BACKEND`` environment variable > pure-Python
+default).
+"""
+
+from repro.backend.base import (
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    ComputeBackend,
+    available_backends,
+    get_backend,
+)
+from repro.backend.numpy_backend import NumpyBackend, numpy_available
+from repro.backend.python_backend import PythonBackend
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "ComputeBackend",
+    "NumpyBackend",
+    "PythonBackend",
+    "available_backends",
+    "get_backend",
+    "numpy_available",
+]

@@ -1,0 +1,228 @@
+"""The compute-backend contract and backend resolution.
+
+Every hot loop of the library — stripped-partition refinement for TANE,
+equivalence-class grouping for the ECGs, false-positive witness search,
+frequency analysis — reduces to a handful of array primitives over
+*dictionary-encoded* integer columns (see :mod:`repro.relational.coded`).
+A :class:`ComputeBackend` supplies exactly those primitives; everything above
+it is backend-agnostic and produces identical results whichever backend runs.
+
+Two implementations ship:
+
+* :class:`repro.backend.python_backend.PythonBackend` — pure standard
+  library, always available, the default.
+* :class:`repro.backend.numpy_backend.NumpyBackend` — vectorised over NumPy
+  arrays; available when the ``[perf]`` extra is installed.
+
+Backend selection (first match wins):
+
+1. an explicit ``backend=`` argument / ``--backend`` CLI flag /
+   ``F2Config(backend=...)``,
+2. the ``REPRO_BACKEND`` environment variable,
+3. the pure-Python default.
+
+Requesting ``numpy`` without NumPy installed raises
+:class:`repro.exceptions.BackendUnavailableError` with an actionable message.
+
+Determinism contract: both backends MUST return identical values from every
+primitive — group lists in the same order, rows within groups ascending —
+because the grouping order feeds the fresh-value factory and hence the
+ciphertext bytes.  The equivalence test suite pins this property.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from typing import Any
+
+from repro.exceptions import BackendError, BackendUnavailableError
+
+#: Environment variable consulted when no explicit backend is requested.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Name of the always-available reference backend.
+DEFAULT_BACKEND = "python"
+
+
+class ComputeBackend(ABC):
+    """Array primitives over dictionary-encoded (integer-coded) columns.
+
+    The ``codes`` arguments are dense integer arrays (``list[int]`` or a
+    NumPy array, backend's choice) of length ``num_rows`` where equal codes
+    mean equal original values.  All group lists returned by a backend are
+    ordered by their smallest row index, with rows ascending inside each
+    group — the canonical order the rest of the library relies on.
+    """
+
+    #: Short identifier used by configuration, CLI, and reports.
+    name: str = "abstract"
+    #: True when the backend operates on vectorised arrays.
+    vectorized: bool = False
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def factorize(self, values: Sequence[Any]) -> tuple[Any, list[Any]]:
+        """Dictionary-encode ``values``.
+
+        Returns ``(codes, dictionary)`` where ``dictionary[code]`` is the
+        original value and codes are assigned in first-occurrence order
+        (``dictionary[0]`` is the first value seen).  Values only need to be
+        hashable — cells may be strings, ints, or ciphertext objects.
+        """
+
+    @abstractmethod
+    def as_code_array(self, codes: Sequence[int]) -> Any:
+        """Coerce a plain list of codes into the backend's native array type."""
+
+    # ------------------------------------------------------------------
+    # Grouping / counting
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def combine_codes(self, code_arrays: list[Any], cardinalities: list[int]) -> tuple[Any, int]:
+        """Fuse per-column code arrays into one code array over row tuples.
+
+        Returns ``(codes, num_groups)``; rows get equal codes iff they agree
+        on every input column.  Code numbering is backend-internal (any
+        bijection will do) — callers must not rely on its order, only on
+        equality.
+        """
+
+    @abstractmethod
+    def counts(self, codes: Any, num_groups: int) -> list[int]:
+        """Occurrences of each code, indexed by code (a frequency histogram)."""
+
+    @abstractmethod
+    def has_duplicates(self, codes: Any, num_groups: int) -> bool:
+        """True iff any code occurs more than once (the MAS non-unique test)."""
+
+    @abstractmethod
+    def group_rows(self, codes: Any, num_groups: int, min_size: int = 1) -> list[list[int]]:
+        """Row-index groups per code, canonical order, size >= ``min_size``."""
+
+    # ------------------------------------------------------------------
+    # Stripped-partition product (TANE's inner loop)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def stripped_product(
+        self,
+        groups_a: list[list[int]],
+        groups_b: list[list[int]],
+        num_rows: int,
+    ) -> list[list[int]]:
+        """Product of two stripped partitions.
+
+        Rows share an output group iff they share a group in *both* inputs;
+        singleton output groups are stripped.  Canonical order.
+        """
+
+    # ------------------------------------------------------------------
+    # Flat stripped partitions (optional, vectorised backends only)
+    # ------------------------------------------------------------------
+    # A *flat* stripped partition is ``(rows, gids, num_groups, gid_limit)``
+    # — parallel arrays of member rows and group ids.  Vectorised backends
+    # implement these so TANE's product chain never round-trips through
+    # python lists; list-based backends simply do not advertise them
+    # (``vectorized`` stays False and callers use ``stripped_product``).
+
+    def stripped_from_codes(self, codes: Any, num_values: int) -> tuple:
+        """Flat stripped partition straight from a code array."""
+        raise NotImplementedError(f"backend {self.name!r} has no flat representation")
+
+    def stripped_product_flat(self, flat_a: tuple, flat_b: tuple, num_rows: int) -> tuple:
+        """Flat-to-flat stripped product."""
+        raise NotImplementedError(f"backend {self.name!r} has no flat representation")
+
+    def flatten_groups(self, groups: list[list[int]]) -> tuple:
+        """Convert row-group lists into the flat representation."""
+        raise NotImplementedError(f"backend {self.name!r} has no flat representation")
+
+    def materialize_groups(self, flat: tuple) -> list[list[int]]:
+        """Recover canonical row-group lists from the flat representation."""
+        raise NotImplementedError(f"backend {self.name!r} has no flat representation")
+
+    # ------------------------------------------------------------------
+    # Collision-aware greedy grouping (ECG construction)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def greedy_collision_free_groups(
+        self,
+        code_matrix: Sequence[Sequence[int]],
+        group_size: int,
+    ) -> list[list[int]]:
+        """Partition member indexes into greedy collision-free groups.
+
+        ``code_matrix[i]`` is member ``i``'s per-attribute code tuple; two
+        members *collide* when they share a code on any attribute
+        (Definition 3.4 on dictionary codes).  Reproduces the paper's greedy
+        scan exactly: repeatedly seed a group with the first unassigned
+        member, then scan the remaining members in order, adding each one
+        that does not collide with the group so far, until the group has
+        ``group_size`` members; skipped members keep their order for later
+        groups.  Groups may come back smaller than ``group_size`` (the caller
+        pads them with fake classes).
+        """
+
+
+def factorize_values(values: Sequence[Any]) -> tuple[list[int], list[Any]]:
+    """Dictionary-encode ``values`` in first-occurrence order (shared helper).
+
+    Cells need only be hashable (strings, ints, ciphertext objects), so the
+    encoding is a hash-map pass for every backend; the backends differ only
+    in the array type they wrap the codes in.
+    """
+    code_of: dict[Any, int] = {}
+    dictionary: list[Any] = []
+    codes: list[int] = []
+    for value in values:
+        code = code_of.get(value)
+        if code is None:
+            code = len(dictionary)
+            code_of[value] = code
+            dictionary.append(value)
+        codes.append(code)
+    return codes, dictionary
+
+
+def available_backends() -> dict[str, bool]:
+    """Mapping of backend name -> availability in this environment."""
+    from repro.backend.numpy_backend import numpy_available
+
+    return {"python": True, "numpy": numpy_available()}
+
+
+def get_backend(name: str | ComputeBackend | None = None) -> ComputeBackend:
+    """Resolve a backend from an explicit name, ``REPRO_BACKEND``, or default.
+
+    Parameters
+    ----------
+    name:
+        ``"python"``, ``"numpy"``, an already constructed backend (returned
+        as-is), or ``None``/``"auto"`` to consult the ``REPRO_BACKEND``
+        environment variable and fall back to the pure-Python default.
+    """
+    if isinstance(name, ComputeBackend):
+        return name
+    if name is None or name == "auto":
+        name = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    name = str(name).strip().lower()
+    if name == "python":
+        from repro.backend.python_backend import PythonBackend
+
+        return PythonBackend()
+    if name == "numpy":
+        from repro.backend.numpy_backend import NumpyBackend, numpy_available
+
+        if not numpy_available():
+            raise BackendUnavailableError(
+                "the numpy backend requires NumPy; install it with "
+                "`pip install f2-repro[perf]` (or `pip install numpy`), or "
+                "select --backend python"
+            )
+        return NumpyBackend()
+    raise BackendError(
+        f"unknown compute backend {name!r}; available: {sorted(available_backends())}"
+    )

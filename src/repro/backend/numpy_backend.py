@@ -1,0 +1,277 @@
+"""The NumPy-vectorised backend (the ``[perf]`` extra).
+
+Same contract and — by construction and by test — the same results as the
+pure-Python reference backend, with the inner loops replaced by array
+operations: code combination via integer pairing plus ``np.unique``
+compaction, grouping via one stable argsort, the stripped-partition product
+via scatter/gather, and the ECG greedy scan via an incrementally grown
+collision mask.
+
+NumPy is imported lazily so that merely importing :mod:`repro.backend` never
+requires the ``[perf]`` extra; use :func:`numpy_available` to probe.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from functools import lru_cache
+from typing import Any
+
+from repro.backend.base import ComputeBackend, factorize_values
+from repro.exceptions import BackendError
+
+
+@lru_cache(maxsize=1)
+def numpy_available() -> bool:
+    """True iff NumPy can be imported in this environment."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _np():
+    import numpy
+
+    return numpy
+
+
+class NumpyBackend(ComputeBackend):
+    """Vectorised implementation over ``numpy.int64`` code arrays."""
+
+    name = "numpy"
+    vectorized = True
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def factorize(self, values: Sequence[Any]) -> tuple[Any, list[Any]]:
+        # Cells are arbitrary hashable objects (strings, ciphertexts) without
+        # a total order, so ``np.unique`` cannot encode them; the dictionary
+        # is built by the shared hash-map helper and only the code array
+        # becomes a NumPy array.  Encoding runs once per (relation, column)
+        # and is cached by the coded layer.
+        np = _np()
+        codes, dictionary = factorize_values(values)
+        return np.asarray(codes, dtype=np.int64), dictionary
+
+    def as_code_array(self, codes: Sequence[int]) -> Any:
+        return _np().asarray(codes, dtype=_np().int64)
+
+    # ------------------------------------------------------------------
+    # Grouping / counting
+    # ------------------------------------------------------------------
+    def combine_codes(self, code_arrays: list[Any], cardinalities: list[int]) -> tuple[Any, int]:
+        np = _np()
+        if not code_arrays:
+            raise BackendError("combine_codes requires at least one code array")
+        combined = np.asarray(code_arrays[0], dtype=np.int64)
+        cardinality = int(cardinalities[0])
+        for array, card in zip(code_arrays[1:], cardinalities[1:]):
+            # Integer pairing then compaction keeps the key below
+            # num_rows**2 at every step, far inside the int64 range.
+            key = combined * int(card) + np.asarray(array, dtype=np.int64)
+            _, combined = np.unique(key, return_inverse=True)
+            cardinality = int(combined.max()) + 1 if combined.size else 0
+        return combined, cardinality
+
+    def counts(self, codes: Any, num_groups: int) -> list[int]:
+        np = _np()
+        return np.bincount(np.asarray(codes), minlength=num_groups).tolist()
+
+    def has_duplicates(self, codes: Any, num_groups: int) -> bool:
+        np = _np()
+        codes = np.asarray(codes)
+        if codes.size <= 1:
+            return False
+        return bool(np.bincount(codes, minlength=num_groups).max() > 1)
+
+    def group_rows(self, codes: Any, num_groups: int, min_size: int = 1) -> list[list[int]]:
+        np = _np()
+        codes = np.asarray(codes)
+        if codes.size == 0:
+            return []
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        if min_size > 1:
+            # Materialise only the surviving groups (usually a tiny minority
+            # when stripping singletons) instead of splitting everything.
+            counts = np.bincount(codes, minlength=num_groups)
+            kept = np.flatnonzero(counts >= min_size)
+            if kept.size == 0:
+                return []
+            starts = np.searchsorted(sorted_codes, kept, side="left")
+            groups = [
+                order[start : start + counts[code]].tolist()
+                for start, code in zip(starts, kept)
+            ]
+        else:
+            boundaries = np.flatnonzero(sorted_codes[1:] != sorted_codes[:-1]) + 1
+            groups = [chunk.tolist() for chunk in np.split(order, boundaries)]
+        # A stable sort keeps rows ascending inside each chunk; ordering the
+        # chunks by their first row restores the canonical order.
+        groups.sort(key=lambda group: group[0])
+        return groups
+
+    # ------------------------------------------------------------------
+    # Stripped-partition product (flat representation)
+    # ------------------------------------------------------------------
+    # A stripped partition is held as ``(rows, gids, num_groups, gid_limit)``
+    # — parallel arrays of member rows and their group ids (``gid_limit`` is
+    # an exclusive upper bound on the ids, used for pairing).  Products chain
+    # flat-to-flat without ever materialising python lists; ``.groups`` is
+    # recovered on demand in canonical order via :meth:`materialize_groups`.
+
+    def stripped_from_codes(self, codes: Any, num_values: int) -> tuple:
+        np = _np()
+        codes = np.asarray(codes)
+        counts = np.bincount(codes, minlength=num_values)
+        keep = counts[codes] >= 2
+        rows = np.flatnonzero(keep)
+        gids = codes[rows]
+        num_groups = int((counts >= 2).sum())
+        return rows, gids, num_groups, num_values
+
+    def stripped_product_flat(self, flat_a: tuple, flat_b: tuple, num_rows: int) -> tuple:
+        np = _np()
+        rows_a, gids_a, _, _ = flat_a
+        rows_b, gids_b, _, limit_b = flat_b
+        empty = np.empty(0, dtype=np.int64)
+        if rows_a.size == 0 or rows_b.size == 0:
+            return empty, empty, 0, 0
+        table = np.full(num_rows, -1, dtype=np.int64)
+        table[rows_a] = gids_a
+        own = table[rows_b]
+        mask = own >= 0
+        rows = rows_b[mask]
+        if rows.size == 0:
+            return empty, empty, 0, 0
+        key = own[mask] * int(limit_b) + gids_b[mask]
+        _, inverse = np.unique(key, return_inverse=True)
+        counts = np.bincount(inverse)
+        keep = counts[inverse] >= 2
+        rows = rows[keep]
+        compacted = np.unique(inverse[keep], return_inverse=True)[1]
+        num_groups = int(compacted.max()) + 1 if rows.size else 0
+        return rows, compacted, num_groups, num_groups
+
+    def flatten_groups(self, groups: list[list[int]]) -> tuple:
+        np = _np()
+        lengths = np.fromiter((len(g) for g in groups), dtype=np.int64, count=len(groups))
+        total = int(lengths.sum())
+        rows = np.fromiter(
+            (row for group in groups for row in group), dtype=np.int64, count=total
+        )
+        gids = np.repeat(np.arange(len(groups), dtype=np.int64), lengths)
+        return rows, gids, len(groups), len(groups)
+
+    def materialize_groups(self, flat: tuple) -> list[list[int]]:
+        np = _np()
+        rows, gids, _, _ = flat
+        if rows.size == 0:
+            return []
+        order = np.lexsort((rows, gids))
+        sorted_gids = gids[order]
+        sorted_rows = rows[order]
+        boundaries = np.flatnonzero(sorted_gids[1:] != sorted_gids[:-1]) + 1
+        groups = [chunk.tolist() for chunk in np.split(sorted_rows, boundaries)]
+        groups.sort(key=lambda group: group[0])
+        return groups
+
+    def stripped_product(
+        self,
+        groups_a: list[list[int]],
+        groups_b: list[list[int]],
+        num_rows: int,
+    ) -> list[list[int]]:
+        if not groups_a or not groups_b:
+            return []
+        flat = self.stripped_product_flat(
+            self.flatten_groups(groups_a), self.flatten_groups(groups_b), num_rows
+        )
+        return self.materialize_groups(flat)
+
+    # ------------------------------------------------------------------
+    # Greedy collision-free grouping
+    # ------------------------------------------------------------------
+    def greedy_collision_free_groups(
+        self,
+        code_matrix: Sequence[Sequence[int]],
+        group_size: int,
+    ) -> list[list[int]]:
+        np = _np()
+        matrix = np.asarray(code_matrix, dtype=np.int64)
+        num_members = matrix.shape[0]
+        if num_members == 0:
+            return []
+        alive = np.arange(num_members, dtype=np.int64)
+        groups: list[list[int]] = []
+        while alive.size:
+            # Fast path, batched: chunk the members-in-order into windows of
+            # ``group_size``; every internally collision-free window up to
+            # the first colliding one is exactly what the greedy scan would
+            # select, so whole prefixes of windows settle in one array op.
+            # The batch is capped so that collision-heavy inputs (frequent
+            # bad windows) never pay for re-chunking the whole tail.
+            num_windows = min(alive.size // group_size, 128)
+            first_bad = 0
+            if num_windows:
+                windows = alive[: num_windows * group_size].reshape(num_windows, group_size)
+                sub = matrix[windows]
+                pairwise = (sub[:, :, None, :] == sub[:, None, :, :]).any(axis=3)
+                diagonal = np.arange(group_size)
+                pairwise[:, diagonal, diagonal] = False
+                bad = pairwise.any(axis=(1, 2))
+                first_bad = int(np.argmax(bad)) if bad.any() else num_windows
+                if first_bad:
+                    groups.extend(windows[:first_bad].tolist())
+                    alive = alive[first_bad * group_size :]
+                if first_bad == num_windows:
+                    if alive.size and alive.size < group_size:
+                        first_bad = 0  # leftover tail: fall through below
+                    else:
+                        continue
+            if not alive.size:
+                break
+            if alive.size < group_size:
+                tail = matrix[alive]
+                pairwise = (tail[:, None, :] == tail[None, :, :]).any(axis=2)
+                pairwise[np.diag_indices(alive.size)] = False
+                if not pairwise.any():
+                    groups.append(alive.tolist())
+                    break
+            # Slow path: the sequential scan over the remaining members,
+            # with the collision mask grown per added member — a member at
+            # position j is tested against precisely the members added
+            # before the scan reached j, like the reference loop.  The scan
+            # runs in geometrically growing chunks: groups that fill from
+            # nearby members touch a few hundred candidates, while scans
+            # that must walk the whole tail pay only a logarithmic number of
+            # extra array calls.
+            chosen = [0]
+            cursor = 1
+            chunk = max(64, 4 * group_size)
+            while len(chosen) < group_size and cursor < alive.size:
+                end = min(cursor + chunk, alive.size)
+                window_ids = alive[cursor:end]
+                sub = matrix[window_ids]
+                group_codes = matrix[alive[chosen]]
+                free = ~(sub[:, None, :] == group_codes[None, :, :]).any(axis=(1, 2))
+                position = 0
+                while len(chosen) < group_size:
+                    offsets = np.flatnonzero(free[position:])
+                    if offsets.size == 0:
+                        break
+                    position += int(offsets[0])
+                    chosen.append(cursor + position)
+                    free &= ~(sub == sub[position]).any(axis=1)
+                    position += 1
+                cursor = end
+                chunk *= 2
+            groups.append(alive[chosen].tolist())
+            keep = np.ones(alive.size, dtype=bool)
+            keep[chosen] = False
+            alive = alive[keep]
+        return groups
+

@@ -17,9 +17,10 @@ from repro.bench.harness import (
     run_f2_with_stages,
     time_tane,
 )
-from repro.bench.reporting import format_table, write_csv
+from repro.bench.reporting import format_table, write_bench_json, write_csv
 from repro.bench.sweeps import (
     fig6_time_vs_alpha,
+    fig7_backend_scalability,
     fig7_time_vs_size,
     fig8_baseline_comparison,
     fig9_overhead,
@@ -34,6 +35,7 @@ __all__ = [
     "dataset_by_name",
     "fig10_discovery_overhead",
     "fig6_time_vs_alpha",
+    "fig7_backend_scalability",
     "fig7_time_vs_size",
     "fig8_baseline_comparison",
     "fig9_overhead",
@@ -45,5 +47,6 @@ __all__ = [
     "security_attack_evaluation",
     "table1_dataset_description",
     "time_tane",
+    "write_bench_json",
     "write_csv",
 ]

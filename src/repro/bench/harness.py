@@ -80,9 +80,13 @@ def run_f2_with_stages(
     return encrypted, list(recorder.records)
 
 
-def time_tane(relation: Relation, max_lhs_size: int | None = None) -> TaneResult:
+def time_tane(
+    relation: Relation,
+    max_lhs_size: int | None = None,
+    backend: str | None = None,
+) -> TaneResult:
     """Run TANE and return its result (which carries elapsed time)."""
-    return tane_with_stats(relation, max_lhs_size=max_lhs_size)
+    return tane_with_stats(relation, max_lhs_size=max_lhs_size, backend=backend)
 
 
 @dataclass

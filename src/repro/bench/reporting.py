@@ -1,15 +1,24 @@
-"""Plain-text and CSV reporting of benchmark sweep results.
+"""Plain-text, CSV, and machine-readable JSON reporting of benchmark results.
 
 The sweeps return lists of flat dictionaries; these helpers render them as
 aligned text tables (what the benchmark scripts print and EXPERIMENTS.md
-embeds) and persist them as CSV for further analysis.
+embeds), persist them as CSV for further analysis, and emit the
+``BENCH_<name>.json`` artifacts that track the perf trajectory across PRs
+(every ``benchmarks/bench_*.py`` module writes one; CI uploads them).
 """
 
 from __future__ import annotations
 
 import csv
+import json
+import os
+import platform
+import time
 from pathlib import Path
 from typing import Iterable, Mapping
+
+#: Environment variable that redirects where BENCH_<name>.json files land.
+BENCH_JSON_DIR_ENV = "F2_BENCH_JSON_DIR"
 
 
 def format_table(rows: Iterable[Mapping[str, object]], title: str | None = None) -> str:
@@ -62,4 +71,51 @@ def write_csv(rows: Iterable[Mapping[str, object]], path: str | Path) -> Path:
         writer.writeheader()
         for row in rows:
             writer.writerow(row)
+    return path
+
+
+def write_bench_json(
+    name: str,
+    rows: Iterable[Mapping[str, object]],
+    path: str | Path | None = None,
+    **metadata: object,
+) -> Path:
+    """Persist one benchmark's results as machine-readable ``BENCH_<name>.json``.
+
+    The file carries the measured rows plus enough context to compare runs
+    over time: backend availability, interpreter/platform, a wall-clock
+    timestamp, and any sweep-specific ``metadata`` the caller passes (dataset
+    sizes, alphas, computed speedups, ...).
+
+    Parameters
+    ----------
+    name:
+        Short benchmark identifier; the file is named ``BENCH_<name>.json``.
+    rows:
+        The sweep's flat result dictionaries.
+    path:
+        Explicit output path.  Defaults to ``$F2_BENCH_JSON_DIR/BENCH_<name>.json``
+        (or the current directory when the variable is unset).
+    metadata:
+        Extra top-level keys recorded verbatim.
+    """
+    from repro.backend import available_backends
+
+    rows = [dict(row) for row in rows]
+    if path is None:
+        directory = Path(os.environ.get(BENCH_JSON_DIR_ENV) or ".")
+        path = directory / f"BENCH_{name}.json"
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "benchmark": name,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "backends_available": available_backends(),
+        "bench_scale": float(os.environ.get("F2_BENCH_SCALE", "1")),
+        **metadata,
+        "rows": rows,
+    }
+    path.write_text(json.dumps(document, indent=2, default=str) + "\n", encoding="utf-8")
     return path

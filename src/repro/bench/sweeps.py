@@ -9,6 +9,8 @@ parameter change away.
 
 from __future__ import annotations
 
+import gc
+import time
 from fractions import Fraction
 
 from repro.attack.evaluate import (
@@ -109,6 +111,7 @@ def fig7_time_vs_size(
     alpha: float | None = None,
     split_factor: int = 2,
     seed: int = 0,
+    backend: str | None = None,
 ) -> list[dict[str, object]]:
     """Per-step encryption time for growing data sizes (fixed alpha)."""
     if alpha is None:
@@ -116,7 +119,9 @@ def fig7_time_vs_size(
     results = []
     for num_rows in sizes:
         relation = dataset_by_name(dataset, num_rows, seed=seed)
-        encrypted = run_f2(relation, alpha=alpha, split_factor=split_factor, seed=seed)
+        encrypted = run_f2(
+            relation, alpha=alpha, split_factor=split_factor, seed=seed, backend=backend
+        )
         point = {
             "dataset": dataset,
             "rows": num_rows,
@@ -127,6 +132,76 @@ def fig7_time_vs_size(
         for step, seconds in encrypted.stats.step_seconds().items():
             point[f"{step}_seconds"] = round(seconds, 4)
         results.append(point)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 7 follow-up: compute-backend scalability (coded-columnar engine)
+# ----------------------------------------------------------------------
+def fig7_backend_scalability(
+    dataset: str = "orders",
+    sizes: tuple[int, ...] = (1200, 2400, 4800, 9600),
+    alpha: float | None = None,
+    split_factor: int = 2,
+    seed: int = 0,
+    max_lhs_size: int | None = 4,
+    backends: tuple[str, ...] | None = None,
+) -> list[dict[str, object]]:
+    """TANE + encryption wall time per compute backend for growing sizes.
+
+    For every size and every available backend the full owner+provider hot
+    path is measured: F2 encryption of the table plus TANE discovery on the
+    resulting ciphertext.  When both backends are present each row carries
+    ``numpy_speedup`` — the pure-Python wall time divided by the NumPy wall
+    time — which is the headline number of the coded-columnar engine.
+
+    GC is paused around each measured region so allocation-heavy runs are
+    compared on equal footing.
+    """
+    from repro.backend import numpy_available
+
+    if alpha is None:
+        alpha = 0.25 if dataset == "synthetic" else 0.2
+    if backends is None:
+        backends = ("python", "numpy") if numpy_available() else ("python",)
+    results = []
+    for num_rows in sizes:
+        row: dict[str, object] = {
+            "dataset": dataset,
+            "rows": num_rows,
+            "alpha": _alpha_label(alpha),
+        }
+        totals: dict[str, float] = {}
+        for backend in backends:
+            relation = dataset_by_name(dataset, num_rows, seed=seed)
+            gc.collect()
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                encrypted = run_f2(
+                    relation,
+                    alpha=alpha,
+                    split_factor=split_factor,
+                    seed=seed,
+                    backend=backend,
+                )
+                encrypt_seconds = time.perf_counter() - start
+                start = time.perf_counter()
+                time_tane(
+                    encrypted.server_view(), max_lhs_size=max_lhs_size, backend=backend
+                )
+                tane_seconds = time.perf_counter() - start
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            totals[backend] = encrypt_seconds + tane_seconds
+            row[f"{backend}_encrypt_seconds"] = round(encrypt_seconds, 4)
+            row[f"{backend}_tane_seconds"] = round(tane_seconds, 4)
+            row[f"{backend}_total_seconds"] = round(totals[backend], 4)
+        if "python" in totals and "numpy" in totals and totals["numpy"] > 0:
+            row["numpy_speedup"] = round(totals["python"] / totals["numpy"], 2)
+        results.append(row)
     return results
 
 

@@ -36,8 +36,11 @@ from pathlib import Path
 
 from repro.api.pipeline import StageRecorder
 from repro.api.session import DataOwner, ServiceProvider
+from repro.backend import available_backends
+from repro.exceptions import BackendUnavailableError
 from repro.bench import (
     fig6_time_vs_alpha,
+    fig7_backend_scalability,
     fig7_time_vs_size,
     fig8_baseline_comparison,
     fig9_overhead,
@@ -57,12 +60,23 @@ _SWEEPS = {
     "table1": table1_dataset_description,
     "fig6": fig6_time_vs_alpha,
     "fig7": fig7_time_vs_size,
+    "fig7backends": fig7_backend_scalability,
     "fig8": fig8_baseline_comparison,
     "fig9": fig9_overhead,
     "fig10": fig10_discovery_overhead,
     "sec54": sec54_local_vs_outsourcing,
     "security": security_attack_evaluation,
 }
+
+
+def _add_backend_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--backend",
+        choices=["python", "numpy"],
+        default=None,
+        help="compute backend (default: REPRO_BACKEND env var, then python); "
+        "numpy requires the [perf] extra",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     encrypt.add_argument(
         "--stage-times", action="store_true", help="print per-stage pipeline timings"
     )
+    _add_backend_flag(encrypt)
 
     insert = subparsers.add_parser(
         "insert", help="incrementally append a batch CSV to an encrypted table"
@@ -93,10 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
     insert.add_argument("--split-factor", type=int, default=2, help="split factor (omega)")
     insert.add_argument("--key-seed", type=int, default=None, help="derive the key from a seed")
     insert.add_argument("--summary", default=None, help="optional JSON summary output path")
+    _add_backend_flag(insert)
 
     discover = subparsers.add_parser("discover", help="run TANE FD discovery on a CSV table")
     discover.add_argument("input", help="CSV file (plaintext or ciphertext)")
     discover.add_argument("--max-lhs", type=int, default=None, help="cap the LHS size")
+    _add_backend_flag(discover)
 
     attack = subparsers.add_parser("attack", help="evaluate frequency-analysis attacks")
     attack.add_argument("--dataset", default="orders", choices=["orders", "customer", "synthetic"])
@@ -118,24 +135,32 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "encrypt":
-        return _cmd_encrypt(args)
-    if args.command == "insert":
-        return _cmd_insert(args)
-    if args.command == "discover":
-        return _cmd_discover(args)
-    if args.command == "attack":
-        return _cmd_attack(args)
-    if args.command == "bench":
-        return _cmd_bench(args)
-    if args.command == "dataset":
-        return _cmd_dataset(args)
+    try:
+        if args.command == "encrypt":
+            return _cmd_encrypt(args)
+        if args.command == "insert":
+            return _cmd_insert(args)
+        if args.command == "discover":
+            return _cmd_discover(args)
+        if args.command == "attack":
+            return _cmd_attack(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        if args.command == "dataset":
+            return _cmd_dataset(args)
+    except BackendUnavailableError as exc:
+        installed = [name for name, ok in available_backends().items() if ok]
+        print(f"error: {exc}", file=sys.stderr)
+        print(f"available backends here: {', '.join(installed)}", file=sys.stderr)
+        return 2
     return 2  # pragma: no cover - argparse enforces the choices
 
 
 def _make_owner(args: argparse.Namespace, hooks=None) -> DataOwner:
     key = KeyGen.symmetric_from_seed(args.key_seed) if args.key_seed is not None else None
-    config = F2Config(alpha=args.alpha, split_factor=args.split_factor)
+    config = F2Config(
+        alpha=args.alpha, split_factor=args.split_factor, backend=args.backend
+    )
     return DataOwner(key=key, config=config, hooks=hooks)
 
 
@@ -186,7 +211,7 @@ def _cmd_insert(args: argparse.Namespace) -> int:
 
 
 def _cmd_discover(args: argparse.Namespace) -> int:
-    provider = ServiceProvider()
+    provider = ServiceProvider(backend=args.backend)
     provider.receive(read_csv(args.input))
     result = provider.discover_fds(max_lhs_size=args.max_lhs)
     for fd in result.fds:

@@ -63,6 +63,11 @@ class F2Config:
     deterministic_backend:
         Backend of the deterministic baseline cipher (used only by baselines
         and benchmarks, not by F2 itself).
+    backend:
+        Compute backend for the coded-columnar engine: ``"python"``,
+        ``"numpy"``, or ``None``/``"auto"`` to consult the ``REPRO_BACKEND``
+        environment variable and fall back to pure Python.  The ciphertext
+        of a seeded run is byte-identical on every backend.
     """
 
     alpha: float = 0.2
@@ -76,6 +81,7 @@ class F2Config:
     verify_and_repair: bool = False
     verify_max_lhs: int = 3
     deterministic_backend: str = "prf"
+    backend: str | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -89,6 +95,10 @@ class F2Config:
             raise ConfigurationError(f"unknown mas_strategy: {self.mas_strategy!r}")
         if self.verify_max_lhs < 1:
             raise ConfigurationError("verify_max_lhs must be >= 1")
+        if self.backend is not None and self.backend not in {"auto", "python", "numpy"}:
+            raise ConfigurationError(
+                f"unknown backend: {self.backend!r} (expected 'python', 'numpy', or 'auto')"
+            )
 
     @property
     def group_size(self) -> int:
@@ -116,4 +126,5 @@ class F2Config:
             "resolve_conflicts": self.resolve_conflicts,
             "keep_pairs_together": self.keep_pairs_together,
             "verify_and_repair": self.verify_and_repair,
+            "backend": self.backend,
         }

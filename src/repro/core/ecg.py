@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.backend import ComputeBackend
 from repro.core.plan import FreshValueFactory
 from repro.exceptions import EncryptionError
 from repro.relational.partition import EquivalenceClass, Partition
@@ -31,6 +32,9 @@ class EcgMember:
     is_fake: bool = False
     fake_tokens: tuple[str, ...] = ()
     fake_size: int = 1
+    #: Dictionary codes of the representative (collision tests on integers);
+    #: ``None`` for fake members and hand-built classes.
+    rep_codes: tuple[int, ...] | None = None
 
     @property
     def size(self) -> int:
@@ -104,7 +108,11 @@ def build_equivalence_class_groups(
         the number of fake ECs and fake rows introduced.
     """
     return group_equivalence_classes(
-        partition.attributes, partition.classes, group_size, fresh_factory
+        partition.attributes,
+        partition.classes,
+        group_size,
+        fresh_factory,
+        backend=partition.backend,
     )
 
 
@@ -114,6 +122,7 @@ def group_equivalence_classes(
     group_size: int,
     fresh_factory: FreshValueFactory,
     start_index: int = 0,
+    backend: ComputeBackend | None = None,
 ) -> GroupingResult:
     """Group an explicit list of equivalence classes into ECGs.
 
@@ -121,38 +130,39 @@ def group_equivalence_classes(
     appeared since the last encryption, using ``start_index`` to keep group
     indexes unique within the MAS (group indexes feed the ciphertext-instance
     variant namespace, so they must never collide with existing groups).
+
+    When every class carries dictionary codes (classes from
+    :meth:`Partition.build`) and a backend is given, the greedy
+    collision-free scan runs on the backend over integer code tuples;
+    otherwise it falls back to comparing representative values.  Both paths
+    produce identical groups — code equality is value equality within a
+    column dictionary.
     """
     if group_size < 1:
         raise EncryptionError("group_size must be at least 1")
 
     members = [
-        EcgMember(representative=ec.representative, rows=ec.rows)
+        EcgMember(representative=ec.representative, rows=ec.rows, rep_codes=ec.codes)
         for ec in classes
     ]
     # Sort by size ascending so neighbouring members have the closest sizes.
     members.sort(key=lambda member: (member.size, str(member.representative)))
 
+    if backend is not None and all(member.rep_codes is not None for member in members):
+        index_groups = backend.greedy_collision_free_groups(
+            [member.rep_codes for member in members], group_size
+        )
+        member_groups = [[members[index] for index in group] for group in index_groups]
+    else:
+        member_groups = _greedy_member_groups(members, group_size)
+
     groups: list[EquivalenceClassGroup] = []
-    unassigned = members
     fake_ec_count = 0
     fake_rows_added = 0
-
-    while unassigned:
-        seed = unassigned.pop(0)
+    for selected in member_groups:
         group = EquivalenceClassGroup(
-            mas_attributes=attributes, members=[seed], index=start_index + len(groups)
+            mas_attributes=attributes, members=selected, index=start_index + len(groups)
         )
-        remaining: list[EcgMember] = []
-        for candidate in unassigned:
-            if len(group.members) >= group_size:
-                remaining.append(candidate)
-                continue
-            if any(candidate.collides_with(existing) for existing in group.members):
-                remaining.append(candidate)
-            else:
-                group.members.append(candidate)
-        unassigned = remaining
-
         # Pad with fake, collision-free ECs if the group is still too small.
         while len(group.members) < group_size:
             fake = _make_fake_member(group, fresh_factory)
@@ -167,6 +177,27 @@ def group_equivalence_classes(
         fake_ec_count=fake_ec_count,
         fake_rows_added=fake_rows_added,
     )
+
+
+def _greedy_member_groups(members: list[EcgMember], group_size: int) -> list[list[EcgMember]]:
+    """The reference greedy scan over member objects (no codes required)."""
+    groups: list[list[EcgMember]] = []
+    unassigned = list(members)
+    while unassigned:
+        seed = unassigned.pop(0)
+        group = [seed]
+        remaining: list[EcgMember] = []
+        for candidate in unassigned:
+            if len(group) >= group_size:
+                remaining.append(candidate)
+                continue
+            if any(candidate.collides_with(existing) for existing in group):
+                remaining.append(candidate)
+            else:
+                group.append(candidate)
+        unassigned = remaining
+        groups.append(group)
+    return groups
 
 
 def _make_fake_member(group: EquivalenceClassGroup, fresh_factory: FreshValueFactory) -> EcgMember:

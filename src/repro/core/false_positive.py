@@ -27,10 +27,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.backend import ComputeBackend, get_backend
 from repro.core.conflict import MasPlan
 from repro.core.lattice import LatticeNode, top_level_nodes
 from repro.core.plan import CellSpec, FreshCell, FreshValueFactory, RowPlan, RowProvenanceSpec
-from repro.relational.partition import Partition
 from repro.relational.table import Relation
 
 
@@ -55,6 +55,7 @@ def eliminate_false_positives(
     mas_plans: list[MasPlan],
     group_size: int,
     fresh_factory: FreshValueFactory,
+    backend: ComputeBackend | str | None = None,
 ) -> FalsePositiveResult:
     """Run Step 4 for every MAS and return the artificial rows to append.
 
@@ -70,10 +71,13 @@ def eliminate_false_positives(
         per maximum false-positive FD.
     fresh_factory:
         Source of artificial values.
+    backend:
+        Compute backend for the per-node witness search over class codes.
     """
     result = FalsePositiveResult()
+    backend = get_backend(backend)
     for mas_plan in mas_plans:
-        _eliminate_for_mas(relation, mas_plan, group_size, fresh_factory, result)
+        _eliminate_for_mas(relation, mas_plan, group_size, fresh_factory, result, backend)
     return result
 
 
@@ -83,13 +87,23 @@ def _eliminate_for_mas(
     group_size: int,
     fresh_factory: FreshValueFactory,
     result: FalsePositiveResult,
+    backend: ComputeBackend,
 ) -> None:
     attributes = mas_plan.attributes
     if len(attributes) < 2:
         return
-    partition = Partition.build(relation, attributes)
-    representatives = [ec.representative for ec in partition.classes]
-    sample_rows = [ec.rows[0] for ec in partition.classes]
+    # The checks run over the *classes* of the MAS partition, in dictionary
+    # codes: one class-code column per MAS attribute (class count << row
+    # count), combined per lattice node to find classes agreeing on the LHS.
+    coded = relation.coded(backend)
+    class_rows = coded.group_rows(attributes)
+    sample_rows = [rows[0] for rows in class_rows]
+    code_matrix = coded.class_code_matrix(attributes, class_rows)
+    class_code_columns = {
+        attr: backend.as_code_array([codes[position] for codes in code_matrix])
+        for position, attr in enumerate(attributes)
+    }
+    cardinalities = {attr: coded.column(attr).num_values for attr in attributes}
     attribute_positions = {attr: position for position, attr in enumerate(attributes)}
 
     triggered: list[LatticeNode] = []
@@ -104,7 +118,14 @@ def _eliminate_for_mas(
             if any(existing.covers(node) for existing in triggered):
                 continue
             witness = _find_violation_witnesses(
-                representatives, sample_rows, attribute_positions, node, limit=group_size
+                code_matrix,
+                sample_rows,
+                class_code_columns,
+                cardinalities,
+                attribute_positions,
+                node,
+                limit=group_size,
+                backend=backend,
             )
             if witness:
                 triggered.append(node)
@@ -118,38 +139,40 @@ def _eliminate_for_mas(
 
 
 def _find_violation_witnesses(
-    representatives: list[tuple],
+    code_matrix: list[tuple[int, ...]],
     sample_rows: list[int],
+    class_code_columns: dict[str, object],
+    cardinalities: dict[str, int],
     attribute_positions: dict[str, int],
     node: LatticeNode,
     limit: int,
+    backend: ComputeBackend,
 ) -> list[tuple[int, int]]:
     """Row-index pairs witnessing that ``node.lhs -> node.rhs`` is violated.
 
     Works on the equivalence classes of the MAS partition: two classes that
-    agree on the LHS projection but differ on the RHS value yield a violating
-    pair of (sample) rows.  Returns up to ``limit`` distinct pairs.
+    agree on the LHS code projection but differ on the RHS code yield a
+    violating pair of (sample) rows.  Returns up to ``limit`` distinct pairs.
     """
-    lhs_positions = tuple(attribute_positions[attr] for attr in sorted(node.lhs))
+    lhs = sorted(node.lhs)
+    codes, num_groups = backend.combine_codes(
+        [class_code_columns[attr] for attr in lhs],
+        [cardinalities[attr] for attr in lhs],
+    )
+    groups = backend.group_rows(codes, num_groups, min_size=2)
     rhs_position = attribute_positions[node.rhs]
-    groups: dict[tuple, list[int]] = {}
-    for class_index, representative in enumerate(representatives):
-        key = tuple(representative[position] for position in lhs_positions)
-        groups.setdefault(key, []).append(class_index)
 
     witnesses: list[tuple[int, int]] = []
-    for class_indexes in groups.values():
-        if len(class_indexes) < 2:
-            continue
-        by_rhs: dict[object, int] = {}
+    for class_indexes in groups:
+        by_rhs: dict[int, int] = {}
         for class_index in class_indexes:
-            rhs_value = representatives[class_index][rhs_position]
+            rhs_code = code_matrix[class_index][rhs_position]
             for other_rhs, other_class in by_rhs.items():
-                if other_rhs != rhs_value:
+                if other_rhs != rhs_code:
                     witnesses.append((sample_rows[other_class], sample_rows[class_index]))
                     if len(witnesses) >= limit:
                         return witnesses
-            by_rhs.setdefault(rhs_value, class_index)
+            by_rhs.setdefault(rhs_code, class_index)
     return witnesses
 
 

@@ -106,7 +106,8 @@ class FreshValueFactory:
     real ones ... because both true and fake values are encrypted before
     outsourcing").  The factory therefore emits :class:`Ciphertext` objects
     with random nonce and payload.  Each distinct token maps to one value;
-    values never repeat across tokens.
+    distinct tokens receive distinct values except with negligible
+    probability (40 independent random bytes per value).
     """
 
     def __init__(self, seed: int | None = 0, nonce_length: int = 16, payload_length: int = 24):
@@ -115,7 +116,6 @@ class FreshValueFactory:
         self._payload_length = payload_length
         self._counter = 0
         self._materialized: dict[str, Ciphertext] = {}
-        self._issued_values: set[Ciphertext] = set()
 
     def new_token(self, label: str = "fresh") -> str:
         """Return a new unique token (one artificial value identity)."""
@@ -131,15 +131,17 @@ class FreshValueFactory:
         existing = self._materialized.get(token)
         if existing is not None:
             return existing
-        while True:
-            value = Ciphertext(
-                nonce=bytes(self._rng.getrandbits(8) for _ in range(self._nonce_length)),
-                payload=bytes(self._rng.getrandbits(8) for _ in range(self._payload_length)),
-            )
-            if value not in self._issued_values:
-                break
+        # One getrandbits(8) call per byte: the exact RNG consumption pattern
+        # is part of the byte-identity contract for seeded runs (batching the
+        # draws would change every artificial value).  Distinct tokens get
+        # distinct values with overwhelming probability (40 random bytes), so
+        # no uniqueness bookkeeping is kept.
+        getrandbits = self._rng.getrandbits
+        value = Ciphertext(
+            nonce=bytes([getrandbits(8) for _ in range(self._nonce_length)]),
+            payload=bytes([getrandbits(8) for _ in range(self._payload_length)]),
+        )
         self._materialized[token] = value
-        self._issued_values.add(value)
         return value
 
     @property

@@ -116,22 +116,36 @@ def find_optimal_split_point(sizes: list[int], split_factor: int) -> tuple[int, 
     if split_factor < 1:
         raise EncryptionError("split factor must be >= 1")
 
+    # The sizes are the equivalence-class frequencies (code counts) of the
+    # group in ascending order; with prefix sums the copies added by any
+    # split point is O(1), making the whole scan linear in the group size:
+    # with j-1 unsplit members and k-j+1 split ones (target t, factor w),
+    #   copies(j) = (j-1)*t - S[j-1] + (k-j+1)*w*t - (S[k] - S[j-1]).
     count = len(sizes)
     f_max = sizes[-1]
+    prefix = [0] * (count + 1)
+    for index, size in enumerate(sizes, start=1):
+        prefix[index] = prefix[index - 1] + size
+    total = prefix[count]
+    split_instance_freq = math.ceil(f_max / split_factor)
+
     best: tuple[int, int, int] | None = None
     for split_point in range(1, count + 2):
         unsplit_max = sizes[split_point - 2] if split_point > 1 else 0
         if split_point <= count:
-            split_instance_freq = math.ceil(f_max / split_factor)
             target = max(split_instance_freq, unsplit_max, 1)
+            num_split = count - split_point + 1
         else:
             target = max(f_max, 1)
-        copies = 0
-        for index, size in enumerate(sizes, start=1):
-            if split_point <= count and index >= split_point:
-                copies += split_factor * target - size
-            else:
-                copies += target - size
+            num_split = 0
+        unsplit_sum = prefix[split_point - 1] if num_split else total
+        split_sum = total - unsplit_sum
+        copies = (
+            (count - num_split) * target
+            - unsplit_sum
+            + num_split * split_factor * target
+            - split_sum
+        )
         if copies < 0:
             # A target below some member's size is infeasible; skip.
             continue

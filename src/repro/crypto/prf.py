@@ -8,7 +8,6 @@ standard library, and extensible to arbitrary output lengths.
 
 from __future__ import annotations
 
-import hashlib
 import hmac
 
 
@@ -36,15 +35,15 @@ class Prf:
         """
         if output_length < 0:
             raise ValueError("output_length must be non-negative")
+        if output_length <= self._BLOCK_BYTES:
+            # One-shot C path; bytes identical to the counter-mode loop below.
+            block = hmac.digest(self._key, message + b"\x00\x00\x00\x00", "sha256")
+            return block[:output_length]
         blocks = []
         produced = 0
         counter = 0
         while produced < output_length:
-            block = hmac.new(
-                self._key,
-                message + counter.to_bytes(4, "big"),
-                hashlib.sha256,
-            ).digest()
+            block = hmac.digest(self._key, message + counter.to_bytes(4, "big"), "sha256")
             blocks.append(block)
             produced += len(block)
             counter += 1
@@ -61,4 +60,5 @@ def xor_bytes(first: bytes, second: bytes) -> bytes:
     """Byte-wise XOR of two equal-length byte strings."""
     if len(first) != len(second):
         raise ValueError("xor_bytes requires equal-length inputs")
-    return bytes(a ^ b for a, b in zip(first, second))
+    length = len(first)
+    return (int.from_bytes(first, "big") ^ int.from_bytes(second, "big")).to_bytes(length, "big")

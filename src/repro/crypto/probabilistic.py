@@ -119,4 +119,6 @@ class ProbabilisticCipher:
 
 def _encode(value: Any) -> bytes:
     """Serialize a cell value for encryption (cells are opaque strings)."""
+    if type(value) is str:
+        return value.encode("utf-8")
     return str(value).encode("utf-8")

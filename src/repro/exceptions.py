@@ -44,3 +44,26 @@ class DiscoveryError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset generator received inconsistent parameters."""
+
+
+class BackendError(ReproError):
+    """A compute backend was misused or produced inconsistent results."""
+
+
+class BackendUnavailableError(BackendError):
+    """The requested compute backend is not installed in this environment.
+
+    Raised when ``numpy`` is requested (via ``--backend numpy`` or
+    ``REPRO_BACKEND=numpy``) but the ``[perf]`` extra is not installed.
+    """
+
+
+class FdPreservationWarning(UserWarning):
+    """A plaintext FD is absent from the ciphertext (a false *negative*).
+
+    Theorem 3.7 promises FD preservation, but conflict resolution across
+    overlapping MASs can lose the violation witnesses the theorem needs (see
+    ROADMAP "Known algorithmic bug").  The verify/repair stage emits this
+    warning when it detects a lost FD; repairing false negatives is not yet
+    implemented.
+    """

@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass, field
 from itertools import combinations
 
+from repro.backend import ComputeBackend, get_backend
 from repro.exceptions import DiscoveryError
 from repro.relational.partition import Partition
 from repro.relational.table import Relation
@@ -96,18 +97,20 @@ def find_maximal_attribute_sets(
     relation: Relation,
     strategy: str = "auto",
     seed: int | None = 0,
+    backend: ComputeBackend | str | None = None,
 ) -> list[MaximalAttributeSet]:
     """Find every MAS of ``relation`` (Definition 3.2).
 
     Convenience wrapper around :func:`find_mas_with_stats`.
     """
-    return find_mas_with_stats(relation, strategy=strategy, seed=seed).masses
+    return find_mas_with_stats(relation, strategy=strategy, seed=seed, backend=backend).masses
 
 
 def find_mas_with_stats(
     relation: Relation,
     strategy: str = "auto",
     seed: int | None = 0,
+    backend: ComputeBackend | str | None = None,
 ) -> MasResult:
     """Find every MAS and return profiling counters.
 
@@ -120,6 +123,9 @@ def find_mas_with_stats(
     seed:
         Seed for the DUCC random walk (ignored by ``apriori``).  ``None``
         draws from the system RNG.
+    backend:
+        Compute backend for the non-uniqueness tests (name, instance, or
+        ``None`` for the environment default).
     """
     if relation.num_rows == 0:
         raise DiscoveryError("cannot discover MASs of an empty relation")
@@ -129,7 +135,7 @@ def find_mas_with_stats(
         strategy = "apriori" if relation.num_attributes <= 12 else "ducc"
 
     start = time.perf_counter()
-    finder = _MasFinder(relation)
+    finder = _MasFinder(relation, backend=backend)
     if strategy == "apriori":
         maximal_sets = finder.apriori()
     else:
@@ -141,7 +147,11 @@ def find_mas_with_stats(
         elapsed_seconds=elapsed,
         partitions_computed=finder.partitions_computed,
         strategy=strategy,
-        parameters={"rows": relation.num_rows, "attributes": relation.num_attributes},
+        parameters={
+            "rows": relation.num_rows,
+            "attributes": relation.num_attributes,
+            "backend": finder.backend.name,
+        },
     )
 
 
@@ -152,8 +162,10 @@ def _canonical(attrs: AttrSet) -> tuple[str, ...]:
 class _MasFinder:
     """Shared machinery for both MAS discovery strategies."""
 
-    def __init__(self, relation: Relation):
+    def __init__(self, relation: Relation, backend: ComputeBackend | str | None = None):
         self.relation = relation
+        self.backend = get_backend(backend)
+        self.coded = relation.coded(self.backend)
         self.all_attributes: AttrSet = frozenset(relation.attributes)
         self.partitions_computed = 0
         self._non_unique_cache: dict[AttrSet, bool] = {}
@@ -193,12 +205,11 @@ class _MasFinder:
 
     def _compute_non_unique(self, attrs: AttrSet) -> bool:
         self.partitions_computed += 1
-        frequencies = self.relation.value_frequencies(attrs)
-        return any(count > 1 for count in frequencies.values())
+        return self.coded.has_duplicates(attrs)
 
     def describe(self, attrs: AttrSet) -> MaximalAttributeSet:
         """Build the MAS descriptor (with partition statistics) for ``attrs``."""
-        partition = Partition.build(self.relation, attrs)
+        partition = Partition.build(self.relation, attrs, backend=self.backend)
         return MaximalAttributeSet(
             attributes=self.relation.schema.ordered(attrs),
             num_equivalence_classes=len(partition),

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from itertools import combinations
 
+from repro.backend import ComputeBackend, get_backend
 from repro.exceptions import DiscoveryError
 from repro.fd.fd import FDSet, FunctionalDependency
 from repro.relational.partition import StrippedPartition
@@ -43,16 +44,24 @@ class TaneResult:
     parameters: dict[str, object] = field(default_factory=dict)
 
 
-def tane(relation: Relation, max_lhs_size: int | None = None) -> FDSet:
+def tane(
+    relation: Relation,
+    max_lhs_size: int | None = None,
+    backend: ComputeBackend | str | None = None,
+) -> FDSet:
     """Discover all minimal, non-trivial FDs of ``relation``.
 
     Convenience wrapper around :func:`tane_with_stats` returning only the FD
     set.
     """
-    return tane_with_stats(relation, max_lhs_size=max_lhs_size).fds
+    return tane_with_stats(relation, max_lhs_size=max_lhs_size, backend=backend).fds
 
 
-def tane_with_stats(relation: Relation, max_lhs_size: int | None = None) -> TaneResult:
+def tane_with_stats(
+    relation: Relation,
+    max_lhs_size: int | None = None,
+    backend: ComputeBackend | str | None = None,
+) -> TaneResult:
     """Run TANE and return both the FDs and profiling counters.
 
     Parameters
@@ -62,6 +71,10 @@ def tane_with_stats(relation: Relation, max_lhs_size: int | None = None) -> Tane
     max_lhs_size:
         Optional cap on the LHS size (level cap); ``None`` explores the whole
         lattice.
+    backend:
+        Compute backend for partition work (name, instance, or ``None`` for
+        the environment default).  The discovered FD set is identical on
+        every backend.
 
     Returns
     -------
@@ -70,16 +83,18 @@ def tane_with_stats(relation: Relation, max_lhs_size: int | None = None) -> Tane
     """
     if relation.num_rows == 0:
         raise DiscoveryError("cannot run TANE on an empty relation")
+    backend = get_backend(backend)
     start = time.perf_counter()
     attributes = tuple(relation.attributes)
     all_attrs: AttrSet = frozenset(attributes)
     level_cap = len(attributes) if max_lhs_size is None else max(1, max_lhs_size + 1)
 
-    # Level 1: single-attribute stripped partitions.
+    # Level 1: single-attribute stripped partitions, over the shared coded
+    # view (one dictionary encoding reused for every level's products).
     partitions: dict[AttrSet, StrippedPartition] = {}
     partitions_computed = 0
     for attr in attributes:
-        partitions[frozenset([attr])] = StrippedPartition.build(relation, [attr])
+        partitions[frozenset([attr])] = StrippedPartition.build(relation, [attr], backend=backend)
         partitions_computed += 1
 
     # C+ candidate sets.  C+({}) = R.
@@ -158,7 +173,12 @@ def tane_with_stats(relation: Relation, max_lhs_size: int | None = None) -> Tane
         levels_processed=levels_processed,
         candidates_examined=candidates_examined,
         partitions_computed=partitions_computed,
-        parameters={"max_lhs_size": max_lhs_size, "rows": num_rows, "attributes": len(attributes)},
+        parameters={
+            "max_lhs_size": max_lhs_size,
+            "rows": num_rows,
+            "attributes": len(attributes),
+            "backend": backend.name,
+        },
     )
 
 

@@ -11,17 +11,24 @@ provides that substrate without any external dependency:
   :class:`~repro.relational.partition.EquivalenceClass` — the pi_X machinery
   (Definition 3.3 of the paper) shared by FD discovery, MAS discovery, and the
   F2 encryption steps.
+* :class:`~repro.relational.coded.CodedRelation` /
+  :class:`~repro.relational.coded.CodedColumn` — the dictionary-encoded
+  columnar view (``Relation.coded()``) the compute backends operate on.
 * :mod:`~repro.relational.csvio` — plain CSV import/export used by the
   examples and the CLI.
 """
 
-from repro.relational.partition import EquivalenceClass, Partition
+from repro.relational.coded import CodedColumn, CodedRelation
+from repro.relational.partition import EquivalenceClass, Partition, StrippedPartition
 from repro.relational.schema import Schema
 from repro.relational.table import Relation
 
 __all__ = [
+    "CodedColumn",
+    "CodedRelation",
     "EquivalenceClass",
     "Partition",
     "Relation",
     "Schema",
+    "StrippedPartition",
 ]

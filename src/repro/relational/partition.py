@@ -19,9 +19,10 @@ used by TANE so that multi-attribute partitions can be built incrementally.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
+from repro.backend import ComputeBackend, get_backend
 from repro.exceptions import RelationError
 from repro.relational.schema import AttributeSet
 from repro.relational.table import Relation, Row
@@ -45,6 +46,9 @@ class EquivalenceClass:
     attributes: tuple[str, ...]
     representative: Row
     rows: tuple[int, ...]
+    #: Dictionary codes of the representative (one per attribute, from the
+    #: relation's coded view); ``None`` for classes built without one.
+    codes: tuple[int, ...] | None = None
 
     @property
     def size(self) -> int:
@@ -77,17 +81,19 @@ class EquivalenceClass:
 class Partition:
     """The partition ``pi_X`` of a relation under an attribute set ``X``."""
 
-    __slots__ = ("_attributes", "_classes", "_row_to_class", "_num_rows")
+    __slots__ = ("_attributes", "_classes", "_row_to_class", "_num_rows", "backend")
 
     def __init__(
         self,
         attributes: Sequence[str],
         classes: Sequence[EquivalenceClass],
         num_rows: int,
+        backend: ComputeBackend | None = None,
     ):
         self._attributes = tuple(attributes)
         self._classes = list(classes)
         self._num_rows = num_rows
+        self.backend = backend
         self._row_to_class: dict[int, int] = {}
         for class_index, ec in enumerate(self._classes):
             for row in ec.rows:
@@ -97,21 +103,36 @@ class Partition:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, relation: Relation, attributes: Iterable[str]) -> "Partition":
-        """Compute ``pi_X`` for ``relation`` and attribute set ``X``."""
+    def build(
+        cls,
+        relation: Relation,
+        attributes: Iterable[str],
+        backend: ComputeBackend | str | None = None,
+    ) -> "Partition":
+        """Compute ``pi_X`` for ``relation`` and attribute set ``X``.
+
+        Runs on the relation's dictionary-encoded columnar view: rows are
+        grouped by integer code instead of hashing cell objects, and each
+        class keeps the code tuple of its representative for downstream
+        collision tests.
+        """
         ordered = relation.schema.ordered(attributes)
         if not ordered:
             raise RelationError("a partition requires at least one attribute")
+        coded = relation.coded(backend)
+        groups = coded.group_rows(ordered)
+        code_matrix = coded.class_code_matrix(ordered, groups)
         columns = [relation.column(attr) for attr in ordered]
-        groups: dict[Row, list[int]] = {}
-        for row_index, combo in enumerate(zip(*columns)):
-            groups.setdefault(combo, []).append(row_index)
         classes = [
-            EquivalenceClass(attributes=ordered, representative=value, rows=tuple(rows))
-            for value, rows in groups.items()
+            EquivalenceClass(
+                attributes=ordered,
+                representative=tuple(column[rows[0]] for column in columns),
+                rows=tuple(rows),
+                codes=codes,
+            )
+            for rows, codes in zip(groups, code_matrix)
         ]
-        classes.sort(key=lambda ec: ec.rows[0])
-        return cls(ordered, classes, relation.num_rows)
+        return cls(ordered, classes, relation.num_rows, backend=coded.backend)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -221,47 +242,116 @@ class Partition:
         return self._num_rows / len(self._classes)
 
 
-@dataclass
 class StrippedPartition:
     """TANE's stripped partition: singleton classes removed.
 
     Only the row-index groups are kept because TANE never needs the
     representative values — it compares group membership across partitions.
+    The product — TANE's hottest loop — is delegated to the compute backend.
+    On a vectorised backend the partition is held in the backend's *flat*
+    array form and products chain array-to-array; the ``groups`` lists are
+    materialised lazily (in canonical order: sorted by first row, rows
+    ascending) only when a caller reads them.  Discovery results are
+    identical on every backend.
     """
 
-    attributes: tuple[str, ...]
-    groups: list[list[int]] = field(default_factory=list)
-    num_rows: int = 0
+    __slots__ = ("attributes", "num_rows", "backend", "_groups", "_flat")
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...] = (),
+        groups: list[list[int]] | None = None,
+        num_rows: int = 0,
+        backend: ComputeBackend | None = None,
+        flat: tuple | None = None,
+    ):
+        if groups is None and flat is None:
+            groups = []
+        self.attributes = tuple(attributes)
+        self.num_rows = num_rows
+        self.backend = backend
+        self._groups = groups
+        self._flat = flat
+
+    def __repr__(self) -> str:
+        return (
+            f"StrippedPartition(attributes={list(self.attributes)!r}, "
+            f"groups={len(self.groups)}, rows={self.num_rows})"
+        )
+
+    @property
+    def groups(self) -> list[list[int]]:
+        """The row-index groups in canonical order (materialised on demand)."""
+        if self._groups is None:
+            self._groups = self.backend.materialize_groups(self._flat)
+        return self._groups
 
     @classmethod
     def from_partition(cls, partition: Partition) -> "StrippedPartition":
         groups = [list(ec.rows) for ec in partition if ec.size > 1]
-        return cls(attributes=partition.attributes, groups=groups, num_rows=partition.num_rows)
+        return cls(
+            attributes=partition.attributes,
+            groups=groups,
+            num_rows=partition.num_rows,
+            backend=partition.backend,
+        )
 
     @classmethod
-    def build(cls, relation: Relation, attributes: Iterable[str]) -> "StrippedPartition":
-        return cls.from_partition(Partition.build(relation, attributes))
+    def build(
+        cls,
+        relation: Relation,
+        attributes: Iterable[str],
+        backend: ComputeBackend | str | None = None,
+    ) -> "StrippedPartition":
+        """Build directly from the coded view (no full partition needed)."""
+        ordered = relation.schema.ordered(attributes)
+        if not ordered:
+            raise RelationError("a partition requires at least one attribute")
+        coded = relation.coded(backend)
+        if coded.backend.vectorized:
+            codes, num_groups = coded.codes_for(ordered)
+            flat = coded.backend.stripped_from_codes(codes, num_groups)
+            return cls(
+                attributes=ordered,
+                num_rows=relation.num_rows,
+                backend=coded.backend,
+                flat=flat,
+            )
+        groups = coded.group_rows(ordered, min_size=2)
+        return cls(
+            attributes=ordered,
+            groups=groups,
+            num_rows=relation.num_rows,
+            backend=coded.backend,
+        )
 
     @property
     def error(self) -> int:
         """``||pi|| - |pi||`` in TANE terms: rows in groups minus group count."""
-        return sum(len(group) for group in self.groups) - len(self.groups)
+        if self._groups is None:
+            rows, _, num_groups, _ = self._flat
+            return len(rows) - num_groups
+        return sum(len(group) for group in self._groups) - len(self._groups)
 
     def product(self, other: "StrippedPartition") -> "StrippedPartition":
         """Stripped-partition product (the linear-time TANE procedure)."""
         if other.num_rows != self.num_rows:
             raise RelationError("cannot multiply partitions over different relations")
-        table: dict[int, int] = {}
-        for group_index, group in enumerate(self.groups):
-            for row in group:
-                table[row] = group_index
-        buckets: dict[tuple[int, int], list[int]] = {}
-        for group_index, group in enumerate(other.groups):
-            for row in group:
-                own_group = table.get(row)
-                if own_group is not None:
-                    buckets.setdefault((own_group, group_index), []).append(row)
+        backend = self.backend or other.backend or get_backend("python")
         merged_attrs = tuple(sorted(set(self.attributes) | set(other.attributes)))
-        groups = [sorted(rows) for rows in buckets.values() if len(rows) > 1]
-        groups.sort(key=lambda rows: rows[0])
-        return StrippedPartition(attributes=merged_attrs, groups=groups, num_rows=self.num_rows)
+        if backend.vectorized:
+            flat = backend.stripped_product_flat(
+                self._ensure_flat(backend), other._ensure_flat(backend), self.num_rows
+            )
+            return StrippedPartition(
+                attributes=merged_attrs, num_rows=self.num_rows, backend=backend, flat=flat
+            )
+        groups = backend.stripped_product(self.groups, other.groups, self.num_rows)
+        return StrippedPartition(
+            attributes=merged_attrs, groups=groups, num_rows=self.num_rows, backend=backend
+        )
+
+    def _ensure_flat(self, backend: ComputeBackend) -> tuple:
+        if self._flat is None:
+            self._flat = backend.flatten_groups(self._groups)
+        return self._flat

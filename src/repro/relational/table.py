@@ -11,10 +11,14 @@ server-side algorithms only ever compare cells for equality.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Mapping, Sequence
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.exceptions import RelationError, SchemaError
 from repro.relational.schema import AttributeSet, Schema
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.backend import ComputeBackend
+    from repro.relational.coded import CodedRelation
 
 Row = tuple[Any, ...]
 
@@ -37,7 +41,7 @@ class Relation:
         Optional human-readable name used in reports and benchmark output.
     """
 
-    __slots__ = ("_schema", "_columns", "_name")
+    __slots__ = ("_schema", "_columns", "_name", "_version", "_coded_cache")
 
     def __init__(
         self,
@@ -50,6 +54,8 @@ class Relation:
         self._schema = schema
         self._name = name
         self._columns: list[list[Any]] = [[] for _ in schema]
+        self._version = 0
+        self._coded_cache: dict[str, "CodedRelation"] = {}
         self.extend(rows)
 
     # ------------------------------------------------------------------
@@ -133,6 +139,11 @@ class Relation:
     def num_rows(self) -> int:
         return len(self._columns[0]) if self._columns else 0
 
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumps on append/overwrite (coded-cache key)."""
+        return self._version
+
     def __len__(self) -> int:
         return self.num_rows
 
@@ -165,6 +176,7 @@ class Relation:
                 )
         for column, value in zip(self._columns, values):
             column.append(value)
+        self._version += 1
 
     def extend(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> None:
         """Append many rows."""
@@ -194,6 +206,7 @@ class Relation:
         if not 0 <= index < self.num_rows:
             raise RelationError(f"row index {index} out of range [0, {self.num_rows})")
         self._columns[self._schema.index_of(attribute)][index] = value
+        self._version += 1
 
     def column(self, attribute: str) -> list[Any]:
         """Return the column for ``attribute`` (a live list — do not mutate)."""
@@ -228,6 +241,25 @@ class Relation:
             target.extend(column[i] for i in index_list)
         return selected
 
+    def coded(self, backend: "ComputeBackend | str | None" = None) -> "CodedRelation":
+        """The dictionary-encoded columnar view of this relation.
+
+        The view is built once per (relation contents, backend) and cached:
+        repeated calls return the same object until a row is appended or a
+        cell overwritten, at which point the next call re-encodes.  All
+        pipeline stages, FD discovery, and the attack module share this one
+        encoding instead of re-hashing cell objects per algorithm.
+        """
+        from repro.backend import get_backend
+        from repro.relational.coded import CodedRelation
+
+        resolved = get_backend(backend)
+        cached = self._coded_cache.get(resolved.name)
+        if cached is None or cached.version != self._version:
+            cached = CodedRelation(self, resolved)
+            self._coded_cache[resolved.name] = cached
+        return cached
+
     def value_frequencies(self, attributes: Iterable[str]) -> dict[Row, int]:
         """Frequency of each distinct value combination of ``attributes``.
 
@@ -256,6 +288,7 @@ class Relation:
         merged = self.copy(name=name or self._name)
         for attr in self._schema:
             merged.column(attr).extend(other.column(attr))
+        merged._version += 1
         return merged
 
     def approximate_size_bytes(self) -> int:

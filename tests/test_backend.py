@@ -1,0 +1,168 @@
+"""Unit tests of the pluggable compute backends (repro.backend).
+
+Two layers of guarantees:
+
+* selection — explicit name > ``REPRO_BACKEND`` > pure-Python default, with
+  an actionable error when NumPy is requested but missing;
+* result identity — every primitive returns exactly the same values on the
+  NumPy backend as on the pure-Python reference, on randomised inputs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.backend import (
+    BACKEND_ENV_VAR,
+    ComputeBackend,
+    PythonBackend,
+    available_backends,
+    get_backend,
+    numpy_available,
+)
+from repro.exceptions import BackendError, BackendUnavailableError
+
+needs_numpy = pytest.mark.skipif(not numpy_available(), reason="NumPy not installed")
+
+
+class TestSelection:
+    def test_default_is_python(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert get_backend(None).name == "python"
+        assert get_backend("auto").name == "python"
+
+    def test_explicit_names(self):
+        assert get_backend("python").name == "python"
+        assert isinstance(get_backend("python"), PythonBackend)
+
+    def test_instance_passthrough(self):
+        backend = PythonBackend()
+        assert get_backend(backend) is backend
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        assert get_backend(None).name == "python"
+
+    @needs_numpy
+    def test_env_variable_numpy(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert get_backend(None).name == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(BackendError):
+            get_backend("fortran")
+
+    def test_numpy_unavailable_error(self, monkeypatch):
+        import repro.backend.base as base_module
+        from repro.backend import numpy_backend
+
+        monkeypatch.setattr(numpy_backend, "numpy_available", lambda: False)
+        with pytest.raises(BackendUnavailableError, match="perf"):
+            base_module.get_backend("numpy")
+
+    def test_available_backends_reports_python(self):
+        availability = available_backends()
+        assert availability["python"] is True
+        assert "numpy" in availability
+
+
+def _backends() -> list[ComputeBackend]:
+    backends = [get_backend("python")]
+    if numpy_available():
+        backends.append(get_backend("numpy"))
+    return backends
+
+
+def _random_codes(rng: random.Random, n: int, domain: int) -> list[int]:
+    # Dense first-occurrence codes, like factorize produces.
+    values = [rng.randrange(domain) for _ in range(n)]
+    return PythonBackend().factorize(values)[0]
+
+
+@needs_numpy
+class TestResultIdentity:
+    """The NumPy backend must agree with the reference on every primitive."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_factorize(self, seed):
+        rng = random.Random(seed)
+        values = [f"v{rng.randrange(6)}" for _ in range(rng.randrange(1, 60))]
+        py_codes, py_dict = get_backend("python").factorize(values)
+        np_codes, np_dict = get_backend("numpy").factorize(values)
+        assert list(np_codes) == py_codes
+        assert np_dict == py_dict
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_grouping_primitives(self, seed):
+        rng = random.Random(100 + seed)
+        n = rng.randrange(1, 80)
+        columns = [_random_codes(rng, n, rng.randrange(2, 7)) for _ in range(rng.randrange(1, 4))]
+        cards = [max(col) + 1 for col in columns]
+        python, numpy_ = get_backend("python"), get_backend("numpy")
+        py_codes, py_groups_count = python.combine_codes(columns, cards)
+        np_codes, np_groups_count = numpy_.combine_codes(
+            [numpy_.as_code_array(col) for col in columns], cards
+        )
+        # Code numbering is backend-internal; what must agree is the induced
+        # grouping, the counts multiset, and the duplicate test.
+        for min_size in (1, 2):
+            assert python.group_rows(py_codes, py_groups_count, min_size) == numpy_.group_rows(
+                np_codes, np_groups_count, min_size
+            )
+        assert sorted(python.counts(py_codes, py_groups_count)) == sorted(
+            numpy_.counts(np_codes, np_groups_count)
+        )
+        assert python.has_duplicates(py_codes, py_groups_count) == numpy_.has_duplicates(
+            np_codes, np_groups_count
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_stripped_product(self, seed):
+        rng = random.Random(200 + seed)
+        n = rng.randrange(2, 90)
+        python, numpy_ = get_backend("python"), get_backend("numpy")
+
+        def stripped(domain: int) -> list[list[int]]:
+            codes = _random_codes(rng, n, domain)
+            return python.group_rows(codes, max(codes) + 1, min_size=2)
+
+        groups_a = stripped(rng.randrange(2, 8))
+        groups_b = stripped(rng.randrange(2, 8))
+        assert python.stripped_product(groups_a, groups_b, n) == numpy_.stripped_product(
+            groups_a, groups_b, n
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_flat_stripped_roundtrip(self, seed):
+        rng = random.Random(300 + seed)
+        n = rng.randrange(2, 90)
+        python, numpy_ = get_backend("python"), get_backend("numpy")
+        codes = _random_codes(rng, n, rng.randrange(2, 8))
+        num_values = max(codes) + 1
+        flat = numpy_.stripped_from_codes(numpy_.as_code_array(codes), num_values)
+        assert numpy_.materialize_groups(flat) == python.group_rows(codes, num_values, min_size=2)
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("group_size", [1, 2, 4, 7])
+    def test_greedy_collision_free_groups(self, seed, group_size):
+        rng = random.Random(400 + seed)
+        num_members = rng.randrange(0, 70)
+        num_attrs = rng.randrange(1, 4)
+        matrix = [
+            tuple(rng.randrange(5) for _ in range(num_attrs)) for _ in range(num_members)
+        ]
+        python, numpy_ = get_backend("python"), get_backend("numpy")
+        py_groups = python.greedy_collision_free_groups(matrix, group_size)
+        np_groups = numpy_.greedy_collision_free_groups(matrix, group_size)
+        assert np_groups == py_groups
+        # Sanity: the groups partition the members and are collision-free.
+        flattened = sorted(index for group in py_groups for index in group)
+        assert flattened == list(range(num_members))
+        for group in py_groups:
+            for i, first in enumerate(group):
+                for second in group[i + 1 :]:
+                    assert not any(
+                        a == b for a, b in zip(matrix[first], matrix[second])
+                    ), "greedy groups must be collision-free"

@@ -1,0 +1,162 @@
+"""Cross-backend equivalence of the full pipeline (the engine's core contract).
+
+Two layers:
+
+* **Golden byte-identity** — seeded runs are pinned, via ciphertext hashes
+  captured from the pre-refactor (seed) pipeline, so the pure-Python default
+  stays byte-for-byte what it always produced — and the NumPy backend matches
+  it exactly.
+* **Property equivalence** — on random tables and seeds, both backends must
+  yield identical ciphertext bytes, identical stats counters, and identical
+  FD sets (TANE and MAS, plaintext and ciphertext).
+
+Every RandomCell nonce comes from ``os.urandom``, so the tests patch it with
+a seeded generator; everything else in a seeded run is already deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api.pipeline import EncryptionPipeline
+from repro.backend import numpy_available
+from repro.bench.harness import dataset_by_name
+from repro.core.config import F2Config
+from repro.crypto.keys import KeyGen
+from repro.fd.mas import find_maximal_attribute_sets
+from repro.fd.tane import tane
+from repro.relational.table import Relation
+
+from tests.conftest import make_random_table
+
+needs_numpy = pytest.mark.skipif(not numpy_available(), reason="NumPy not installed")
+
+#: sha256 over the serialized ciphertext table of seeded runs, captured from
+#: the pre-refactor pipeline (commit 4b7269c) with os.urandom patched to
+#: random.Random(1234).  Any change to these bytes is a breaking change to
+#: the encryption output, whatever backend produced it.
+GOLDEN_CIPHERTEXTS = {
+    ("synthetic", 300, 0.25, 0): "789db56b07fe80c62a1731f70b56f0076c9a5593dbdcf132240777b76894558e",
+    ("orders", 300, 0.2, 0): "dd50b4325e1545988013d8d487ef5a1efd0847e499ec133246a07dfca822a121",
+    ("customer", 200, 0.25, 3): "7ca95fd13d14e7674aec8aeb5606828e6450e687f421eae7df7ea45219417636",
+    ("synthetic", 250, 0.5, 1): "d3adc31c9dea9a422a23a72f2a4294e4d6d388a9c71950a217a4bb12df0aa8eb",
+}
+
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+
+
+def _patch_urandom(monkeypatch, seed: int = 1234) -> None:
+    rng = random.Random(seed)
+    monkeypatch.setattr(
+        "repro.crypto.probabilistic.os.urandom",
+        lambda n: bytes(rng.getrandbits(8) for _ in range(n)),
+    )
+
+
+def _ciphertext_hash(relation: Relation) -> str:
+    digest = hashlib.sha256()
+    for row in relation.rows():
+        for cell in row:
+            digest.update(str(cell).encode())
+            digest.update(b"|")
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def _encrypt(relation: Relation, alpha: float, seed: int, backend: str):
+    pipeline = EncryptionPipeline(
+        key=KeyGen.symmetric_from_seed(seed),
+        config=F2Config(alpha=alpha, seed=seed, backend=backend),
+    )
+    return pipeline.run(relation.copy())
+
+
+def _comparable_stats(stats) -> dict:
+    comparable = {
+        key: value
+        for key, value in stats.to_dict().items()
+        if not key.startswith("seconds_")
+    }
+    # The configured backend name is the one input allowed to differ.
+    comparable.pop("param_backend", None)
+    return comparable
+
+
+@pytest.mark.parametrize("case", sorted(GOLDEN_CIPHERTEXTS))
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_golden_ciphertext_bytes(monkeypatch, case, backend):
+    dataset, rows, alpha, seed = case
+    relation = dataset_by_name(dataset, rows, seed=seed)
+    _patch_urandom(monkeypatch)
+    encrypted = _encrypt(relation, alpha, seed, backend)
+    assert _ciphertext_hash(encrypted.relation) == GOLDEN_CIPHERTEXTS[case], (
+        f"{backend} backend no longer reproduces the seed pipeline's ciphertext "
+        f"for {case}"
+    )
+
+
+@needs_numpy
+@pytest.mark.parametrize("seed", [0, 1, 7, 23, 91])
+def test_backends_byte_identical_on_random_tables(monkeypatch, seed):
+    relation = make_random_table(seed, num_attributes=4)
+    results = {}
+    for backend in ("python", "numpy"):
+        _patch_urandom(monkeypatch)
+        results[backend] = _encrypt(relation, 0.34, seed, backend)
+    python_result, numpy_result = results["python"], results["numpy"]
+    assert python_result.relation == numpy_result.relation
+    assert _comparable_stats(python_result.stats) == _comparable_stats(numpy_result.stats)
+    assert [p.kind for p in python_result.provenance] == [
+        p.kind for p in numpy_result.provenance
+    ]
+
+
+@needs_numpy
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+@given(
+    table_seed=st.integers(min_value=0, max_value=10_000),
+    run_seed=st.integers(min_value=0, max_value=50),
+    alpha=st.sampled_from([0.2, 0.34, 0.5, 1.0]),
+)
+def test_backend_equivalence_property(monkeypatch, table_seed, run_seed, alpha):
+    """Identical FD sets, stats counters, and ciphertext bytes per backend."""
+    relation = make_random_table(table_seed, num_attributes=4)
+
+    assert find_maximal_attribute_sets(relation, backend="python") == (
+        find_maximal_attribute_sets(relation, backend="numpy")
+    )
+    plain_python_fds = tane(relation, backend="python")
+    assert plain_python_fds.equivalent_to(tane(relation, backend="numpy"))
+
+    results = {}
+    for backend in ("python", "numpy"):
+        _patch_urandom(monkeypatch, seed=4321)
+        results[backend] = _encrypt(relation, alpha, run_seed, backend)
+    python_result, numpy_result = results["python"], results["numpy"]
+
+    assert _ciphertext_hash(python_result.relation) == _ciphertext_hash(numpy_result.relation)
+    assert _comparable_stats(python_result.stats) == _comparable_stats(numpy_result.stats)
+    cipher_fds_python = tane(python_result.server_view(), backend="python")
+    cipher_fds_numpy = tane(numpy_result.server_view(), backend="numpy")
+    assert cipher_fds_python.equivalent_to(cipher_fds_numpy)
+
+
+@needs_numpy
+def test_env_selected_backend_matches_explicit(monkeypatch):
+    relation = make_random_table(5, num_attributes=3)
+    _patch_urandom(monkeypatch)
+    explicit = _encrypt(relation, 0.34, 0, "numpy")
+    monkeypatch.setenv("REPRO_BACKEND", "numpy")
+    _patch_urandom(monkeypatch)
+    via_env = _encrypt(relation, 0.34, 0, None)
+    assert explicit.relation == via_env.relation
+    assert via_env.stats.parameters["backend"] == "numpy"

@@ -1,0 +1,157 @@
+"""Tests of the dictionary-encoded columnar view (repro.relational.coded)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.backend import get_backend, numpy_available
+from repro.exceptions import RelationError
+from repro.relational.table import Relation
+
+needs_numpy = pytest.mark.skipif(not numpy_available(), reason="NumPy not installed")
+
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return Relation(
+        ["A", "B", "C"],
+        [
+            ["x", "1", "p"],
+            ["y", "2", "q"],
+            ["x", "1", "r"],
+            ["x", "3", "p"],
+            ["y", "1", "p"],
+        ],
+        name="coded-test",
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestCodedColumn:
+    def test_dictionary_in_first_occurrence_order(self, relation, backend):
+        column = relation.coded(backend).column("A")
+        assert column.dictionary == ["x", "y"]
+        assert list(column.codes) == [0, 1, 0, 0, 1]
+        assert column.num_values == 2
+        assert column.value_of(1) == "y"
+
+    def test_counts_and_frequencies_match_counter(self, relation, backend):
+        coded = relation.coded(backend)
+        for attr in relation.attributes:
+            frequencies = coded.frequencies(attr)
+            assert frequencies == Counter(relation.column(attr))
+            # Insertion order (most_common tie-breaking) must also match.
+            assert list(frequencies) == list(dict.fromkeys(relation.column(attr)))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestCodedRelation:
+    def test_group_rows_canonical_order(self, relation, backend):
+        groups = relation.coded(backend).group_rows(["A", "B"])
+        assert groups == [[0, 2], [1], [3], [4]]
+
+    def test_group_rows_min_size(self, relation, backend):
+        assert relation.coded(backend).group_rows(["A", "B"], min_size=2) == [[0, 2]]
+
+    def test_has_duplicates(self, relation, backend):
+        coded = relation.coded(backend)
+        assert coded.has_duplicates(["A"])
+        assert coded.has_duplicates(["A", "B"])
+        assert not coded.has_duplicates(["A", "B", "C"])
+
+    def test_class_code_matrix(self, relation, backend):
+        coded = relation.coded(backend)
+        groups = coded.group_rows(["A", "B"])
+        matrix = coded.class_code_matrix(["A", "B"], groups)
+        assert matrix == [(0, 0), (1, 1), (0, 2), (1, 0)]
+
+    def test_empty_attribute_set_rejected(self, relation, backend):
+        with pytest.raises(RelationError):
+            relation.coded(backend).group_rows([])
+
+
+class TestCaching:
+    def test_coded_view_is_cached(self, relation):
+        assert relation.coded("python") is relation.coded("python")
+
+    def test_cache_is_per_backend(self, relation):
+        if not numpy_available():
+            pytest.skip("NumPy not installed")
+        assert relation.coded("python") is not relation.coded("numpy")
+        assert relation.coded("python").backend.name == "python"
+        assert relation.coded("numpy").backend.name == "numpy"
+
+    def test_append_invalidates(self, relation):
+        before = relation.coded("python")
+        assert before.column("A").dictionary == ["x", "y"]
+        relation.append(["z", "9", "s"])
+        after = relation.coded("python")
+        assert after is not before
+        assert after.column("A").dictionary == ["x", "y", "z"]
+        assert after.num_rows == 6
+
+    def test_set_value_invalidates(self, relation):
+        before = relation.coded("python")
+        relation.set_value(0, "A", "w")
+        after = relation.coded("python")
+        assert after is not before
+        assert after.column("A").dictionary[0] == "w"
+
+    def test_concat_result_has_fresh_cache(self, relation):
+        other = relation.copy()
+        merged = relation.concat(other)
+        assert merged.coded("python").num_rows == 2 * relation.num_rows
+
+    def test_version_counter(self, relation):
+        version = relation.version
+        relation.append(["x", "1", "p"])
+        assert relation.version > version
+
+    def test_stale_view_refuses_any_access(self, relation):
+        stale = relation.coded("python")
+        stale.column("A")
+        relation.append(["z", "9", "s"])
+        with pytest.raises(RelationError, match="stale"):
+            stale.column("A")  # even already-encoded columns are refused
+        with pytest.raises(RelationError, match="stale"):
+            stale.column("B")
+        # A fresh view sees the mutation.
+        assert relation.coded("python").column("A").dictionary == ["x", "y", "z"]
+
+
+def test_encryption_context_shares_the_coded_view():
+    """ctx.coded is the one encoding every stage reads (relation cache)."""
+    from repro.api.pipeline import EncryptionPipeline
+
+    table = Relation(
+        ["A", "B", "C"],
+        [["a1", "b1", "c1"], ["a1", "b1", "c2"], ["a2", "b2", "c3"], ["a2", "b2", "c4"]],
+    )
+    pipeline = EncryptionPipeline()
+    ctx = pipeline.new_context(table)
+    view = ctx.coded
+    assert view.backend is ctx.backend
+    assert view is ctx.relation.coded(ctx.backend)
+    pipeline.execute(ctx)
+    # The stages worked off the same cached encoding, not a re-derivation.
+    assert ctx.relation.coded(ctx.backend) is view
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_partition_build_uses_codes(relation, backend):
+    from repro.relational.partition import Partition
+
+    partition = Partition.build(relation, ["A", "B"], backend=backend)
+    assert [list(ec.rows) for ec in partition.classes] == [[0, 2], [1], [3], [4]]
+    assert [ec.codes for ec in partition.classes] == [(0, 0), (1, 1), (0, 2), (1, 0)]
+    assert [ec.representative for ec in partition.classes] == [
+        ("x", "1"),
+        ("y", "2"),
+        ("x", "3"),
+        ("y", "1"),
+    ]
+    assert partition.backend.name == backend

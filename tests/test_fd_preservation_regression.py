@@ -1,0 +1,96 @@
+"""Regression coverage for the known FD-preservation false negative.
+
+ROADMAP ("Known algorithmic bug"): on small tables with several overlapping
+MASs plus conflicts, conflict resolution can *lose* a true FD — the
+ciphertext no longer satisfies a dependency the plaintext holds, violating
+Theorem 3.7.  Hypothesis found the falsifying example pinned below during
+PR 1, reproduced on the seed code (not a regression of the pipeline work).
+
+The encoding here is deliberate:
+
+* the broken behaviour is an ``xfail(strict=True)`` test — the day someone
+  fixes conflict resolution, the xfail flips to XPASS and fails the suite,
+  forcing the marker's removal (and making the fix visible);
+* the verify/repair stage must at least *detect* the loss and warn
+  (:class:`repro.exceptions.FdPreservationWarning`), so operators of strict
+  pipelines are not silently handed a table with missing dependencies.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.config import F2Config
+from repro.core.scheme import F2Scheme
+from repro.crypto.keys import KeyGen
+from repro.exceptions import FdPreservationWarning
+from repro.fd.fd import FunctionalDependency
+from repro.fd.tane import tane
+from repro.fd.verify import fd_holds
+from repro.relational.table import Relation
+
+#: The ROADMAP falsifying example: plaintext holds {X0, X2} -> X3, but after
+#: encryption with alpha=0.5, key seed 1, config seed 1 the ciphertext only
+#: holds {X0, X1, X2} -> X3 (the cross-MAS agreement pattern loses the
+#: violation witness).
+LOST_FD_TABLE = Relation(
+    ["X0", "X1", "X2", "X3"],
+    [
+        ["v0_0", "v1_0", "v2_1", "v3_0"],
+        ["v0_0", "v1_0", "v2_0", "v3_1"],
+        ["v0_0", "v1_1", "v2_0", "v3_1"],
+        ["v0_0", "v1_1", "v2_1", "v3_0"],
+        ["v0_1", "v1_0", "v2_0", "v3_0"],
+    ],
+    name="roadmap-lost-fd",
+)
+KEY_SEED = 1
+CONFIG_SEED = 1
+ALPHA = 0.5
+LOST_FD = FunctionalDependency(["X0", "X2"], "X3")
+
+
+def _encrypt(**config_overrides):
+    config = F2Config(alpha=ALPHA, seed=CONFIG_SEED, **config_overrides)
+    scheme = F2Scheme(key=KeyGen.symmetric_from_seed(KEY_SEED), config=config)
+    return scheme.encrypt(LOST_FD_TABLE.copy())
+
+
+def test_plaintext_holds_the_fd():
+    assert fd_holds(LOST_FD_TABLE, LOST_FD)
+    assert any(fd == LOST_FD for fd in tane(LOST_FD_TABLE))
+
+
+@pytest.mark.xfail(
+    strict=True,
+    reason="known false negative: conflict resolution across overlapping MASs "
+    "loses the {X0,X2} -> X3 witness (ROADMAP 'Known algorithmic bug'); "
+    "remove this marker when conflict resolution respects cross-MAS "
+    "instance co-occurrence",
+)
+def test_lost_fd_is_preserved():
+    encrypted = _encrypt()
+    assert fd_holds(encrypted.server_view(), LOST_FD), (
+        "Theorem 3.7 violated: plaintext FD absent from the ciphertext"
+    )
+
+
+def test_verify_repair_warns_about_lost_fd():
+    """The cheap detection pass must flag the false negative, not fix it."""
+    with pytest.warns(FdPreservationWarning, match=r"X0.*X2.*X3"):
+        encrypted = _encrypt(verify_and_repair=True)
+    lost = encrypted.metadata.get("lost_fds")
+    assert lost, "the lost FDs must be recorded in the table metadata"
+    assert any("X3" in text for text in lost)
+
+
+def test_verify_repair_is_quiet_when_fds_survive(zipcode_table):
+    """No spurious warnings on a table whose FDs all survive encryption."""
+    config = F2Config(alpha=0.25, seed=7, verify_and_repair=True)
+    scheme = F2Scheme(key=KeyGen.symmetric_from_seed(43), config=config)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FdPreservationWarning)
+        encrypted = scheme.encrypt(zipcode_table)
+    assert "lost_fds" not in encrypted.metadata
