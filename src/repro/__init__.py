@@ -40,7 +40,13 @@ subpackages (:mod:`repro.api`, :mod:`repro.relational`, :mod:`repro.fd`,
 """
 
 from repro.api.pipeline import EncryptionPipeline, StageHook, StageRecorder
-from repro.api.session import DataOwner, ServiceProvider, run_protocol
+from repro.api.protocol import (
+    ProtocolClient,
+    ProtocolServer,
+    SocketProtocolServer,
+    SocketTransport,
+)
+from repro.api.session import DataOwner, RemoteOwnerSession, ServiceProvider, run_protocol
 from repro.backend import available_backends, get_backend
 from repro.core.config import F2Config
 from repro.core.encrypted import EncryptedTable
@@ -58,7 +64,7 @@ from repro.exceptions import (
 from repro.relational.schema import Schema
 from repro.relational.table import Relation
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BackendUnavailableError",
@@ -71,11 +77,16 @@ __all__ = [
     "F2Config",
     "F2Scheme",
     "KeyGen",
+    "ProtocolClient",
+    "ProtocolServer",
     "Relation",
+    "RemoteOwnerSession",
     "ReproError",
     "Schema",
     "SecurityViolation",
     "ServiceProvider",
+    "SocketProtocolServer",
+    "SocketTransport",
     "StageHook",
     "StageRecorder",
     "available_backends",

@@ -6,8 +6,16 @@ Three layers, bottom up:
   :class:`EncryptionPipeline`: the four F2 steps (plus materialisation and
   the optional repair pass) as pluggable :class:`Stage` objects threaded
   through an :class:`EncryptionContext`, instrumented via :class:`StageHook`.
+* :mod:`repro.api.protocol` — the transport-agnostic wire protocol: typed
+  request/response messages serialized through :mod:`repro.wire`,
+  :class:`ProtocolClient`/:class:`ProtocolServer` endpoints, the in-memory
+  :class:`LoopbackTransport` and the TCP :class:`SocketTransport` /
+  :class:`SocketProtocolServer`, snapshot persistence, and token-based
+  equality query serving.
 * :mod:`repro.api.session` — :class:`DataOwner` and :class:`ServiceProvider`
-  model the paper's two-party outsourcing workflow end to end.
+  model the paper's two-party outsourcing workflow end to end (the provider
+  is a loopback facade over the protocol server), plus
+  :class:`RemoteOwnerSession` for driving a remote provider.
 * :mod:`repro.api.incremental` — batch :func:`insert_rows` against an
   already outsourced table, reusing the owner's retained ECG plans.
 
@@ -16,6 +24,25 @@ the pipeline; new code should prefer the session objects.
 """
 
 from repro.api.incremental import IncrementalReport, insert_rows
+from repro.api.protocol import (
+    DEFAULT_TABLE_ID,
+    Ack,
+    DiscoverRequest,
+    DiscoverResult,
+    ErrorReply,
+    InsertBatch,
+    LoadSnapshot,
+    LoopbackTransport,
+    Message,
+    OutsourceRequest,
+    ProtocolClient,
+    ProtocolServer,
+    QueryRequest,
+    QueryResult,
+    SaveSnapshot,
+    SocketProtocolServer,
+    SocketTransport,
+)
 from repro.api.pipeline import (
     EncryptionContext,
     EncryptionPipeline,
@@ -27,6 +54,7 @@ from repro.api.pipeline import (
 )
 from repro.api.session import (
     DataOwner,
+    RemoteOwnerSession,
     ServiceProvider,
     decrypt_cell,
     decrypt_table,
@@ -43,15 +71,33 @@ from repro.api.stages import (
 )
 
 __all__ = [
+    "Ack",
     "ConflictResolutionStage",
+    "DEFAULT_TABLE_ID",
     "DataOwner",
+    "DiscoverRequest",
+    "DiscoverResult",
     "EncryptionContext",
     "EncryptionPipeline",
+    "ErrorReply",
     "FalsePositiveStage",
     "IncrementalReport",
+    "InsertBatch",
+    "LoadSnapshot",
+    "LoopbackTransport",
     "MasDiscoveryStage",
     "MaterializeStage",
+    "Message",
+    "OutsourceRequest",
+    "ProtocolClient",
+    "ProtocolServer",
+    "QueryRequest",
+    "QueryResult",
+    "RemoteOwnerSession",
+    "SaveSnapshot",
     "ServiceProvider",
+    "SocketProtocolServer",
+    "SocketTransport",
     "SplitScaleStage",
     "Stage",
     "StageHook",

@@ -1,0 +1,945 @@
+"""Transport-agnostic client/server protocol between owner and provider.
+
+The paper's Figure-2 workflow is a *network* protocol: the data owner ships
+a ciphertext relation to an untrusted service provider, the provider runs FD
+discovery (and, here, answers token-based equality queries) and sends typed
+results back.  This module is that protocol made concrete:
+
+* **Messages** — frozen dataclasses (:class:`OutsourceRequest`,
+  :class:`InsertBatch`, :class:`DiscoverRequest` / :class:`DiscoverResult`,
+  :class:`QueryRequest` / :class:`QueryResult`, :class:`SaveSnapshot` /
+  :class:`LoadSnapshot`, :class:`Ack`, :class:`ErrorReply`) that serialize
+  through the :mod:`repro.wire` codec in either wire form ("json" for
+  debuggability, "binary" for throughput).
+* **Transports** — anything with a ``request(bytes) -> bytes`` method.
+  :class:`LoopbackTransport` calls a :class:`ProtocolServer` in-process (the
+  session facades use it, which is how the pre-protocol API keeps working
+  byte-for-byte); :class:`SocketTransport` speaks length-prefixed frames
+  over a real TCP connection to a :class:`SocketProtocolServer`.
+* **Endpoints** — :class:`ProtocolClient` (owner side: encodes requests,
+  decodes replies, raises :class:`~repro.exceptions.ProtocolError` on error
+  replies) and :class:`ProtocolServer` (provider side: a keyless store of
+  ciphertext relations, FD discovery over the compute backends, token-based
+  equality queries, and snapshot persistence so stores survive restarts).
+
+The server never sees a key or a plaintext: it stores what it is sent,
+groups and counts ciphertexts, and filters rows against owner-issued search
+tokens — exactly the honest-but-curious model of the paper.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import socketserver
+import struct
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, ClassVar
+
+from repro.backend import ComputeBackend, get_backend
+from repro.exceptions import ProtocolError, QueryError, WireError
+from repro.fd.tane import TaneResult, tane_with_stats
+from repro.relational.table import Relation
+from repro.wire import (
+    WIRE_BINARY,
+    WIRE_JSON,
+    check_form,
+    decode_cells,
+    decode_relation,
+    decode_tane_result,
+    detect_form,
+    encode_cells,
+    encode_relation,
+    encode_tane_result,
+    sanitize_json,
+)
+from repro.wire.codec import json_blob
+from repro.wire.binary import ByteReader, ByteWriter
+
+#: Magic + version prefix of a binary protocol message.
+MESSAGE_MAGIC = b"F2M"
+MESSAGE_VERSION = 1
+
+#: Default table id used by the session facades.
+DEFAULT_TABLE_ID = "default"
+
+#: Table ids double as snapshot file names; keep them path-safe.
+_TABLE_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: Snapshot files written by the server (binary relation frames).
+SNAPSHOT_SUFFIX = ".f2t"
+
+#: Upper bound on a single protocol frame (corrupted length guard).
+MAX_FRAME_BYTES = 1 << 30
+
+
+def check_table_id(table_id: str) -> str:
+    """Validate a table id (snapshot-file safe, no path separators)."""
+    if not isinstance(table_id, str) or not _TABLE_ID_RE.match(table_id):
+        raise ProtocolError(
+            f"invalid table id {table_id!r}: use 1-64 characters from "
+            "[A-Za-z0-9._-], starting with a letter or digit"
+        )
+    return table_id
+
+
+# ----------------------------------------------------------------------
+# Message envelope
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Message:
+    """Base class: a typed message = meta fields + bulk attachments.
+
+    ``meta`` is always a small JSON document; attachments are payloads of the
+    :mod:`repro.wire` codec (relations, TANE results, cell lists) carried in
+    whichever wire form the message is encoded in.
+    """
+
+    kind: ClassVar[str] = ""
+
+    def _meta(self) -> dict[str, Any]:
+        return {}
+
+    def _attachments(self, form: str) -> dict[str, bytes]:
+        return {}
+
+    @classmethod
+    def _build(cls, meta: dict[str, Any], attachments: dict[str, bytes]) -> "Message":
+        raise NotImplementedError
+
+    # -- encoding ------------------------------------------------------
+    def encode(self, form: str = WIRE_BINARY) -> bytes:
+        """Serialize the message in ``form`` ("json" or "binary")."""
+        check_form(form)
+        meta = sanitize_json(self._meta())
+        attachments = self._attachments(form)
+        if form == WIRE_JSON:
+            doc = {
+                "protocol": f"f2/{MESSAGE_VERSION}",
+                "kind": self.kind,
+                "meta": meta,
+                "attachments": {
+                    name: json.loads(payload.decode("utf-8"))
+                    for name, payload in attachments.items()
+                },
+            }
+            return json.dumps(doc, separators=(",", ":")).encode("utf-8")
+        writer = ByteWriter()
+        writer.raw(MESSAGE_MAGIC)
+        writer.raw(bytes([MESSAGE_VERSION]))
+        writer.lp_str(self.kind)
+        writer.lp_bytes(json.dumps(meta, separators=(",", ":")).encode("utf-8"))
+        writer.uvarint(len(attachments))
+        for name, payload in attachments.items():
+            writer.lp_str(name)
+            writer.lp_bytes(payload)
+        return writer.getvalue()
+
+    @staticmethod
+    def decode(data: bytes) -> "Message":
+        """Deserialize a message of either wire form (auto-detected)."""
+        if data[: len(MESSAGE_MAGIC)] == MESSAGE_MAGIC:
+            reader = ByteReader(data)
+            for expected in MESSAGE_MAGIC:
+                if reader.u8() != expected:  # pragma: no cover - matched above
+                    raise WireError("corrupted protocol message magic")
+            version = reader.u8()
+            if version != MESSAGE_VERSION:
+                raise WireError(f"unsupported protocol message version {version}")
+            kind = reader.lp_str()
+            meta = json_blob(reader.lp_bytes())
+            attachments = {}
+            for _ in range(reader.uvarint()):
+                name = reader.lp_str()
+                attachments[name] = reader.lp_bytes()
+            reader.expect_end()
+        else:
+            if detect_form(data) != WIRE_JSON:
+                raise WireError("protocol message is neither binary nor JSON")
+            try:
+                doc = json.loads(data.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise WireError("malformed JSON protocol message") from exc
+            if not isinstance(doc, dict) or doc.get("protocol") != f"f2/{MESSAGE_VERSION}":
+                raise WireError("missing or unsupported protocol marker in JSON message")
+            kind = doc.get("kind")
+            meta = doc.get("meta") or {}
+            attachments = {
+                name: json.dumps(payload, separators=(",", ":")).encode("utf-8")
+                for name, payload in (doc.get("attachments") or {}).items()
+            }
+        message_cls = MESSAGE_TYPES.get(kind)
+        if message_cls is None:
+            raise WireError(f"unknown protocol message kind {kind!r}")
+        if not isinstance(meta, dict):
+            raise WireError(f"protocol message {kind!r} carries a non-object meta")
+        return message_cls._build(meta, attachments)
+
+
+@dataclass(frozen=True)
+class OutsourceRequest(Message):
+    """Owner -> provider: store this ciphertext relation as ``table_id``."""
+
+    kind: ClassVar[str] = "outsource_request"
+    table_id: str
+    relation: Relation
+
+    def _meta(self) -> dict[str, Any]:
+        return {"table_id": self.table_id}
+
+    def _attachments(self, form: str) -> dict[str, bytes]:
+        return {"relation": encode_relation(self.relation, form)}
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "OutsourceRequest":
+        return cls(
+            table_id=check_table_id(meta.get("table_id", "")),
+            relation=decode_relation(_require(attachments, "relation", cls.kind)),
+        )
+
+
+@dataclass(frozen=True)
+class InsertBatch(Message):
+    """Owner -> provider: replace ``table_id`` with a fresh server view.
+
+    Incremental encryption re-materialises the whole ciphertext relation
+    (reused instances keep their bytes, probabilistic cells re-randomise),
+    so the wire carries the complete post-insert view; ``batch_rows`` is the
+    number of plaintext rows the owner appended, for the provider's logs.
+    """
+
+    kind: ClassVar[str] = "insert_batch"
+    table_id: str
+    relation: Relation
+    batch_rows: int = 0
+
+    def _meta(self) -> dict[str, Any]:
+        return {"table_id": self.table_id, "batch_rows": self.batch_rows}
+
+    def _attachments(self, form: str) -> dict[str, bytes]:
+        return {"relation": encode_relation(self.relation, form)}
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "InsertBatch":
+        return cls(
+            table_id=check_table_id(meta.get("table_id", "")),
+            relation=decode_relation(_require(attachments, "relation", cls.kind)),
+            batch_rows=int(meta.get("batch_rows", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class DiscoverRequest(Message):
+    """Owner -> provider: run FD discovery on ``table_id``."""
+
+    kind: ClassVar[str] = "discover_request"
+    table_id: str
+    max_lhs_size: int | None = None
+
+    def _meta(self) -> dict[str, Any]:
+        return {"table_id": self.table_id, "max_lhs_size": self.max_lhs_size}
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "DiscoverRequest":
+        max_lhs = meta.get("max_lhs_size")
+        return cls(
+            table_id=check_table_id(meta.get("table_id", "")),
+            max_lhs_size=None if max_lhs is None else int(max_lhs),
+        )
+
+
+@dataclass(frozen=True)
+class DiscoverResult(Message):
+    """Provider -> owner: the TANE result for a discovery request."""
+
+    kind: ClassVar[str] = "discover_result"
+    table_id: str
+    result: TaneResult
+
+    def _meta(self) -> dict[str, Any]:
+        return {"table_id": self.table_id}
+
+    def _attachments(self, form: str) -> dict[str, bytes]:
+        return {"result": encode_tane_result(self.result, form)}
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "DiscoverResult":
+        return cls(
+            table_id=check_table_id(meta.get("table_id", "")),
+            result=decode_tane_result(_require(attachments, "result", cls.kind)),
+        )
+
+
+@dataclass(frozen=True)
+class QueryRequest(Message):
+    """Owner -> provider: equality query via a search token.
+
+    The token is the full set of instance ciphertexts the owner derived for
+    one plaintext value on ``attribute`` from her retained split plans; the
+    keyless provider filters rows whose ``attribute`` cell equals any token
+    ciphertext, learning only the (frequency-homogenised) access pattern.
+    """
+
+    kind: ClassVar[str] = "query_request"
+    table_id: str
+    attribute: str
+    token: tuple = ()
+    #: Ship the matched ciphertext rows in the reply.  The data owner never
+    #: needs them (she reconstructs matches from her own encrypted table via
+    #: the returned indexes), and splitting-and-scaling makes the matched
+    #: subset the dominant payload — so this is opt-in for keyless consumers.
+    include_rows: bool = False
+
+    def _meta(self) -> dict[str, Any]:
+        return {
+            "table_id": self.table_id,
+            "attribute": self.attribute,
+            "include_rows": self.include_rows,
+        }
+
+    def _attachments(self, form: str) -> dict[str, bytes]:
+        return {"token": encode_cells(list(self.token), form)}
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "QueryRequest":
+        attribute = meta.get("attribute")
+        if not isinstance(attribute, str) or not attribute:
+            raise WireError("query_request without an attribute")
+        return cls(
+            table_id=check_table_id(meta.get("table_id", "")),
+            attribute=attribute,
+            token=tuple(decode_cells(_require(attachments, "token", cls.kind))),
+            include_rows=bool(meta.get("include_rows", False)),
+        )
+
+
+@dataclass(frozen=True)
+class QueryResult(Message):
+    """Provider -> owner: the matched row indexes (and optionally the rows).
+
+    Row indexes refer to the provider's stored relation (which the owner can
+    line up with her retained provenance); ``rows`` is the matched ciphertext
+    subset in index order, attached only when the request set
+    ``include_rows`` (``None`` otherwise).
+    """
+
+    kind: ClassVar[str] = "query_result"
+    table_id: str
+    attribute: str
+    row_indexes: tuple[int, ...]
+    rows: Relation | None = None
+
+    def _meta(self) -> dict[str, Any]:
+        return {
+            "table_id": self.table_id,
+            "attribute": self.attribute,
+            "row_indexes": list(self.row_indexes),
+        }
+
+    def _attachments(self, form: str) -> dict[str, bytes]:
+        if self.rows is None:
+            return {}
+        return {"rows": encode_relation(self.rows, form)}
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "QueryResult":
+        indexes = meta.get("row_indexes")
+        if not isinstance(indexes, list):
+            raise WireError("query_result without row indexes")
+        rows_payload = attachments.get("rows")
+        return cls(
+            table_id=check_table_id(meta.get("table_id", "")),
+            attribute=str(meta.get("attribute", "")),
+            row_indexes=tuple(int(index) for index in indexes),
+            rows=None if rows_payload is None else decode_relation(rows_payload),
+        )
+
+
+@dataclass(frozen=True)
+class SaveSnapshot(Message):
+    """Owner -> provider: force-persist ``table_id`` to the snapshot store."""
+
+    kind: ClassVar[str] = "save_snapshot"
+    table_id: str
+
+    def _meta(self) -> dict[str, Any]:
+        return {"table_id": self.table_id}
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "SaveSnapshot":
+        return cls(table_id=check_table_id(meta.get("table_id", "")))
+
+
+@dataclass(frozen=True)
+class LoadSnapshot(Message):
+    """Owner -> provider: reload ``table_id`` from the snapshot store."""
+
+    kind: ClassVar[str] = "load_snapshot"
+    table_id: str
+
+    def _meta(self) -> dict[str, Any]:
+        return {"table_id": self.table_id}
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "LoadSnapshot":
+        return cls(table_id=check_table_id(meta.get("table_id", "")))
+
+
+@dataclass(frozen=True)
+class Ack(Message):
+    """Generic success reply; ``fields`` carries request-specific details."""
+
+    kind: ClassVar[str] = "ack"
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def _meta(self) -> dict[str, Any]:
+        return dict(self.fields)
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "Ack":
+        return cls(fields=dict(meta))
+
+
+@dataclass(frozen=True)
+class ErrorReply(Message):
+    """Failure reply: the error category plus a human-readable message."""
+
+    kind: ClassVar[str] = "error"
+    error: str
+    message: str
+
+    def _meta(self) -> dict[str, Any]:
+        return {"error": self.error, "message": self.message}
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "ErrorReply":
+        return cls(error=str(meta.get("error", "")), message=str(meta.get("message", "")))
+
+
+MESSAGE_TYPES: dict[str, type[Message]] = {
+    cls.kind: cls
+    for cls in (
+        OutsourceRequest,
+        InsertBatch,
+        DiscoverRequest,
+        DiscoverResult,
+        QueryRequest,
+        QueryResult,
+        SaveSnapshot,
+        LoadSnapshot,
+        Ack,
+        ErrorReply,
+    )
+}
+
+
+def _require(attachments: dict[str, bytes], name: str, kind: str) -> bytes:
+    payload = attachments.get(name)
+    if payload is None:
+        raise WireError(f"protocol message {kind!r} missing attachment {name!r}")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Server endpoint
+# ----------------------------------------------------------------------
+class ProtocolServer:
+    """The provider endpoint: keyless stores, discovery, queries, snapshots.
+
+    Parameters
+    ----------
+    name:
+        Display name used in error messages and logs.
+    backend:
+        Compute backend for FD discovery and query filtering (the provider is
+        the party with the big hardware).
+    storage_dir:
+        Directory for snapshot persistence.  When set, every received store
+        is written as ``<table_id>.f2t`` (a binary relation frame) and every
+        existing snapshot is loaded back on construction, so a restarted
+        server resumes serving without a re-outsource.  ``None`` keeps all
+        stores in memory only.
+    """
+
+    def __init__(
+        self,
+        name: str = "service-provider",
+        backend: "ComputeBackend | str | None" = None,
+        storage_dir: "str | Path | None" = None,
+    ):
+        self.name = name
+        self.backend = backend
+        self._stores: dict[str, Relation] = {}
+        self._discoveries: dict[str, TaneResult] = {}
+        self._lock = threading.Lock()
+        self._storage_dir = Path(storage_dir) if storage_dir is not None else None
+        if self._storage_dir is not None:
+            self._storage_dir.mkdir(parents=True, exist_ok=True)
+            self._load_all_snapshots()
+
+    # -- store access (used by the in-process facade and tests) --------
+    def table_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._stores)
+
+    def store(self, table_id: str = DEFAULT_TABLE_ID) -> Relation:
+        with self._lock:
+            relation = self._stores.get(table_id)
+        if relation is None:
+            raise ProtocolError(f"{self.name} has no table {table_id!r}")
+        return relation
+
+    def has_table(self, table_id: str = DEFAULT_TABLE_ID) -> bool:
+        with self._lock:
+            return table_id in self._stores
+
+    def last_discovery(self, table_id: str = DEFAULT_TABLE_ID) -> TaneResult | None:
+        """The most recent discovery for ``table_id``.
+
+        ``None`` until a discovery ran — and again after every received
+        store, because a result computed on the previous ciphertext does not
+        describe the current one.
+        """
+        with self._lock:
+            return self._discoveries.get(table_id)
+
+    # -- transport-facing entry point ----------------------------------
+    def handle_bytes(self, data: bytes) -> bytes:
+        """Decode one request, dispatch it, and reply in the request's form.
+
+        A server must never let a malformed request kill the connection, so
+        *any* decode failure — including non-Repro exceptions raised by
+        corrupted meta documents (``UnicodeDecodeError``, ``ValueError``
+        from field coercions, ...) — becomes an :class:`ErrorReply`.
+        """
+        try:
+            form = WIRE_BINARY if data[: len(MESSAGE_MAGIC)] == MESSAGE_MAGIC else WIRE_JSON
+            request = Message.decode(data)
+        except Exception as exc:  # noqa: BLE001 - see docstring
+            return ErrorReply(error=type(exc).__name__, message=str(exc)).encode(WIRE_JSON)
+        return self.handle(request).encode(form)
+
+    def handle(self, request: Message) -> Message:
+        """Dispatch one decoded request to its handler; errors become replies."""
+        handler = self._HANDLERS.get(type(request))
+        if handler is None:
+            return ErrorReply(
+                error="ProtocolError",
+                message=f"{self.name} cannot handle message kind {request.kind!r}",
+            )
+        try:
+            return handler(self, request)
+        except Exception as exc:  # noqa: BLE001 - a request must not kill the server
+            return ErrorReply(error=type(exc).__name__, message=str(exc))
+
+    # -- handlers ------------------------------------------------------
+    def _receive_store(self, table_id: str, relation: Relation) -> None:
+        with self._lock:
+            self._stores[table_id] = relation
+            # A new ciphertext invalidates any cached discovery result.
+            self._discoveries.pop(table_id, None)
+            # Persist inside the lock: concurrent receives for one table id
+            # must snapshot in the same order they update the store, or a
+            # stale writer could win the rename after a newer one.
+            if self._storage_dir is not None:
+                self._write_snapshot(table_id, relation)
+
+    def _handle_outsource(self, request: OutsourceRequest) -> Message:
+        self._receive_store(request.table_id, request.relation)
+        return Ack(fields={"table_id": request.table_id, "num_rows": request.relation.num_rows})
+
+    def _handle_insert(self, request: InsertBatch) -> Message:
+        self._receive_store(request.table_id, request.relation)
+        return Ack(
+            fields={
+                "table_id": request.table_id,
+                "num_rows": request.relation.num_rows,
+                "batch_rows": request.batch_rows,
+            }
+        )
+
+    def _handle_discover(self, request: DiscoverRequest) -> Message:
+        relation = self.store(request.table_id)
+        result = tane_with_stats(
+            relation, max_lhs_size=request.max_lhs_size, backend=self.backend
+        )
+        with self._lock:
+            # Cache only if no concurrent receive replaced the store while
+            # TANE ran — a result computed on the old ciphertext must not
+            # resurface as the "last discovery" of the new one.
+            if self._stores.get(request.table_id) is relation:
+                self._discoveries[request.table_id] = result
+        return DiscoverResult(table_id=request.table_id, result=result)
+
+    def _handle_query(self, request: QueryRequest) -> Message:
+        relation = self.store(request.table_id)
+        if request.attribute not in relation.schema:
+            raise QueryError(
+                f"table {request.table_id!r} has no attribute {request.attribute!r}"
+            )
+        indexes = relation.coded(self.backend).rows_matching(
+            request.attribute, request.token
+        )
+        return QueryResult(
+            table_id=request.table_id,
+            attribute=request.attribute,
+            row_indexes=tuple(indexes),
+            rows=relation.select_rows(indexes, name=f"{relation.name}-match")
+            if request.include_rows
+            else None,
+        )
+
+    def _handle_save_snapshot(self, request: SaveSnapshot) -> Message:
+        if self._storage_dir is None:
+            raise ProtocolError(f"{self.name} has no snapshot storage configured")
+        relation = self.store(request.table_id)
+        with self._lock:
+            path = self._write_snapshot(request.table_id, relation)
+        return Ack(fields={"table_id": request.table_id, "path": str(path)})
+
+    def _handle_load_snapshot(self, request: LoadSnapshot) -> Message:
+        if self._storage_dir is None:
+            raise ProtocolError(f"{self.name} has no snapshot storage configured")
+        path = self._snapshot_path(request.table_id)
+        if not path.exists():
+            raise ProtocolError(f"no snapshot for table {request.table_id!r}")
+        relation = decode_relation(path.read_bytes())
+        with self._lock:
+            self._stores[request.table_id] = relation
+            self._discoveries.pop(request.table_id, None)
+        return Ack(fields={"table_id": request.table_id, "num_rows": relation.num_rows})
+
+    _HANDLERS: dict[type, Any] = {}
+
+    # -- snapshot persistence ------------------------------------------
+    def _snapshot_path(self, table_id: str) -> Path:
+        assert self._storage_dir is not None
+        return self._storage_dir / f"{check_table_id(table_id)}{SNAPSHOT_SUFFIX}"
+
+    def _write_snapshot(self, table_id: str, relation: Relation) -> Path:
+        path = self._snapshot_path(table_id)
+        # Write-then-rename so a crash mid-write never corrupts a snapshot;
+        # the temp name is unique per write so two writers can never
+        # interleave bytes into one file.
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{table_id}.", suffix=".tmp", dir=self._storage_dir
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(encode_relation(relation, WIRE_BINARY, self.backend))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def _load_all_snapshots(self) -> None:
+        assert self._storage_dir is not None
+        for path in sorted(self._storage_dir.glob(f"*{SNAPSHOT_SUFFIX}")):
+            table_id = path.name[: -len(SNAPSHOT_SUFFIX)]
+            if not _TABLE_ID_RE.match(table_id):
+                continue
+            self._stores[table_id] = decode_relation(path.read_bytes())
+
+
+ProtocolServer._HANDLERS = {
+    OutsourceRequest: ProtocolServer._handle_outsource,
+    InsertBatch: ProtocolServer._handle_insert,
+    DiscoverRequest: ProtocolServer._handle_discover,
+    QueryRequest: ProtocolServer._handle_query,
+    SaveSnapshot: ProtocolServer._handle_save_snapshot,
+    LoadSnapshot: ProtocolServer._handle_load_snapshot,
+}
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+class LoopbackTransport:
+    """In-memory transport: requests go straight to a server instance.
+
+    Every request still round-trips through the full wire codec, so the
+    loopback path exercises exactly the bytes a socket would carry — the
+    session facades rely on this to stay behaviourally identical to a
+    remote deployment.
+    """
+
+    def __init__(self, server: ProtocolServer):
+        self.server = server
+
+    def request(self, data: bytes) -> bytes:
+        return self.server.handle_bytes(data)
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+def _send_frame(sock: socket.socket, data: bytes) -> None:
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(data)} bytes exceeds the protocol maximum")
+    sock.sendall(struct.pack(">I", len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> bytes | None:
+    header = _recv_exact(sock, 4)
+    if header is None:
+        return None
+    (length,) = struct.unpack(">I", header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"incoming frame of {length} bytes exceeds the protocol maximum")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed mid-frame")
+    return body
+
+
+class SocketTransport:
+    """TCP client transport: one persistent connection, framed messages.
+
+    Frames are ``4-byte big-endian length || message bytes`` in both
+    directions.  The connection opens lazily on the first request and is
+    re-established once per request on failure (a restarted server is
+    transparent to the caller as long as its stores were snapshotted).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._lock = threading.Lock()
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def request(self, data: bytes) -> bytes:
+        with self._lock:
+            for attempt in (0, 1):
+                if self._sock is None:
+                    try:
+                        self._sock = self._connect()
+                    except OSError as exc:
+                        raise ProtocolError(
+                            f"cannot connect to {self.host}:{self.port}: {exc}"
+                        ) from exc
+                try:
+                    _send_frame(self._sock, data)
+                    reply = _recv_frame(self._sock)
+                    if reply is None:
+                        raise ProtocolError("server closed the connection")
+                    return reply
+                except (OSError, ProtocolError):
+                    self._close_locked()
+                    if attempt:
+                        raise
+            raise ProtocolError("unreachable")  # pragma: no cover
+
+    def _close_locked(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - best-effort close
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_locked()
+
+
+class _FrameHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        while True:
+            try:
+                data = _recv_frame(self.request)
+            except ProtocolError:
+                return
+            if data is None:
+                return
+            reply = self.server.protocol_server.handle_bytes(data)  # type: ignore[attr-defined]
+            try:
+                _send_frame(self.request, reply)
+            except OSError:
+                return
+
+
+class _ThreadingTcpServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class SocketProtocolServer:
+    """A :class:`ProtocolServer` listening on a localhost TCP socket.
+
+    Binds immediately (``port=0`` picks a free port; read :attr:`port`),
+    serves each connection on its own thread, and can run either blocking
+    (:meth:`serve_forever`, the CLI ``serve`` command) or in the background
+    (:meth:`serve_in_background`, tests and examples).  Also usable as a
+    context manager.
+    """
+
+    def __init__(
+        self,
+        server: ProtocolServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.protocol_server = server
+        self._tcp = _ThreadingTcpServer((host, port), _FrameHandler, bind_and_activate=True)
+        self._tcp.protocol_server = server  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        self._serving = False
+
+    @property
+    def host(self) -> str:
+        return self._tcp.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._tcp.server_address[1]
+
+    def serve_forever(self) -> None:
+        self._serving = True
+        self._tcp.serve_forever(poll_interval=0.1)
+
+    def serve_in_background(self) -> threading.Thread:
+        thread = threading.Thread(
+            target=self.serve_forever, name="f2-protocol-server", daemon=True
+        )
+        self._thread = thread
+        thread.start()
+        return thread
+
+    def shutdown(self) -> None:
+        # BaseServer.shutdown() blocks on an event that only serve_forever()
+        # sets; calling it on a server whose loop never started would hang
+        # forever (e.g. a `with` body raising before serve_in_background()).
+        if self._serving:
+            self._tcp.shutdown()
+            self._serving = False
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "SocketProtocolServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Client endpoint
+# ----------------------------------------------------------------------
+class ProtocolClient:
+    """The owner-side endpoint over any transport.
+
+    Encodes requests in ``wire_format`` ("binary" by default, "json" for
+    debugging), decodes replies of either form, and raises
+    :class:`~repro.exceptions.ProtocolError` when the server answers with an
+    error reply.
+    """
+
+    def __init__(self, transport, wire_format: str = WIRE_BINARY):
+        self.transport = transport
+        self.wire_format = check_form(wire_format)
+
+    def call(self, request: Message) -> Message:
+        """Send one request and return the decoded (non-error) reply."""
+        reply = Message.decode(self.transport.request(request.encode(self.wire_format)))
+        if isinstance(reply, ErrorReply):
+            raise ProtocolError(f"{reply.error}: {reply.message}")
+        return reply
+
+    def _expect(self, request: Message, reply_type: type) -> Any:
+        reply = self.call(request)
+        if not isinstance(reply, reply_type):
+            raise ProtocolError(
+                f"expected a {reply_type.__name__} reply to {request.kind!r}, "
+                f"got {reply.kind!r}"
+            )
+        return reply
+
+    # -- typed operations ----------------------------------------------
+    def outsource(self, table_id: str, relation: Relation) -> int:
+        """Ship a ciphertext relation; returns the provider's row count."""
+        ack = self._expect(
+            OutsourceRequest(table_id=check_table_id(table_id), relation=relation), Ack
+        )
+        return int(ack.fields.get("num_rows", relation.num_rows))
+
+    def insert(self, table_id: str, relation: Relation, batch_rows: int = 0) -> int:
+        """Replace the stored view after an incremental insert."""
+        ack = self._expect(
+            InsertBatch(
+                table_id=check_table_id(table_id),
+                relation=relation,
+                batch_rows=batch_rows,
+            ),
+            Ack,
+        )
+        return int(ack.fields.get("num_rows", relation.num_rows))
+
+    def discover(self, table_id: str, max_lhs_size: int | None = None) -> TaneResult:
+        """Run FD discovery on the provider and return its TANE result."""
+        reply = self._expect(
+            DiscoverRequest(table_id=check_table_id(table_id), max_lhs_size=max_lhs_size),
+            DiscoverResult,
+        )
+        return reply.result
+
+    def query(
+        self, table_id: str, attribute: str, token, include_rows: bool = False
+    ) -> QueryResult:
+        """Equality query: filter rows against an owner-issued search token.
+
+        ``include_rows=True`` additionally ships the matched ciphertext rows
+        back; the owner-side decrypt path only needs the indexes.
+        """
+        return self._expect(
+            QueryRequest(
+                table_id=check_table_id(table_id),
+                attribute=attribute,
+                token=tuple(token),
+                include_rows=include_rows,
+            ),
+            QueryResult,
+        )
+
+    def save_snapshot(self, table_id: str) -> str:
+        """Force-persist a store; returns the snapshot path on the server."""
+        ack = self._expect(SaveSnapshot(table_id=check_table_id(table_id)), Ack)
+        return str(ack.fields.get("path", ""))
+
+    def load_snapshot(self, table_id: str) -> int:
+        """Reload a store from its snapshot; returns the restored row count."""
+        ack = self._expect(LoadSnapshot(table_id=check_table_id(table_id)), Ack)
+        return int(ack.fields.get("num_rows", 0))
+
+    def close(self) -> None:
+        close = getattr(self.transport, "close", None)
+        if close is not None:
+            close()

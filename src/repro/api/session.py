@@ -32,14 +32,21 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from repro.api.incremental import IncrementalReport, insert_rows as _insert_rows
 from repro.api.pipeline import EncryptionContext, EncryptionPipeline, StageHook
+from repro.api.protocol import (
+    DEFAULT_TABLE_ID,
+    LoopbackTransport,
+    ProtocolClient,
+    ProtocolServer,
+    QueryResult,
+)
 from repro.core.config import F2Config
 from repro.core.encrypted import EncryptedTable
 from repro.core.security import SecurityReport, verify_alpha_security
 from repro.crypto.keys import KeyGen, SymmetricKey
 from repro.crypto.probabilistic import Ciphertext, ProbabilisticCipher
-from repro.exceptions import DecryptionError, EncryptionError
+from repro.exceptions import DecryptionError, EncryptionError, QueryError
 from repro.fd.fd import FDSet
-from repro.fd.tane import TaneResult, tane, tane_with_stats
+from repro.fd.tane import TaneResult, tane
 from repro.relational.table import Relation
 
 
@@ -54,34 +61,49 @@ def decrypt_cell(cell: object, cipher: ProbabilisticCipher) -> str:
     return cipher.decrypt(cell)
 
 
+def _reconstruct_record(
+    encrypted: EncryptedTable,
+    row_indexes: Iterable[int],
+    cipher: ProbabilisticCipher,
+    original_index: int,
+) -> list[str]:
+    """Reassemble one original record from its ciphertext rows.
+
+    A record replaced by conflict resolution is spread over two ciphertext
+    rows; each contributes the attributes it carries authentically.
+    """
+    schema = encrypted.relation.schema
+    values: dict[str, str] = {}
+    for row_index in row_indexes:
+        provenance = encrypted.provenance[row_index]
+        for attr in provenance.authentic_attributes:
+            if attr in values:
+                continue
+            cell = encrypted.relation.value(row_index, attr)
+            values[attr] = decrypt_cell(cell, cipher)
+    missing = [attr for attr in schema if attr not in values]
+    if missing:
+        raise DecryptionError(
+            f"original row {original_index} cannot be reconstructed; "
+            f"missing attributes {missing}"
+        )
+    return [values[attr] for attr in schema]
+
+
 def decrypt_table(encrypted: EncryptedTable, cipher: ProbabilisticCipher) -> Relation:
     """Reconstruct the original plaintext relation from an F2 output.
 
     Artificial rows are dropped; original records are reassembled from the
-    authentic cells of the rows derived from them (a record replaced by
-    conflict resolution is spread over two ciphertext rows).
+    authentic cells of the rows derived from them.
     """
-    schema = encrypted.relation.schema
     groups = encrypted.original_row_groups()
     if not groups:
         raise DecryptionError("the encrypted table contains no original rows")
-    recovered = Relation(schema, name=f"{encrypted.relation.name}-decrypted")
+    recovered = Relation(encrypted.relation.schema, name=f"{encrypted.relation.name}-decrypted")
     for original_index in sorted(groups):
-        values: dict[str, str] = {}
-        for row_index in groups[original_index]:
-            provenance = encrypted.provenance[row_index]
-            for attr in provenance.authentic_attributes:
-                if attr in values:
-                    continue
-                cell = encrypted.relation.value(row_index, attr)
-                values[attr] = decrypt_cell(cell, cipher)
-        missing = [attr for attr in schema if attr not in values]
-        if missing:
-            raise DecryptionError(
-                f"original row {original_index} cannot be reconstructed; "
-                f"missing attributes {missing}"
-            )
-        recovered.append([values[attr] for attr in schema])
+        recovered.append(
+            _reconstruct_record(encrypted, groups[original_index], cipher, original_index)
+        )
     return recovered
 
 
@@ -216,42 +238,191 @@ class DataOwner:
         """Decrypt a single authentic ciphertext cell."""
         return decrypt_cell(cell, self.pipeline.cipher)
 
+    # ------------------------------------------------------------------
+    # Token-based equality queries
+    # ------------------------------------------------------------------
+    def queryable_attributes(self) -> frozenset[str]:
+        """Attributes whose equality queries the provider can serve.
+
+        These are the attributes covered by at least one MAS: their
+        authentic cells are *instance* ciphertexts whose variants live in
+        the owner's retained split plans, so the owner can re-derive every
+        ciphertext a value materialised to.  Attributes outside every MAS
+        carry only unique values encrypted with fresh random nonces — the
+        owner cannot re-derive those, and :meth:`select_plaintext` answers
+        such queries locally instead.
+        """
+        if self._context is None:
+            raise EncryptionError("no outsourced table; call outsource() first")
+        return frozenset(
+            attr for plan in self._context.mas_plans for attr in plan.attributes
+        )
+
+    def derive_search_token(self, attribute: str, value: Any) -> tuple[Ciphertext, ...]:
+        """The full set of instance ciphertexts for ``value`` on ``attribute``.
+
+        Walks the retained split plans: every ciphertext instance of an
+        equivalence class whose representative carries ``value`` on
+        ``attribute`` contributes one deterministic re-encryption
+        ``Encrypt(value, variant)``.  The resulting tuple is the search
+        token of the standard searchable-encryption interaction — the
+        keyless provider can filter rows against it but learns nothing
+        about the plaintext beyond the (frequency-homogenised) matches.
+
+        An empty token is legal (the value does not occur); a
+        :class:`~repro.exceptions.QueryError` means the attribute's
+        ciphertexts are not derivable at all (outside every MAS).
+        """
+        if self._context is None:
+            raise EncryptionError("no outsourced table; call outsource() first")
+        if attribute not in self.plaintext.schema:
+            raise QueryError(f"unknown attribute {attribute!r}")
+        if attribute not in self.queryable_attributes():
+            raise QueryError(
+                f"attribute {attribute!r} lies outside every MAS; its ciphertexts "
+                "are fresh-nonce encryptions the owner cannot re-derive — answer "
+                "the query locally via select_plaintext()"
+            )
+        text = value if isinstance(value, str) else str(value)
+        encrypt = self.pipeline.cipher.encrypt
+        token: dict[Ciphertext, None] = {}
+        for plan in self._context.mas_plans:
+            if attribute not in plan.attributes:
+                continue
+            position = plan.attributes.index(attribute)
+            for ecg_plan in plan.ecg_plans:
+                for member_plan in ecg_plan.member_plans:
+                    member = member_plan.member
+                    if member.is_fake:
+                        continue
+                    if str(member.representative[position]) != text:
+                        continue
+                    for instance in member_plan.instances:
+                        token[encrypt(member.representative[position], instance.variant)] = None
+        return tuple(token)
+
+    def select_plaintext(self, attribute: str, value: Any) -> Relation:
+        """The plaintext equality selection ``sigma_{attribute=value}``.
+
+        The ground truth a served query must reproduce — and the local
+        answer for attributes outside every MAS (their values are unique,
+        so the owner loses nothing by not asking the server).
+        """
+        plaintext = self.plaintext
+        if attribute not in plaintext.schema:
+            raise QueryError(f"unknown attribute {attribute!r}")
+        text = value if isinstance(value, str) else str(value)
+        matches = [
+            index
+            for index, cell in enumerate(plaintext.column(attribute))
+            if (cell if isinstance(cell, str) else str(cell)) == text
+        ]
+        return plaintext.select_rows(matches, name=f"{plaintext.name}-select")
+
+    def decrypt_query_result(self, result: QueryResult | Sequence[int]) -> Relation:
+        """Turn a provider's query result into the matching plaintext rows.
+
+        The provider's matches include artificial rows (scaling copies carry
+        the same instance ciphertexts by design) and, for a conflicted
+        record, only the replacement row that kept the queried attribute.
+        The owner's retained provenance resolves both: matched rows are
+        filtered to those carrying the attribute *authentically*, mapped to
+        their source records, and each source record is reassembled from
+        all of its ciphertext rows — so the decrypted result is exactly the
+        plaintext equality selection, in row order.
+        """
+        if isinstance(result, QueryResult):
+            row_indexes: Sequence[int] = result.row_indexes
+            attribute: str | None = result.attribute
+        else:
+            row_indexes, attribute = result, None
+        encrypted = self.encrypted
+        provenance = encrypted.provenance
+        sources: set[int] = set()
+        for index in row_indexes:
+            if not 0 <= index < len(provenance):
+                raise QueryError(
+                    f"query result row {index} is outside the outsourced table "
+                    f"(0..{len(provenance) - 1}); owner and provider are out of sync"
+                )
+            row = provenance[index]
+            if row.is_artificial or row.source_row is None:
+                continue
+            if attribute is not None and attribute not in row.authentic_attributes:
+                continue
+            sources.add(row.source_row)
+        groups = encrypted.original_row_groups()
+        cipher = self.pipeline.cipher
+        recovered = Relation(
+            encrypted.relation.schema, name=f"{encrypted.relation.name}-query"
+        )
+        for source in sorted(sources):
+            recovered.append(
+                _reconstruct_record(encrypted, groups[source], cipher, source)
+            )
+        return recovered
+
 
 class ServiceProvider:
     """The untrusted server side of the outsourcing protocol.
 
-    Only ever sees ciphertext relations; offers FD discovery as its service.
+    Only ever sees ciphertext relations; offers FD discovery and token-based
+    equality queries as its services.  Since the protocol redesign this is a
+    thin facade over a :class:`repro.api.protocol.ProtocolServer` driven
+    through a :class:`~repro.api.protocol.LoopbackTransport` — every call
+    round-trips through the full wire codec, so in-process sessions exercise
+    exactly the bytes a remote deployment would carry, and the results are
+    byte-identical to the pre-protocol implementation.
 
     Parameters
     ----------
     name:
         Display name used in error messages.
     backend:
-        Compute backend for FD discovery (``"python"``, ``"numpy"``, or
-        ``None`` for the environment default) — the provider is the party
-        with the big hardware, so it benefits most from the ``[perf]`` extra.
+        Compute backend for FD discovery and query filtering (``"python"``,
+        ``"numpy"``, or ``None`` for the environment default) — the provider
+        is the party with the big hardware, so it benefits most from the
+        ``[perf]`` extra.
+    storage_dir:
+        Optional snapshot directory handed to the underlying server; when
+        set, received stores persist to disk and are reloaded when a new
+        provider is constructed over the same directory.
+    wire_format:
+        Wire form used on the loopback transport (``"binary"`` default,
+        ``"json"`` to debug payloads).
     """
 
-    def __init__(self, name: str = "service-provider", backend: str | None = None):
+    def __init__(
+        self,
+        name: str = "service-provider",
+        backend: str | None = None,
+        storage_dir: str | None = None,
+        wire_format: str = "binary",
+        table_id: str = DEFAULT_TABLE_ID,
+    ):
         self.name = name
         self.backend = backend
-        self._table: Relation | None = None
-        self._last_discovery: TaneResult | None = None
+        self.table_id = table_id
+        self.server = ProtocolServer(name=name, backend=backend, storage_dir=storage_dir)
+        self.client = ProtocolClient(LoopbackTransport(self.server), wire_format=wire_format)
 
     def receive(self, relation: Relation) -> int:
         """Accept an outsourced (ciphertext) relation; returns its row count.
 
         Each call replaces the previously received table — the owner ships a
-        fresh server view after every (batch of) update(s).
+        fresh server view after every (batch of) update(s) — and discards
+        any cached discovery result, which described the old ciphertext.
         """
-        self._table = relation
-        return relation.num_rows
+        return self.client.outsource(self.table_id, relation)
+
+    def _require_table(self) -> None:
+        if not self.server.has_table(self.table_id):
+            raise EncryptionError(f"{self.name} has not received a table yet")
 
     @property
     def table(self) -> Relation:
-        if self._table is None:
-            raise EncryptionError(f"{self.name} has not received a table yet")
-        return self._table
+        self._require_table()
+        return self.server.store(self.table_id)
 
     @property
     def num_rows(self) -> int:
@@ -259,13 +430,25 @@ class ServiceProvider:
 
     def discover_fds(self, max_lhs_size: int | None = None) -> TaneResult:
         """Run TANE on the received ciphertext and return FDs plus counters."""
-        result = tane_with_stats(self.table, max_lhs_size=max_lhs_size, backend=self.backend)
-        self._last_discovery = result
-        return result
+        self._require_table()
+        return self.client.discover(self.table_id, max_lhs_size=max_lhs_size)
+
+    def answer_query(
+        self,
+        attribute: str,
+        token: Iterable[Ciphertext],
+        include_rows: bool = False,
+    ) -> QueryResult:
+        """Filter the stored ciphertext rows against a search token."""
+        self._require_table()
+        return self.client.query(
+            self.table_id, attribute, tuple(token), include_rows=include_rows
+        )
 
     @property
     def last_discovery(self) -> TaneResult | None:
-        return self._last_discovery
+        """The latest discovery for the current table (``None`` after receive)."""
+        return self.server.last_discovery(self.table_id)
 
 
 def run_protocol(
@@ -285,3 +468,87 @@ def run_protocol(
     result = provider.discover_fds(max_lhs_size=max_lhs_size)
     result.parameters["validated"] = owner.validate_fds(result.fds, max_lhs_size=max_lhs_size)
     return result
+
+
+class RemoteOwnerSession:
+    """A :class:`DataOwner` driving a provider through a protocol client.
+
+    This is the remote counterpart of handing ``owner.server_view()`` to an
+    in-process :class:`ServiceProvider`: the same owner-side state (key,
+    plaintext, retained plans), but every interaction becomes a protocol
+    message over the client's transport — loopback, TCP socket, or anything
+    else with a ``request(bytes) -> bytes`` method.
+
+    ::
+
+        owner = DataOwner.from_seed(42)
+        client = ProtocolClient(SocketTransport("127.0.0.1", port))
+        session = RemoteOwnerSession(owner, client, table_id="orders")
+        session.outsource(relation)
+        discovery = session.discover_fds()       # validated against plaintext
+        matches = session.query("City", "Hoboken")  # decrypted Relation
+    """
+
+    def __init__(
+        self,
+        owner: DataOwner,
+        client: ProtocolClient,
+        table_id: str = DEFAULT_TABLE_ID,
+    ):
+        self.owner = owner
+        self.client = client
+        self.table_id = table_id
+
+    def outsource(self, relation: Relation) -> int:
+        """Encrypt locally and ship the server view; returns stored rows."""
+        encrypted = self.owner.outsource(relation)
+        return self.client.outsource(self.table_id, encrypted.server_view())
+
+    def insert_rows(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> int:
+        """Incrementally insert locally, then replace the remote view."""
+        rows = list(rows)
+        encrypted = self.owner.insert_rows(rows)
+        return self.client.insert(
+            self.table_id, encrypted.server_view(), batch_rows=len(rows)
+        )
+
+    def discover_fds(self, max_lhs_size: int | None = None) -> TaneResult:
+        """Remote FD discovery, validated against the owner's plaintext.
+
+        The validation verdict lands in ``result.parameters['validated']``,
+        mirroring :func:`run_protocol`.
+        """
+        result = self.client.discover(self.table_id, max_lhs_size=max_lhs_size)
+        result.parameters["validated"] = self.owner.validate_fds(
+            result.fds, max_lhs_size=max_lhs_size
+        )
+        return result
+
+    def query(self, attribute: str, value: Any) -> Relation:
+        """Equality selection served by the provider, decrypted locally.
+
+        For MAS-covered attributes the owner derives a search token, the
+        provider filters ciphertext rows against it, and the owner decrypts
+        the matches back to plaintext records.  Attributes outside every MAS
+        hold only unique values whose ciphertexts the owner cannot
+        re-derive; those queries are answered from the owner's plaintext
+        without a server round trip.
+        """
+        if attribute not in self.owner.queryable_attributes():
+            return self.owner.select_plaintext(attribute, value)
+        token = self.owner.derive_search_token(attribute, value)
+        result = self.client.query(self.table_id, attribute, token)
+        return self.owner.decrypt_query_result(result)
+
+    def save_snapshot(self) -> str:
+        """Ask the provider to force-persist this session's store."""
+        return self.client.save_snapshot(self.table_id)
+
+    def close(self) -> None:
+        self.client.close()
+
+    def __enter__(self) -> "RemoteOwnerSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -145,6 +145,23 @@ class ComputeBackend(ABC):
         raise NotImplementedError(f"backend {self.name!r} has no flat representation")
 
     # ------------------------------------------------------------------
+    # Membership selection (token-based equality queries)
+    # ------------------------------------------------------------------
+    def membership_rows(self, codes: Any, wanted: Sequence[int]) -> list[int]:
+        """Indexes of rows whose code is in ``wanted``, ascending.
+
+        This is the server side of a token-based equality query: the search
+        token is resolved against a column's dictionary to a (typically tiny)
+        set of codes, and the row scan happens on the dense code array.  The
+        base implementation is a plain Python scan; vectorised backends
+        override it (NumPy uses ``isin`` + ``nonzero``).
+        """
+        if not wanted:
+            return []
+        wanted_set = set(int(code) for code in wanted)
+        return [index for index, code in enumerate(codes) if code in wanted_set]
+
+    # ------------------------------------------------------------------
     # Collision-aware greedy grouping (ECG construction)
     # ------------------------------------------------------------------
     @abstractmethod

@@ -87,6 +87,14 @@ class NumpyBackend(ComputeBackend):
             return False
         return bool(np.bincount(codes, minlength=num_groups).max() > 1)
 
+    def membership_rows(self, codes: Any, wanted: Sequence[int]) -> list[int]:
+        np = _np()
+        if not len(wanted):
+            return []
+        codes = np.asarray(codes)
+        mask = np.isin(codes, np.asarray(list(wanted), dtype=codes.dtype))
+        return np.flatnonzero(mask).tolist()
+
     def group_rows(self, codes: Any, num_groups: int, min_size: int = 1) -> list[list[int]]:
         np = _np()
         codes = np.asarray(codes)

@@ -17,6 +17,16 @@ Subcommands
 ``discover``
     Run TANE FD discovery on a CSV table (plaintext or ciphertext) — this is
     what the service provider runs.
+``serve``
+    Run a provider as a localhost TCP protocol server: it stores received
+    ciphertext relations (persisting them under ``--storage`` so restarts
+    resume serving), answers discovery requests, and filters rows against
+    owner-issued equality search tokens.
+``query``
+    Drive the owner side against a running ``serve`` instance: encrypt the
+    CSV locally (seeded, so re-runs are byte-identical), ship the server
+    view, derive the search token for ``ATTRIBUTE = VALUE``, and print the
+    decrypted matching rows as CSV.
 ``attack``
     Encrypt a generated dataset and report the empirical success of the
     frequency-analysis and Kerckhoffs attacks against it and against the
@@ -37,7 +47,7 @@ from pathlib import Path
 from repro.api.pipeline import StageRecorder
 from repro.api.session import DataOwner, ServiceProvider
 from repro.backend import available_backends
-from repro.exceptions import BackendUnavailableError
+from repro.exceptions import BackendUnavailableError, ProtocolError, WireError
 from repro.bench import (
     fig6_time_vs_alpha,
     fig7_backend_scalability,
@@ -115,6 +125,56 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--max-lhs", type=int, default=None, help="cap the LHS size")
     _add_backend_flag(discover)
 
+    serve = subparsers.add_parser(
+        "serve", help="run a service provider as a localhost TCP protocol server"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=9077, help="TCP port (0 picks a free one)")
+    serve.add_argument(
+        "--storage",
+        default=None,
+        help="snapshot directory: received tables persist here and are "
+        "reloaded on restart (default: in-memory only)",
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port to this file once listening (for scripts)",
+    )
+    _add_backend_flag(serve)
+
+    query = subparsers.add_parser(
+        "query", help="equality query against a running `serve` provider"
+    )
+    query.add_argument("input", help="the owner's plaintext CSV (header row required)")
+    query.add_argument("attribute", help="attribute to filter on")
+    query.add_argument("value", help="plaintext value to match")
+    query.add_argument("--host", default="127.0.0.1", help="server address")
+    query.add_argument("--port", type=int, default=9077, help="server TCP port")
+    query.add_argument("--table-id", default="default", help="server-side table id")
+    query.add_argument(
+        "--key-seed",
+        type=int,
+        required=True,
+        help="key seed: the same seed always derives the same key and hence "
+        "the same ciphertexts/search tokens",
+    )
+    query.add_argument("--alpha", type=float, default=0.2, help="alpha-security threshold")
+    query.add_argument("--split-factor", type=int, default=2, help="split factor (omega)")
+    query.add_argument(
+        "--wire",
+        choices=["binary", "json"],
+        default="binary",
+        help="wire form for protocol messages (default binary)",
+    )
+    query.add_argument(
+        "--no-push",
+        action="store_true",
+        help="do not (re-)outsource before querying; the server must already "
+        "hold this table (e.g. from a snapshot of an identical seeded run)",
+    )
+    _add_backend_flag(query)
+
     attack = subparsers.add_parser("attack", help="evaluate frequency-analysis attacks")
     attack.add_argument("--dataset", default="orders", choices=["orders", "customer", "synthetic"])
     attack.add_argument("--rows", type=int, default=800)
@@ -142,6 +202,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_insert(args)
         if args.command == "discover":
             return _cmd_discover(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "query":
+            return _cmd_query(args)
         if args.command == "attack":
             return _cmd_attack(args)
         if args.command == "bench":
@@ -153,6 +217,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         print(f"available backends here: {', '.join(installed)}", file=sys.stderr)
         return 2
+    except (ProtocolError, WireError) as exc:
+        # Connection failures, error replies, corrupted snapshots/frames.
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -217,6 +285,71 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     for fd in result.fds:
         print(str(fd))
     print(f"# {len(result.fds)} functional dependencies", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api.protocol import ProtocolServer, SocketProtocolServer
+
+    server = ProtocolServer(backend=args.backend, storage_dir=args.storage)
+    sock_server = SocketProtocolServer(server, host=args.host, port=args.port)
+    if args.port_file:
+        Path(args.port_file).write_text(str(sock_server.port), encoding="utf-8")
+    restored = server.table_ids()
+    if restored:
+        print(f"restored {len(restored)} table(s) from snapshots: {', '.join(restored)}")
+    print(
+        f"f2-repro provider listening on {sock_server.host}:{sock_server.port} "
+        f"(storage: {args.storage or 'in-memory'}); Ctrl-C to stop"
+    )
+    try:
+        sock_server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        sock_server.shutdown()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.api.protocol import ProtocolClient, SocketTransport
+    from repro.api.session import RemoteOwnerSession
+
+    relation = read_csv(args.input)
+    if args.attribute not in relation.schema:
+        print(
+            f"error: attribute {args.attribute!r} not in "
+            f"{list(relation.attributes)}",
+            file=sys.stderr,
+        )
+        return 2
+    owner = DataOwner(
+        key=KeyGen.symmetric_from_seed(args.key_seed),
+        config=F2Config(alpha=args.alpha, split_factor=args.split_factor, backend=args.backend),
+    )
+    client = ProtocolClient(
+        SocketTransport(args.host, args.port), wire_format=args.wire
+    )
+    session = RemoteOwnerSession(owner, client, table_id=args.table_id)
+    try:
+        if args.no_push:
+            # Rebuild the owner-side state (plans, provenance) without
+            # shipping: a seeded run reproduces the outsourced ciphertexts.
+            owner.outsource(relation)
+        else:
+            shipped = session.outsource(relation)
+            print(f"outsourced {shipped} ciphertext rows as {args.table_id!r}", file=sys.stderr)
+        if args.attribute not in owner.queryable_attributes():
+            print(
+                f"note: {args.attribute!r} lies outside every MAS (all values "
+                "unique); answering locally without a server round trip",
+                file=sys.stderr,
+            )
+        matches = session.query(args.attribute, args.value)
+    finally:
+        session.close()
+    write_relation_csv(matches, sys.stdout)
+    print(f"# {matches.num_rows} matching rows", file=sys.stderr)
     return 0
 
 

@@ -54,6 +54,27 @@ class Ciphertext:
         except ValueError as exc:
             raise DecryptionError(f"malformed ciphertext text: {text!r}") from exc
 
+    def to_bytes(self) -> bytes:
+        """Length-prefixed binary form: ``len(nonce) || nonce || payload``.
+
+        The nonce length fits a single byte (the cipher caps it well below
+        256); the payload length is implied by the enclosing frame, so the
+        wire codec can embed ciphertexts without a second prefix.
+        """
+        if len(self.nonce) > 0xFF:
+            raise EncryptionError("nonce longer than 255 bytes cannot be serialized")
+        return bytes([len(self.nonce)]) + self.nonce + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Ciphertext":
+        """Inverse of :meth:`to_bytes` (consumes the whole buffer)."""
+        if not data:
+            raise DecryptionError("empty ciphertext buffer")
+        nonce_length = data[0]
+        if len(data) < 1 + nonce_length:
+            raise DecryptionError("truncated ciphertext buffer")
+        return cls(nonce=bytes(data[1 : 1 + nonce_length]), payload=bytes(data[1 + nonce_length :]))
+
 
 class ProbabilisticCipher:
     """The PRF-based probabilistic cipher of Section 2.3.

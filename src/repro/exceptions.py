@@ -58,6 +58,35 @@ class BackendUnavailableError(BackendError):
     """
 
 
+class WireError(ReproError):
+    """A wire-codec payload could not be encoded or decoded.
+
+    Raised for unsupported cell types, truncated or corrupted binary frames,
+    unknown format versions, and JSON documents that do not match the
+    documented message schemas.
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol endpoint rejected a request or returned an error reply.
+
+    The server maps internal failures (unknown table ids, malformed
+    payloads) onto error replies; :class:`repro.api.protocol.ProtocolClient`
+    re-raises them as this exception on the caller's side.
+    """
+
+
+class QueryError(ReproError):
+    """A token-based equality query could not be served or derived.
+
+    Raised by the owner when a search token is requested for an attribute
+    that no retained split plan covers (the attribute lies outside every
+    MAS, so its ciphertexts are pure probabilistic encryptions the owner
+    cannot re-derive), and by the server for queries against unknown tables
+    or attributes.
+    """
+
+
 class FdPreservationWarning(UserWarning):
     """A plaintext FD is absent from the ciphertext (a false *negative*).
 

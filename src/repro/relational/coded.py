@@ -172,3 +172,19 @@ class CodedRelation:
     def frequencies(self, attribute: str) -> Counter:
         """Shorthand for ``self.column(attribute).frequencies()``."""
         return self.column(attribute).frequencies()
+
+    def rows_matching(self, attribute: str, values: Iterable[Any]) -> list[int]:
+        """Row indexes whose ``attribute`` cell equals any of ``values``.
+
+        The equality-selection primitive behind token-based queries: the
+        candidate values (e.g. the ciphertexts of a search token) are first
+        resolved against the column dictionary — each distinct cell value is
+        hashed once, however many rows carry it — and the row scan runs on
+        the integer code array through the backend.
+        """
+        column = self.column(attribute)
+        code_of = {value: code for code, value in enumerate(column.dictionary)}
+        wanted = sorted({code_of[value] for value in values if value in code_of})
+        if not wanted:
+            return []
+        return self.backend.membership_rows(column.codes, wanted)

@@ -1,0 +1,187 @@
+"""Low-level primitives of the length-prefixed binary wire form.
+
+Everything the binary codec writes is built from four primitives — unsigned
+LEB128 varints, length-prefixed byte strings, fixed-width little-endian code
+arrays, and IEEE-754 doubles — so a reader can always skip a section it does
+not understand by honouring the length prefixes.  The :class:`ByteReader` /
+:class:`ByteWriter` pair keeps the framing logic in one place; the codec in
+:mod:`repro.wire.codec` only decides *what* to write, never how.
+
+Code arrays (the bulk of a serialized relation) are packed through the
+standard-library :mod:`array` module at the smallest fixed width that holds
+the column's dictionary size (1, 2, 4, or 8 bytes per code), which keeps the
+pure-Python encode/decode path a single memory copy instead of a per-value
+loop.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+from array import array
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import WireError
+
+#: array typecodes per code byte-width (unsigned).
+_TYPECODES = {1: "B", 2: "H", 4: "I", 8: "Q"}
+
+
+def code_width(num_values: int) -> int:
+    """Smallest fixed byte-width holding codes ``0 .. num_values - 1``."""
+    if num_values <= 0x100:
+        return 1
+    if num_values <= 0x10000:
+        return 2
+    if num_values <= 0x100000000:
+        return 4
+    return 8
+
+
+class ByteWriter:
+    """Accumulates one binary frame."""
+
+    __slots__ = ("_chunks",)
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+
+    def uvarint(self, value: int) -> None:
+        """Append an unsigned LEB128 varint."""
+        if value < 0:
+            raise WireError(f"uvarint cannot encode negative value {value}")
+        out = bytearray()
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+        self._chunks.append(bytes(out))
+
+    def svarint(self, value: int) -> None:
+        """Append a signed (zigzag) varint."""
+        self.uvarint((value << 1) if value >= 0 else ((-value << 1) - 1))
+
+    def raw(self, data: bytes) -> None:
+        """Append raw bytes (caller manages any framing)."""
+        self._chunks.append(data)
+
+    def lp_bytes(self, data: bytes) -> None:
+        """Append a length-prefixed byte string."""
+        self.uvarint(len(data))
+        self._chunks.append(data)
+
+    def lp_str(self, text: str) -> None:
+        """Append a length-prefixed UTF-8 string."""
+        self.lp_bytes(text.encode("utf-8"))
+
+    def double(self, value: float) -> None:
+        """Append an IEEE-754 big-endian double (exact float round-trip)."""
+        self._chunks.append(struct.pack(">d", value))
+
+    def code_array(self, codes: Iterable[int], num_values: int) -> None:
+        """Append a dictionary-code array at the smallest fixed width.
+
+        Layout: ``width(u8) || count(varint) || count * width bytes`` in
+        little-endian order.  ``num_values`` is the column's dictionary size
+        (codes are guaranteed in ``[0, num_values)``).
+        """
+        width = code_width(num_values)
+        packed = array(_TYPECODES[width], _as_int_list(codes))
+        if sys.byteorder == "big":  # pragma: no cover - little-endian CI/dev hosts
+            packed.byteswap()
+        data = packed.tobytes()
+        self._chunks.append(bytes([width]))
+        self.uvarint(len(packed))
+        self._chunks.append(data)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+class ByteReader:
+    """Sequential reader over one binary frame with bounds checking."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def _take(self, count: int) -> bytes:
+        if count < 0 or self.remaining < count:
+            raise WireError(
+                f"truncated binary frame: needed {count} bytes, {self.remaining} left"
+            )
+        start = self._pos
+        self._pos = start + count
+        return self._data[start : self._pos]
+
+    def u8(self) -> int:
+        """Read one unsigned byte."""
+        return self._take(1)[0]
+
+    def uvarint(self) -> int:
+        value = 0
+        shift = 0
+        while True:
+            if self.remaining < 1:
+                raise WireError("truncated varint in binary frame")
+            byte = self._data[self._pos]
+            self._pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift > 70:
+                raise WireError("varint longer than 10 bytes in binary frame")
+
+    def svarint(self) -> int:
+        raw = self.uvarint()
+        return (raw >> 1) if not raw & 1 else -((raw + 1) >> 1)
+
+    def lp_bytes(self) -> bytes:
+        return self._take(self.uvarint())
+
+    def lp_str(self) -> str:
+        try:
+            return self.lp_bytes().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError("invalid UTF-8 in binary frame") from exc
+
+    def double(self) -> float:
+        return struct.unpack(">d", self._take(8))[0]
+
+    def code_array(self) -> list[int]:
+        """Inverse of :meth:`ByteWriter.code_array`."""
+        width = self._take(1)[0]
+        typecode = _TYPECODES.get(width)
+        if typecode is None:
+            raise WireError(f"unknown code-array width {width}")
+        count = self.uvarint()
+        packed = array(typecode)
+        packed.frombytes(self._take(count * width))
+        if sys.byteorder == "big":  # pragma: no cover - little-endian CI/dev hosts
+            packed.byteswap()
+        return packed.tolist()
+
+    def expect_end(self) -> None:
+        if self.remaining:
+            raise WireError(f"{self.remaining} trailing bytes after binary frame")
+
+
+def _as_int_list(codes: Iterable[int]) -> Sequence[int]:
+    """Coerce a code iterable (list or NumPy array) into plain Python ints."""
+    if isinstance(codes, list):
+        return codes
+    tolist = getattr(codes, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    return list(codes)

@@ -21,16 +21,24 @@ def plaintext_csv(tmp_path):
 class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
-        for command in ("encrypt", "insert", "discover", "attack", "bench", "dataset"):
+        for command in (
+            "encrypt", "insert", "discover", "serve", "query", "attack", "bench", "dataset",
+        ):
             args = {
                 "encrypt": ["encrypt", "in.csv", "out.csv"],
                 "insert": ["insert", "in.csv", "batch.csv", "out.csv"],
                 "discover": ["discover", "in.csv"],
+                "serve": ["serve", "--port", "0"],
+                "query": ["query", "in.csv", "City", "Hoboken", "--key-seed", "7"],
                 "attack": ["attack"],
                 "bench": ["bench", "table1"],
                 "dataset": ["dataset", "orders", "out.csv"],
             }[command]
             assert parser.parse_args(args).command == command
+
+    def test_query_requires_key_seed(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "in.csv", "City", "Hoboken"])
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -137,6 +145,87 @@ class TestDatasetCommand:
         assert relation.num_rows == 40
         assert relation.num_attributes == attributes
         assert "wrote 40 rows" in capsys.readouterr().out
+
+
+class TestServeAndQueryCommands:
+    @pytest.fixture
+    def served_port(self, tmp_path):
+        """A protocol server on a free port (what `f2-repro serve` runs)."""
+        from repro.api.protocol import ProtocolServer, SocketProtocolServer
+
+        server = SocketProtocolServer(
+            ProtocolServer(storage_dir=tmp_path / "store"), port=0
+        )
+        server.serve_in_background()
+        yield server.port
+        server.shutdown()
+
+    def test_query_roundtrip_against_server(self, plaintext_csv, served_port, capsys):
+        plaintext = read_csv(plaintext_csv)
+        zipcode = plaintext.value(0, "Zipcode")
+        expected = [
+            row
+            for row in plaintext.rows()
+            if row[plaintext.schema.index_of("Zipcode")] == zipcode
+        ]
+        exit_code = main(
+            [
+                "query",
+                str(plaintext_csv),
+                "Zipcode",
+                zipcode,
+                "--key-seed", "7",
+                "--alpha", "0.5",
+                "--port", str(served_port),
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert f"# {len(expected)} matching rows" in captured.err
+        lines = [line for line in captured.out.splitlines() if line.strip()]
+        assert len(lines) == len(expected) + 1  # header + matches
+        assert all(zipcode in line for line in lines[1:])
+
+    def test_query_no_push_uses_existing_snapshot(self, plaintext_csv, served_port, capsys):
+        # First query pushes (and the server snapshots); the second run asks
+        # the same seeded owner to query without re-shipping the table.
+        args = [
+            "query", str(plaintext_csv), "City", "city-1",
+            "--key-seed", "7", "--alpha", "0.5", "--port", str(served_port),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--no-push"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_query_unknown_attribute_errors(self, plaintext_csv, served_port, capsys):
+        exit_code = main(
+            [
+                "query", str(plaintext_csv), "Nope", "x",
+                "--key-seed", "7", "--port", str(served_port),
+            ]
+        )
+        assert exit_code == 2
+        assert "not in" in capsys.readouterr().err
+
+    def test_serve_with_corrupt_snapshot_reports_clean_error(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / "default.f2t").write_bytes(b"F2WB garbage not a frame")
+        exit_code = main(["serve", "--port", "0", "--storage", str(store)])
+        assert exit_code == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_without_server_reports_protocol_error(self, plaintext_csv, capsys):
+        exit_code = main(
+            [
+                "query", str(plaintext_csv), "Zipcode", "zip",
+                "--key-seed", "7", "--port", "1", "--alpha", "0.5",
+            ]
+        )
+        assert exit_code == 3
+        assert "error:" in capsys.readouterr().err
 
 
 class TestAttackCommand:

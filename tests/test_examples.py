@@ -45,3 +45,10 @@ class TestExamples:
         assert result.returncode == 0, result.stdout + result.stderr
         assert "completed successfully" in result.stdout
         assert "mode=full (reason=mas-changed)" in result.stdout
+
+    def test_socket_protocol(self):
+        result = run_example("socket_protocol.py", "150")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "completed successfully" in result.stdout
+        assert "fds=True instance-ciphertext columns=True" in result.stdout
+        assert "restored tables ['default']" in result.stdout

@@ -1,0 +1,439 @@
+"""Tests of the protocol layer: messages, transports, persistence, queries."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    DataOwner,
+    DiscoverRequest,
+    ErrorReply,
+    LoopbackTransport,
+    Message,
+    ProtocolClient,
+    ProtocolServer,
+    QueryRequest,
+    RemoteOwnerSession,
+    ServiceProvider,
+    SocketProtocolServer,
+    SocketTransport,
+    run_protocol,
+)
+from repro.core.config import F2Config
+from repro.exceptions import EncryptionError, ProtocolError, QueryError, WireError
+from repro.fd.tane import tane
+from repro.relational.table import Relation
+from repro.wire import WIRE_FORMS
+
+SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def make_owner(alpha: float = 0.25, seed: int = 7, key_seed: int = 42) -> DataOwner:
+    return DataOwner.from_seed(key_seed, config=F2Config(alpha=alpha, seed=seed))
+
+
+def ciphertext_rows(relation: Relation) -> list[tuple[str, ...]]:
+    """Rows in their exact textual (byte-level) ciphertext form."""
+    return [tuple(str(value) for value in row) for row in relation.rows()]
+
+
+@pytest.fixture
+def loopback_client() -> ProtocolClient:
+    return ProtocolClient(LoopbackTransport(ProtocolServer()))
+
+
+@pytest.fixture
+def deterministic_urandom(monkeypatch):
+    """Seeded nonce source: makes two full owner runs byte-for-byte equal.
+
+    Instance ciphertexts and artificial values already derive from the key
+    and the config seed; only the fresh random nonces of frequency-one
+    (RandomCell) encryptions consume ``os.urandom``.
+    """
+    import random as _random
+
+    def install(seed: int = 1234):
+        rng = _random.Random(seed)
+        monkeypatch.setattr(
+            "repro.crypto.probabilistic.os.urandom",
+            lambda n: bytes(rng.getrandbits(8) for _ in range(n)),
+        )
+
+    return install
+
+
+# ----------------------------------------------------------------------
+# Message envelope
+# ----------------------------------------------------------------------
+class TestMessages:
+    @pytest.mark.parametrize("form", WIRE_FORMS)
+    def test_discover_request_roundtrip(self, form):
+        message = DiscoverRequest(table_id="orders", max_lhs_size=3)
+        decoded = Message.decode(message.encode(form))
+        assert decoded == message
+
+    @pytest.mark.parametrize("form", WIRE_FORMS)
+    def test_query_request_roundtrip(self, zipcode_table, form):
+        owner = make_owner()
+        owner.outsource(zipcode_table)
+        token = owner.derive_search_token("City", "Hoboken")
+        message = QueryRequest(table_id="default", attribute="City", token=token)
+        decoded = Message.decode(message.encode(form))
+        assert decoded == message
+        assert decoded.token == token
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WireError):
+            Message.decode(b'{"protocol":"f2/1","kind":"nope","meta":{}}')
+
+    def test_bad_table_id_rejected(self):
+        for bad in ("", "../evil", "a/b", "x" * 80, ".hidden"):
+            with pytest.raises((ProtocolError, WireError)):
+                Message.decode(
+                    ('{"protocol":"f2/1","kind":"discover_request","meta":'
+                     f'{{"table_id":"{bad}"}}}}').encode()
+                )
+
+
+# ----------------------------------------------------------------------
+# Loopback end-to-end
+# ----------------------------------------------------------------------
+class TestLoopbackProtocol:
+    @pytest.mark.parametrize("form", WIRE_FORMS)
+    def test_outsource_discover_matches_inprocess(self, zipcode_table, form):
+        reference = run_protocol(make_owner(), ServiceProvider(), zipcode_table)
+
+        owner = make_owner()
+        client = ProtocolClient(LoopbackTransport(ProtocolServer()), wire_format=form)
+        session = RemoteOwnerSession(owner, client)
+        session.outsource(zipcode_table)
+        result = session.discover_fds()
+        assert result.parameters["validated"] is True
+        assert result.fds == reference.fds
+
+    def test_discover_unknown_table_is_protocol_error(self, loopback_client):
+        with pytest.raises(ProtocolError):
+            loopback_client.discover("nope")
+
+    def test_error_reply_decodes(self):
+        server = ProtocolServer()
+        reply = Message.decode(
+            server.handle_bytes(DiscoverRequest(table_id="missing").encode())
+        )
+        assert isinstance(reply, ErrorReply)
+        assert "missing" in reply.message
+
+    def test_garbage_bytes_produce_error_reply(self):
+        server = ProtocolServer()
+        reply = Message.decode(server.handle_bytes(b"\x00\xff garbage"))
+        assert isinstance(reply, ErrorReply)
+
+    def test_corrupted_meta_produces_error_reply_not_exception(self):
+        # Non-Repro exceptions (bad UTF-8 meta, mistyped fields) must also
+        # become error replies — a malformed request must never kill the
+        # server's connection handler.
+        server = ProtocolServer()
+        from repro.api.protocol import MESSAGE_MAGIC, MESSAGE_VERSION
+        from repro.wire.binary import ByteWriter
+
+        writer = ByteWriter()
+        writer.raw(MESSAGE_MAGIC)
+        writer.raw(bytes([MESSAGE_VERSION]))
+        writer.lp_str("discover_request")
+        writer.lp_bytes(b"\xff\xfe not utf8 json")
+        writer.uvarint(0)
+        reply = Message.decode(server.handle_bytes(writer.getvalue()))
+        assert isinstance(reply, ErrorReply)
+
+        mistyped = (
+            b'{"protocol":"f2/1","kind":"discover_request",'
+            b'"meta":{"table_id":"t","max_lhs_size":"abc"}}'
+        )
+        reply = Message.decode(server.handle_bytes(mistyped))
+        assert isinstance(reply, ErrorReply)
+
+    def test_snapshot_requires_storage(self, loopback_client, zipcode_table):
+        owner = make_owner()
+        encrypted = owner.outsource(zipcode_table)
+        loopback_client.outsource("default", encrypted.server_view())
+        with pytest.raises(ProtocolError):
+            loopback_client.save_snapshot("default")
+
+
+# ----------------------------------------------------------------------
+# The facade bug fix: receive() must clear the stale discovery
+# ----------------------------------------------------------------------
+class TestReceiveClearsDiscovery:
+    def test_last_discovery_cleared_on_receive(self, zipcode_table):
+        # Regression: receive() used to replace the table but keep
+        # _last_discovery, so callers saw a result describing the *old*
+        # ciphertext as if it were current.
+        owner = make_owner()
+        provider = ServiceProvider()
+        run_protocol(owner, provider, zipcode_table)
+        assert provider.last_discovery is not None
+
+        owner.insert_rows([["07030", "Hoboken", "street-new", "N"]])
+        provider.receive(owner.server_view())
+        assert provider.last_discovery is None
+
+        refreshed = provider.discover_fds()
+        assert provider.last_discovery is not None
+        assert provider.last_discovery.fds == refreshed.fds
+
+    def test_last_discovery_cleared_per_table(self, zipcode_table):
+        owner = make_owner()
+        server = ProtocolServer()
+        client = ProtocolClient(LoopbackTransport(server))
+        view = owner.outsource(zipcode_table).server_view()
+        client.outsource("a", view)
+        client.outsource("b", view)
+        client.discover("a")
+        client.discover("b")
+        client.outsource("a", view)
+        assert server.last_discovery("a") is None
+        assert server.last_discovery("b") is not None
+
+
+# ----------------------------------------------------------------------
+# Socket transport end-to-end
+# ----------------------------------------------------------------------
+class TestSocketProtocol:
+    @pytest.mark.parametrize("form", WIRE_FORMS)
+    def test_socket_discovery_byte_identical_to_inprocess(
+        self, zipcode_table, form, deterministic_urandom
+    ):
+        deterministic_urandom()
+        in_owner = make_owner()
+        in_provider = ServiceProvider()
+        reference = run_protocol(in_owner, in_provider, zipcode_table)
+        reference_view = ciphertext_rows(in_provider.table)
+
+        with SocketProtocolServer(ProtocolServer()) as sock_server:
+            sock_server.serve_in_background()
+            deterministic_urandom()
+            owner = make_owner()
+            transport = SocketTransport("127.0.0.1", sock_server.port)
+            session = RemoteOwnerSession(owner, ProtocolClient(transport, wire_format=form))
+            session.outsource(zipcode_table)
+            result = session.discover_fds()
+            session.close()
+            stored = sock_server.protocol_server.store()
+
+        # The ciphertext stored across the socket is byte-identical to the
+        # in-process server view, and so is everything derived from it.
+        assert ciphertext_rows(stored) == reference_view
+        assert result.fds == reference.fds
+        assert result.parameters["validated"] is True
+        assert result.parameters["validated"] == reference.parameters["validated"]
+
+    def test_socket_insert_and_requery(self, zipcode_table):
+        with SocketProtocolServer(ProtocolServer()) as sock_server:
+            sock_server.serve_in_background()
+            owner = make_owner()
+            session = RemoteOwnerSession(
+                owner, ProtocolClient(SocketTransport(port=sock_server.port))
+            )
+            session.outsource(zipcode_table)
+            session.insert_rows([["07030", "Hoboken", "street-x1", "S"]])
+            matches = session.query("Zipcode", "07030")
+            expected = owner.select_plaintext("Zipcode", "07030")
+            assert list(matches.rows()) == list(expected.rows())
+            session.close()
+
+    def test_transport_reports_connection_failure(self):
+        transport = SocketTransport("127.0.0.1", 1)  # nothing listens here
+        with pytest.raises(ProtocolError):
+            ProtocolClient(transport).discover("default")
+
+    def test_shutdown_before_serving_does_not_hang(self):
+        # Regression: BaseServer.shutdown() blocks on an event only
+        # serve_forever() sets; a `with` body raising before the serve loop
+        # starts must still exit cleanly.
+        with SocketProtocolServer(ProtocolServer()):
+            pass  # __exit__ calls shutdown() with no serve loop running
+
+    def test_concurrent_receive_never_caches_stale_discovery(self, zipcode_table):
+        # Regression for the threaded-server variant of the stale-discovery
+        # bug: a discovery computed on an old ciphertext must not be cached
+        # after a receive replaced the store mid-run.
+        owner = make_owner()
+        view = owner.outsource(zipcode_table).server_view()
+        server = ProtocolServer()
+        client = ProtocolClient(LoopbackTransport(server))
+        client.outsource("default", view)
+
+        original_tane = __import__("repro.fd.tane", fromlist=["tane_with_stats"]).tane_with_stats
+
+        def racing_tane(relation, **kwargs):
+            result = original_tane(relation, **kwargs)
+            # Simulate a receive landing while TANE was running.
+            client.outsource("default", view)
+            return result
+
+        import repro.api.protocol as protocol_module
+
+        saved = protocol_module.tane_with_stats
+        protocol_module.tane_with_stats = racing_tane
+        try:
+            client.discover("default")
+        finally:
+            protocol_module.tane_with_stats = saved
+        assert server.last_discovery("default") is None
+
+
+# ----------------------------------------------------------------------
+# Snapshot persistence across restarts
+# ----------------------------------------------------------------------
+class TestPersistence:
+    def test_store_survives_restart(self, zipcode_table, tmp_path):
+        owner = make_owner()
+        view = owner.outsource(zipcode_table).server_view()
+
+        first = ProtocolServer(storage_dir=tmp_path)
+        ProtocolClient(LoopbackTransport(first)).outsource("orders", view)
+        fds_before = tane(first.store("orders"))
+
+        # A brand-new server over the same directory resumes serving the
+        # byte-identical store without a re-outsource.
+        second = ProtocolServer(storage_dir=tmp_path)
+        assert second.table_ids() == ["orders"]
+        assert ciphertext_rows(second.store("orders")) == ciphertext_rows(view)
+        assert tane(second.store("orders")) == fds_before
+
+    def test_explicit_save_and_load(self, zipcode_table, tmp_path):
+        owner = make_owner()
+        view = owner.outsource(zipcode_table).server_view()
+        client = ProtocolClient(LoopbackTransport(ProtocolServer(storage_dir=tmp_path)))
+        client.outsource("orders", view)
+        path = client.save_snapshot("orders")
+        assert path.endswith("orders.f2t")
+        assert client.load_snapshot("orders") == view.num_rows
+
+    def test_provider_facade_persists(self, zipcode_table, tmp_path):
+        owner = make_owner()
+        provider = ServiceProvider(storage_dir=str(tmp_path))
+        run_protocol(owner, provider, zipcode_table)
+        revived = ServiceProvider(storage_dir=str(tmp_path))
+        assert ciphertext_rows(revived.table) == ciphertext_rows(provider.table)
+
+
+# ----------------------------------------------------------------------
+# Token-based equality queries
+# ----------------------------------------------------------------------
+class TestTokenQueries:
+    @pytest.fixture
+    def outsourced(self, zipcode_table):
+        owner = make_owner()
+        provider = ServiceProvider()
+        owner.outsource(zipcode_table)
+        provider.receive(owner.server_view())
+        return owner, provider, zipcode_table
+
+    def selection(self, relation: Relation, attribute: str, value: str):
+        return [row for row in relation.rows() if row[relation.schema.index_of(attribute)] == value]
+
+    @pytest.mark.parametrize(
+        "attribute,value",
+        [("Zipcode", "07030"), ("Zipcode", "07310"), ("City", "JerseyCity"), ("City", "Hoboken")],
+    )
+    def test_query_equals_plaintext_selection(self, outsourced, attribute, value):
+        owner, provider, table = outsourced
+        token = owner.derive_search_token(attribute, value)
+        assert token, "a value present in the table must yield a non-empty token"
+        result = provider.answer_query(attribute, token)
+        decrypted = owner.decrypt_query_result(result)
+        assert list(decrypted.rows()) == self.selection(table, attribute, value)
+
+    def test_absent_value_yields_empty_result(self, outsourced):
+        owner, provider, _ = outsourced
+        token = owner.derive_search_token("City", "Atlantis")
+        result = provider.answer_query("City", token)
+        assert result.row_indexes == ()
+        assert owner.decrypt_query_result(result).num_rows == 0
+
+    def test_rows_attachment_is_opt_in(self, outsourced):
+        # The owner path consumes only row_indexes; matched ciphertext rows
+        # ship back only when explicitly requested.
+        owner, provider, _ = outsourced
+        token = owner.derive_search_token("City", "Hoboken")
+        lean = provider.answer_query("City", token)
+        assert lean.rows is None
+        full = provider.answer_query("City", token, include_rows=True)
+        assert full.row_indexes == lean.row_indexes
+        assert full.rows is not None
+        assert full.rows.num_rows == len(full.row_indexes)
+        assert list(full.rows.rows()) == [
+            provider.table.row(index) for index in full.row_indexes
+        ]
+
+    def test_matches_are_supersets_with_artificial_rows(self, outsourced):
+        # The raw server-side matches include scaling copies (that is the
+        # frequency-hiding working as designed); provenance filtering on the
+        # owner side strips them.
+        owner, provider, table = outsourced
+        token = owner.derive_search_token("City", "JerseyCity")
+        result = provider.answer_query("City", token)
+        plaintext_matches = len(self.selection(table, "City", "JerseyCity"))
+        assert len(result.row_indexes) >= plaintext_matches
+
+    def test_token_for_uncovered_attribute_raises(self, outsourced):
+        owner, _, _ = outsourced
+        # Street values are unique, so Street lies outside every MAS.
+        assert "Street" not in owner.queryable_attributes()
+        with pytest.raises(QueryError):
+            owner.derive_search_token("Street", "street-1")
+
+    def test_remote_session_falls_back_locally(self, zipcode_table):
+        owner = make_owner()
+        provider = ServiceProvider()
+        session = RemoteOwnerSession(owner, provider.client)
+        session.outsource(zipcode_table)
+        result = session.query("Street", "street-1")
+        assert list(result.rows()) == self.selection(zipcode_table, "Street", "street-1")
+
+    def test_unknown_attribute_raises(self, outsourced):
+        owner, provider, _ = outsourced
+        with pytest.raises(QueryError):
+            owner.derive_search_token("Nope", "x")
+        with pytest.raises(ProtocolError):
+            provider.answer_query("Nope", ())
+
+    def test_query_after_insert_reflects_new_rows(self, zipcode_table):
+        owner = make_owner()
+        provider = ServiceProvider()
+        session = RemoteOwnerSession(owner, provider.client)
+        session.outsource(zipcode_table)
+        session.insert_rows(
+            [["07030", "Hoboken", "street-ins-1", "N"], ["07302", "JerseyCity", "street-ins-2", "S"]]
+        )
+        for attribute, value in [("Zipcode", "07030"), ("City", "JerseyCity")]:
+            got = session.query(attribute, value)
+            expected = owner.select_plaintext(attribute, value)
+            assert list(got.rows()) == list(expected.rows())
+
+    def test_provider_requires_received_table(self):
+        provider = ServiceProvider()
+        with pytest.raises(EncryptionError):
+            provider.answer_query("City", ())
+
+    @SLOW
+    @given(st.integers(min_value=0, max_value=7), st.sampled_from([0.5, 0.34]))
+    def test_query_equals_selection_on_random_tables(self, seed, alpha):
+        from tests.conftest import make_random_table
+
+        table = make_random_table(seed + 900, num_attributes=4)
+        owner = DataOwner.from_seed(seed, config=F2Config(alpha=alpha, seed=seed))
+        provider = ServiceProvider()
+        session = RemoteOwnerSession(owner, provider.client)
+        session.outsource(table)
+        # Query every (attribute, value) pair of the table.
+        for attribute in table.attributes:
+            for value in sorted(set(table.column(attribute))):
+                got = session.query(attribute, value)
+                expected = owner.select_plaintext(attribute, value)
+                assert list(got.rows()) == list(expected.rows()), (attribute, value)

@@ -1,0 +1,289 @@
+"""Round-trip tests of the wire codec (JSON and binary forms)."""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import F2Config
+from repro.core.scheme import F2Scheme
+from repro.crypto.keys import KeyGen
+from repro.crypto.probabilistic import Ciphertext
+from repro.exceptions import WireError
+from repro.fd.fd import FDSet, FunctionalDependency
+from repro.fd.tane import TaneResult, tane_with_stats
+from repro.relational.table import Relation
+from repro.wire import (
+    WIRE_BINARY,
+    WIRE_FORMS,
+    WIRE_JSON,
+    decode_cells,
+    decode_encrypted_table,
+    decode_fdset,
+    decode_relation,
+    decode_tane_result,
+    detect_form,
+    encode_cells,
+    encode_encrypted_table,
+    encode_fdset,
+    encode_relation,
+    encode_tane_result,
+)
+from repro.wire.binary import ByteReader, ByteWriter
+
+FAST = settings(max_examples=60, deadline=None)
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+cell_strings = st.text(min_size=0, max_size=12)
+ciphertexts = st.builds(
+    Ciphertext,
+    nonce=st.binary(min_size=1, max_size=20),
+    payload=st.binary(min_size=0, max_size=24),
+)
+cells = st.one_of(
+    cell_strings,
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.booleans(),
+    st.none(),
+    ciphertexts,
+)
+
+
+@st.composite
+def relations(draw, max_attributes=4, max_rows=12):
+    """Relations mixing plain strings, ints, and ciphertext cells."""
+    num_attributes = draw(st.integers(min_value=1, max_value=max_attributes))
+    num_rows = draw(st.integers(min_value=0, max_value=max_rows))
+    attributes = [f"X{i}" for i in range(num_attributes)]
+    # Per-column value pools: repeated draws exercise the dictionary paths.
+    pools = [
+        draw(st.lists(cells, min_size=1, max_size=4, unique=True))
+        for _ in range(num_attributes)
+    ]
+    rows = [
+        [pools[i][draw(st.integers(min_value=0, max_value=len(pools[i]) - 1))]
+         for i in range(num_attributes)]
+        for _ in range(num_rows)
+    ]
+    return Relation(attributes, rows, name=draw(st.sampled_from(["t", "orders", "ζ-table"])))
+
+
+@st.composite
+def fdsets(draw):
+    attributes = [f"X{i}" for i in range(5)]
+    fds = FDSet()
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        lhs = draw(st.lists(st.sampled_from(attributes), min_size=1, max_size=3, unique=True))
+        rhs = draw(st.sampled_from([a for a in attributes if a not in lhs]))
+        fds.add(FunctionalDependency(lhs, rhs))
+    return fds
+
+
+# ----------------------------------------------------------------------
+# Property tests: encode -> decode is the identity, in both forms
+# ----------------------------------------------------------------------
+class TestRoundTripProperties:
+    @FAST
+    @given(relations(), st.sampled_from(WIRE_FORMS))
+    def test_relation_roundtrip(self, relation, form):
+        decoded = decode_relation(encode_relation(relation, form))
+        assert decoded == relation
+        assert decoded.name == relation.name
+        assert decoded.attributes == relation.attributes
+
+    @FAST
+    @given(st.lists(cells, max_size=12), st.sampled_from(WIRE_FORMS))
+    def test_cells_roundtrip(self, values, form):
+        assert decode_cells(encode_cells(values, form)) == values
+
+    @FAST
+    @given(fdsets(), st.sampled_from(WIRE_FORMS))
+    def test_fdset_roundtrip(self, fds, form):
+        assert decode_fdset(encode_fdset(fds, form)) == fds
+
+    @FAST
+    @given(
+        fdsets(),
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        st.sampled_from(WIRE_FORMS),
+    )
+    def test_tane_result_roundtrip(self, fds, elapsed, form):
+        result = TaneResult(
+            fds=fds,
+            elapsed_seconds=elapsed,
+            levels_processed=3,
+            candidates_examined=17,
+            partitions_computed=9,
+            parameters={"validated": True, "backend": "python", "max_lhs": None},
+        )
+        decoded = decode_tane_result(encode_tane_result(result, form))
+        assert decoded.fds == result.fds
+        assert decoded.elapsed_seconds == result.elapsed_seconds  # exact floats
+        assert decoded.levels_processed == result.levels_processed
+        assert decoded.candidates_examined == result.candidates_examined
+        assert decoded.partitions_computed == result.partitions_computed
+        assert decoded.parameters == result.parameters
+
+    @SLOW
+    @given(st.integers(min_value=0, max_value=2**10 - 1), st.sampled_from([0.5, 0.34]))
+    def test_encrypted_table_roundtrip(self, seed, alpha):
+        relation = Relation(
+            ["A", "B", "C"],
+            [
+                [f"a{(seed + i) % 3}", f"b{(seed + i) % 2}", f"c{i}"]
+                for i in range(8)
+            ],
+        )
+        scheme = F2Scheme(
+            key=KeyGen.symmetric_from_seed(seed), config=F2Config(alpha=alpha, seed=seed)
+        )
+        table = scheme.encrypt(relation)
+        for form in WIRE_FORMS:
+            decoded = decode_encrypted_table(encode_encrypted_table(table, form))
+            assert decoded.relation == table.relation
+            assert decoded.provenance == table.provenance
+            assert decoded.config == table.config
+            assert decoded.stats == table.stats
+            assert decoded.masses == table.masses
+            assert decoded.ecg_summaries == table.ecg_summaries
+
+
+# ----------------------------------------------------------------------
+# Form-specific behaviour
+# ----------------------------------------------------------------------
+class TestForms:
+    def test_detect_form(self, zipcode_table):
+        assert detect_form(encode_relation(zipcode_table, WIRE_JSON)) == WIRE_JSON
+        assert detect_form(encode_relation(zipcode_table, WIRE_BINARY)) == WIRE_BINARY
+        with pytest.raises(WireError):
+            detect_form(b"\x00\x01\x02")
+
+    def test_json_form_is_readable_json(self, zipcode_table):
+        doc = json.loads(encode_relation(zipcode_table, WIRE_JSON))
+        assert doc["type"] == "relation"
+        assert doc["attributes"] == list(zipcode_table.attributes)
+        assert doc["num_rows"] == zipcode_table.num_rows
+
+    def test_dictionaries_serialized_once(self, seeded_scheme, zipcode_table):
+        # The ciphertext relation repeats instance ciphertexts by design;
+        # the columnar encoding must not repeat their bytes.
+        view = seeded_scheme.encrypt(zipcode_table).server_view()
+        encoded = len(encode_relation(view, WIRE_BINARY))
+        naive = sum(
+            len(cell.to_bytes())
+            for attr in view.attributes
+            for cell in view.column(attr)
+        )
+        # Well under the per-cell total: repeated ciphertexts cost one
+        # dictionary entry plus a small fixed-width code each.
+        assert encoded < naive * 0.8
+
+    def test_binary_more_compact_than_json(self, seeded_scheme, zipcode_table):
+        view = seeded_scheme.encrypt(zipcode_table).server_view()
+        assert len(encode_relation(view, WIRE_BINARY)) < len(
+            encode_relation(view, WIRE_JSON)
+        )
+
+    def test_unknown_form_rejected(self, zipcode_table):
+        with pytest.raises(WireError):
+            encode_relation(zipcode_table, "msgpack")
+
+    def test_truncated_binary_rejected(self, zipcode_table):
+        data = encode_relation(zipcode_table, WIRE_BINARY)
+        with pytest.raises(WireError):
+            decode_relation(data[: len(data) // 2])
+
+    def test_wrong_type_tag_rejected(self, zipcode_table):
+        data = encode_relation(zipcode_table, WIRE_JSON)
+        with pytest.raises(WireError):
+            decode_fdset(data)
+
+    def test_malformed_documents_raise_wire_error_not_raw_exceptions(self, zipcode_table):
+        # Missing column keys (would be KeyError), corrupted embedded JSON
+        # blobs (would be UnicodeDecodeError/JSONDecodeError): all must
+        # surface as WireError, the codec's documented contract.
+        with pytest.raises(WireError):
+            decode_relation(
+                b'{"type":"relation","name":"t","attributes":["A"],'
+                b'"num_rows":1,"columns":[{"codes":[0]}]}'
+            )
+        result = tane_with_stats(zipcode_table)
+        data = bytearray(encode_tane_result(result, WIRE_BINARY))
+        data[-3:] = b"\xff\xfe\xfd"  # corrupt the trailing parameters blob
+        with pytest.raises(WireError):
+            decode_tane_result(bytes(data))
+
+    def test_float_cells_roundtrip_exactly(self):
+        values = [0.1, -2.5, 1e300, 5e-324]
+        for form in WIRE_FORMS:
+            assert decode_cells(encode_cells(values, form)) == values
+
+    def test_none_cells_roundtrip(self):
+        relation = Relation(["A", "B"], [[None, "x"], ["y", None]])
+        for form in WIRE_FORMS:
+            assert decode_relation(encode_relation(relation, form)) == relation
+
+    def test_unsupported_cell_type_rejected(self):
+        with pytest.raises(WireError):
+            encode_cells([object()], WIRE_BINARY)
+        with pytest.raises(WireError):
+            encode_cells([object()], WIRE_JSON)
+
+    def test_tane_result_from_real_run(self, zipcode_table):
+        result = tane_with_stats(zipcode_table)
+        for form in WIRE_FORMS:
+            decoded = decode_tane_result(encode_tane_result(result, form))
+            assert decoded.fds == result.fds
+            assert decoded.elapsed_seconds == result.elapsed_seconds
+
+
+# ----------------------------------------------------------------------
+# Binary primitives
+# ----------------------------------------------------------------------
+class TestBinaryPrimitives:
+    @FAST
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_uvarint_roundtrip(self, value):
+        writer = ByteWriter()
+        writer.uvarint(value)
+        assert ByteReader(writer.getvalue()).uvarint() == value
+
+    @FAST
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_svarint_roundtrip(self, value):
+        writer = ByteWriter()
+        writer.svarint(value)
+        assert ByteReader(writer.getvalue()).svarint() == value
+
+    @FAST
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**17), max_size=40),
+    )
+    def test_code_array_roundtrip(self, codes):
+        num_values = max(codes, default=0) + 1
+        writer = ByteWriter()
+        writer.code_array(codes, num_values)
+        assert ByteReader(writer.getvalue()).code_array() == codes
+
+    def test_code_array_width_selection(self):
+        from repro.wire.binary import code_width
+
+        assert code_width(1) == 1
+        assert code_width(256) == 1
+        assert code_width(257) == 2
+        assert code_width(1 << 16) == 2
+        assert code_width((1 << 16) + 1) == 4
+        assert code_width(1 << 33) == 8
+
+    def test_reader_bounds_checked(self):
+        reader = ByteReader(b"\x05")
+        with pytest.raises(WireError):
+            reader.lp_bytes()
