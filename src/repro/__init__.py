@@ -61,12 +61,23 @@ from repro.exceptions import (
     ReproError,
     SecurityViolation,
 )
+from repro.query import (
+    And,
+    Eq,
+    In,
+    Not,
+    Or,
+    QueryLeakageReport,
+    QueryPlan,
+    parse_predicate,
+)
 from repro.relational.schema import Schema
 from repro.relational.table import Relation
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "And",
     "BackendUnavailableError",
     "ConfigurationError",
     "DataOwner",
@@ -74,11 +85,17 @@ __all__ = [
     "EncryptedTable",
     "EncryptionError",
     "EncryptionPipeline",
+    "Eq",
     "F2Config",
     "F2Scheme",
+    "In",
     "KeyGen",
+    "Not",
+    "Or",
     "ProtocolClient",
     "ProtocolServer",
+    "QueryLeakageReport",
+    "QueryPlan",
     "Relation",
     "RemoteOwnerSession",
     "ReproError",
@@ -91,6 +108,7 @@ __all__ = [
     "StageRecorder",
     "available_backends",
     "get_backend",
+    "parse_predicate",
     "run_protocol",
     "verify_alpha_security",
     "__version__",

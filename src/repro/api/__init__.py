@@ -35,6 +35,8 @@ from repro.api.protocol import (
     LoopbackTransport,
     Message,
     OutsourceRequest,
+    PlanQueryRequest,
+    PlanQueryResult,
     ProtocolClient,
     ProtocolServer,
     QueryRequest,
@@ -89,6 +91,8 @@ __all__ = [
     "MaterializeStage",
     "Message",
     "OutsourceRequest",
+    "PlanQueryRequest",
+    "PlanQueryResult",
     "ProtocolClient",
     "ProtocolServer",
     "QueryRequest",

@@ -7,10 +7,11 @@ results back.  This module is that protocol made concrete:
 
 * **Messages** — frozen dataclasses (:class:`OutsourceRequest`,
   :class:`InsertBatch`, :class:`DiscoverRequest` / :class:`DiscoverResult`,
-  :class:`QueryRequest` / :class:`QueryResult`, :class:`SaveSnapshot` /
-  :class:`LoadSnapshot`, :class:`Ack`, :class:`ErrorReply`) that serialize
-  through the :mod:`repro.wire` codec in either wire form ("json" for
-  debuggability, "binary" for throughput).
+  :class:`QueryRequest` / :class:`QueryResult`, :class:`PlanQueryRequest` /
+  :class:`PlanQueryResult`, :class:`SaveSnapshot` / :class:`LoadSnapshot`,
+  :class:`Ack`, :class:`ErrorReply`) that serialize through the
+  :mod:`repro.wire` codec in either wire form ("json" for debuggability,
+  "binary" for throughput).
 * **Transports** — anything with a ``request(bytes) -> bytes`` method.
   :class:`LoopbackTransport` calls a :class:`ProtocolServer` in-process (the
   session facades use it, which is how the pre-protocol API keeps working
@@ -20,7 +21,11 @@ results back.  This module is that protocol made concrete:
   decodes replies, raises :class:`~repro.exceptions.ProtocolError` on error
   replies) and :class:`ProtocolServer` (provider side: a keyless store of
   ciphertext relations, FD discovery over the compute backends, token-based
-  equality queries, and snapshot persistence so stores survive restarts).
+  equality queries, planned boolean selections executed as bitset algebra,
+  and snapshot persistence so stores survive restarts).  Each table has its
+  own read/write lock: parallel queries against one table share its read
+  lock, and a mutation takes the write lock, so traffic never serializes
+  behind an unrelated table's work.
 
 The server never sees a key or a plaintext: it stores what it is sent,
 groups and counts ciphertexts, and filters rows against owner-issued search
@@ -41,9 +46,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, ClassVar
 
+from contextlib import contextmanager
+
 from repro.backend import ComputeBackend, get_backend
 from repro.exceptions import ProtocolError, QueryError, WireError
 from repro.fd.tane import TaneResult, tane_with_stats
+from repro.query.server import (
+    ServerExpr,
+    collect_leaves,
+    execute_server_expr,
+    server_expr_from_doc,
+    server_expr_to_doc,
+)
 from repro.relational.table import Relation
 from repro.wire import (
     WIRE_BINARY,
@@ -361,6 +375,96 @@ class QueryResult(Message):
 
 
 @dataclass(frozen=True)
+class PlanQueryRequest(Message):
+    """Owner -> provider: execute a planned boolean selection server-side.
+
+    Carries the server-evaluable expression of a
+    :class:`~repro.query.planner.QueryPlan`: token leaves combined by
+    and/or/not, to be executed as bitset algebra over the stored rows.  The
+    wire form is a structure document in the meta (leaves referenced by
+    index) plus one cell-codec attachment per leaf token — and nothing else:
+    the owner-side plaintext annotations on the leaves are dropped at
+    encoding time, so the provider sees only ciphertexts and structure.
+    """
+
+    kind: ClassVar[str] = "plan_query_request"
+    table_id: str
+    expr: ServerExpr
+
+    def _meta(self) -> dict[str, Any]:
+        return {"table_id": self.table_id, "expr": server_expr_to_doc(self.expr)}
+
+    def _attachments(self, form: str) -> dict[str, bytes]:
+        return {
+            f"token{leaf.index}": encode_cells(list(leaf.token), form)
+            for leaf in collect_leaves(self.expr)
+        }
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "PlanQueryRequest":
+        doc = meta.get("expr")
+        if doc is None:
+            raise WireError("plan_query_request without an expression")
+        tokens: dict[int, tuple] = {}
+        for name, payload in attachments.items():
+            if not name.startswith("token"):
+                continue
+            try:
+                index = int(name[len("token") :])
+            except ValueError as exc:
+                raise WireError(f"malformed token attachment name {name!r}") from exc
+            tokens[index] = tuple(decode_cells(payload))
+        return cls(
+            table_id=check_table_id(meta.get("table_id", "")),
+            expr=server_expr_from_doc(doc, tokens),
+        )
+
+
+@dataclass(frozen=True)
+class PlanQueryResult(Message):
+    """Provider -> owner: the bitset-execution result of a planned query.
+
+    ``row_indexes`` is the final match set (ascending);
+    ``leaf_match_counts`` is the cardinality of every token leaf's match
+    bitset in leaf-index order — the access pattern the provider observed,
+    which feeds the owner's :class:`~repro.query.leakage.QueryLeakageReport`.
+    ``num_rows`` is the stored row count (the leakage denominator).
+    """
+
+    kind: ClassVar[str] = "plan_query_result"
+    table_id: str
+    row_indexes: tuple[int, ...]
+    leaf_match_counts: tuple[int, ...]
+    num_rows: int
+
+    def _meta(self) -> dict[str, Any]:
+        return {
+            "table_id": self.table_id,
+            "row_indexes": list(self.row_indexes),
+            "leaf_match_counts": list(self.leaf_match_counts),
+            "num_rows": self.num_rows,
+        }
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "PlanQueryResult":
+        indexes = meta.get("row_indexes")
+        counts = meta.get("leaf_match_counts")
+        num_rows = meta.get("num_rows")
+        if not isinstance(indexes, list) or not isinstance(counts, list):
+            raise WireError("plan_query_result without row indexes or leaf counts")
+        if num_rows is None:
+            # num_rows anchors the owner's leakage denominator and her
+            # desync check; defaulting it would make both silently wrong.
+            raise WireError("plan_query_result without a stored row count")
+        return cls(
+            table_id=check_table_id(meta.get("table_id", "")),
+            row_indexes=tuple(int(index) for index in indexes),
+            leaf_match_counts=tuple(int(count) for count in counts),
+            num_rows=int(num_rows),
+        )
+
+
+@dataclass(frozen=True)
 class SaveSnapshot(Message):
     """Owner -> provider: force-persist ``table_id`` to the snapshot store."""
 
@@ -430,6 +534,8 @@ MESSAGE_TYPES: dict[str, type[Message]] = {
         DiscoverResult,
         QueryRequest,
         QueryResult,
+        PlanQueryRequest,
+        PlanQueryResult,
         SaveSnapshot,
         LoadSnapshot,
         Ack,
@@ -443,6 +549,58 @@ def _require(attachments: dict[str, bytes], name: str, kind: str) -> bytes:
     if payload is None:
         raise WireError(f"protocol message {kind!r} missing attachment {name!r}")
     return payload
+
+
+# ----------------------------------------------------------------------
+# Per-table read/write locking
+# ----------------------------------------------------------------------
+class _RWLock:
+    """A writer-preferring read/write lock.
+
+    Any number of readers may hold the lock together; a writer holds it
+    alone.  Once a writer is waiting, new readers queue behind it, so a
+    steady stream of queries cannot starve a mutation.  Not reentrant —
+    handlers acquire at most one table lock and never nest.
+    """
+
+    __slots__ = ("_cond", "_readers", "_writer", "_writers_waiting")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
 
 
 # ----------------------------------------------------------------------
@@ -476,11 +634,44 @@ class ProtocolServer:
         self.backend = backend
         self._stores: dict[str, Relation] = {}
         self._discoveries: dict[str, TaneResult] = {}
+        # Registry lock: guards the dicts above (and the lock registry
+        # below) for the few microseconds of a lookup/update.  Long work —
+        # query execution, snapshot IO — runs under the *per-table*
+        # read/write locks instead, so traffic against one table never
+        # serializes behind another table's mutation, and parallel queries
+        # against one table share its read lock.
         self._lock = threading.Lock()
+        self._table_locks: dict[str, _RWLock] = {}
         self._storage_dir = Path(storage_dir) if storage_dir is not None else None
         if self._storage_dir is not None:
             self._storage_dir.mkdir(parents=True, exist_ok=True)
             self._load_all_snapshots()
+
+    def _table_lock(self, table_id: str) -> _RWLock:
+        """The read/write lock of one table (created on first use).
+
+        Lock ordering: a handler takes the table lock first and the registry
+        lock second (briefly, inside); never the reverse while holding the
+        registry lock.  Read handlers call :meth:`_require_known_table`
+        before this, so remote input for nonexistent table ids cannot grow
+        the registry without bound.
+        """
+        with self._lock:
+            lock = self._table_locks.get(table_id)
+            if lock is None:
+                lock = self._table_locks[table_id] = _RWLock()
+            return lock
+
+    def _require_known_table(self, table_id: str) -> None:
+        """Reject requests for tables this server does not hold.
+
+        Raised *before* a per-table lock is allocated: tables are never
+        removed, so the check cannot race a deletion, and an untrusted
+        client probing random table ids leaves no trace in the registry.
+        """
+        with self._lock:
+            if table_id not in self._stores:
+                raise ProtocolError(f"{self.name} has no table {table_id!r}")
 
     # -- store access (used by the in-process facade and tests) --------
     def table_ids(self) -> list[str]:
@@ -539,13 +730,16 @@ class ProtocolServer:
 
     # -- handlers ------------------------------------------------------
     def _receive_store(self, table_id: str, relation: Relation) -> None:
-        with self._lock:
-            self._stores[table_id] = relation
-            # A new ciphertext invalidates any cached discovery result.
-            self._discoveries.pop(table_id, None)
-            # Persist inside the lock: concurrent receives for one table id
-            # must snapshot in the same order they update the store, or a
-            # stale writer could win the rename after a newer one.
+        with self._table_lock(table_id).write():
+            with self._lock:
+                self._stores[table_id] = relation
+                # A new ciphertext invalidates any cached discovery result.
+                self._discoveries.pop(table_id, None)
+            # Persist while still holding the table's write lock: concurrent
+            # receives for one table id must snapshot in the same order they
+            # update the store (a stale writer must not win the rename after
+            # a newer one), but snapshots of *different* tables — and all
+            # query traffic against other tables — proceed in parallel.
             if self._storage_dir is not None:
                 self._write_snapshot(table_id, relation)
 
@@ -564,6 +758,13 @@ class ProtocolServer:
         )
 
     def _handle_discover(self, request: DiscoverRequest) -> Message:
+        # Discovery runs on the immutable relation reference without any
+        # table lock: store() is atomic under the registry lock, TANE can
+        # take seconds (holding the read lock would block every mutation),
+        # and a writer-preferring read acquire would stall discovery behind
+        # an in-flight snapshot write for no consistency gain.  A receive
+        # landing mid-run simply swaps the store; the is-check below keeps
+        # the stale result out of the cache.
         relation = self.store(request.table_id)
         result = tane_with_stats(
             relation, max_lhs_size=request.max_lhs_size, backend=self.backend
@@ -577,28 +778,57 @@ class ProtocolServer:
         return DiscoverResult(table_id=request.table_id, result=result)
 
     def _handle_query(self, request: QueryRequest) -> Message:
-        relation = self.store(request.table_id)
-        if request.attribute not in relation.schema:
-            raise QueryError(
-                f"table {request.table_id!r} has no attribute {request.attribute!r}"
+        # Executed under the table's read lock: parallel queries share it,
+        # and a mutation (which replaces the stored relation and its coded
+        # view) waits for in-flight executions instead of racing them.
+        self._require_known_table(request.table_id)
+        with self._table_lock(request.table_id).read():
+            relation = self.store(request.table_id)
+            if request.attribute not in relation.schema:
+                raise QueryError(
+                    f"table {request.table_id!r} has no attribute {request.attribute!r}"
+                )
+            indexes = relation.coded(self.backend).rows_matching(
+                request.attribute, request.token
             )
-        indexes = relation.coded(self.backend).rows_matching(
-            request.attribute, request.token
-        )
-        return QueryResult(
-            table_id=request.table_id,
-            attribute=request.attribute,
-            row_indexes=tuple(indexes),
-            rows=relation.select_rows(indexes, name=f"{relation.name}-match")
-            if request.include_rows
-            else None,
-        )
+            return QueryResult(
+                table_id=request.table_id,
+                attribute=request.attribute,
+                row_indexes=tuple(indexes),
+                rows=relation.select_rows(indexes, name=f"{relation.name}-match")
+                if request.include_rows
+                else None,
+            )
+
+    def _handle_plan_query(self, request: PlanQueryRequest) -> Message:
+        self._require_known_table(request.table_id)
+        with self._table_lock(request.table_id).read():
+            relation = self.store(request.table_id)
+            schema = relation.schema
+            for leaf in collect_leaves(request.expr):
+                if leaf.attribute not in schema:
+                    raise QueryError(
+                        f"table {request.table_id!r} has no attribute "
+                        f"{leaf.attribute!r}"
+                    )
+            indexes, leaf_counts = execute_server_expr(
+                relation.coded(self.backend), request.expr
+            )
+            return PlanQueryResult(
+                table_id=request.table_id,
+                row_indexes=tuple(indexes),
+                leaf_match_counts=tuple(leaf_counts),
+                num_rows=relation.num_rows,
+            )
 
     def _handle_save_snapshot(self, request: SaveSnapshot) -> Message:
         if self._storage_dir is None:
             raise ProtocolError(f"{self.name} has no snapshot storage configured")
-        relation = self.store(request.table_id)
-        with self._lock:
+        self._require_known_table(request.table_id)
+        # The write lock (not just read) serializes the snapshot rename
+        # against concurrent receives of the same table.
+        with self._table_lock(request.table_id).write():
+            relation = self.store(request.table_id)
             path = self._write_snapshot(request.table_id, relation)
         return Ack(fields={"table_id": request.table_id, "path": str(path)})
 
@@ -606,12 +836,15 @@ class ProtocolServer:
         if self._storage_dir is None:
             raise ProtocolError(f"{self.name} has no snapshot storage configured")
         path = self._snapshot_path(request.table_id)
+        # Existence check before allocating a lock (snapshots are never
+        # deleted, so the check cannot go stale before the read below).
         if not path.exists():
             raise ProtocolError(f"no snapshot for table {request.table_id!r}")
-        relation = decode_relation(path.read_bytes())
-        with self._lock:
-            self._stores[request.table_id] = relation
-            self._discoveries.pop(request.table_id, None)
+        with self._table_lock(request.table_id).write():
+            relation = decode_relation(path.read_bytes())
+            with self._lock:
+                self._stores[request.table_id] = relation
+                self._discoveries.pop(request.table_id, None)
         return Ack(fields={"table_id": request.table_id, "num_rows": relation.num_rows})
 
     _HANDLERS: dict[type, Any] = {}
@@ -655,6 +888,7 @@ ProtocolServer._HANDLERS = {
     InsertBatch: ProtocolServer._handle_insert,
     DiscoverRequest: ProtocolServer._handle_discover,
     QueryRequest: ProtocolServer._handle_query,
+    PlanQueryRequest: ProtocolServer._handle_plan_query,
     SaveSnapshot: ProtocolServer._handle_save_snapshot,
     LoadSnapshot: ProtocolServer._handle_load_snapshot,
 }
@@ -927,6 +1161,18 @@ class ProtocolClient:
                 include_rows=include_rows,
             ),
             QueryResult,
+        )
+
+    def plan_query(self, table_id: str, expr: ServerExpr) -> PlanQueryResult:
+        """Execute a planned boolean selection server-side.
+
+        ``expr`` is the server part of a :class:`~repro.query.planner.QueryPlan`;
+        the reply carries the matched row indexes plus the per-leaf match
+        cardinalities for leakage accounting.
+        """
+        return self._expect(
+            PlanQueryRequest(table_id=check_table_id(table_id), expr=expr),
+            PlanQueryResult,
         )
 
     def save_snapshot(self, table_id: str) -> str:

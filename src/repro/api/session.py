@@ -35,6 +35,7 @@ from repro.api.pipeline import EncryptionContext, EncryptionPipeline, StageHook
 from repro.api.protocol import (
     DEFAULT_TABLE_ID,
     LoopbackTransport,
+    PlanQueryResult,
     ProtocolClient,
     ProtocolServer,
     QueryResult,
@@ -47,6 +48,11 @@ from repro.crypto.probabilistic import Ciphertext, ProbabilisticCipher
 from repro.exceptions import DecryptionError, EncryptionError, QueryError
 from repro.fd.fd import FDSet
 from repro.fd.tane import TaneResult, tane
+from repro.query.ast import Predicate, check_attributes, evaluate_predicate
+from repro.query.leakage import QueryLeakageReport, build_leakage_report
+from repro.query.parser import parse_predicate
+from repro.query.planner import QueryPlan, plan_predicate
+from repro.query.server import ServerExpr
 from repro.relational.table import Relation
 
 
@@ -61,13 +67,13 @@ def decrypt_cell(cell: object, cipher: ProbabilisticCipher) -> str:
     return cipher.decrypt(cell)
 
 
-def _reconstruct_record(
+def _reconstruct_record_dict(
     encrypted: EncryptedTable,
     row_indexes: Iterable[int],
     cipher: ProbabilisticCipher,
     original_index: int,
-) -> list[str]:
-    """Reassemble one original record from its ciphertext rows.
+) -> dict[str, str]:
+    """Reassemble one original record (as ``{attribute: value}``).
 
     A record replaced by conflict resolution is spread over two ciphertext
     rows; each contributes the attributes it carries authentically.
@@ -87,7 +93,18 @@ def _reconstruct_record(
             f"original row {original_index} cannot be reconstructed; "
             f"missing attributes {missing}"
         )
-    return [values[attr] for attr in schema]
+    return values
+
+
+def _reconstruct_record(
+    encrypted: EncryptedTable,
+    row_indexes: Iterable[int],
+    cipher: ProbabilisticCipher,
+    original_index: int,
+) -> list[str]:
+    """Reassemble one original record as a row in schema order."""
+    values = _reconstruct_record_dict(encrypted, row_indexes, cipher, original_index)
+    return [values[attr] for attr in encrypted.relation.schema]
 
 
 def decrypt_table(encrypted: EncryptedTable, cipher: ProbabilisticCipher) -> Relation:
@@ -362,6 +379,147 @@ class DataOwner:
             )
         return recovered
 
+    # ------------------------------------------------------------------
+    # Planned boolean-predicate queries (the repro.query engine)
+    # ------------------------------------------------------------------
+    def _as_predicate(self, predicate: Predicate | str) -> Predicate:
+        if isinstance(predicate, str):
+            predicate = parse_predicate(predicate)
+        if not isinstance(predicate, Predicate):
+            raise QueryError(
+                f"expected a Predicate or an expression string, got {predicate!r}"
+            )
+        check_attributes(predicate, self.plaintext.schema)
+        return predicate
+
+    def plan_query(self, predicate: Predicate | str) -> QueryPlan:
+        """Plan a boolean selection (an AST node or an expression string).
+
+        Splits the predicate into the server-evaluable part (token leaves
+        over MAS-covered attributes, derived from the retained split plans)
+        and the owner-local residual — see :mod:`repro.query.planner`.
+        """
+        return plan_predicate(self, self._as_predicate(predicate))
+
+    def select_plaintext_where(self, predicate: Predicate | str) -> Relation:
+        """The plaintext selection ``sigma_predicate`` — the ground truth."""
+        predicate = self._as_predicate(predicate)
+        plaintext = self.plaintext
+        rows = evaluate_predicate(plaintext, predicate)
+        return plaintext.select_rows(rows, name=f"{plaintext.name}-select")
+
+    def decrypt_plan_result(
+        self, plan: QueryPlan, result: PlanQueryResult | Sequence[int]
+    ) -> Relation:
+        """Resolve a provider's plan-query result into the exact selection.
+
+        The server's bitset runs over *ciphertext rows*; the owner's retained
+        provenance turns it into the plaintext selection:
+
+        * artificial rows (scaling copies, fake ECs, FP records) never map to
+          a source record and drop out;
+        * a source record counts as a server match iff one of its ciphertext
+          rows that carries **all** the server-predicate attributes
+          authentically is in the match set — on such a row every token
+          leaf's truth value equals the plaintext leaf's, so the boolean
+          combination is equal too;
+        * a conflicted record whose predicate attributes ended up spread
+          over multiple ciphertext rows (no single row carries them all
+          authentically) cannot be judged from the bitset at all — its
+          server part is re-evaluated locally on the decrypted record;
+        * the owner-local residual then filters the candidates.
+
+        The decrypted result therefore equals ``select_plaintext_where``
+        exactly, in original row order.
+        """
+        if isinstance(result, PlanQueryResult):
+            row_indexes: Sequence[int] = result.row_indexes
+            server_rows: int | None = result.num_rows
+        else:
+            row_indexes, server_rows = tuple(result), None
+        if plan.server is None:
+            # Nothing was (or could be) asked of the server.
+            return self.select_plaintext_where(plan.predicate)
+        encrypted = self.encrypted
+        provenance = encrypted.provenance
+        if server_rows is not None and server_rows != len(provenance):
+            # A stale store (e.g. local inserts never pushed) would return
+            # in-bounds indexes of the wrong ciphertext — silently wrong
+            # results.  The reply's row count makes the desync detectable.
+            raise QueryError(
+                f"provider filtered {server_rows} rows but the owner's "
+                f"outsourced table has {len(provenance)}; owner and provider "
+                "are out of sync (push the current server view first)"
+            )
+        matched: set[int] = set()
+        for index in row_indexes:
+            if not 0 <= index < len(provenance):
+                raise QueryError(
+                    f"plan query result row {index} is outside the outsourced "
+                    f"table (0..{len(provenance) - 1}); owner and provider are "
+                    "out of sync"
+                )
+            matched.add(index)
+        server_attrs = plan.server_attributes
+        server_predicate = plan.server_predicate
+        assert server_predicate is not None  # plan.server is not None here
+        groups = encrypted.original_row_groups()
+        cipher = self.pipeline.cipher
+        schema = encrypted.relation.schema
+        recovered = Relation(schema, name=f"{encrypted.relation.name}-query")
+        for source in sorted(groups):
+            rows = groups[source]
+            covering = [
+                index
+                for index in rows
+                if server_attrs <= provenance[index].authentic_attributes
+            ]
+            # Decide membership from the bitset first and decrypt only the
+            # candidates — a selective query must cost O(matches), not
+            # O(table).  Only the rare covering-empty (conflict-split)
+            # records are reconstructed before the verdict.
+            record: dict[str, str] | None = None
+            if covering:
+                if not any(index in matched for index in covering):
+                    continue
+            else:
+                record = _reconstruct_record_dict(encrypted, rows, cipher, source)
+                if not server_predicate.matches(record):
+                    continue
+            if record is None:
+                record = _reconstruct_record_dict(encrypted, rows, cipher, source)
+            if plan.residual is not None and not plan.residual.matches(record):
+                continue
+            recovered.append([record[attr] for attr in schema])
+        return recovered
+
+    def query_leakage_report(
+        self, plan: QueryPlan, result: PlanQueryResult | None = None
+    ) -> QueryLeakageReport:
+        """Account what serving ``plan`` showed the provider.
+
+        Computed entirely owner-side against her replica of the server view
+        (byte-identical to the provider's store) — see
+        :mod:`repro.query.leakage`.  For a fully local plan (``result`` is
+        ``None``) the report records that the server saw nothing.
+        """
+        replica = self.encrypted.relation
+        if result is None:
+            if plan.server is not None:
+                raise QueryError(
+                    "a plan with a server part needs the provider's "
+                    "PlanQueryResult to account its leakage"
+                )
+            return build_leakage_report(plan, replica, (), (), 0, self.config.alpha)
+        return build_leakage_report(
+            plan,
+            replica,
+            result.row_indexes,
+            result.leaf_match_counts,
+            result.num_rows,
+            self.config.alpha,
+        )
+
 
 class ServiceProvider:
     """The untrusted server side of the outsourcing protocol.
@@ -444,6 +602,11 @@ class ServiceProvider:
         return self.client.query(
             self.table_id, attribute, tuple(token), include_rows=include_rows
         )
+
+    def answer_plan_query(self, expr: ServerExpr) -> PlanQueryResult:
+        """Execute a server expression as bitset algebra over the stored rows."""
+        self._require_table()
+        return self.client.plan_query(self.table_id, expr)
 
     @property
     def last_discovery(self) -> TaneResult | None:
@@ -539,6 +702,35 @@ class RemoteOwnerSession:
         token = self.owner.derive_search_token(attribute, value)
         result = self.client.query(self.table_id, attribute, token)
         return self.owner.decrypt_query_result(result)
+
+    def select(self, predicate: "Predicate | str") -> Relation:
+        """Boolean selection served by the provider, decrypted locally.
+
+        ``predicate`` is an AST node or an expression string (see
+        :mod:`repro.query.parser`), e.g. ``"City = Hoboken and Side != N"``.
+        The owner plans it (:meth:`DataOwner.plan_query`), the provider
+        executes the server part as bitset algebra, and the owner resolves
+        the matches through her provenance plus the owner-local residual —
+        the result equals the plaintext selection exactly.  A plan with no
+        server part is answered locally without a round trip.
+        """
+        return self.select_with_report(predicate)[0]
+
+    def select_with_report(
+        self, predicate: "Predicate | str"
+    ) -> tuple[Relation, QueryLeakageReport]:
+        """Like :meth:`select`, plus the query's :class:`QueryLeakageReport`."""
+        plan = self.owner.plan_query(predicate)
+        if plan.server is None:
+            matches = self.owner.select_plaintext_where(plan.predicate)
+            return matches, self.owner.query_leakage_report(plan)
+        result = self.client.plan_query(self.table_id, plan.server)
+        matches = self.owner.decrypt_plan_result(plan, result)
+        return matches, self.owner.query_leakage_report(plan, result)
+
+    def explain(self, predicate: "Predicate | str") -> str:
+        """The plan description for ``predicate`` (no server round trip)."""
+        return self.owner.plan_query(predicate).explain()
 
     def save_snapshot(self) -> str:
         """Ask the provider to force-persist this session's store."""

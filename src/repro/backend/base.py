@@ -162,6 +162,72 @@ class ComputeBackend(ABC):
         return [index for index, code in enumerate(codes) if code in wanted_set]
 
     # ------------------------------------------------------------------
+    # Row masks (bitset algebra for the encrypted query engine)
+    # ------------------------------------------------------------------
+    # A *row mask* is the backend's representation of a row subset: callers
+    # obtain one from ``membership_mask``, combine masks only through
+    # ``rows_and`` / ``rows_or`` / ``rows_not``, and read results back with
+    # ``mask_count`` / ``mask_to_rows``.  The reference representation is an
+    # arbitrary-precision python int (bit ``i`` set iff row ``i`` is in the
+    # subset — bitwise ops on ints are word-parallel, so even the pure-python
+    # path works 64 rows at a time); the NumPy backend uses boolean arrays.
+    # Both backends MUST return identical ``mask_to_rows`` output for the
+    # same algebra, like every other primitive.
+
+    def membership_mask(self, codes: Any, wanted: Sequence[int]) -> Any:
+        """Row mask of the rows whose code is in ``wanted``.
+
+        The mask form of :meth:`membership_rows` — one token leaf of a
+        server-side query plan resolves to exactly this call.
+        """
+        if not len(wanted):
+            return 0
+        wanted_set = set(int(code) for code in wanted)
+        mask = 0
+        bit = 1
+        for code in codes:
+            if code in wanted_set:
+                mask |= bit
+            bit <<= 1
+        return mask
+
+    def rows_and(self, masks: Sequence[Any]) -> Any:
+        """Intersection of one or more row masks."""
+        if not masks:
+            raise BackendError("rows_and requires at least one mask")
+        result = masks[0]
+        for mask in masks[1:]:
+            result &= mask
+        return result
+
+    def rows_or(self, masks: Sequence[Any]) -> Any:
+        """Union of one or more row masks."""
+        if not masks:
+            raise BackendError("rows_or requires at least one mask")
+        result = masks[0]
+        for mask in masks[1:]:
+            result |= mask
+        return result
+
+    def rows_not(self, mask: Any, num_rows: int) -> Any:
+        """Complement of a row mask within ``num_rows`` rows."""
+        return ((1 << num_rows) - 1) & ~mask
+
+    def mask_count(self, mask: Any) -> int:
+        """Number of rows in a mask (the match-set cardinality)."""
+        return int(mask).bit_count()
+
+    def mask_to_rows(self, mask: Any) -> list[int]:
+        """The rows of a mask as ascending indexes."""
+        rows: list[int] = []
+        remaining = int(mask)
+        while remaining:
+            lowest = remaining & -remaining
+            rows.append(lowest.bit_length() - 1)
+            remaining ^= lowest
+        return rows
+
+    # ------------------------------------------------------------------
     # Collision-aware greedy grouping (ECG construction)
     # ------------------------------------------------------------------
     @abstractmethod

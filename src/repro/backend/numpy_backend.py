@@ -95,6 +95,40 @@ class NumpyBackend(ComputeBackend):
         mask = np.isin(codes, np.asarray(list(wanted), dtype=codes.dtype))
         return np.flatnonzero(mask).tolist()
 
+    # ------------------------------------------------------------------
+    # Row masks (bitset algebra for the encrypted query engine)
+    # ------------------------------------------------------------------
+    # Masks are boolean arrays of length ``num_rows``; the algebra is
+    # vectorised element-wise logic instead of the reference int bit ops.
+
+    def membership_mask(self, codes: Any, wanted: Sequence[int]) -> Any:
+        np = _np()
+        codes = np.asarray(codes)
+        if not len(wanted):
+            return np.zeros(codes.shape[0], dtype=bool)
+        return np.isin(codes, np.asarray(list(wanted), dtype=codes.dtype))
+
+    def rows_and(self, masks: Sequence[Any]) -> Any:
+        np = _np()
+        if not masks:
+            raise BackendError("rows_and requires at least one mask")
+        return np.logical_and.reduce(np.asarray(masks, dtype=bool), axis=0)
+
+    def rows_or(self, masks: Sequence[Any]) -> Any:
+        np = _np()
+        if not masks:
+            raise BackendError("rows_or requires at least one mask")
+        return np.logical_or.reduce(np.asarray(masks, dtype=bool), axis=0)
+
+    def rows_not(self, mask: Any, num_rows: int) -> Any:
+        return ~_np().asarray(mask, dtype=bool)
+
+    def mask_count(self, mask: Any) -> int:
+        return int(_np().count_nonzero(mask))
+
+    def mask_to_rows(self, mask: Any) -> list[int]:
+        return _np().flatnonzero(mask).tolist()
+
     def group_rows(self, codes: Any, num_groups: int, min_size: int = 1) -> list[list[int]]:
         np = _np()
         codes = np.asarray(codes)

@@ -25,8 +25,12 @@ Subcommands
 ``query``
     Drive the owner side against a running ``serve`` instance: encrypt the
     CSV locally (seeded, so re-runs are byte-identical), ship the server
-    view, derive the search token for ``ATTRIBUTE = VALUE``, and print the
-    decrypted matching rows as CSV.
+    view, plan the boolean predicate (legacy ``ATTRIBUTE VALUE`` pair or a
+    full expression like ``"City = Hoboken and Zipcode in (07030, 07302)"``),
+    execute the server part as bitset algebra over ciphertext, and print the
+    decrypted matching rows as CSV plus a per-query leakage summary;
+    ``--explain`` prints the plan (server tokens vs owner residual) without
+    contacting the server.
 ``attack``
     Encrypt a generated dataset and report the empirical success of the
     frequency-analysis and Kerckhoffs attacks against it and against the
@@ -47,7 +51,12 @@ from pathlib import Path
 from repro.api.pipeline import StageRecorder
 from repro.api.session import DataOwner, ServiceProvider
 from repro.backend import available_backends
-from repro.exceptions import BackendUnavailableError, ProtocolError, WireError
+from repro.exceptions import (
+    BackendUnavailableError,
+    ProtocolError,
+    QueryError,
+    WireError,
+)
 from repro.bench import (
     fig6_time_vs_alpha,
     fig7_backend_scalability,
@@ -144,11 +153,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_flag(serve)
 
     query = subparsers.add_parser(
-        "query", help="equality query against a running `serve` provider"
+        "query",
+        help="boolean selection against a running `serve` provider",
+        description=(
+            "Query the outsourced table. Either the legacy two-argument form "
+            "`query data.csv City Hoboken` (equality) or a single predicate "
+            "expression: `query data.csv \"City = Hoboken and (Zipcode in "
+            "(07030, 07302) or Side != N)\"`. Supported: =, !=, in (...), "
+            "not in (...), and, or, not, parentheses; quote values with "
+            "spaces. Use --explain to print the query plan (server tokens "
+            "vs owner residual) without contacting the server."
+        ),
     )
     query.add_argument("input", help="the owner's plaintext CSV (header row required)")
-    query.add_argument("attribute", help="attribute to filter on")
-    query.add_argument("value", help="plaintext value to match")
+    query.add_argument(
+        "predicate",
+        nargs="+",
+        metavar="PREDICATE",
+        help="either `ATTRIBUTE VALUE` (legacy equality form) or one "
+        "predicate expression string",
+    )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the query plan (server part, tokens, owner residual) "
+        "and exit without contacting the server",
+    )
     query.add_argument("--host", default="127.0.0.1", help="server address")
     query.add_argument("--port", type=int, default=9077, help="server TCP port")
     query.add_argument("--table-id", default="default", help="server-side table id")
@@ -216,6 +246,10 @@ def main(argv: list[str] | None = None) -> int:
         installed = [name for name, ok in available_backends().items() if ok]
         print(f"error: {exc}", file=sys.stderr)
         print(f"available backends here: {', '.join(installed)}", file=sys.stderr)
+        return 2
+    except QueryError as exc:
+        # Malformed predicate expressions, unknown attributes.
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     except (ProtocolError, WireError) as exc:
         # Connection failures, error replies, corrupted snapshots/frames.
@@ -311,22 +345,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_query_predicate(args: argparse.Namespace):
+    """The predicate of a `query` invocation (legacy pair or expression)."""
+    from repro.query import Eq, parse_predicate
+
+    if len(args.predicate) == 1:
+        return parse_predicate(args.predicate[0])
+    if len(args.predicate) == 2:
+        return Eq(args.predicate[0], args.predicate[1])
+    raise QueryError(
+        "expected either `ATTRIBUTE VALUE` or one predicate expression, got "
+        f"{len(args.predicate)} arguments; quote the expression as a single "
+        "argument"
+    )
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.api.protocol import ProtocolClient, SocketTransport
     from repro.api.session import RemoteOwnerSession
+    from repro.query.ast import check_attributes
 
     relation = read_csv(args.input)
-    if args.attribute not in relation.schema:
-        print(
-            f"error: attribute {args.attribute!r} not in "
-            f"{list(relation.attributes)}",
-            file=sys.stderr,
-        )
-        return 2
+    predicate = _parse_query_predicate(args)
+    check_attributes(predicate, relation.schema)
     owner = DataOwner(
         key=KeyGen.symmetric_from_seed(args.key_seed),
         config=F2Config(alpha=args.alpha, split_factor=args.split_factor, backend=args.backend),
     )
+    if args.explain:
+        # Rebuild the owner-side state (plans) locally and print the plan;
+        # planning never contacts the server.
+        owner.outsource(relation)
+        print(owner.plan_query(predicate).explain())
+        return 0
     client = ProtocolClient(
         SocketTransport(args.host, args.port), wire_format=args.wire
     )
@@ -339,17 +390,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
         else:
             shipped = session.outsource(relation)
             print(f"outsourced {shipped} ciphertext rows as {args.table_id!r}", file=sys.stderr)
-        if args.attribute not in owner.queryable_attributes():
+        matches, report = session.select_with_report(predicate)
+        if report.mode == "local":
             print(
-                f"note: {args.attribute!r} lies outside every MAS (all values "
-                "unique); answering locally without a server round trip",
+                "note: no part of the predicate is server-evaluable; "
+                "answered locally without a server round trip",
                 file=sys.stderr,
             )
-        matches = session.query(args.attribute, args.value)
     finally:
         session.close()
     write_relation_csv(matches, sys.stdout)
     print(f"# {matches.num_rows} matching rows", file=sys.stderr)
+    print(report.summary(), file=sys.stderr)
     return 0
 
 

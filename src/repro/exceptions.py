@@ -87,6 +87,14 @@ class QueryError(ReproError):
     """
 
 
+class QuerySyntaxError(QueryError):
+    """A predicate expression could not be parsed.
+
+    Raised by :func:`repro.query.parser.parse_predicate` with the offending
+    position in the message; the CLI maps it to a clean usage error.
+    """
+
+
 class FdPreservationWarning(UserWarning):
     """A plaintext FD is absent from the ciphertext (a false *negative*).
 

@@ -1,0 +1,75 @@
+"""repro.query: the encrypted boolean-selection query engine.
+
+PR 3 proved the primitive — a single-value equality token filtered by the
+keyless server.  This package turns that primitive into the system's query
+surface: arbitrary boolean selections (conjunctions, disjunctions,
+negations, IN-lists) planned into a server-evaluable part and an
+owner-local residual, executed server-side as set algebra over row-index
+bitsets, and accounted for leakage per query.
+
+Layers, bottom up:
+
+* :mod:`repro.query.ast` — the predicate AST (:class:`Eq`, :class:`In`,
+  :class:`And`, :class:`Or`, :class:`Not`) with plaintext evaluation
+  semantics (the ground truth every served query must reproduce).
+* :mod:`repro.query.parser` — a small CLI-friendly expression syntax
+  (``City = 'Hoboken' and (Zipcode in (07030, 07302) or not Side = N)``)
+  parsed into the AST.
+* :mod:`repro.query.server` — the *server* expression language: token
+  leaves (attribute + instance-ciphertext search token, no plaintext)
+  combined by and/or/not, executed over a coded relation through the
+  compute-backend bitset primitives.
+* :mod:`repro.query.planner` — splits any predicate into the
+  server-evaluable part and the owner-local residual, emitting an
+  executable :class:`QueryPlan`.
+* :mod:`repro.query.leakage` — :class:`QueryLeakageReport`: per-query
+  accounting of what the server observed (token sizes, match-set
+  cardinalities) and whether the access pattern stayed
+  frequency-homogenised.
+
+The owner/provider entry points live on the session objects:
+:meth:`repro.api.session.DataOwner.plan_query`,
+:meth:`repro.api.session.ServiceProvider.answer_plan_query`, and
+:meth:`repro.api.session.RemoteOwnerSession.select`.
+"""
+
+from repro.query.ast import And, Eq, In, Not, Or, Predicate, evaluate_predicate
+from repro.query.leakage import LeafLeakage, QueryLeakageReport, build_leakage_report
+from repro.query.parser import parse_predicate
+from repro.query.planner import QueryPlan, plan_predicate
+from repro.query.server import (
+    ServerAnd,
+    ServerExpr,
+    ServerNot,
+    ServerOr,
+    TokenLeaf,
+    collect_leaves,
+    execute_server_expr,
+    server_expr_from_doc,
+    server_expr_to_doc,
+)
+
+__all__ = [
+    "And",
+    "Eq",
+    "In",
+    "LeafLeakage",
+    "Not",
+    "Or",
+    "Predicate",
+    "QueryLeakageReport",
+    "QueryPlan",
+    "ServerAnd",
+    "ServerExpr",
+    "ServerNot",
+    "ServerOr",
+    "TokenLeaf",
+    "build_leakage_report",
+    "collect_leaves",
+    "evaluate_predicate",
+    "execute_server_expr",
+    "parse_predicate",
+    "plan_predicate",
+    "server_expr_from_doc",
+    "server_expr_to_doc",
+]

@@ -1,0 +1,292 @@
+"""The boolean-predicate AST and its plaintext evaluation semantics.
+
+A predicate selects rows of a relation.  Five node types exist — equality,
+IN-list, conjunction, disjunction, negation — which is exactly the boolean
+selection fragment the planner knows how to split between the server and the
+owner (:mod:`repro.query.planner`).
+
+Comparison semantics match the rest of the library: cells and literals are
+compared through their ``str()`` form, because the F2 pipeline encrypts the
+textual form of every cell (see :meth:`DataOwner.select_plaintext`).  The
+plaintext evaluation implemented here is the ground truth every served query
+must reproduce exactly, and what the property suite compares remote results
+against.
+
+Predicates are immutable, hashable, round-trip through ``to_dict`` /
+``from_dict`` (the form used by ``--explain`` output and tests), and print
+back to the expression syntax of :mod:`repro.query.parser` (``parse(str(p))``
+reproduces ``p``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+from repro.exceptions import QueryError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.relational.table import Relation
+
+#: Values that print without quotes in the expression syntax (must mirror
+#: the parser's bare-word token charset, or printing would not round-trip).
+_BARE_VALUE_RE = re.compile(r"^[A-Za-z0-9_.:@#+-]+$")
+#: The expression-syntax keywords (shared with :mod:`repro.query.parser`:
+#: the parser treats these bare words as operators, so ``_quote`` must quote
+#: them — one definition keeps ``parse(str(p)) == p`` from drifting).
+KEYWORDS = frozenset({"and", "or", "not", "in"})
+
+
+def _text(value: Any) -> str:
+    """The canonical textual form a cell/literal is compared in."""
+    return value if isinstance(value, str) else str(value)
+
+
+def _quote(value: str) -> str:
+    """Render one literal in the expression syntax (quoted when needed)."""
+    if _BARE_VALUE_RE.match(value) and value.lower() not in KEYWORDS:
+        return value
+    if "'" not in value:
+        return f"'{value}'"
+    if '"' not in value:
+        return f'"{value}"'
+    raise QueryError(
+        f"value {value!r} mixes both quote characters and cannot be rendered "
+        "in the expression syntax"
+    )
+
+
+class Predicate:
+    """Base class of all predicate nodes."""
+
+    def attributes(self) -> frozenset[str]:
+        """Every attribute the predicate mentions."""
+        raise NotImplementedError
+
+    def matches(self, record: Mapping[str, Any]) -> bool:
+        """Evaluate the predicate on one ``{attribute: value}`` record."""
+        raise NotImplementedError
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-safe document describing the node (``from_dict`` inverse)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def from_dict(doc: Mapping[str, Any]) -> "Predicate":
+        """Rebuild a predicate from its ``to_dict`` document."""
+        if not isinstance(doc, Mapping):
+            raise QueryError(f"predicate document must be a mapping, got {doc!r}")
+        op = doc.get("op")
+        if op == "eq":
+            return Eq(str(doc["attribute"]), str(doc["value"]))
+        if op == "in":
+            return In(str(doc["attribute"]), tuple(str(v) for v in doc["values"]))
+        if op == "and":
+            return And(tuple(Predicate.from_dict(child) for child in doc["children"]))
+        if op == "or":
+            return Or(tuple(Predicate.from_dict(child) for child in doc["children"]))
+        if op == "not":
+            return Not(Predicate.from_dict(doc["child"]))
+        raise QueryError(f"unknown predicate op {op!r}")
+
+
+@dataclass(frozen=True)
+class Eq(Predicate):
+    """``attribute = value``."""
+
+    attribute: str
+    value: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", _text(self.value))
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+    def matches(self, record: Mapping[str, Any]) -> bool:
+        try:
+            cell = record[self.attribute]
+        except KeyError:
+            raise QueryError(f"record has no attribute {self.attribute!r}") from None
+        return _text(cell) == self.value
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": "eq", "attribute": self.attribute, "value": self.value}
+
+    def __str__(self) -> str:
+        return f"{_quote(self.attribute)} = {_quote(self.value)}"
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    """``attribute in (v1, v2, ...)`` — true when the cell equals any value.
+
+    Values keep their given order (for printing) but membership is set
+    semantics; duplicates are dropped.
+    """
+
+    attribute: str
+    values: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        seen: dict[str, None] = {}
+        for value in self.values:
+            seen.setdefault(_text(value))
+        if not seen:
+            raise QueryError(f"IN-list on {self.attribute!r} needs at least one value")
+        object.__setattr__(self, "values", tuple(seen))
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+    def matches(self, record: Mapping[str, Any]) -> bool:
+        try:
+            cell = record[self.attribute]
+        except KeyError:
+            raise QueryError(f"record has no attribute {self.attribute!r}") from None
+        return _text(cell) in self.values
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": "in", "attribute": self.attribute, "values": list(self.values)}
+
+    def __str__(self) -> str:
+        rendered = ", ".join(_quote(value) for value in self.values)
+        return f"{_quote(self.attribute)} in ({rendered})"
+
+
+def _flatten(children: Iterable[Predicate], node_type: type) -> tuple[Predicate, ...]:
+    flat: list[Predicate] = []
+    for child in children:
+        if not isinstance(child, Predicate):
+            raise QueryError(f"{node_type.__name__} child is not a predicate: {child!r}")
+        if isinstance(child, node_type):
+            flat.extend(child.children)  # type: ignore[attr-defined]
+        else:
+            flat.append(child)
+    if len(flat) < 2:
+        raise QueryError(f"{node_type.__name__} requires at least two children")
+    return tuple(flat)
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of two or more predicates (nested ANDs are flattened)."""
+
+    children: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", _flatten(self.children, And))
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset().union(*(child.attributes() for child in self.children))
+
+    def matches(self, record: Mapping[str, Any]) -> bool:
+        return all(child.matches(record) for child in self.children)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": "and", "children": [child.to_dict() for child in self.children]}
+
+    def __str__(self) -> str:
+        parts = [
+            f"({child})" if isinstance(child, Or) else str(child)
+            for child in self.children
+        ]
+        return " and ".join(parts)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of two or more predicates (nested ORs are flattened)."""
+
+    children: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", _flatten(self.children, Or))
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset().union(*(child.attributes() for child in self.children))
+
+    def matches(self, record: Mapping[str, Any]) -> bool:
+        return any(child.matches(record) for child in self.children)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": "or", "children": [child.to_dict() for child in self.children]}
+
+    def __str__(self) -> str:
+        return " or ".join(str(child) for child in self.children)
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of one predicate."""
+
+    child: Predicate
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.child, Predicate):
+            raise QueryError(f"Not child is not a predicate: {self.child!r}")
+
+    def attributes(self) -> frozenset[str]:
+        return self.child.attributes()
+
+    def matches(self, record: Mapping[str, Any]) -> bool:
+        return not self.child.matches(record)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"op": "not", "child": self.child.to_dict()}
+
+    def __str__(self) -> str:
+        if isinstance(self.child, (Eq, In)):
+            return f"not {self.child}"
+        return f"not ({self.child})"
+
+
+def check_attributes(predicate: Predicate, schema: Iterable[str]) -> None:
+    """Raise :class:`QueryError` when the predicate mentions unknown attributes."""
+    known = set(schema)
+    unknown = sorted(attr for attr in predicate.attributes() if attr not in known)
+    if unknown:
+        raise QueryError(
+            f"predicate attribute(s) {unknown} not in schema {sorted(known)}"
+        )
+
+
+def evaluate_predicate(relation: "Relation", predicate: Predicate) -> list[int]:
+    """Row indexes of ``relation`` satisfying ``predicate``, ascending.
+
+    The plaintext relational selection — the ground truth a served query must
+    reproduce.  Leaf comparisons run on the coded columns (each distinct cell
+    value is compared once), composite nodes evaluate per row.
+    """
+    check_attributes(predicate, relation.schema)
+    num_rows = relation.num_rows
+    if num_rows == 0:
+        return []
+    coded = relation.coded()
+    backend = coded.backend
+
+    def walk(node: Predicate) -> Any:
+        if isinstance(node, Eq):
+            return coded.match_mask(node.attribute, _leaf_cell_values(coded, node.attribute, (node.value,)))
+        if isinstance(node, In):
+            return coded.match_mask(node.attribute, _leaf_cell_values(coded, node.attribute, node.values))
+        if isinstance(node, And):
+            return backend.rows_and([walk(child) for child in node.children])
+        if isinstance(node, Or):
+            return backend.rows_or([walk(child) for child in node.children])
+        if isinstance(node, Not):
+            return backend.rows_not(walk(node.child), num_rows)
+        raise QueryError(f"unknown predicate node {node!r}")  # pragma: no cover
+
+    return backend.mask_to_rows(walk(predicate))
+
+
+def _leaf_cell_values(coded: Any, attribute: str, texts: tuple[str, ...]) -> list[Any]:
+    """The actual cell objects of ``attribute`` whose text matches ``texts``.
+
+    Plaintext cells may be ints/bools; comparisons are textual, so the
+    dictionary is scanned once for cells whose ``str()`` form is wanted.
+    """
+    wanted = set(texts)
+    return [cell for cell in coded.column(attribute).dictionary if _text(cell) in wanted]

@@ -1,0 +1,207 @@
+"""Parser for the CLI-friendly predicate expression syntax.
+
+Grammar (keywords case-insensitive, ``|`` is alternation)::
+
+    expr        := or_expr
+    or_expr     := and_expr ( 'or' and_expr )*
+    and_expr    := not_expr ( 'and' not_expr )*
+    not_expr    := 'not' not_expr | atom
+    atom        := '(' expr ')' | comparison
+    comparison  := name ( '=' | '==' ) value
+                 | name '!=' value
+                 | name 'in' value_list
+                 | name 'not' 'in' value_list
+    value_list  := '(' value ( ',' value )* ')'
+    name, value := bare word  |  'single quoted'  |  "double quoted"
+
+Bare words may contain letters, digits, and ``_ . : @ # + -`` (so zip
+codes, dates, and values like ``Clerk#00009`` need no quotes).  ``!=`` desugars to
+``not (=)`` and ``not in`` to ``not (in)``.  Precedence is the usual
+``or`` < ``and`` < ``not``.
+
+Examples::
+
+    City = Hoboken
+    Zipcode in (07030, 07302) and Side != N
+    not (City = 'Jersey City' or City = Hoboken)
+
+Errors raise :class:`repro.exceptions.QuerySyntaxError` with the offending
+position, so the CLI can point at the problem.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.exceptions import QuerySyntaxError
+from repro.query.ast import KEYWORDS, And, Eq, In, Not, Or, Predicate
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<op>==|!=|=|\(|\)|,)
+  | (?P<quoted>'[^']*'|"[^"]*")
+  | (?P<word>[A-Za-z0-9_.:@#+-]+)
+    """,
+    re.VERBOSE,
+)
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "op", "word", "quoted", "end"
+    text: str
+    position: int
+
+    @property
+    def keyword(self) -> str | None:
+        """The lowercased keyword this token is, if any (quoting disables it)."""
+        if self.kind == "word" and self.text.lower() in KEYWORDS:
+            return self.text.lower()
+        return None
+
+    @property
+    def value(self) -> str:
+        """The literal text (quotes stripped for quoted tokens)."""
+        if self.kind == "quoted":
+            return self.text[1:-1]
+        return self.text
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QuerySyntaxError(
+                f"unexpected character {text[position]!r} at position {position} "
+                f"in predicate {text!r}"
+            )
+        if match.lastgroup != "ws":
+            tokens.append(_Token(match.lastgroup or "", match.group(), position))
+        position = match.end()
+    tokens.append(_Token("end", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token access --------------------------------------------------
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.current
+        if token.kind != "end":
+            self.index += 1
+        return token
+
+    def error(self, message: str) -> QuerySyntaxError:
+        token = self.current
+        where = (
+            f"at end of input" if token.kind == "end" else f"at position {token.position}"
+        )
+        return QuerySyntaxError(f"{message} {where} in predicate {self.text!r}")
+
+    def expect_op(self, op: str, what: str) -> None:
+        token = self.current
+        if token.kind != "op" or token.text != op:
+            raise self.error(f"expected {what}")
+        self.advance()
+
+    # -- grammar -------------------------------------------------------
+    def parse(self) -> Predicate:
+        predicate = self.or_expr()
+        if self.current.kind != "end":
+            raise self.error(f"unexpected {self.current.text!r}")
+        return predicate
+
+    def or_expr(self) -> Predicate:
+        children = [self.and_expr()]
+        while self.current.keyword == "or":
+            self.advance()
+            children.append(self.and_expr())
+        return children[0] if len(children) == 1 else Or(tuple(children))
+
+    def and_expr(self) -> Predicate:
+        children = [self.not_expr()]
+        while self.current.keyword == "and":
+            self.advance()
+            children.append(self.not_expr())
+        return children[0] if len(children) == 1 else And(tuple(children))
+
+    def not_expr(self) -> Predicate:
+        if self.current.keyword == "not":
+            self.advance()
+            return Not(self.not_expr())
+        return self.atom()
+
+    def atom(self) -> Predicate:
+        token = self.current
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            inner = self.or_expr()
+            self.expect_op(")", "')'")
+            return inner
+        if token.kind in ("word", "quoted"):
+            if token.keyword is not None:
+                raise self.error(f"keyword {token.text!r} cannot start a comparison")
+            return self.comparison()
+        raise self.error(
+            f"expected a comparison or '(' , got {token.text!r}"
+            if token.kind != "end"
+            else "expected a comparison or '('"
+        )
+
+    def comparison(self) -> Predicate:
+        attribute = self.advance().value
+        token = self.current
+        if token.kind == "op" and token.text in ("=", "=="):
+            self.advance()
+            return Eq(attribute, self.literal())
+        if token.kind == "op" and token.text == "!=":
+            self.advance()
+            return Not(Eq(attribute, self.literal()))
+        if token.keyword == "in":
+            self.advance()
+            return In(attribute, self.value_list())
+        if token.keyword == "not":
+            self.advance()
+            if self.current.keyword != "in":
+                raise self.error("expected 'in' after 'not'")
+            self.advance()
+            return Not(In(attribute, self.value_list()))
+        raise self.error(f"expected '=', '!=', 'in', or 'not in' after {attribute!r}")
+
+    def literal(self) -> str:
+        token = self.current
+        if token.kind not in ("word", "quoted") or token.keyword is not None:
+            raise self.error("expected a value")
+        self.advance()
+        return token.value
+
+    def value_list(self) -> tuple[str, ...]:
+        self.expect_op("(", "'(' to open the IN-list")
+        values = [self.literal()]
+        while self.current.kind == "op" and self.current.text == ",":
+            self.advance()
+            values.append(self.literal())
+        self.expect_op(")", "')' to close the IN-list")
+        return tuple(values)
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse one predicate expression into its AST.
+
+    Raises :class:`~repro.exceptions.QuerySyntaxError` on malformed input,
+    with the offending position in the message.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise QuerySyntaxError("empty predicate expression")
+    return _Parser(text).parse()

@@ -1,0 +1,233 @@
+"""The query planner: split a predicate into server work and owner residual.
+
+Given a boolean predicate and the owner's token-derivation capability, the
+planner decides, per node, whether the server can evaluate it over
+ciphertext:
+
+* ``Eq`` / ``In`` on a MAS-covered attribute → a :class:`TokenLeaf`: the
+  owner derives the search token (every instance ciphertext of the value(s),
+  from her retained split plans) and the keyless server membership-tests
+  rows against it.
+* ``Eq`` / ``In`` on an attribute outside every MAS → owner-local: those
+  cells are fresh-nonce probabilistic encryptions the owner cannot
+  re-derive, so no token exists.
+* ``And`` → the serverable children become a server conjunction, the rest an
+  owner-local residual conjunction (result = server matches ∩ residual).
+* ``Or`` → serverable only when *every* disjunct is serverable; a single
+  owner-local disjunct forces the whole disjunction local, because the
+  server's partial union could not restrict the candidate set.
+* ``Not`` → always owner-local.  A server-side complement would hand the
+  provider the access pattern of the *non*-matching rows — nearly the whole
+  table — so negations over-leak by construction and are evaluated in the
+  residual instead (the executor still supports ``ServerNot`` for
+  experiments; the planner just never emits it).
+
+The emitted :class:`QueryPlan` preserves the algebraic invariant
+``predicate ≡ server_predicate AND residual`` (missing parts read as true),
+which is what makes owner-side resolution exact — see
+:meth:`repro.api.session.DataOwner.decrypt_plan_result`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.exceptions import QueryError
+from repro.query.ast import And, Eq, In, Not, Or, Predicate
+from repro.query.server import (
+    ServerAnd,
+    ServerExpr,
+    ServerOr,
+    TokenLeaf,
+    collect_leaves,
+    describe_server_expr,
+    renumber_leaves,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.crypto.probabilistic import Ciphertext
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """An executable split of one predicate.
+
+    Attributes
+    ----------
+    predicate:
+        The full original predicate (the semantics the plan implements).
+    server:
+        The server-evaluable expression, or ``None`` when the whole
+        predicate is owner-local.
+    server_predicate:
+        The plaintext predicate ``server`` implements — used by the owner to
+        evaluate the server part locally for records whose predicate
+        attributes are spread over multiple ciphertext rows (conflict
+        replacements), and by tests.
+    residual:
+        The owner-local part, conjoined with the server matches; ``None``
+        when the server evaluates everything.
+    notes:
+        Human-readable reasons why parts went owner-local (``--explain``).
+    """
+
+    predicate: Predicate
+    server: ServerExpr | None
+    server_predicate: Predicate | None
+    residual: Predicate | None
+    notes: tuple[str, ...] = ()
+
+    @property
+    def mode(self) -> str:
+        """``"server"``, ``"hybrid"``, or ``"local"``."""
+        if self.server is None:
+            return "local"
+        return "server" if self.residual is None else "hybrid"
+
+    @property
+    def leaves(self) -> list[TokenLeaf]:
+        """The server token leaves in leaf-index order (empty when local)."""
+        return [] if self.server is None else collect_leaves(self.server)
+
+    @property
+    def server_attributes(self) -> frozenset[str]:
+        return frozenset() if self.server is None else self.server.attributes()
+
+    def token_sizes(self) -> list[int]:
+        """Number of ciphertexts in each leaf's token, leaf-index order."""
+        return [len(leaf.token) for leaf in self.leaves]
+
+    def explain(self) -> str:
+        """A multi-line description of the plan (the ``--explain`` output)."""
+        lines = [f"predicate: {self.predicate}", f"mode: {self.mode}"]
+        if self.server is not None:
+            lines.append(f"server: {describe_server_expr(self.server)}")
+            sizes = ", ".join(
+                f"#{leaf.index} {leaf.attribute}={len(leaf.token)}ct"
+                for leaf in self.leaves
+            )
+            lines.append(f"server tokens: {sizes}")
+        else:
+            lines.append("server: (nothing; evaluated entirely owner-local)")
+        if self.residual is not None:
+            lines.append(f"owner residual: {self.residual}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _conjoin(children: list[Predicate]) -> Predicate | None:
+    if not children:
+        return None
+    if len(children) == 1:
+        return children[0]
+    return And(tuple(children))
+
+
+class _Planner:
+    """One planning pass; ``source`` supplies tokens (a :class:`DataOwner`)."""
+
+    def __init__(self, source: Any):
+        self.source = source
+        self.queryable: frozenset[str] = frozenset(source.queryable_attributes())
+        self.notes: list[str] = []
+
+    # -- serverability -------------------------------------------------
+    def serverable(self, node: Predicate) -> bool:
+        if isinstance(node, (Eq, In)):
+            return node.attribute in self.queryable
+        if isinstance(node, (And, Or)):
+            return all(self.serverable(child) for child in node.children)
+        return False  # Not, and anything unknown
+
+    def note_local(self, node: Predicate) -> None:
+        if isinstance(node, Not):
+            self.notes.append(
+                f"negation `{node}` evaluated owner-local: a server-side "
+                "complement would leak the access pattern of the non-matching rows"
+            )
+        elif isinstance(node, (Eq, In)):
+            self.notes.append(
+                f"`{node}` evaluated owner-local: attribute "
+                f"{node.attribute!r} lies outside every MAS (fresh-nonce "
+                "ciphertexts, no derivable token)"
+            )
+        elif isinstance(node, Or):
+            self.notes.append(
+                f"disjunction `{node}` evaluated owner-local: at least one "
+                "branch is not server-evaluable, so the server could not "
+                "restrict the candidate set"
+            )
+        else:
+            self.notes.append(f"`{node}` evaluated owner-local")
+
+    # -- splitting -----------------------------------------------------
+    def split(self, node: Predicate) -> tuple[Predicate | None, Predicate | None]:
+        """Split ``node`` into (server part, residual); node ≡ server ∧ residual."""
+        if self.serverable(node):
+            return node, None
+        if isinstance(node, And):
+            server_children: list[Predicate] = []
+            residual_children: list[Predicate] = []
+            for child in node.children:
+                if self.serverable(child):
+                    server_children.append(child)
+                else:
+                    self.note_local(child)
+                    residual_children.append(child)
+            return _conjoin(server_children), _conjoin(residual_children)
+        self.note_local(node)
+        return None, node
+
+    # -- token derivation ----------------------------------------------
+    def token_for(self, attribute: str, values: tuple[str, ...]) -> tuple:
+        token: dict["Ciphertext", None] = {}
+        for value in values:
+            for ciphertext in self.source.derive_search_token(attribute, value):
+                token[ciphertext] = None
+        return tuple(token)
+
+    def serverize(self, node: Predicate) -> ServerExpr:
+        if isinstance(node, Eq):
+            return TokenLeaf(
+                attribute=node.attribute,
+                token=self.token_for(node.attribute, (node.value,)),
+                values=(node.value,),
+            )
+        if isinstance(node, In):
+            return TokenLeaf(
+                attribute=node.attribute,
+                token=self.token_for(node.attribute, node.values),
+                values=node.values,
+            )
+        if isinstance(node, And):
+            return ServerAnd(tuple(self.serverize(child) for child in node.children))
+        if isinstance(node, Or):
+            return ServerOr(tuple(self.serverize(child) for child in node.children))
+        raise QueryError(  # pragma: no cover - split() never sends Not here
+            f"predicate node {node!r} is not server-evaluable"
+        )
+
+
+def plan_predicate(source: Any, predicate: Predicate) -> QueryPlan:
+    """Plan ``predicate`` against the owner state behind ``source``.
+
+    ``source`` must provide ``queryable_attributes()`` and
+    ``derive_search_token(attribute, value)`` — a
+    :class:`~repro.api.session.DataOwner` does.
+    """
+    if not isinstance(predicate, Predicate):
+        raise QueryError(f"expected a Predicate, got {predicate!r}")
+    planner = _Planner(source)
+    server_predicate, residual = planner.split(predicate)
+    server = None
+    if server_predicate is not None:
+        server = renumber_leaves(planner.serverize(server_predicate))
+    return QueryPlan(
+        predicate=predicate,
+        server=server,
+        server_predicate=server_predicate,
+        residual=residual,
+        notes=tuple(planner.notes),
+    )

@@ -1,0 +1,247 @@
+"""The server-evaluable expression language and its bitset executor.
+
+A *server expression* is what actually crosses the wire in a
+``plan_query_request``: token leaves — an attribute name plus the search
+token (the full set of instance ciphertexts the owner derived for the
+plaintext value(s), see :meth:`DataOwner.derive_search_token`) — combined by
+and/or/not nodes.  Crucially, the serialized form carries **no plaintext**:
+the owner-side planner annotates leaves with the plaintext values they stand
+for (for ``--explain`` and leakage reports), but :func:`server_expr_to_doc`
+drops that annotation, so the keyless provider sees only ciphertexts and
+structure.
+
+Execution (:func:`execute_server_expr`) is set algebra over row-index
+bitsets: each leaf resolves its token against the column dictionary into a
+row mask (:meth:`CodedRelation.match_mask`), internal nodes combine masks
+through the compute-backend primitives ``rows_and`` / ``rows_or`` /
+``rows_not`` (vectorised under NumPy, pure-python int-bitset reference
+identical).  Per-leaf match cardinalities are recorded in leaf-index order —
+they are precisely the access pattern the server observes, and feed the
+owner's :class:`~repro.query.leakage.QueryLeakageReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.exceptions import QueryError, WireError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.crypto.probabilistic import Ciphertext
+    from repro.relational.coded import CodedRelation
+
+
+class ServerExpr:
+    """Base class of server-expression nodes."""
+
+    def attributes(self) -> frozenset[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TokenLeaf(ServerExpr):
+    """One token-membership test: rows whose ``attribute`` cell is in ``token``.
+
+    ``index`` numbers leaves in pre-order across the whole expression; the
+    executor reports per-leaf match counts in that order.  ``values`` is the
+    owner-side annotation of the plaintext value(s) this token stands for —
+    it never crosses the wire (``server_expr_to_doc`` drops it; decoding a
+    received expression yields ``values=()``).
+    """
+
+    attribute: str
+    token: tuple["Ciphertext", ...]
+    index: int = 0
+    values: tuple[str, ...] = ()
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+
+@dataclass(frozen=True)
+class ServerAnd(ServerExpr):
+    children: tuple[ServerExpr, ...]
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset().union(*(child.attributes() for child in self.children))
+
+
+@dataclass(frozen=True)
+class ServerOr(ServerExpr):
+    children: tuple[ServerExpr, ...]
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset().union(*(child.attributes() for child in self.children))
+
+
+@dataclass(frozen=True)
+class ServerNot(ServerExpr):
+    """Complement of the child's match set.
+
+    Supported by the executor for completeness, but the default planner never
+    emits it: a server-side negation reveals the complement access pattern —
+    typically almost the whole table — so negations are evaluated in the
+    owner-local residual instead (see :mod:`repro.query.planner`).
+    """
+
+    child: ServerExpr
+
+    def attributes(self) -> frozenset[str]:
+        return self.child.attributes()
+
+
+def collect_leaves(expr: ServerExpr) -> list[TokenLeaf]:
+    """All token leaves of ``expr`` in pre-order (leaf-index order)."""
+    leaves: list[TokenLeaf] = []
+
+    def walk(node: ServerExpr) -> None:
+        if isinstance(node, TokenLeaf):
+            leaves.append(node)
+        elif isinstance(node, (ServerAnd, ServerOr)):
+            for child in node.children:
+                walk(child)
+        elif isinstance(node, ServerNot):
+            walk(node.child)
+        else:  # pragma: no cover - closed union
+            raise QueryError(f"unknown server expression node {node!r}")
+
+    walk(expr)
+    return leaves
+
+
+def renumber_leaves(expr: ServerExpr) -> ServerExpr:
+    """Return ``expr`` with leaf indexes re-assigned in pre-order."""
+    counter = [0]
+
+    def walk(node: ServerExpr) -> ServerExpr:
+        if isinstance(node, TokenLeaf):
+            renumbered = TokenLeaf(
+                attribute=node.attribute,
+                token=node.token,
+                index=counter[0],
+                values=node.values,
+            )
+            counter[0] += 1
+            return renumbered
+        if isinstance(node, ServerAnd):
+            return ServerAnd(tuple(walk(child) for child in node.children))
+        if isinstance(node, ServerOr):
+            return ServerOr(tuple(walk(child) for child in node.children))
+        if isinstance(node, ServerNot):
+            return ServerNot(walk(node.child))
+        raise QueryError(f"unknown server expression node {node!r}")  # pragma: no cover
+
+    return walk(expr)
+
+
+# ----------------------------------------------------------------------
+# Wire form: structure document + per-leaf token attachments
+# ----------------------------------------------------------------------
+def server_expr_to_doc(expr: ServerExpr) -> dict[str, Any]:
+    """The JSON-safe structure document of ``expr`` (tokens ride separately).
+
+    Leaves are referenced by index; the actual token ciphertexts are encoded
+    as per-leaf attachments by the protocol message, through the regular cell
+    codec.  Plaintext ``values`` annotations are deliberately not included.
+    """
+    if isinstance(expr, TokenLeaf):
+        return {"op": "leaf", "index": expr.index, "attribute": expr.attribute}
+    if isinstance(expr, ServerAnd):
+        return {"op": "and", "children": [server_expr_to_doc(c) for c in expr.children]}
+    if isinstance(expr, ServerOr):
+        return {"op": "or", "children": [server_expr_to_doc(c) for c in expr.children]}
+    if isinstance(expr, ServerNot):
+        return {"op": "not", "child": server_expr_to_doc(expr.child)}
+    raise QueryError(f"unknown server expression node {expr!r}")
+
+
+def server_expr_from_doc(
+    doc: Mapping[str, Any], tokens: Mapping[int, tuple["Ciphertext", ...]]
+) -> ServerExpr:
+    """Rebuild a server expression from its structure document plus tokens."""
+    if not isinstance(doc, Mapping):
+        raise WireError(f"server expression node must be a mapping, got {doc!r}")
+    op = doc.get("op")
+    if op == "leaf":
+        try:
+            index = int(doc["index"])
+            attribute = doc["attribute"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireError(f"malformed server expression leaf {doc!r}") from exc
+        if not isinstance(attribute, str) or not attribute:
+            raise WireError(f"server expression leaf without an attribute: {doc!r}")
+        if index not in tokens:
+            raise WireError(f"server expression leaf {index} has no token attachment")
+        return TokenLeaf(attribute=attribute, token=tuple(tokens[index]), index=index)
+    if op in ("and", "or"):
+        children = doc.get("children")
+        if not isinstance(children, list) or len(children) < 2:
+            raise WireError(f"server expression {op!r} needs at least two children")
+        rebuilt = tuple(server_expr_from_doc(child, tokens) for child in children)
+        return ServerAnd(rebuilt) if op == "and" else ServerOr(rebuilt)
+    if op == "not":
+        child = doc.get("child")
+        if child is None:
+            raise WireError("server expression 'not' without a child")
+        return ServerNot(server_expr_from_doc(child, tokens))
+    raise WireError(f"unknown server expression op {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Execution: bitset algebra over the coded relation
+# ----------------------------------------------------------------------
+def execute_server_expr(
+    coded: "CodedRelation", expr: ServerExpr
+) -> tuple[list[int], list[int]]:
+    """Evaluate ``expr`` over a coded relation.
+
+    Returns ``(row_indexes, leaf_match_counts)``: the matched row indexes in
+    ascending order, plus the cardinality of every leaf's match set in
+    leaf-index order.  All set algebra runs on backend row masks —
+    ``rows_and`` / ``rows_or`` / ``rows_not`` — so the python and numpy
+    backends produce identical results from the same expression.
+    """
+    backend = coded.backend
+    num_rows = coded.num_rows
+    leaves = collect_leaves(expr)
+    if not leaves:
+        raise QueryError("a server expression needs at least one token leaf")
+    counts: dict[int, int] = {}
+    for leaf in leaves:
+        if leaf.index in counts:
+            raise QueryError(f"duplicate server expression leaf index {leaf.index}")
+        counts[leaf.index] = -1
+
+    def walk(node: ServerExpr) -> Any:
+        if isinstance(node, TokenLeaf):
+            mask = coded.match_mask(node.attribute, node.token)
+            counts[node.index] = backend.mask_count(mask)
+            return mask
+        if isinstance(node, ServerAnd):
+            return backend.rows_and([walk(child) for child in node.children])
+        if isinstance(node, ServerOr):
+            return backend.rows_or([walk(child) for child in node.children])
+        if isinstance(node, ServerNot):
+            return backend.rows_not(walk(node.child), num_rows)
+        raise QueryError(f"unknown server expression node {node!r}")  # pragma: no cover
+
+    mask = walk(expr)
+    ordered = [counts[leaf.index] for leaf in leaves]
+    return backend.mask_to_rows(mask), ordered
+
+
+def describe_server_expr(expr: ServerExpr) -> str:
+    """A one-line human-readable rendering (used by ``--explain``)."""
+    if isinstance(expr, TokenLeaf):
+        # ASCII only: this string reaches CLI stdout via --explain, which
+        # may be a non-UTF-8 console or pipe.
+        values = ", ".join(expr.values) if expr.values else "?"
+        return f"{expr.attribute} in token[{len(expr.token)} ct; {values}]"
+    if isinstance(expr, ServerAnd):
+        return "(" + " AND ".join(describe_server_expr(c) for c in expr.children) + ")"
+    if isinstance(expr, ServerOr):
+        return "(" + " OR ".join(describe_server_expr(c) for c in expr.children) + ")"
+    if isinstance(expr, ServerNot):
+        return f"NOT {describe_server_expr(expr.child)}"
+    raise QueryError(f"unknown server expression node {expr!r}")  # pragma: no cover

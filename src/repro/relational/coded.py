@@ -183,8 +183,25 @@ class CodedRelation:
         the integer code array through the backend.
         """
         column = self.column(attribute)
-        code_of = {value: code for code, value in enumerate(column.dictionary)}
-        wanted = sorted({code_of[value] for value in values if value in code_of})
+        wanted = self._wanted_codes(column, values)
         if not wanted:
             return []
         return self.backend.membership_rows(column.codes, wanted)
+
+    def match_mask(self, attribute: str, values: Iterable[Any]) -> Any:
+        """Backend row mask of the rows whose ``attribute`` cell is in ``values``.
+
+        The mask form of :meth:`rows_matching`, used by the server-side query
+        executor so that boolean combinations of token leaves stay in the
+        backend's bitset algebra (``rows_and`` / ``rows_or`` / ``rows_not``)
+        instead of materialising index lists per leaf.
+        """
+        column = self.column(attribute)
+        return self.backend.membership_mask(
+            column.codes, self._wanted_codes(column, values)
+        )
+
+    @staticmethod
+    def _wanted_codes(column: CodedColumn, values: Iterable[Any]) -> list[int]:
+        code_of = {value: code for code, value in enumerate(column.dictionary)}
+        return sorted({code_of[value] for value in values if value in code_of})

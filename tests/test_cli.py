@@ -186,6 +186,62 @@ class TestServeAndQueryCommands:
         assert len(lines) == len(expected) + 1  # header + matches
         assert all(zipcode in line for line in lines[1:])
 
+    def test_query_expression_form(self, plaintext_csv, served_port, capsys):
+        from repro.query import evaluate_predicate, parse_predicate
+
+        plaintext = read_csv(plaintext_csv)
+        zipcode = plaintext.value(0, "Zipcode")
+        other = plaintext.value(1, "Zipcode")
+        expression = f"Zipcode in ({zipcode}, {other}) and City != no-such-city"
+        expected = evaluate_predicate(plaintext, parse_predicate(expression))
+        exit_code = main(
+            [
+                "query", str(plaintext_csv), expression,
+                "--key-seed", "7", "--alpha", "0.5", "--port", str(served_port),
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert f"# {len(expected)} matching rows" in captured.err
+        assert "leakage:" in captured.err
+        assert "homogenised=True" in captured.err
+        lines = [line for line in captured.out.splitlines() if line.strip()]
+        assert len(lines) == len(expected) + 1  # header + matches
+
+    def test_query_explain_prints_plan_without_server(self, plaintext_csv, capsys):
+        # --explain needs no running server (note the unused port 1).
+        exit_code = main(
+            [
+                "query", str(plaintext_csv),
+                "Zipcode = 07030 and Street = nowhere",
+                "--key-seed", "7", "--alpha", "0.5", "--port", "1", "--explain",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "mode:" in output
+        assert "server" in output
+
+    def test_query_malformed_expression_is_usage_error(self, plaintext_csv, capsys):
+        exit_code = main(
+            [
+                "query", str(plaintext_csv), "Zipcode = ",
+                "--key-seed", "7", "--port", "1",
+            ]
+        )
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_three_positionals_is_usage_error(self, plaintext_csv, capsys):
+        exit_code = main(
+            [
+                "query", str(plaintext_csv), "Zipcode", "=", "07030",
+                "--key-seed", "7", "--port", "1",
+            ]
+        )
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_query_no_push_uses_existing_snapshot(self, plaintext_csv, served_port, capsys):
         # First query pushes (and the server snapshots); the second run asks
         # the same seeded owner to query without re-shipping the table.

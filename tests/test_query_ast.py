@@ -1,0 +1,215 @@
+"""Tests of the predicate AST and the expression parser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import QueryError, QuerySyntaxError
+from repro.query import And, Eq, In, Not, Or, Predicate, evaluate_predicate, parse_predicate
+from repro.relational.table import Relation
+
+
+@pytest.fixture
+def table() -> Relation:
+    return Relation(
+        ["City", "Zip", "Side"],
+        [
+            ["Hoboken", "07030", "N"],
+            ["JerseyCity", "07302", "S"],
+            ["Hoboken", "07030", "S"],
+            ["Newark", "07102", "N"],
+            ["JerseyCity", "07310", "N"],
+        ],
+    )
+
+
+def naive_selection(relation: Relation, predicate: Predicate) -> list[int]:
+    return [
+        index
+        for index in range(relation.num_rows)
+        if predicate.matches(relation.row_dict(index))
+    ]
+
+
+class TestAstSemantics:
+    def test_eq_matches_textually(self):
+        assert Eq("A", "1").matches({"A": 1})
+        assert Eq("A", 1).value == "1"  # literals normalise to text
+        assert not Eq("A", "1").matches({"A": "10"})
+
+    def test_in_drops_duplicates_keeps_order(self):
+        node = In("A", ("b", "a", "b"))
+        assert node.values == ("b", "a")
+        assert node.matches({"A": "a"}) and not node.matches({"A": "c"})
+
+    def test_in_requires_values(self):
+        with pytest.raises(QueryError):
+            In("A", ())
+
+    def test_and_or_flatten_and_require_two_children(self):
+        inner = And((Eq("A", "1"), Eq("B", "2")))
+        outer = And((inner, Eq("C", "3")))
+        assert len(outer.children) == 3
+        assert Or((Or((Eq("A", "1"), Eq("B", "2"))), Eq("C", "3"))).children == (
+            Eq("A", "1"),
+            Eq("B", "2"),
+            Eq("C", "3"),
+        )
+        with pytest.raises(QueryError):
+            And((Eq("A", "1"),))
+
+    def test_not_negates(self):
+        assert Not(Eq("A", "1")).matches({"A": "2"})
+        assert not Not(Eq("A", "1")).matches({"A": "1"})
+
+    def test_attributes_collect_all(self):
+        predicate = And((Eq("A", "1"), Or((In("B", ("x",)), Not(Eq("C", "y"))))))
+        assert predicate.attributes() == frozenset({"A", "B", "C"})
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(QueryError):
+            Eq("A", "1").matches({"B": "1"})
+
+    def test_dict_roundtrip(self):
+        predicate = And((Eq("A", "1"), Or((In("B", ("x", "y")), Not(Eq("C", "z"))))))
+        assert Predicate.from_dict(predicate.to_dict()) == predicate
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(QueryError):
+            Predicate.from_dict({"op": "xor"})
+        with pytest.raises(QueryError):
+            Predicate.from_dict("nope")
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize(
+        "expression,expected",
+        [
+            ("City = Hoboken", [0, 2]),
+            ("City != Hoboken", [1, 3, 4]),
+            ("Zip in (07030, 07310)", [0, 2, 4]),
+            ("City = Hoboken and Side = S", [2]),
+            ("City = Hoboken or City = Newark", [0, 2, 3]),
+            ("not (City = Hoboken or Side = N)", [1]),
+            ("City not in (Hoboken, JerseyCity)", [3]),
+            ("City = Atlantis", []),
+        ],
+    )
+    def test_expressions(self, table, expression, expected):
+        predicate = parse_predicate(expression)
+        assert evaluate_predicate(table, predicate) == expected
+        assert naive_selection(table, predicate) == expected
+
+    def test_unknown_attribute_rejected(self, table):
+        with pytest.raises(QueryError):
+            evaluate_predicate(table, Eq("Nope", "x"))
+
+    def test_non_string_cells_compare_textually(self):
+        relation = Relation(["N", "B"], [[1, True], [10, False], [2, True]])
+        assert evaluate_predicate(relation, parse_predicate("N = 1")) == [0]
+        assert evaluate_predicate(relation, parse_predicate("B = True")) == [0, 2]
+
+
+class TestParser:
+    def test_precedence_or_lower_than_and(self):
+        predicate = parse_predicate("A = 1 or B = 2 and C = 3")
+        assert predicate == Or((Eq("A", "1"), And((Eq("B", "2"), Eq("C", "3")))))
+
+    def test_parentheses_override(self):
+        predicate = parse_predicate("(A = 1 or B = 2) and C = 3")
+        assert predicate == And((Or((Eq("A", "1"), Eq("B", "2"))), Eq("C", "3")))
+
+    def test_not_binds_tightest(self):
+        predicate = parse_predicate("not A = 1 and B = 2")
+        assert predicate == And((Not(Eq("A", "1")), Eq("B", "2")))
+
+    def test_double_negation(self):
+        assert parse_predicate("not not A = 1") == Not(Not(Eq("A", "1")))
+
+    def test_neq_and_not_in_desugar(self):
+        assert parse_predicate("A != 1") == Not(Eq("A", "1"))
+        assert parse_predicate("A not in (1, 2)") == Not(In("A", ("1", "2")))
+
+    def test_quoted_values_and_attributes(self):
+        predicate = parse_predicate("'Order Status' = 'open order' and B == \"x,y\"")
+        assert predicate == And((Eq("Order Status", "open order"), Eq("B", "x,y")))
+
+    def test_quoting_disables_keywords(self):
+        assert parse_predicate("A = 'and'") == Eq("A", "and")
+        assert parse_predicate("'not' = x") == Eq("not", "x")
+
+    def test_bare_word_charset(self):
+        assert parse_predicate("Date = 1995-03-07T10:30") == Eq("Date", "1995-03-07T10:30")
+        assert parse_predicate("Mail = a+b@c.d") == Eq("Mail", "a+b@c.d")
+        assert parse_predicate("Clerk != Clerk#00009") == Not(Eq("Clerk", "Clerk#00009"))
+
+    def test_keywords_case_insensitive(self):
+        predicate = parse_predicate("A = 1 AND B IN (2) OR NOT C = 3")
+        assert predicate == Or((And((Eq("A", "1"), In("B", ("2",)))), Not(Eq("C", "3"))))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "A =",
+            "= 1",
+            "A = 1 and",
+            "A in ()",
+            "A in (1,)",
+            "A in 1",
+            "(A = 1",
+            "A = 1)",
+            "A ~ 1",
+            "A = 'unterminated",
+            "not",
+            "A not 1",
+            "A = 1 B = 2",
+            "and = 1",
+        ],
+    )
+    def test_malformed_expressions_raise(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_predicate(bad)
+
+    def test_error_reports_position(self):
+        with pytest.raises(QuerySyntaxError, match="position"):
+            parse_predicate("A = 1 ~ 2")
+
+
+# ----------------------------------------------------------------------
+# Round trip: parse(str(p)) == p for arbitrary predicates
+# ----------------------------------------------------------------------
+_values = st.one_of(
+    st.text(
+        alphabet="abcXYZ019_.:@+-", min_size=1, max_size=6
+    ),
+    st.sampled_from(["with space", "and", "or", "not", "in", "O'Brien", 'say "hi"']),
+)
+_attributes = st.sampled_from(["A", "B", "Order Status", "Zip"])
+_leaves = st.one_of(
+    st.builds(Eq, _attributes, _values),
+    st.builds(
+        In, _attributes, st.lists(_values, min_size=1, max_size=3).map(tuple)
+    ),
+)
+_predicates = st.recursive(
+    _leaves,
+    lambda children: st.one_of(
+        st.builds(lambda cs: And(tuple(cs)), st.lists(children, min_size=2, max_size=3)),
+        st.builds(lambda cs: Or(tuple(cs)), st.lists(children, min_size=2, max_size=3)),
+        st.builds(Not, children),
+    ),
+    max_leaves=6,
+)
+
+
+class TestStringRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(_predicates)
+    def test_parse_of_str_is_identity(self, predicate):
+        assert parse_predicate(str(predicate)) == predicate
+
+    def test_mixed_quotes_unrenderable(self):
+        with pytest.raises(QueryError):
+            str(Eq("A", "both ' and \" quotes"))
