@@ -39,6 +39,7 @@ subpackages (:mod:`repro.api`, :mod:`repro.relational`, :mod:`repro.fd`,
 :mod:`repro.datasets`, :mod:`repro.bench`) hold the full API.
 """
 
+from repro.api.auth import Credential, ErrorCode, TenantRegistry
 from repro.api.pipeline import EncryptionPipeline, StageHook, StageRecorder
 from repro.api.protocol import (
     ProtocolClient,
@@ -74,18 +75,20 @@ from repro.query import (
 from repro.relational.schema import Schema
 from repro.relational.table import Relation
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "And",
     "BackendUnavailableError",
     "ConfigurationError",
+    "Credential",
     "DataOwner",
     "DecryptionError",
     "EncryptedTable",
     "EncryptionError",
     "EncryptionPipeline",
     "Eq",
+    "ErrorCode",
     "F2Config",
     "F2Scheme",
     "In",
@@ -105,6 +108,7 @@ __all__ = [
     "SocketProtocolServer",
     "SocketTransport",
     "StageHook",
+    "TenantRegistry",
     "StageRecorder",
     "available_backends",
     "get_backend",

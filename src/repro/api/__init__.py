@@ -23,14 +23,33 @@ The legacy :class:`repro.F2Scheme` remains available as a thin facade over
 the pipeline; new code should prefer the session objects.
 """
 
+from repro.api.auth import (
+    CAPABILITIES,
+    CAPABILITY_ANALYST,
+    CAPABILITY_OWNER,
+    Credential,
+    DEFAULT_TENANT,
+    ErrorCode,
+    TenantRegistry,
+)
+from repro.api.delta import (
+    ViewDelta,
+    apply_view_delta,
+    compute_view_delta,
+    relation_digest,
+)
 from repro.api.incremental import IncrementalReport, insert_rows
 from repro.api.protocol import (
     DEFAULT_TABLE_ID,
+    PROTOCOL_VERSIONS,
     Ack,
     DiscoverRequest,
     DiscoverResult,
     ErrorReply,
+    Hello,
+    HelloAck,
     InsertBatch,
+    InsertDelta,
     LoadSnapshot,
     LoopbackTransport,
     Message,
@@ -42,6 +61,7 @@ from repro.api.protocol import (
     QueryRequest,
     QueryResult,
     SaveSnapshot,
+    SignedEnvelope,
     SocketProtocolServer,
     SocketTransport,
 )
@@ -74,23 +94,33 @@ from repro.api.stages import (
 
 __all__ = [
     "Ack",
+    "CAPABILITIES",
+    "CAPABILITY_ANALYST",
+    "CAPABILITY_OWNER",
     "ConflictResolutionStage",
+    "Credential",
     "DEFAULT_TABLE_ID",
+    "DEFAULT_TENANT",
     "DataOwner",
     "DiscoverRequest",
     "DiscoverResult",
     "EncryptionContext",
     "EncryptionPipeline",
+    "ErrorCode",
     "ErrorReply",
     "FalsePositiveStage",
+    "Hello",
+    "HelloAck",
     "IncrementalReport",
     "InsertBatch",
+    "InsertDelta",
     "LoadSnapshot",
     "LoopbackTransport",
     "MasDiscoveryStage",
     "MaterializeStage",
     "Message",
     "OutsourceRequest",
+    "PROTOCOL_VERSIONS",
     "PlanQueryRequest",
     "PlanQueryResult",
     "ProtocolClient",
@@ -100,6 +130,7 @@ __all__ = [
     "RemoteOwnerSession",
     "SaveSnapshot",
     "ServiceProvider",
+    "SignedEnvelope",
     "SocketProtocolServer",
     "SocketTransport",
     "SplitScaleStage",
@@ -107,11 +138,16 @@ __all__ = [
     "StageHook",
     "StageRecord",
     "StageRecorder",
+    "TenantRegistry",
     "TimingHook",
     "VerifyRepairStage",
+    "ViewDelta",
+    "apply_view_delta",
+    "compute_view_delta",
     "decrypt_cell",
     "decrypt_table",
     "default_stages",
     "insert_rows",
+    "relation_digest",
     "run_protocol",
 ]

@@ -109,6 +109,13 @@ def insert_rows(
     ctx = EncryptionContext.create(
         updated, config, pipeline.cipher, fresh_factory=previous.fresh_factory
     )
+    # Carry the materialiser's fresh-nonce log (copied: the previous context
+    # stays untouched): untouched rows re-encrypt to their previous bytes,
+    # which is what makes the post-insert server view a small *delta* of the
+    # previous one.  The full-run fallback above deliberately starts with an
+    # empty log — a MAS change re-randomises everything, and the owner ships
+    # a full view anyway.
+    ctx.nonce_log = dict(previous.nonce_log)
     ctx.mas_result = mas_result
     ctx.stats.seconds_max = mas_seconds
     ctx.stats.num_masses = len(mas_result.masses)

@@ -39,7 +39,7 @@ from repro.core.encrypted import EncryptedTable, RowProvenance
 from repro.core.plan import FreshValueFactory, RowPlan
 from repro.core.stats import EncryptionStats
 from repro.crypto.keys import KeyGen, SymmetricKey
-from repro.crypto.probabilistic import ProbabilisticCipher
+from repro.crypto.probabilistic import Ciphertext, ProbabilisticCipher
 from repro.exceptions import EncryptionError
 from repro.fd.mas import MasResult
 from repro.relational.coded import CodedRelation
@@ -63,6 +63,16 @@ class EncryptionContext:
     stats: EncryptionStats
     #: Compute backend shared by every stage (resolved from the config).
     backend: ComputeBackend | None = None
+
+    #: Per-cell fresh-nonce log of the materialiser: ``(attribute, value)``
+    #: -> the probabilistic ciphertext produced for that frequency-one cell.
+    #: Retained across incremental updates (see :mod:`repro.api.incremental`)
+    #: so that re-materialising an untouched row reproduces its previous
+    #: bytes — which is what makes a server-view *delta* well-defined.
+    #: Values on attributes outside every MAS are unique (a duplicate would
+    #: put the attribute inside a MAS and trigger the full-run fallback), so
+    #: the key never aliases two distinct cells.
+    nonce_log: dict[tuple[str, str], "Ciphertext"] = field(default_factory=dict)
 
     # Produced by the stages, in order.
     mas_result: MasResult | None = None

@@ -34,6 +34,7 @@ tokens — exactly the honest-but-curious model of the paper.
 
 from __future__ import annotations
 
+import base64
 import json
 import os
 import re
@@ -42,14 +43,28 @@ import socketserver
 import struct
 import tempfile
 import threading
+import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, ClassVar
 
 from contextlib import contextmanager
 
+from repro.api.auth import (
+    CAPABILITY_OWNER,
+    Credential,
+    DEFAULT_TENANT,
+    ErrorCode,
+    TenantRegistry,
+    check_capability,
+    check_tenant_id,
+    sign_frame,
+    verify_frame,
+)
+from repro.api.delta import ViewDelta, apply_view_delta
 from repro.backend import ComputeBackend, get_backend
-from repro.exceptions import ProtocolError, QueryError, WireError
+from repro.exceptions import AuthError, ProtocolError, QueryError, WireError
 from repro.fd.tane import TaneResult, tane_with_stats
 from repro.query.server import (
     ServerExpr,
@@ -61,6 +76,7 @@ from repro.query.server import (
 from repro.relational.table import Relation
 from repro.wire import (
     WIRE_BINARY,
+    WIRE_FORMS,
     WIRE_JSON,
     check_form,
     decode_cells,
@@ -75,15 +91,26 @@ from repro.wire import (
 from repro.wire.codec import json_blob
 from repro.wire.binary import ByteReader, ByteWriter
 
-#: Magic + version prefix of a binary protocol message.
+#: Magic + version prefix of a binary protocol message (the *envelope*
+#: format — distinct from the negotiated service protocol version below).
 MESSAGE_MAGIC = b"F2M"
 MESSAGE_VERSION = 1
+
+#: Service protocol versions this endpoint speaks.  Version 1 is the
+#: anonymous single-tenant protocol (plain messages, no sessions); version 2
+#: adds the authenticated multi-tenant session layer.  ``Hello`` negotiates
+#: the highest version both sides share; signed sessions require >= 2.
+PROTOCOL_VERSIONS = (1, 2)
+SESSION_MIN_VERSION = 2
 
 #: Default table id used by the session facades.
 DEFAULT_TABLE_ID = "default"
 
 #: Table ids double as snapshot file names; keep them path-safe.
 _TABLE_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: Tenant snapshot directories share the same path-safe grammar.
+_TENANT_DIR_RE = _TABLE_ID_RE
 
 #: Snapshot files written by the server (binary relation frames).
 SNAPSHOT_SUFFIX = ".f2t"
@@ -97,7 +124,8 @@ def check_table_id(table_id: str) -> str:
     if not isinstance(table_id, str) or not _TABLE_ID_RE.match(table_id):
         raise ProtocolError(
             f"invalid table id {table_id!r}: use 1-64 characters from "
-            "[A-Za-z0-9._-], starting with a letter or digit"
+            "[A-Za-z0-9._-], starting with a letter or digit",
+            code=ErrorCode.BAD_REQUEST.value,
         )
     return table_id
 
@@ -495,6 +523,194 @@ class LoadSnapshot(Message):
 
 
 @dataclass(frozen=True)
+class InsertDelta(Message):
+    """Owner -> provider: splice an incremental insert into ``table_id``.
+
+    Ships only what changed: copy segments referencing the provider's stored
+    base view plus the literal (new/changed) ciphertext rows — see
+    :mod:`repro.api.delta`.  The provider verifies the base digest under the
+    table's write lock before splicing (an interleaved writer makes the
+    delta unappliable and is reported as ``DELTA_MISMATCH``, upon which the
+    owner falls back to a full :class:`InsertBatch`).
+    """
+
+    kind: ClassVar[str] = "insert_delta"
+    table_id: str
+    delta: ViewDelta
+    batch_rows: int = 0
+
+    def _meta(self) -> dict[str, Any]:
+        return {
+            "table_id": self.table_id,
+            "batch_rows": self.batch_rows,
+            "base_rows": self.delta.base_rows,
+            "base_digest": self.delta.base_digest,
+            "segments": [list(segment) for segment in self.delta.segments],
+            "table_name": self.delta.table_name,
+        }
+
+    def _attachments(self, form: str) -> dict[str, bytes]:
+        if self.delta.literals is None:
+            return {}
+        return {"literals": encode_relation(self.delta.literals, form)}
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "InsertDelta":
+        segments = meta.get("segments")
+        digest = meta.get("base_digest")
+        if not isinstance(segments, list) or not isinstance(digest, str):
+            raise WireError("insert_delta without segments or base digest")
+        literals_payload = attachments.get("literals")
+        delta = ViewDelta(
+            base_rows=int(meta.get("base_rows", -1)),
+            base_digest=digest,
+            segments=[list(segment) for segment in segments],
+            literals=None
+            if literals_payload is None
+            else decode_relation(literals_payload),
+            table_name=str(meta.get("table_name", "")),
+        )
+        return cls(
+            table_id=check_table_id(meta.get("table_id", "")),
+            delta=delta,
+            batch_rows=int(meta.get("batch_rows", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class Hello(Message):
+    """Client -> server: open an authenticated session (the handshake).
+
+    Carries the tenant identity, the capability the client's credential was
+    minted for, and the protocol versions / wire forms the client speaks (in
+    preference order).  The server negotiates (highest shared version, first
+    shared wire form) and answers with a :class:`HelloAck`; proof of key
+    possession happens on the first signed frame, not here — a forged Hello
+    yields a session its sender cannot sign anything for.
+    """
+
+    kind: ClassVar[str] = "hello"
+    tenant_id: str
+    capability: str
+    token_id: str = ""
+    versions: tuple[int, ...] = PROTOCOL_VERSIONS
+    wire_forms: tuple[str, ...] = (WIRE_BINARY, WIRE_JSON)
+
+    def _meta(self) -> dict[str, Any]:
+        return {
+            "tenant_id": self.tenant_id,
+            "capability": self.capability,
+            "token_id": self.token_id,
+            "versions": list(self.versions),
+            "wire_forms": list(self.wire_forms),
+        }
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "Hello":
+        versions = meta.get("versions")
+        forms = meta.get("wire_forms")
+        if not isinstance(versions, list) or not isinstance(forms, list):
+            raise WireError("hello without version or wire-form lists")
+        return cls(
+            tenant_id=check_tenant_id(str(meta.get("tenant_id", ""))),
+            capability=check_capability(str(meta.get("capability", ""))),
+            token_id=str(meta.get("token_id", "")),
+            versions=tuple(int(version) for version in versions),
+            wire_forms=tuple(str(form) for form in forms),
+        )
+
+
+@dataclass(frozen=True)
+class HelloAck(Message):
+    """Server -> client: the established session and the negotiated terms."""
+
+    kind: ClassVar[str] = "hello_ack"
+    session_id: str
+    version: int
+    wire_format: str
+    server_name: str = ""
+
+    def _meta(self) -> dict[str, Any]:
+        return {
+            "session_id": self.session_id,
+            "version": self.version,
+            "wire_format": self.wire_format,
+            "server_name": self.server_name,
+        }
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "HelloAck":
+        session_id = meta.get("session_id")
+        if not isinstance(session_id, str) or not session_id:
+            raise WireError("hello_ack without a session id")
+        return cls(
+            session_id=session_id,
+            version=int(meta.get("version", 0)),
+            wire_format=check_form(str(meta.get("wire_format", ""))),
+            server_name=str(meta.get("server_name", "")),
+        )
+
+
+@dataclass(frozen=True)
+class SignedEnvelope(Message):
+    """An authenticated frame: session id, sequence number, HMAC, payload.
+
+    ``payload`` is a complete encoded protocol message; the signature is
+    HMAC-SHA256 over ``(session_id, sequence, payload)`` keyed by the
+    session's tenant secret (see :mod:`repro.api.auth`).  In the binary wire
+    form the payload travels as a raw attachment; in the JSON form it is
+    base64-wrapped (``{"b64": ...}``) so the JSON round trip cannot disturb
+    the exact bytes the signature covers.
+    """
+
+    kind: ClassVar[str] = "signed"
+    session_id: str
+    sequence: int
+    signature: str
+    payload: bytes
+
+    def _meta(self) -> dict[str, Any]:
+        return {
+            "session_id": self.session_id,
+            "sequence": self.sequence,
+            "signature": self.signature,
+        }
+
+    def _attachments(self, form: str) -> dict[str, bytes]:
+        if form == WIRE_JSON:
+            wrapped = {"b64": base64.b64encode(self.payload).decode("ascii")}
+            return {"payload": json.dumps(wrapped, separators=(",", ":")).encode("utf-8")}
+        return {"payload": self.payload}
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "SignedEnvelope":
+        raw = attachments.get("payload")
+        if raw is None:
+            raise WireError("signed envelope without a payload")
+        payload = raw
+        if not raw.startswith(MESSAGE_MAGIC):
+            try:
+                doc = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                doc = None
+            if isinstance(doc, dict) and set(doc) == {"b64"}:
+                try:
+                    payload = base64.b64decode(str(doc["b64"]), validate=True)
+                except (ValueError, TypeError) as exc:
+                    raise WireError("signed envelope payload is not valid base64") from exc
+        session_id = meta.get("session_id")
+        signature = meta.get("signature")
+        if not isinstance(session_id, str) or not isinstance(signature, str):
+            raise WireError("signed envelope without session id or signature")
+        return cls(
+            session_id=session_id,
+            sequence=int(meta.get("sequence", -1)),
+            signature=signature,
+            payload=payload,
+        )
+
+
+@dataclass(frozen=True)
 class Ack(Message):
     """Generic success reply; ``fields`` carries request-specific details."""
 
@@ -511,18 +727,28 @@ class Ack(Message):
 
 @dataclass(frozen=True)
 class ErrorReply(Message):
-    """Failure reply: the error category plus a human-readable message."""
+    """Failure reply: a stable error code, category, and readable message.
+
+    ``code`` is an :class:`repro.api.auth.ErrorCode` value; clients (and the
+    CLI's exit-code mapping) branch on it instead of parsing ``message``.
+    ``error`` remains the server-side exception class name, for logs.
+    """
 
     kind: ClassVar[str] = "error"
     error: str
     message: str
+    code: str = ErrorCode.INTERNAL.value
 
     def _meta(self) -> dict[str, Any]:
-        return {"error": self.error, "message": self.message}
+        return {"error": self.error, "message": self.message, "code": self.code}
 
     @classmethod
     def _build(cls, meta, attachments) -> "ErrorReply":
-        return cls(error=str(meta.get("error", "")), message=str(meta.get("message", "")))
+        return cls(
+            error=str(meta.get("error", "")),
+            message=str(meta.get("message", "")),
+            code=str(meta.get("code", ErrorCode.INTERNAL.value)),
+        )
 
 
 MESSAGE_TYPES: dict[str, type[Message]] = {
@@ -530,6 +756,7 @@ MESSAGE_TYPES: dict[str, type[Message]] = {
     for cls in (
         OutsourceRequest,
         InsertBatch,
+        InsertDelta,
         DiscoverRequest,
         DiscoverResult,
         QueryRequest,
@@ -538,6 +765,9 @@ MESSAGE_TYPES: dict[str, type[Message]] = {
         PlanQueryResult,
         SaveSnapshot,
         LoadSnapshot,
+        Hello,
+        HelloAck,
+        SignedEnvelope,
         Ack,
         ErrorReply,
     )
@@ -549,6 +779,36 @@ def _require(attachments: dict[str, bytes], name: str, kind: str) -> bytes:
     if payload is None:
         raise WireError(f"protocol message {kind!r} missing attachment {name!r}")
     return payload
+
+
+def _error_reply(exc: Exception, default: str = "") -> ErrorReply:
+    """Map a server-side exception onto a coded :class:`ErrorReply`.
+
+    Exceptions that carry a ``code`` (``ProtocolError``/``AuthError``) keep
+    it; the remaining repro domains fall back to their category code;
+    anything else gets ``default`` (the decode path passes
+    ``WIRE_MALFORMED`` — any exception there means unparseable input) or
+    ``INTERNAL``.
+    """
+    code = getattr(exc, "code", None)
+    if not code:
+        if isinstance(exc, WireError):
+            code = ErrorCode.WIRE_MALFORMED.value
+        elif isinstance(exc, QueryError):
+            # Attribute-missing QueryErrors carry UNKNOWN_ATTRIBUTE
+            # explicitly (see _unknown_attribute); the rest are structural
+            # request problems.
+            code = ErrorCode.BAD_REQUEST.value
+        else:
+            code = default or ErrorCode.INTERNAL.value
+    return ErrorReply(error=type(exc).__name__, message=str(exc), code=str(code))
+
+
+def _unknown_attribute(table_id: str, attribute: str) -> QueryError:
+    """A QueryError tagged with the stable UNKNOWN_ATTRIBUTE wire code."""
+    error = QueryError(f"table {table_id!r} has no attribute {attribute!r}")
+    error.code = ErrorCode.UNKNOWN_ATTRIBUTE.value
+    return error
 
 
 # ----------------------------------------------------------------------
@@ -606,6 +866,36 @@ class _RWLock:
 # ----------------------------------------------------------------------
 # Server endpoint
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _AuthContext:
+    """Who a request acts as: the resolved tenant and its capability."""
+
+    tenant_id: str
+    capability: str
+    session_id: str = ""
+
+
+#: The context of unauthenticated (legacy single-tenant) requests: the
+#: implicit local tenant with full rights.
+_ANONYMOUS = _AuthContext(tenant_id=DEFAULT_TENANT, capability=CAPABILITY_OWNER)
+
+
+@dataclass
+class _SessionState:
+    """One established session: identity, negotiated terms, next sequence."""
+
+    session_id: str
+    tenant_id: str
+    capability: str
+    token_id: str
+    version: int
+    wire_format: str
+    next_sequence: int = 1
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Monotonic clock of the last verified frame (LRU eviction order).
+    last_used: float = 0.0
+
+
 class ProtocolServer:
     """The provider endpoint: keyless stores, discovery, queries, snapshots.
 
@@ -618,10 +908,24 @@ class ProtocolServer:
         the party with the big hardware).
     storage_dir:
         Directory for snapshot persistence.  When set, every received store
-        is written as ``<table_id>.f2t`` (a binary relation frame) and every
-        existing snapshot is loaded back on construction, so a restarted
-        server resumes serving without a re-outsource.  ``None`` keeps all
-        stores in memory only.
+        is written as a ``.f2t`` binary relation frame (directly in the
+        directory for the default local tenant, under ``<tenant_id>/`` for
+        authenticated tenants) and every readable snapshot is loaded back on
+        construction, so a restarted server resumes serving without a
+        re-outsource.  A corrupt or truncated snapshot is skipped with a
+        warning — one bad file must not take down every other tenant's
+        tables.  ``None`` keeps all stores in memory only.
+    tenants:
+        A :class:`~repro.api.auth.TenantRegistry` (or a path to one)
+        enabling the authenticated multi-tenant session layer.  When set,
+        plain unauthenticated data messages are rejected with
+        ``AUTH_REQUIRED`` unless ``allow_anonymous=True``.  ``None`` (the
+        default) keeps the legacy behaviour: every request acts as the
+        implicit local tenant with full rights.
+    allow_anonymous:
+        Explicitly allow unauthenticated requests alongside a tenant
+        registry (they act as the local tenant).  Defaults to ``True`` when
+        ``tenants`` is ``None`` and ``False`` otherwise.
     """
 
     def __init__(
@@ -629,6 +933,8 @@ class ProtocolServer:
         name: str = "service-provider",
         backend: "ComputeBackend | str | None" = None,
         storage_dir: "str | Path | None" = None,
+        tenants: "TenantRegistry | str | Path | None" = None,
+        allow_anonymous: "bool | None" = None,
     ):
         self.name = name
         self.backend = backend
@@ -642,12 +948,35 @@ class ProtocolServer:
         # against one table share its read lock.
         self._lock = threading.Lock()
         self._table_locks: dict[str, _RWLock] = {}
+        self._sessions: dict[str, _SessionState] = {}
+        if tenants is None or isinstance(tenants, TenantRegistry):
+            self.tenants = tenants
+        else:
+            self.tenants = TenantRegistry(tenants)
+        self._allow_anonymous = (
+            (self.tenants is None) if allow_anonymous is None else bool(allow_anonymous)
+        )
         self._storage_dir = Path(storage_dir) if storage_dir is not None else None
         if self._storage_dir is not None:
             self._storage_dir.mkdir(parents=True, exist_ok=True)
             self._load_all_snapshots()
 
-    def _table_lock(self, table_id: str) -> _RWLock:
+    # -- tenant/table namespacing --------------------------------------
+    @staticmethod
+    def _store_key(tenant_id: str, table_id: str) -> str:
+        """The internal store key of a tenant's table.
+
+        The local tenant keeps bare table ids (so pre-tenancy snapshots,
+        facades, and tests address the same keys as before); every other
+        tenant gets a ``tenant_id/table_id`` namespace.  Table and tenant
+        ids both forbid ``/``, so the namespaces cannot collide.
+        """
+        check_table_id(table_id)
+        if tenant_id == DEFAULT_TENANT:
+            return table_id
+        return f"{check_tenant_id(tenant_id)}/{table_id}"
+
+    def _table_lock(self, store_key: str) -> _RWLock:
         """The read/write lock of one table (created on first use).
 
         Lock ordering: a handler takes the table lock first and the registry
@@ -657,47 +986,72 @@ class ProtocolServer:
         the registry without bound.
         """
         with self._lock:
-            lock = self._table_locks.get(table_id)
+            lock = self._table_locks.get(store_key)
             if lock is None:
-                lock = self._table_locks[table_id] = _RWLock()
+                lock = self._table_locks[store_key] = _RWLock()
             return lock
 
-    def _require_known_table(self, table_id: str) -> None:
-        """Reject requests for tables this server does not hold.
+    def _require_known_table(self, store_key: str, table_id: str) -> None:
+        """Reject requests for tables this tenant does not hold.
 
         Raised *before* a per-table lock is allocated: tables are never
         removed, so the check cannot race a deletion, and an untrusted
         client probing random table ids leaves no trace in the registry.
+        The message names the client-facing table id only — another
+        tenant's namespace never leaks into an error.
         """
         with self._lock:
-            if table_id not in self._stores:
-                raise ProtocolError(f"{self.name} has no table {table_id!r}")
+            if store_key not in self._stores:
+                raise ProtocolError(
+                    f"{self.name} has no table {table_id!r}",
+                    code=ErrorCode.UNKNOWN_TABLE.value,
+                )
 
     # -- store access (used by the in-process facade and tests) --------
-    def table_ids(self) -> list[str]:
+    def table_ids(self, tenant_id: "str | None" = DEFAULT_TENANT) -> list[str]:
+        """Table ids of one tenant (default: local); ``None`` lists every
+        store key across all tenants (namespaced keys included)."""
         with self._lock:
-            return sorted(self._stores)
+            keys = sorted(self._stores)
+        if tenant_id is None:
+            return keys
+        if tenant_id == DEFAULT_TENANT:
+            return [key for key in keys if "/" not in key]
+        prefix = f"{tenant_id}/"
+        return [key[len(prefix) :] for key in keys if key.startswith(prefix)]
 
-    def store(self, table_id: str = DEFAULT_TABLE_ID) -> Relation:
+    def store(
+        self, table_id: str = DEFAULT_TABLE_ID, tenant_id: str = DEFAULT_TENANT
+    ) -> Relation:
+        key = self._store_key(tenant_id, table_id)
         with self._lock:
-            relation = self._stores.get(table_id)
+            relation = self._stores.get(key)
         if relation is None:
-            raise ProtocolError(f"{self.name} has no table {table_id!r}")
+            raise ProtocolError(
+                f"{self.name} has no table {table_id!r}",
+                code=ErrorCode.UNKNOWN_TABLE.value,
+            )
         return relation
 
-    def has_table(self, table_id: str = DEFAULT_TABLE_ID) -> bool:
+    def has_table(
+        self, table_id: str = DEFAULT_TABLE_ID, tenant_id: str = DEFAULT_TENANT
+    ) -> bool:
+        key = self._store_key(tenant_id, table_id)
         with self._lock:
-            return table_id in self._stores
+            return key in self._stores
 
-    def last_discovery(self, table_id: str = DEFAULT_TABLE_ID) -> TaneResult | None:
+    def last_discovery(
+        self, table_id: str = DEFAULT_TABLE_ID, tenant_id: str = DEFAULT_TENANT
+    ) -> TaneResult | None:
         """The most recent discovery for ``table_id``.
 
         ``None`` until a discovery ran — and again after every received
         store, because a result computed on the previous ciphertext does not
         describe the current one.
         """
+        key = self._store_key(tenant_id, table_id)
         with self._lock:
-            return self._discoveries.get(table_id)
+            return self._discoveries.get(key)
 
     # -- transport-facing entry point ----------------------------------
     def handle_bytes(self, data: bytes) -> bytes:
@@ -712,43 +1066,232 @@ class ProtocolServer:
             form = WIRE_BINARY if data[: len(MESSAGE_MAGIC)] == MESSAGE_MAGIC else WIRE_JSON
             request = Message.decode(data)
         except Exception as exc:  # noqa: BLE001 - see docstring
-            return ErrorReply(error=type(exc).__name__, message=str(exc)).encode(WIRE_JSON)
+            return _error_reply(exc, default=ErrorCode.WIRE_MALFORMED.value).encode(WIRE_JSON)
+        if isinstance(request, Hello):
+            return self._dispatch_safely(self._handle_hello, request).encode(form)
+        if isinstance(request, SignedEnvelope):
+            return self._dispatch_safely(self._handle_signed, request).encode(form)
+        if not self._allow_anonymous:
+            return ErrorReply(
+                error="AuthError",
+                message=f"{self.name} requires an authenticated session "
+                "(send a Hello handshake and sign your requests)",
+                code=ErrorCode.AUTH_REQUIRED.value,
+            ).encode(form)
         return self.handle(request).encode(form)
 
-    def handle(self, request: Message) -> Message:
-        """Dispatch one decoded request to its handler; errors become replies."""
+    def _dispatch_safely(self, handler, request: Message) -> Message:
+        try:
+            return handler(request)
+        except Exception as exc:  # noqa: BLE001 - a request must not kill the server
+            return _error_reply(exc)
+
+    def handle(self, request: Message, auth: _AuthContext = _ANONYMOUS) -> Message:
+        """Dispatch one decoded request to its handler; errors become replies.
+
+        ``auth`` is the verified identity the request acts as: the implicit
+        local tenant for plain requests, or the session's tenant/capability
+        for a signed frame.  Capability enforcement happens here, per
+        message type, before any handler runs.
+        """
         handler = self._HANDLERS.get(type(request))
         if handler is None:
             return ErrorReply(
                 error="ProtocolError",
                 message=f"{self.name} cannot handle message kind {request.kind!r}",
+                code=ErrorCode.BAD_REQUEST.value,
+            )
+        if type(request) in self._OWNER_ONLY and auth.capability != CAPABILITY_OWNER:
+            return ErrorReply(
+                error="AuthError",
+                message=f"capability {auth.capability!r} may not send "
+                f"{request.kind!r} (owner capability required)",
+                code=ErrorCode.FORBIDDEN.value,
             )
         try:
-            return handler(self, request)
+            return handler(self, request, auth)
         except Exception as exc:  # noqa: BLE001 - a request must not kill the server
-            return ErrorReply(error=type(exc).__name__, message=str(exc))
+            return _error_reply(exc)
+
+    # -- the authenticated session layer --------------------------------
+    def _handle_hello(self, request: Hello) -> Message:
+        if self.tenants is None:
+            raise AuthError(
+                f"{self.name} has no tenant registry; authenticated sessions "
+                "are not available",
+                code=ErrorCode.AUTH_UNKNOWN_TENANT.value,
+            )
+        shared_versions = [
+            version
+            for version in request.versions
+            if version in PROTOCOL_VERSIONS and version >= SESSION_MIN_VERSION
+        ]
+        if not shared_versions:
+            raise AuthError(
+                f"no shared protocol version: client speaks {list(request.versions)}, "
+                f"server speaks {list(PROTOCOL_VERSIONS)} (sessions need >= "
+                f"{SESSION_MIN_VERSION})",
+                code=ErrorCode.VERSION_UNSUPPORTED.value,
+            )
+        wire_format = next(
+            (form for form in request.wire_forms if form in WIRE_FORMS), None
+        )
+        if wire_format is None:
+            raise AuthError(
+                f"no shared wire form: client proposed {list(request.wire_forms)}",
+                code=ErrorCode.VERSION_UNSUPPORTED.value,
+            )
+        if request.tenant_id == DEFAULT_TENANT:
+            # The local tenant is the anonymous namespace; a session for it
+            # (e.g. via a hand-edited registry) would alias the legacy
+            # tables under an authenticated identity.
+            raise AuthError(
+                f"tenant id {DEFAULT_TENANT!r} is reserved for "
+                "unauthenticated local access",
+                code=ErrorCode.AUTH_UNKNOWN_TENANT.value,
+            )
+        if not self.tenants.has_tenant(request.tenant_id):
+            raise AuthError(
+                f"unknown tenant {request.tenant_id!r}",
+                code=ErrorCode.AUTH_UNKNOWN_TENANT.value,
+            )
+        key = self.tenants.key_for(request.tenant_id, request.capability)
+        if key is None:
+            raise AuthError(
+                f"tenant {request.tenant_id!r} has no {request.capability!r} key",
+                code=ErrorCode.AUTH_FAILED.value,
+            )
+        if key.revoked:
+            raise AuthError(
+                f"the {request.capability!r} key of tenant {request.tenant_id!r} "
+                "has been revoked",
+                code=ErrorCode.AUTH_REVOKED.value,
+            )
+        session = _SessionState(
+            session_id=os.urandom(16).hex(),
+            tenant_id=request.tenant_id,
+            capability=request.capability,
+            token_id=request.token_id,
+            version=max(shared_versions),
+            wire_format=wire_format,
+            last_used=time.monotonic(),
+        )
+        with self._lock:
+            # Bound the session table: handshakes are cheap for anyone who
+            # knows a valid tenant id, so evict the least-recently-verified
+            # session on overflow (its holder simply re-handshakes).
+            while len(self._sessions) >= self.MAX_SESSIONS:
+                oldest = min(self._sessions.values(), key=lambda s: s.last_used)
+                del self._sessions[oldest.session_id]
+            self._sessions[session.session_id] = session
+        return HelloAck(
+            session_id=session.session_id,
+            version=session.version,
+            wire_format=session.wire_format,
+            server_name=self.name,
+        )
+
+    def _handle_signed(self, request: SignedEnvelope) -> Message:
+        """Verify one signed frame, then dispatch its inner message.
+
+        Verification order: session, signature, sequence.  The signature is
+        checked against the registry's *current* key for the session's
+        tenant/capability, so rotation and revocation bite on the very next
+        frame.  The sequence number only advances after both checks pass —
+        a replayed frame (old sequence, valid old signature) and a forged
+        frame (fresh sequence, bad signature) are both rejected without
+        moving the window.
+        """
+        with self._lock:
+            session = self._sessions.get(request.session_id)
+        if session is None:
+            raise AuthError(
+                "unknown session (handshake again)",
+                code=ErrorCode.AUTH_UNKNOWN_SESSION.value,
+            )
+        registry = self.tenants
+        assert registry is not None  # sessions only exist with a registry
+        with session.lock:
+            key = registry.key_for(session.tenant_id, session.capability)
+            if key is None:
+                raise AuthError(
+                    f"tenant {session.tenant_id!r} no longer has a "
+                    f"{session.capability!r} key",
+                    code=ErrorCode.AUTH_FAILED.value,
+                )
+            if key.revoked:
+                raise AuthError(
+                    f"the {session.capability!r} key of tenant "
+                    f"{session.tenant_id!r} has been revoked",
+                    code=ErrorCode.AUTH_REVOKED.value,
+                )
+            secret = bytes.fromhex(key.secret_hex)
+            if not verify_frame(
+                secret,
+                request.session_id,
+                request.sequence,
+                request.payload,
+                request.signature,
+            ):
+                raise AuthError(
+                    "request signature does not verify against the tenant's "
+                    "current key",
+                    code=ErrorCode.AUTH_FAILED.value,
+                )
+            if request.sequence != session.next_sequence:
+                raise AuthError(
+                    f"bad sequence number {request.sequence} (expected "
+                    f"{session.next_sequence}): replayed, duplicated, or "
+                    "reordered frame",
+                    code=ErrorCode.BAD_SEQUENCE.value,
+                )
+            session.next_sequence += 1
+            session.last_used = time.monotonic()
+            try:
+                inner = Message.decode(request.payload)
+            except Exception as exc:  # noqa: BLE001 - malformed payloads reply
+                raise WireError(f"signed payload is not a protocol message: {exc}") from exc
+            if isinstance(inner, (Hello, SignedEnvelope)):
+                raise ProtocolError(
+                    f"a signed frame cannot carry a {inner.kind!r} message",
+                    code=ErrorCode.BAD_REQUEST.value,
+                )
+            auth = _AuthContext(
+                tenant_id=session.tenant_id,
+                capability=session.capability,
+                session_id=session.session_id,
+            )
+            # Dispatch while still holding the session lock: one session is
+            # one logical command stream (the client serializes its signed
+            # calls anyway), and releasing earlier would let a later frame
+            # overtake this one inside the handlers.
+            return self.handle(inner, auth)
 
     # -- handlers ------------------------------------------------------
-    def _receive_store(self, table_id: str, relation: Relation) -> None:
-        with self._table_lock(table_id).write():
+    def _receive_store(self, store_key: str, relation: Relation) -> None:
+        with self._table_lock(store_key).write():
             with self._lock:
-                self._stores[table_id] = relation
+                self._stores[store_key] = relation
                 # A new ciphertext invalidates any cached discovery result.
-                self._discoveries.pop(table_id, None)
+                self._discoveries.pop(store_key, None)
             # Persist while still holding the table's write lock: concurrent
             # receives for one table id must snapshot in the same order they
             # update the store (a stale writer must not win the rename after
             # a newer one), but snapshots of *different* tables — and all
             # query traffic against other tables — proceed in parallel.
             if self._storage_dir is not None:
-                self._write_snapshot(table_id, relation)
+                self._write_snapshot(store_key, relation)
 
-    def _handle_outsource(self, request: OutsourceRequest) -> Message:
-        self._receive_store(request.table_id, request.relation)
+    def _handle_outsource(self, request: OutsourceRequest, auth: _AuthContext) -> Message:
+        self._receive_store(
+            self._store_key(auth.tenant_id, request.table_id), request.relation
+        )
         return Ack(fields={"table_id": request.table_id, "num_rows": request.relation.num_rows})
 
-    def _handle_insert(self, request: InsertBatch) -> Message:
-        self._receive_store(request.table_id, request.relation)
+    def _handle_insert(self, request: InsertBatch, auth: _AuthContext) -> Message:
+        self._receive_store(
+            self._store_key(auth.tenant_id, request.table_id), request.relation
+        )
         return Ack(
             fields={
                 "table_id": request.table_id,
@@ -757,7 +1300,36 @@ class ProtocolServer:
             }
         )
 
-    def _handle_discover(self, request: DiscoverRequest) -> Message:
+    def _handle_insert_delta(self, request: InsertDelta, auth: _AuthContext) -> Message:
+        """Splice a view delta into the stored base under the write lock.
+
+        The digest check inside :func:`~repro.api.delta.apply_view_delta`
+        runs under the same write lock as the splice, so the base it
+        verifies is exactly the base it applies to — an interleaved writer
+        yields a clean ``DELTA_MISMATCH`` (the owner then falls back to a
+        full :class:`InsertBatch`), never a corrupted store.
+        """
+        store_key = self._store_key(auth.tenant_id, request.table_id)
+        self._require_known_table(store_key, request.table_id)
+        with self._table_lock(store_key).write():
+            with self._lock:
+                base = self._stores[store_key]
+            updated = apply_view_delta(base, request.delta)
+            with self._lock:
+                self._stores[store_key] = updated
+                self._discoveries.pop(store_key, None)
+            if self._storage_dir is not None:
+                self._write_snapshot(store_key, updated)
+        return Ack(
+            fields={
+                "table_id": request.table_id,
+                "num_rows": updated.num_rows,
+                "batch_rows": request.batch_rows,
+                "literal_rows": request.delta.literal_rows,
+            }
+        )
+
+    def _handle_discover(self, request: DiscoverRequest, auth: _AuthContext) -> Message:
         # Discovery runs on the immutable relation reference without any
         # table lock: store() is atomic under the registry lock, TANE can
         # take seconds (holding the read lock would block every mutation),
@@ -765,7 +1337,8 @@ class ProtocolServer:
         # an in-flight snapshot write for no consistency gain.  A receive
         # landing mid-run simply swaps the store; the is-check below keeps
         # the stale result out of the cache.
-        relation = self.store(request.table_id)
+        store_key = self._store_key(auth.tenant_id, request.table_id)
+        relation = self.store(request.table_id, tenant_id=auth.tenant_id)
         result = tane_with_stats(
             relation, max_lhs_size=request.max_lhs_size, backend=self.backend
         )
@@ -773,21 +1346,20 @@ class ProtocolServer:
             # Cache only if no concurrent receive replaced the store while
             # TANE ran — a result computed on the old ciphertext must not
             # resurface as the "last discovery" of the new one.
-            if self._stores.get(request.table_id) is relation:
-                self._discoveries[request.table_id] = result
+            if self._stores.get(store_key) is relation:
+                self._discoveries[store_key] = result
         return DiscoverResult(table_id=request.table_id, result=result)
 
-    def _handle_query(self, request: QueryRequest) -> Message:
+    def _handle_query(self, request: QueryRequest, auth: _AuthContext) -> Message:
         # Executed under the table's read lock: parallel queries share it,
         # and a mutation (which replaces the stored relation and its coded
         # view) waits for in-flight executions instead of racing them.
-        self._require_known_table(request.table_id)
-        with self._table_lock(request.table_id).read():
-            relation = self.store(request.table_id)
+        store_key = self._store_key(auth.tenant_id, request.table_id)
+        self._require_known_table(store_key, request.table_id)
+        with self._table_lock(store_key).read():
+            relation = self.store(request.table_id, tenant_id=auth.tenant_id)
             if request.attribute not in relation.schema:
-                raise QueryError(
-                    f"table {request.table_id!r} has no attribute {request.attribute!r}"
-                )
+                raise _unknown_attribute(request.table_id, request.attribute)
             indexes = relation.coded(self.backend).rows_matching(
                 request.attribute, request.token
             )
@@ -800,17 +1372,15 @@ class ProtocolServer:
                 else None,
             )
 
-    def _handle_plan_query(self, request: PlanQueryRequest) -> Message:
-        self._require_known_table(request.table_id)
-        with self._table_lock(request.table_id).read():
-            relation = self.store(request.table_id)
+    def _handle_plan_query(self, request: PlanQueryRequest, auth: _AuthContext) -> Message:
+        store_key = self._store_key(auth.tenant_id, request.table_id)
+        self._require_known_table(store_key, request.table_id)
+        with self._table_lock(store_key).read():
+            relation = self.store(request.table_id, tenant_id=auth.tenant_id)
             schema = relation.schema
             for leaf in collect_leaves(request.expr):
                 if leaf.attribute not in schema:
-                    raise QueryError(
-                        f"table {request.table_id!r} has no attribute "
-                        f"{leaf.attribute!r}"
-                    )
+                    raise _unknown_attribute(request.table_id, leaf.attribute)
             indexes, leaf_counts = execute_server_expr(
                 relation.coded(self.backend), request.expr
             )
@@ -821,46 +1391,73 @@ class ProtocolServer:
                 num_rows=relation.num_rows,
             )
 
-    def _handle_save_snapshot(self, request: SaveSnapshot) -> Message:
+    def _handle_save_snapshot(self, request: SaveSnapshot, auth: _AuthContext) -> Message:
         if self._storage_dir is None:
-            raise ProtocolError(f"{self.name} has no snapshot storage configured")
-        self._require_known_table(request.table_id)
+            raise ProtocolError(
+                f"{self.name} has no snapshot storage configured",
+                code=ErrorCode.SNAPSHOT_UNAVAILABLE.value,
+            )
+        store_key = self._store_key(auth.tenant_id, request.table_id)
+        self._require_known_table(store_key, request.table_id)
         # The write lock (not just read) serializes the snapshot rename
         # against concurrent receives of the same table.
-        with self._table_lock(request.table_id).write():
-            relation = self.store(request.table_id)
-            path = self._write_snapshot(request.table_id, relation)
+        with self._table_lock(store_key).write():
+            relation = self.store(request.table_id, tenant_id=auth.tenant_id)
+            path = self._write_snapshot(store_key, relation)
         return Ack(fields={"table_id": request.table_id, "path": str(path)})
 
-    def _handle_load_snapshot(self, request: LoadSnapshot) -> Message:
+    def _handle_load_snapshot(self, request: LoadSnapshot, auth: _AuthContext) -> Message:
         if self._storage_dir is None:
-            raise ProtocolError(f"{self.name} has no snapshot storage configured")
-        path = self._snapshot_path(request.table_id)
+            raise ProtocolError(
+                f"{self.name} has no snapshot storage configured",
+                code=ErrorCode.SNAPSHOT_UNAVAILABLE.value,
+            )
+        store_key = self._store_key(auth.tenant_id, request.table_id)
+        path = self._snapshot_path(store_key)
         # Existence check before allocating a lock (snapshots are never
         # deleted, so the check cannot go stale before the read below).
         if not path.exists():
-            raise ProtocolError(f"no snapshot for table {request.table_id!r}")
-        with self._table_lock(request.table_id).write():
+            raise ProtocolError(
+                f"no snapshot for table {request.table_id!r}",
+                code=ErrorCode.SNAPSHOT_UNAVAILABLE.value,
+            )
+        with self._table_lock(store_key).write():
             relation = decode_relation(path.read_bytes())
             with self._lock:
-                self._stores[request.table_id] = relation
-                self._discoveries.pop(request.table_id, None)
+                self._stores[store_key] = relation
+                self._discoveries.pop(store_key, None)
         return Ack(fields={"table_id": request.table_id, "num_rows": relation.num_rows})
 
     _HANDLERS: dict[type, Any] = {}
+    #: Upper bound on concurrently established sessions; the least recently
+    #: verified session is evicted on overflow (it can re-handshake).
+    MAX_SESSIONS: ClassVar[int] = 4096
+    #: Message types only an owner-capability session (or an anonymous local
+    #: request) may send; analyst sessions are read-only by construction.
+    _OWNER_ONLY: ClassVar[frozenset] = frozenset(
+        {OutsourceRequest, InsertBatch, InsertDelta, SaveSnapshot, LoadSnapshot}
+    )
 
     # -- snapshot persistence ------------------------------------------
-    def _snapshot_path(self, table_id: str) -> Path:
+    def _snapshot_path(self, store_key: str) -> Path:
         assert self._storage_dir is not None
-        return self._storage_dir / f"{check_table_id(table_id)}{SNAPSHOT_SUFFIX}"
+        if "/" in store_key:
+            tenant_id, table_id = store_key.split("/", 1)
+            return (
+                self._storage_dir
+                / check_tenant_id(tenant_id)
+                / f"{check_table_id(table_id)}{SNAPSHOT_SUFFIX}"
+            )
+        return self._storage_dir / f"{check_table_id(store_key)}{SNAPSHOT_SUFFIX}"
 
-    def _write_snapshot(self, table_id: str, relation: Relation) -> Path:
-        path = self._snapshot_path(table_id)
+    def _write_snapshot(self, store_key: str, relation: Relation) -> Path:
+        path = self._snapshot_path(store_key)
+        path.parent.mkdir(parents=True, exist_ok=True)
         # Write-then-rename so a crash mid-write never corrupts a snapshot;
         # the temp name is unique per write so two writers can never
         # interleave bytes into one file.
         fd, tmp_name = tempfile.mkstemp(
-            prefix=f".{table_id}.", suffix=".tmp", dir=self._storage_dir
+            prefix=f".{path.stem}.", suffix=".tmp", dir=path.parent
         )
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -878,14 +1475,38 @@ class ProtocolServer:
         assert self._storage_dir is not None
         for path in sorted(self._storage_dir.glob(f"*{SNAPSHOT_SUFFIX}")):
             table_id = path.name[: -len(SNAPSHOT_SUFFIX)]
-            if not _TABLE_ID_RE.match(table_id):
+            if _TABLE_ID_RE.match(table_id):
+                self._load_one_snapshot(table_id, path)
+        for subdir in sorted(self._storage_dir.iterdir()):
+            if not subdir.is_dir() or not _TENANT_DIR_RE.match(subdir.name):
                 continue
-            self._stores[table_id] = decode_relation(path.read_bytes())
+            for path in sorted(subdir.glob(f"*{SNAPSHOT_SUFFIX}")):
+                table_id = path.name[: -len(SNAPSHOT_SUFFIX)]
+                if _TABLE_ID_RE.match(table_id):
+                    self._load_one_snapshot(f"{subdir.name}/{table_id}", path)
+
+    def _load_one_snapshot(self, store_key: str, path: Path) -> None:
+        """Load one snapshot file; skip (and warn about) unreadable ones.
+
+        A truncated or corrupted ``.f2t`` — a crash mid-fsync, a bad disk —
+        must degrade to "this one table needs a re-outsource", never to "the
+        server refuses to start and every other tenant is down too".
+        """
+        try:
+            self._stores[store_key] = decode_relation(path.read_bytes())
+        except (WireError, OSError) as exc:
+            warnings.warn(
+                f"skipping corrupt snapshot {path}: {exc}; the table "
+                f"{store_key!r} needs a re-outsource",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
 
 ProtocolServer._HANDLERS = {
     OutsourceRequest: ProtocolServer._handle_outsource,
     InsertBatch: ProtocolServer._handle_insert,
+    InsertDelta: ProtocolServer._handle_insert_delta,
     DiscoverRequest: ProtocolServer._handle_discover,
     QueryRequest: ProtocolServer._handle_query,
     PlanQueryRequest: ProtocolServer._handle_plan_query,
@@ -1088,25 +1709,155 @@ class SocketProtocolServer:
 # ----------------------------------------------------------------------
 # Client endpoint
 # ----------------------------------------------------------------------
+#: Error codes that invalidate the client's session state when received.
+_SESSION_FATAL_CODES = frozenset(
+    {
+        ErrorCode.AUTH_REQUIRED.value,
+        ErrorCode.AUTH_UNKNOWN_TENANT.value,
+        ErrorCode.AUTH_UNKNOWN_SESSION.value,
+        ErrorCode.AUTH_FAILED.value,
+        ErrorCode.AUTH_REVOKED.value,
+        ErrorCode.BAD_SEQUENCE.value,
+    }
+)
+
+#: Codes raised client-side as :class:`~repro.exceptions.AuthError`.
+_AUTH_CODES = _SESSION_FATAL_CODES | {
+    ErrorCode.FORBIDDEN.value,
+    ErrorCode.VERSION_UNSUPPORTED.value,
+}
+
+
+def _client_error(reply: "ErrorReply") -> ProtocolError:
+    """The exception a client raises for an error reply (typed by code)."""
+    message = f"{reply.error}: {reply.message}"
+    if reply.code in _AUTH_CODES:
+        return AuthError(message, code=reply.code)
+    return ProtocolError(message, code=reply.code)
+
+
 class ProtocolClient:
     """The owner-side endpoint over any transport.
 
     Encodes requests in ``wire_format`` ("binary" by default, "json" for
     debugging), decodes replies of either form, and raises
-    :class:`~repro.exceptions.ProtocolError` when the server answers with an
-    error reply.
+    :class:`~repro.exceptions.ProtocolError` (or ``AuthError`` for the
+    ``AUTH_*``/``FORBIDDEN``/``BAD_SEQUENCE`` family, with ``exc.code`` set)
+    when the server answers with an error reply.
+
+    Calling :meth:`authenticate` with a :class:`~repro.api.auth.Credential`
+    runs the ``Hello`` handshake; from then on every request is wrapped in a
+    signed envelope carrying the session id and a monotonic sequence number.
+    Signed calls are serialized by an internal lock — the sequence window is
+    a per-session total order, so one authenticated client is one logical
+    command stream (use one client per thread for parallelism).  A fatal
+    auth error (bad signature, lost session, sequence desync after a
+    transport retry) clears the local session; call :meth:`authenticate`
+    again to resume.
     """
 
     def __init__(self, transport, wire_format: str = WIRE_BINARY):
         self.transport = transport
         self.wire_format = check_form(wire_format)
+        self._credential: Credential | None = None
+        self._session_id: str | None = None
+        self._next_sequence = 1
+        self._session_lock = threading.Lock()
 
-    def call(self, request: Message) -> Message:
-        """Send one request and return the decoded (non-error) reply."""
+    # -- authenticated sessions ----------------------------------------
+    @property
+    def session_id(self) -> "str | None":
+        """The established session id, or ``None`` when unauthenticated."""
+        return self._session_id
+
+    def authenticate(
+        self,
+        credential: "Credential | str",
+        versions: tuple[int, ...] = PROTOCOL_VERSIONS,
+    ) -> HelloAck:
+        """Run the ``Hello`` handshake and switch to signed requests.
+
+        ``credential`` is a :class:`~repro.api.auth.Credential` or its
+        ``f2tok1.`` token-string form.  The client proposes its configured
+        wire form first; the ack's negotiated form becomes the session's
+        form for every subsequent message.
+        """
+        if isinstance(credential, str):
+            credential = Credential.from_token(credential)
+        preferred = [self.wire_format] + [
+            form for form in WIRE_FORMS if form != self.wire_format
+        ]
+        hello = Hello(
+            tenant_id=credential.tenant_id,
+            capability=credential.capability,
+            token_id=credential.token_id,
+            versions=tuple(versions),
+            wire_forms=tuple(preferred),
+        )
+        with self._session_lock:
+            self._session_id = None
+            reply = self._roundtrip(hello)
+            if not isinstance(reply, HelloAck):
+                raise ProtocolError(
+                    f"expected a HelloAck reply to the handshake, got {reply.kind!r}"
+                )
+            self._credential = credential
+            self._session_id = reply.session_id
+            self._next_sequence = 1
+            self.wire_format = reply.wire_format
+        return reply
+
+    def _roundtrip(self, request: Message) -> Message:
         reply = Message.decode(self.transport.request(request.encode(self.wire_format)))
         if isinstance(reply, ErrorReply):
-            raise ProtocolError(f"{reply.error}: {reply.message}")
+            raise _client_error(reply)
         return reply
+
+    def call(self, request: Message) -> Message:
+        """Send one request and return the decoded (non-error) reply.
+
+        Unauthenticated clients send the request as-is; authenticated ones
+        sign it into an envelope under the session lock (sequence numbers
+        must reach the server in issue order).
+        """
+        if self._session_id is None:
+            return self._roundtrip(request)
+        with self._session_lock:
+            if self._session_id is None:  # lost the session while waiting
+                return self._roundtrip(request)
+            assert self._credential is not None
+            payload = request.encode(self.wire_format)
+            sequence = self._next_sequence
+            envelope = SignedEnvelope(
+                session_id=self._session_id,
+                sequence=sequence,
+                signature=sign_frame(
+                    self._credential.secret, self._session_id, sequence, payload
+                ),
+                payload=payload,
+            )
+            try:
+                reply = Message.decode(
+                    self.transport.request(envelope.encode(self.wire_format))
+                )
+            except (ProtocolError, OSError):
+                # The transport failed mid-request (SocketTransport re-raises
+                # raw OSError on its retry attempt); whether the server
+                # consumed the sequence number is unknowable.  Drop the
+                # session rather than risk a silent desync.
+                self._session_id = None
+                raise
+            if isinstance(reply, ErrorReply):
+                if reply.code in _SESSION_FATAL_CODES:
+                    self._session_id = None
+                else:
+                    # The frame was verified and consumed (the server only
+                    # reports handler-level errors after advancing the
+                    # sequence window), so the stream stays in sync.
+                    self._next_sequence = sequence + 1
+                raise _client_error(reply)
+            self._next_sequence = sequence + 1
+            return reply
 
     def _expect(self, request: Message, reply_type: type) -> Any:
         reply = self.call(request)
@@ -1136,6 +1887,22 @@ class ProtocolClient:
             Ack,
         )
         return int(ack.fields.get("num_rows", relation.num_rows))
+
+    def insert_delta(self, table_id: str, delta: ViewDelta, batch_rows: int = 0) -> int:
+        """Splice an incremental insert's view delta into the stored table.
+
+        Raises :class:`~repro.exceptions.ProtocolError` with
+        ``code == "DELTA_MISMATCH"`` when the server's base view is not the
+        one the delta was computed against — callers fall back to
+        :meth:`insert` with the full view.
+        """
+        ack = self._expect(
+            InsertDelta(
+                table_id=check_table_id(table_id), delta=delta, batch_rows=batch_rows
+            ),
+            Ack,
+        )
+        return int(ack.fields.get("num_rows", 0))
 
     def discover(self, table_id: str, max_lhs_size: int | None = None) -> TaneResult:
         """Run FD discovery on the provider and return its TANE result."""

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.api.auth import Credential, ErrorCode
+from repro.api.delta import ViewDelta, compute_view_delta
 from repro.api.incremental import IncrementalReport, insert_rows as _insert_rows
 from repro.api.pipeline import EncryptionContext, EncryptionPipeline, StageHook
 from repro.api.protocol import (
@@ -45,7 +47,7 @@ from repro.core.encrypted import EncryptedTable
 from repro.core.security import SecurityReport, verify_alpha_security
 from repro.crypto.keys import KeyGen, SymmetricKey
 from repro.crypto.probabilistic import Ciphertext, ProbabilisticCipher
-from repro.exceptions import DecryptionError, EncryptionError, QueryError
+from repro.exceptions import DecryptionError, EncryptionError, ProtocolError, QueryError
 from repro.fd.fd import FDSet
 from repro.fd.tane import TaneResult, tane
 from repro.query.ast import Predicate, check_attributes, evaluate_predicate
@@ -642,38 +644,103 @@ class RemoteOwnerSession:
     message over the client's transport — loopback, TCP socket, or anything
     else with a ``request(bytes) -> bytes`` method.
 
+    Authenticated deployments pass a :class:`~repro.api.auth.Credential` (or
+    its ``f2tok1.`` token string): the session runs the handshake up front
+    and every message travels as a signed frame under the credential's
+    tenant namespace and capability.  An ``owner`` credential is required
+    for outsourcing and inserts; a read-only ``analyst`` credential still
+    serves ``discover_fds``/``select``/``query`` (the server rejects
+    anything else with ``FORBIDDEN``).
+
+    Incremental inserts ship as view *deltas* whenever they can: the session
+    retains the last server view it pushed, aligns the new view against it
+    (cheap — the materialiser's nonce retention keeps untouched rows
+    byte-identical), and sends an ``InsertDelta`` carrying only the changed
+    rows.  A MAS-change fallback, a poor alignment, or a server-side base
+    mismatch silently degrades to the full ``InsertBatch`` path.
+
     ::
 
         owner = DataOwner.from_seed(42)
         client = ProtocolClient(SocketTransport("127.0.0.1", port))
-        session = RemoteOwnerSession(owner, client, table_id="orders")
+        session = RemoteOwnerSession(owner, client, table_id="orders",
+                                     credential="f2tok1.acme.owner.k0001.9f...")
         session.outsource(relation)
         discovery = session.discover_fds()       # validated against plaintext
         matches = session.query("City", "Hoboken")  # decrypted Relation
     """
+
+    #: Ship a delta only when it reuses at least this share of the new view;
+    #: below that a full ``InsertBatch`` is smaller or comparable on the wire.
+    MIN_DELTA_REUSE = 0.5
 
     def __init__(
         self,
         owner: DataOwner,
         client: ProtocolClient,
         table_id: str = DEFAULT_TABLE_ID,
+        credential: "Credential | str | None" = None,
+        delta_updates: bool = True,
     ):
         self.owner = owner
         self.client = client
         self.table_id = table_id
+        self.delta_updates = delta_updates
+        #: The server view this session last shipped (the delta base).
+        self._last_view: Relation | None = None
+        #: The :class:`~repro.api.delta.ViewDelta` of the most recent
+        #: delta-shipped insert (``None`` when the full view was sent).
+        self.last_delta: ViewDelta | None = None
+        if credential is not None:
+            self.client.authenticate(credential)
 
     def outsource(self, relation: Relation) -> int:
         """Encrypt locally and ship the server view; returns stored rows."""
         encrypted = self.owner.outsource(relation)
-        return self.client.outsource(self.table_id, encrypted.server_view())
+        view = encrypted.server_view()
+        count = self.client.outsource(self.table_id, view)
+        self._last_view = view
+        self.last_delta = None
+        return count
 
     def insert_rows(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> int:
-        """Incrementally insert locally, then replace the remote view."""
+        """Incrementally insert locally, then update the remote view.
+
+        Ships an ``InsertDelta`` when the local update ran incrementally and
+        the alignment against the last pushed view reuses enough rows;
+        otherwise (MAS-change fallback, first push unseen, degenerate
+        alignment, or a server-side ``DELTA_MISMATCH``) ships the full view.
+        """
         rows = list(rows)
         encrypted = self.owner.insert_rows(rows)
-        return self.client.insert(
-            self.table_id, encrypted.server_view(), batch_rows=len(rows)
-        )
+        view = encrypted.server_view()
+        report = self.owner.last_update_report
+        self.last_delta = None
+        if (
+            self.delta_updates
+            and self._last_view is not None
+            and report is not None
+            and report.mode == "incremental"
+        ):
+            delta = compute_view_delta(self._last_view, view)
+            if delta.reuse_fraction >= self.MIN_DELTA_REUSE:
+                try:
+                    count = self.client.insert_delta(
+                        self.table_id, delta, batch_rows=len(rows)
+                    )
+                except ProtocolError as exc:
+                    if exc.code != ErrorCode.DELTA_MISMATCH.value:
+                        raise
+                    # The server's base is not the view we think we pushed
+                    # (e.g. a restart restored an older snapshot); re-ship
+                    # the full view and realign from there.
+                else:
+                    self._last_view = view
+                    self.last_delta = delta
+                    return count
+        count = self.client.insert(self.table_id, view, batch_rows=len(rows))
+        self._last_view = view
+        return count
 
     def discover_fds(self, max_lhs_size: int | None = None) -> TaneResult:
         """Remote FD discovery, validated against the owner's plaintext.

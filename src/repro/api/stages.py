@@ -101,12 +101,21 @@ def materialize_row_plans(
     row_plans: list[RowPlan],
     cipher: ProbabilisticCipher,
     fresh_factory: FreshValueFactory,
+    nonce_log: "dict[tuple[str, str], Ciphertext] | None" = None,
 ) -> tuple[Relation, list[RowProvenance]]:
     """Turn symbolic row plans into a ciphertext relation plus provenance.
 
     Cells are materialised in row-major order — the order determines which
     random draws each artificial value receives, so it is part of the
     byte-identity contract for seeded runs.
+
+    ``nonce_log`` is the context's fresh-nonce retention map: a
+    :class:`~repro.core.plan.RandomCell` whose ``(attribute, value)`` was
+    materialised before reuses its previous ciphertext instead of drawing a
+    new nonce.  On a fresh context the log starts empty (every cell draws,
+    exactly as before the log existed); on an incremental re-materialisation
+    it carries the previous run's draws, so untouched rows keep their bytes
+    and the server-view delta stays small.
     """
     schema = relation.schema
     attributes = tuple(schema)
@@ -116,6 +125,7 @@ def materialize_row_plans(
     encrypt = cipher.encrypt
     materialize = fresh_factory.materialize
     cache_get = instance_cache.get
+    log_get = nonce_log.get if nonce_log is not None else None
 
     for plan in row_plans:
         row = []
@@ -131,7 +141,15 @@ def materialize_row_plans(
                     instance_cache[key] = cached
                 row.append(cached)
             elif spec_type is RandomCell:
-                row.append(encrypt(spec.value, variant=None))
+                if log_get is None:
+                    row.append(encrypt(spec.value, variant=None))
+                else:
+                    log_key = (attr, str(spec.value))
+                    cell = log_get(log_key)
+                    if cell is None:
+                        cell = encrypt(spec.value, variant=None)
+                        nonce_log[log_key] = cell
+                    row.append(cell)
             elif spec_type is FreshCell:
                 row.append(materialize(spec.token))
             else:  # pragma: no cover - defensive
@@ -250,7 +268,7 @@ class MaterializeStage:
 
     def run(self, ctx: EncryptionContext) -> None:
         encrypted_relation, provenance = materialize_row_plans(
-            ctx.relation, ctx.row_plans, ctx.cipher, ctx.fresh_factory
+            ctx.relation, ctx.row_plans, ctx.cipher, ctx.fresh_factory, ctx.nonce_log
         )
         ctx.encrypted_relation = encrypted_relation
         ctx.provenance = provenance
@@ -305,12 +323,18 @@ class VerifyRepairStage:
                 continue
             repaired += 1
             repaired_plans.extend(
-                build_violation_pairs(ctx.relation, witnesses, config.group_size, ctx.fresh_factory)
+                build_violation_pairs(
+                    ctx.relation,
+                    witnesses,
+                    config.group_size,
+                    ctx.fresh_factory,
+                    label=f"repair:{fd}",
+                )
             )
         if not repaired_plans:
             return
         extra_relation, extra_provenance = materialize_row_plans(
-            ctx.relation, repaired_plans, ctx.cipher, ctx.fresh_factory
+            ctx.relation, repaired_plans, ctx.cipher, ctx.fresh_factory, ctx.nonce_log
         )
         merged_relation = encrypted.relation.concat(extra_relation)
         merged_provenance = list(encrypted.provenance) + [

@@ -21,7 +21,9 @@ Subcommands
     Run a provider as a localhost TCP protocol server: it stores received
     ciphertext relations (persisting them under ``--storage`` so restarts
     resume serving), answers discovery requests, and filters rows against
-    owner-issued equality search tokens.
+    owner-issued equality search tokens.  With ``--tenants REGISTRY.json``
+    the server requires authenticated multi-tenant sessions: every request
+    must arrive signed under a credential minted by ``admin``.
 ``query``
     Drive the owner side against a running ``serve`` instance: encrypt the
     CSV locally (seeded, so re-runs are byte-identical), ship the server
@@ -30,7 +32,20 @@ Subcommands
     execute the server part as bitset algebra over ciphertext, and print the
     decrypted matching rows as CSV plus a per-query leakage summary;
     ``--explain`` prints the plan (server tokens vs owner residual) without
-    contacting the server.
+    contacting the server; ``--token f2tok1...`` (or ``--token @file``)
+    authenticates against a tenanted server.
+``admin``
+    Manage the tenant registry of a ``--tenants`` deployment: ``mint`` /
+    ``rotate`` print a fresh credential token for a tenant capability
+    (``owner`` or read-only ``analyst``), ``revoke`` disables one, ``list``
+    shows every key (never the secrets).
+
+Exit codes: ``0`` success, ``2`` usage/query errors, ``3`` transport and
+wire failures, ``4`` authentication failures (``AUTH_*``), ``5`` capability
+violations (``FORBIDDEN``), ``6`` sequence/delta conflicts
+(``BAD_SEQUENCE`` / ``DELTA_MISMATCH``) — the stable
+:class:`repro.api.auth.ErrorCode` travels on the wire, so scripts can branch
+without parsing messages.
 ``attack``
     Encrypt a generated dataset and report the empirical success of the
     frequency-analysis and Kerckhoffs attacks against it and against the
@@ -150,6 +165,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the bound port to this file once listening (for scripts)",
     )
+    serve.add_argument(
+        "--tenants",
+        default=None,
+        metavar="REGISTRY",
+        help="tenant registry JSON (see `f2-repro admin`): require "
+        "authenticated multi-tenant sessions; unauthenticated requests are "
+        "rejected unless --allow-anonymous is also given",
+    )
+    serve.add_argument(
+        "--allow-anonymous",
+        action="store_true",
+        help="with --tenants: still accept unauthenticated requests "
+        "(they act as the implicit local tenant)",
+    )
     _add_backend_flag(serve)
 
     query = subparsers.add_parser(
@@ -203,7 +232,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not (re-)outsource before querying; the server must already "
         "hold this table (e.g. from a snapshot of an identical seeded run)",
     )
+    query.add_argument(
+        "--token",
+        default=None,
+        metavar="TOKEN",
+        help="credential token for an authenticated server (the f2tok1. "
+        "string printed by `admin mint`, or @path-to-a-file holding it)",
+    )
     _add_backend_flag(query)
+
+    admin = subparsers.add_parser(
+        "admin", help="manage the tenant registry of an authenticated server"
+    )
+    admin.add_argument(
+        "--tenants",
+        required=True,
+        metavar="REGISTRY",
+        help="path of the tenant registry JSON (created on first mint)",
+    )
+    admin_sub = admin.add_subparsers(dest="admin_command", required=True)
+    for verb, text in (
+        ("mint", "mint a fresh capability key (prints the credential token)"),
+        ("rotate", "replace an existing key; the old secret dies immediately"),
+    ):
+        sub = admin_sub.add_parser(verb, help=text)
+        sub.add_argument("tenant", help="tenant id")
+        sub.add_argument(
+            "--capability",
+            choices=["owner", "analyst"],
+            default="owner",
+            help="owner = full rights; analyst = discover/query only",
+        )
+    revoke = admin_sub.add_parser("revoke", help="revoke a tenant's key(s)")
+    revoke.add_argument("tenant", help="tenant id")
+    revoke.add_argument(
+        "--capability",
+        choices=["owner", "analyst"],
+        default=None,
+        help="revoke only this capability (default: every key of the tenant)",
+    )
+    admin_sub.add_parser("list", help="list tenants and keys (never secrets)")
 
     attack = subparsers.add_parser("attack", help="evaluate frequency-analysis attacks")
     attack.add_argument("--dataset", default="orders", choices=["orders", "customer", "synthetic"])
@@ -222,6 +290,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: ErrorCode value -> process exit code (anything else in the protocol
+#: family exits 3).  Kept here so scripts have one table to read.
+ERROR_CODE_EXITS = {
+    "AUTH_REQUIRED": 4,
+    "AUTH_UNKNOWN_TENANT": 4,
+    "AUTH_UNKNOWN_SESSION": 4,
+    "AUTH_FAILED": 4,
+    "AUTH_REVOKED": 4,
+    "FORBIDDEN": 5,
+    "BAD_SEQUENCE": 6,
+    "DELTA_MISMATCH": 6,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -236,6 +318,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "query":
             return _cmd_query(args)
+        if args.command == "admin":
+            return _cmd_admin(args)
         if args.command == "attack":
             return _cmd_attack(args)
         if args.command == "bench":
@@ -252,9 +336,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except (ProtocolError, WireError) as exc:
-        # Connection failures, error replies, corrupted snapshots/frames.
+        # The stable wire-level ErrorCode (not the message text) picks the
+        # exit code: auth 4, capability 5, sequence/delta conflicts 6, and 3
+        # for the rest (connection failures, corrupted snapshots/frames).
         print(f"error: {exc}", file=sys.stderr)
-        return 3
+        code = getattr(exc, "code", "")
+        if code and code != "INTERNAL":
+            print(f"error-code: {code}", file=sys.stderr)
+        return ERROR_CODE_EXITS.get(code, 3)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -325,13 +414,24 @@ def _cmd_discover(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.api.protocol import ProtocolServer, SocketProtocolServer
 
-    server = ProtocolServer(backend=args.backend, storage_dir=args.storage)
+    server = ProtocolServer(
+        backend=args.backend,
+        storage_dir=args.storage,
+        tenants=args.tenants,
+        allow_anonymous=args.allow_anonymous if args.tenants else None,
+    )
     sock_server = SocketProtocolServer(server, host=args.host, port=args.port)
     if args.port_file:
         Path(args.port_file).write_text(str(sock_server.port), encoding="utf-8")
-    restored = server.table_ids()
+    restored = server.table_ids(None)
     if restored:
         print(f"restored {len(restored)} table(s) from snapshots: {', '.join(restored)}")
+    if server.tenants is not None:
+        mode = "required" if not args.allow_anonymous else "optional (anonymous allowed)"
+        print(
+            f"tenant auth {mode}: {len(server.tenants.tenant_ids())} tenant(s) "
+            f"from {args.tenants}"
+        )
     print(
         f"f2-repro provider listening on {sock_server.host}:{sock_server.port} "
         f"(storage: {args.storage or 'in-memory'}); Ctrl-C to stop"
@@ -378,10 +478,24 @@ def _cmd_query(args: argparse.Namespace) -> int:
         owner.outsource(relation)
         print(owner.plan_query(predicate).explain())
         return 0
+    credential = None
+    if args.token:
+        token = args.token
+        if token.startswith("@"):
+            try:
+                token = Path(token[1:]).read_text(encoding="utf-8").strip()
+            except OSError as exc:
+                print(f"error: cannot read token file: {exc}", file=sys.stderr)
+                return 2
+        from repro.api.auth import Credential
+
+        credential = Credential.from_token(token)
     client = ProtocolClient(
         SocketTransport(args.host, args.port), wire_format=args.wire
     )
-    session = RemoteOwnerSession(owner, client, table_id=args.table_id)
+    session = RemoteOwnerSession(
+        owner, client, table_id=args.table_id, credential=credential
+    )
     try:
         if args.no_push:
             # Rebuild the owner-side state (plans, provenance) without
@@ -402,6 +516,41 @@ def _cmd_query(args: argparse.Namespace) -> int:
     write_relation_csv(matches, sys.stdout)
     print(f"# {matches.num_rows} matching rows", file=sys.stderr)
     print(report.summary(), file=sys.stderr)
+    return 0
+
+
+def _cmd_admin(args: argparse.Namespace) -> int:
+    from repro.api.auth import TenantRegistry
+
+    registry = TenantRegistry(args.tenants)
+    if args.admin_command in {"mint", "rotate"}:
+        action = registry.mint if args.admin_command == "mint" else registry.rotate
+        credential = action(args.tenant, args.capability)
+        # The token goes to stdout alone, so scripts can capture it directly
+        # (`TOKEN=$(f2-repro admin --tenants t.json mint acme)`).
+        print(credential.to_token())
+        print(
+            f"{args.admin_command}ed {args.capability!r} key "
+            f"{credential.token_id} for tenant {args.tenant!r} in {args.tenants}",
+            file=sys.stderr,
+        )
+        return 0
+    if args.admin_command == "revoke":
+        count = registry.revoke(args.tenant, args.capability)
+        scope = args.capability or "all capabilities"
+        print(f"revoked {count} key(s) ({scope}) of tenant {args.tenant!r}")
+        return 0
+    # list
+    entries = registry.describe()
+    if not entries:
+        print("no tenants registered")
+        return 0
+    for entry in entries:
+        state = "REVOKED" if entry["revoked"] else "active"
+        print(
+            f"{entry['tenant_id']}\t{entry['capability']}\t"
+            f"{entry['token_id']}\t{state}"
+        )
     return 0
 
 

@@ -268,7 +268,15 @@ def _build_versions_for_row(
         authentic: set[str] = set()
         for attr in schema_attributes:
             if attr in fresh_attrs:
-                cells[attr] = fresh_factory.fresh_cell(f"conflict:{row_index}")
+                # Deterministic token (not a factory counter): an unchanged
+                # row re-assembled by an incremental update names the same
+                # token and hence keeps its previous artificial value — the
+                # nonce-retention contract that makes server-view deltas
+                # small.  Unique per (row, version, attribute) within a run;
+                # the "=" prefix keeps it disjoint from counter tokens.
+                cells[attr] = FreshCell(
+                    token=f"=conflict:{row_index}:v{version_index}:{attr}"
+                )
                 continue
             spec = _cell_for_original(
                 attr, row_values[attr], binding_by_mas, mas_attribute_map, retained
@@ -361,7 +369,7 @@ def _artificial_rows_for_mas(
                 copies = instance.scaling_copies
                 if copies <= 0:
                     continue
-                for _ in range(copies):
+                for copy_index in range(copies):
                     cells: dict[str, CellSpec] = {}
                     for position, attr in enumerate(mas_plan.attributes):
                         if member.is_fake:
@@ -373,7 +381,14 @@ def _artificial_rows_for_mas(
                             )
                     for attr in schema_attributes:
                         if attr not in mas_attrs:
-                            cells[attr] = fresh_factory.fresh_cell(f"scale:{mas_plan.index}")
+                            # Deterministic token keyed by the instance
+                            # variant (unique per MAS/group/member/chunk) and
+                            # the copy index: a reused ECG plan re-creates
+                            # the same tokens, so its scaling rows keep their
+                            # bytes across incremental re-materialisations.
+                            cells[attr] = FreshCell(
+                                token=f"=scale:{instance.variant}:c{copy_index}:{attr}"
+                            )
                     kind = "fake_ec" if member.is_fake else "scaling"
                     row_plans.append(
                         RowPlan(

@@ -131,7 +131,16 @@ def _eliminate_for_mas(
                 triggered.append(node)
                 result.triggered_nodes.append((attributes, node))
                 result.row_plans.extend(
-                    build_violation_pairs(relation, witness, group_size, fresh_factory)
+                    build_violation_pairs(
+                        relation,
+                        witness,
+                        group_size,
+                        fresh_factory,
+                        label=(
+                            f"fp:{','.join(attributes)}"
+                            f":{','.join(sorted(node.lhs))}->{node.rhs}"
+                        ),
+                    )
                 )
             else:
                 next_frontier.extend(node.children())
@@ -181,6 +190,7 @@ def build_violation_pairs(
     witnesses: list[tuple[int, int]],
     group_size: int,
     fresh_factory: FreshValueFactory,
+    label: str = "fp",
 ) -> list[RowPlan]:
     """Build ``group_size`` artificial record pairs mimicking real violations.
 
@@ -188,6 +198,14 @@ def build_violation_pairs(
     artificial records share a fresh value exactly on the attributes where
     the witness rows agree, and carry distinct fresh values everywhere else.
     Witnesses are cycled if fewer than ``group_size`` distinct ones exist.
+
+    ``label`` must be unique per call site within one encryption run (the
+    triggering lattice node, or the repaired FD): tokens are deterministic —
+    ``=<label>:p<pair>:<attr>:<role>`` — so an incremental re-run that
+    triggers the same node rebuilds byte-identical artificial pairs (the
+    fresh-value factory retains token -> value), keeping server-view deltas
+    small.  Cells of one run share a value iff they share a token, exactly
+    as with the former counter-based tokens.
     """
     plans: list[RowPlan] = []
     if not witnesses:
@@ -198,13 +216,13 @@ def build_violation_pairs(
         first_cells: dict[str, CellSpec] = {}
         second_cells: dict[str, CellSpec] = {}
         for attr in schema_attributes:
+            prefix = f"={label}:p{pair_index}:{attr}"
             if relation.value(first_row, attr) == relation.value(second_row, attr):
-                shared = fresh_factory.new_token(f"fp-shared:{attr}")
-                first_cells[attr] = FreshCell(token=shared)
-                second_cells[attr] = FreshCell(token=shared)
+                first_cells[attr] = FreshCell(token=f"{prefix}:shared")
+                second_cells[attr] = FreshCell(token=f"{prefix}:shared")
             else:
-                first_cells[attr] = fresh_factory.fresh_cell(f"fp:{attr}")
-                second_cells[attr] = fresh_factory.fresh_cell(f"fp:{attr}")
+                first_cells[attr] = FreshCell(token=f"{prefix}:a")
+                second_cells[attr] = FreshCell(token=f"{prefix}:b")
         provenance = RowProvenanceSpec(kind="false_positive", source_row=None)
         plans.append(RowPlan(cells=first_cells, provenance=provenance))
         plans.append(

@@ -73,7 +73,28 @@ class ProtocolError(ReproError):
     The server maps internal failures (unknown table ids, malformed
     payloads) onto error replies; :class:`repro.api.protocol.ProtocolClient`
     re-raises them as this exception on the caller's side.
+
+    ``code`` is the stable :class:`repro.api.auth.ErrorCode` value carried on
+    the wire (``"INTERNAL"`` when the failure has no more specific code), so
+    callers branch on codes instead of matching message substrings.
     """
+
+    def __init__(self, message: str, code: str = "INTERNAL"):
+        super().__init__(message)
+        self.code = code
+
+
+class AuthError(ProtocolError):
+    """An authentication or authorization failure at a protocol endpoint.
+
+    Covers the whole ``AUTH_*`` / ``FORBIDDEN`` / ``BAD_SEQUENCE`` family of
+    :class:`repro.api.auth.ErrorCode` values: unknown tenants or sessions,
+    bad signatures, revoked keys, capability violations, and replayed
+    frames.  The specific code is available as ``exc.code``.
+    """
+
+    def __init__(self, message: str, code: str = "AUTH_FAILED"):
+        super().__init__(message, code=code)
 
 
 class QueryError(ReproError):

@@ -265,13 +265,18 @@ class TestServeAndQueryCommands:
         assert exit_code == 2
         assert "not in" in capsys.readouterr().err
 
-    def test_serve_with_corrupt_snapshot_reports_clean_error(self, tmp_path, capsys):
+    def test_serve_skips_corrupt_snapshot_instead_of_failing(self, tmp_path):
+        # PR 5 semantics: one corrupt/truncated .f2t warns and is skipped —
+        # the server `serve` constructs still starts and serves every other
+        # table (the full reload regression lives in test_protocol.py).
+        from repro.api.protocol import ProtocolServer
+
         store = tmp_path / "store"
         store.mkdir()
         (store / "default.f2t").write_bytes(b"F2WB garbage not a frame")
-        exit_code = main(["serve", "--port", "0", "--storage", str(store)])
-        assert exit_code == 3
-        assert "error:" in capsys.readouterr().err
+        with pytest.warns(RuntimeWarning, match="corrupt snapshot"):
+            server = ProtocolServer(storage_dir=store)
+        assert server.table_ids() == []
 
     def test_query_without_server_reports_protocol_error(self, plaintext_csv, capsys):
         exit_code = main(
@@ -282,6 +287,105 @@ class TestServeAndQueryCommands:
         )
         assert exit_code == 3
         assert "error:" in capsys.readouterr().err
+
+
+class TestAdminAndTenantedServe:
+    @pytest.fixture
+    def registry_path(self, tmp_path):
+        return tmp_path / "tenants.json"
+
+    def test_admin_mint_list_rotate_revoke(self, registry_path, capsys):
+        assert main(["admin", "--tenants", str(registry_path), "mint", "acme"]) == 0
+        token = capsys.readouterr().out.strip()
+        assert token.startswith("f2tok1.acme.owner.")
+
+        assert main(["admin", "--tenants", str(registry_path), "list"]) == 0
+        listing = capsys.readouterr().out
+        assert "acme\towner" in listing
+        assert token.rsplit(".", 1)[1] not in listing  # secrets never listed
+
+        assert main(["admin", "--tenants", str(registry_path), "rotate", "acme"]) == 0
+        rotated = capsys.readouterr().out.strip()
+        assert rotated != token
+
+        assert main(["admin", "--tenants", str(registry_path), "revoke", "acme"]) == 0
+        assert "revoked 1 key" in capsys.readouterr().out
+
+    def test_admin_revoke_unknown_tenant_exits_4(self, registry_path, capsys):
+        main(["admin", "--tenants", str(registry_path), "mint", "acme"])
+        capsys.readouterr()
+        exit_code = main(["admin", "--tenants", str(registry_path), "revoke", "ghost"])
+        assert exit_code == 4
+        assert "error-code: AUTH_UNKNOWN_TENANT" in capsys.readouterr().err
+
+    @pytest.fixture
+    def tenanted_port(self, registry_path, tmp_path, capsys):
+        """A tenant-auth-required server plus minted owner/analyst tokens."""
+        from repro.api.auth import TenantRegistry
+        from repro.api.protocol import ProtocolServer, SocketProtocolServer
+
+        main(["admin", "--tenants", str(registry_path), "mint", "acme"])
+        owner_token = capsys.readouterr().out.strip()
+        main(
+            ["admin", "--tenants", str(registry_path), "mint", "acme",
+             "--capability", "analyst"]
+        )
+        analyst_token = capsys.readouterr().out.strip()
+        server = SocketProtocolServer(
+            ProtocolServer(tenants=TenantRegistry(registry_path)), port=0
+        )
+        server.serve_in_background()
+        yield server.port, owner_token, analyst_token
+        server.shutdown()
+
+    def test_exit_codes_by_error_class(self, plaintext_csv, tenanted_port, capsys):
+        port, owner_token, analyst_token = tenanted_port
+        base = [
+            "query", str(plaintext_csv), "City", "city-1",
+            "--key-seed", "7", "--alpha", "0.5", "--port", str(port),
+        ]
+        # Unauthenticated against a tenanted server: exit 4 (AUTH_REQUIRED).
+        assert main(base) == 4
+        assert "error-code: AUTH_REQUIRED" in capsys.readouterr().err
+        # A forged secret: exit 4 (AUTH_FAILED on the first signed frame).
+        forged = owner_token.rsplit(".", 1)[0] + "." + "ab" * 32
+        assert main(base + ["--token", forged]) == 4
+        assert "error-code: AUTH_FAILED" in capsys.readouterr().err
+        # An analyst pushing the table: exit 5 (FORBIDDEN).
+        assert main(base + ["--token", analyst_token]) == 5
+        assert "error-code: FORBIDDEN" in capsys.readouterr().err
+        # The owner token works end to end (and snapshots nothing locally).
+        assert main(base + ["--token", owner_token]) == 0
+        captured = capsys.readouterr()
+        assert "matching rows" in captured.err
+        # The analyst can then query without pushing.
+        assert main(base + ["--token", analyst_token, "--no-push"]) == 0
+        assert "matching rows" in capsys.readouterr().err
+
+    def test_missing_token_file_is_clean_usage_error(self, plaintext_csv, capsys):
+        exit_code = main(
+            [
+                "query", str(plaintext_csv), "City", "city-1",
+                "--key-seed", "7", "--port", "1",
+                "--token", "@/nonexistent/owner.tok",
+            ]
+        )
+        assert exit_code == 2
+        assert "cannot read token file" in capsys.readouterr().err
+
+    def test_token_from_file(self, plaintext_csv, tenanted_port, tmp_path, capsys):
+        port, owner_token, _ = tenanted_port
+        token_file = tmp_path / "owner.tok"
+        token_file.write_text(owner_token + "\n", encoding="utf-8")
+        exit_code = main(
+            [
+                "query", str(plaintext_csv), "City", "city-1",
+                "--key-seed", "7", "--alpha", "0.5", "--port", str(port),
+                "--token", f"@{token_file}",
+            ]
+        )
+        assert exit_code == 0
+        assert "matching rows" in capsys.readouterr().err
 
 
 class TestAttackCommand:

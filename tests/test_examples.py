@@ -46,6 +46,13 @@ class TestExamples:
         assert "completed successfully" in result.stdout
         assert "mode=full (reason=mas-changed)" in result.stdout
 
+    def test_multi_tenant_service(self):
+        result = run_example("multi_tenant_service.py", "150")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "completed successfully" in result.stdout
+        assert "shipped as a delta" in result.stdout
+        assert "rotation kills live sessions" in result.stdout
+
     def test_socket_protocol(self):
         result = run_example("socket_protocol.py", "150")
         assert result.returncode == 0, result.stdout + result.stderr

@@ -121,18 +121,24 @@ class TestLoopbackProtocol:
         with pytest.raises(ProtocolError):
             loopback_client.discover("nope")
 
-    def test_error_reply_decodes(self):
+    def test_error_reply_carries_stable_code(self):
+        # Clients branch on the wire-level ErrorCode, never on message text.
+        from repro.api.auth import ErrorCode
+
         server = ProtocolServer()
         reply = Message.decode(
             server.handle_bytes(DiscoverRequest(table_id="missing").encode())
         )
         assert isinstance(reply, ErrorReply)
-        assert "missing" in reply.message
+        assert reply.code == ErrorCode.UNKNOWN_TABLE.value
 
     def test_garbage_bytes_produce_error_reply(self):
+        from repro.api.auth import ErrorCode
+
         server = ProtocolServer()
         reply = Message.decode(server.handle_bytes(b"\x00\xff garbage"))
         assert isinstance(reply, ErrorReply)
+        assert reply.code == ErrorCode.WIRE_MALFORMED.value
 
     def test_corrupted_meta_produces_error_reply_not_exception(self):
         # Non-Repro exceptions (bad UTF-8 meta, mistyped fields) must also
