@@ -72,6 +72,12 @@ class ViewDelta:
     segments: list[list[Any]] = field(default_factory=list)
     literals: "Relation | None" = None
     table_name: str = ""
+    #: Digest of the view the delta produces.  The owner computes it over
+    #: the materialised new view (which she holds anyway); a storage engine
+    #: that applies the delta without materialising the result records it
+    #: as the new committed digest instead of re-hashing every row.  Empty
+    #: when the sender predates the field — receivers then re-derive it.
+    new_digest: str = ""
 
     @property
     def literal_rows(self) -> int:
@@ -149,6 +155,7 @@ def compute_view_delta(old: Relation, new: Relation) -> ViewDelta:
         segments=segments,
         literals=literals if literals.num_rows else None,
         table_name=new.name,
+        new_digest=relation_digest(new),
     )
 
 

@@ -62,9 +62,16 @@ from repro.api.auth import (
     sign_frame,
     verify_frame,
 )
-from repro.api.delta import ViewDelta, apply_view_delta
+from repro.api.delta import ViewDelta
 from repro.backend import ComputeBackend, get_backend
-from repro.exceptions import AuthError, ProtocolError, QueryError, WireError
+from repro.exceptions import (
+    AuthError,
+    ConfigurationError,
+    ProtocolError,
+    QueryError,
+    StoreError,
+    WireError,
+)
 from repro.fd.tane import TaneResult, tane_with_stats
 from repro.query.server import (
     ServerExpr,
@@ -74,6 +81,18 @@ from repro.query.server import (
     server_expr_to_doc,
 )
 from repro.relational.table import Relation
+
+# Only the engine-neutral base module may be imported here: the engine
+# modules (memory/segment) import repro.api.delta / repro.api.auth, so a
+# top-level import would close a cycle through this package's __init__.
+# The engine classes are imported lazily via the two helpers below.
+from repro.store.base import (
+    STORAGE_ENGINE_SEGMENT,
+    STORAGE_ENGINE_SNAPSHOT,
+    STORAGE_ENGINES,
+    STORE_SUFFIX,
+    TableStore,
+)
 from repro.wire import (
     WIRE_BINARY,
     WIRE_FORMS,
@@ -117,6 +136,20 @@ SNAPSHOT_SUFFIX = ".f2t"
 
 #: Upper bound on a single protocol frame (corrupted length guard).
 MAX_FRAME_BYTES = 1 << 30
+
+
+def _memory_store_cls():
+    """Deferred import of the snapshot engine (see the import note above)."""
+    from repro.store.memory import MemoryTableStore
+
+    return MemoryTableStore
+
+
+def _segment_store_module():
+    """Deferred import of the segment engine (see the import note above)."""
+    from repro.store import segment
+
+    return segment
 
 
 def check_table_id(table_id: str) -> str:
@@ -547,6 +580,7 @@ class InsertDelta(Message):
             "base_digest": self.delta.base_digest,
             "segments": [list(segment) for segment in self.delta.segments],
             "table_name": self.delta.table_name,
+            "new_digest": self.delta.new_digest,
         }
 
     def _attachments(self, form: str) -> dict[str, bytes]:
@@ -569,6 +603,7 @@ class InsertDelta(Message):
             if literals_payload is None
             else decode_relation(literals_payload),
             table_name=str(meta.get("table_name", "")),
+            new_digest=str(meta.get("new_digest", "")),
         )
         return cls(
             table_id=check_table_id(meta.get("table_id", "")),
@@ -907,14 +942,23 @@ class ProtocolServer:
         Compute backend for FD discovery and query filtering (the provider is
         the party with the big hardware).
     storage_dir:
-        Directory for snapshot persistence.  When set, every received store
-        is written as a ``.f2t`` binary relation frame (directly in the
-        directory for the default local tenant, under ``<tenant_id>/`` for
-        authenticated tenants) and every readable snapshot is loaded back on
-        construction, so a restarted server resumes serving without a
-        re-outsource.  A corrupt or truncated snapshot is skipped with a
-        warning — one bad file must not take down every other tenant's
-        tables.  ``None`` keeps all stores in memory only.
+        Directory for persistence.  When set, every received store is
+        persisted (directly in the directory for the default local tenant,
+        under ``<tenant_id>/`` for authenticated tenants) and every
+        readable table is loaded back on construction, so a restarted
+        server resumes serving without a re-outsource.  A corrupt or
+        truncated table is skipped with a warning — one bad file must not
+        take down every other tenant's tables.  ``None`` keeps all stores
+        in memory only.
+    storage_engine:
+        How tables persist under ``storage_dir``.  ``"snapshot"`` (the
+        default) keeps each table in memory and writes whole ``.f2t``
+        binary relation frames around it; ``"segment"`` holds each table
+        in a ``<table>.f2s`` directory of append-only columnar segment
+        files under a generation-numbered manifest (see
+        :mod:`repro.store.segment`), making an :class:`InsertDelta` an
+        O(delta) disk append and restart cost flat in the data size.
+        The segment engine requires a ``storage_dir``.
     tenants:
         A :class:`~repro.api.auth.TenantRegistry` (or a path to one)
         enabling the authenticated multi-tenant session layer.  When set,
@@ -935,10 +979,23 @@ class ProtocolServer:
         storage_dir: "str | Path | None" = None,
         tenants: "TenantRegistry | str | Path | None" = None,
         allow_anonymous: "bool | None" = None,
+        storage_engine: str = STORAGE_ENGINE_SNAPSHOT,
     ):
         self.name = name
         self.backend = backend
-        self._stores: dict[str, Relation] = {}
+        if storage_engine not in STORAGE_ENGINES:
+            raise ConfigurationError(
+                f"unknown storage engine {storage_engine!r}: "
+                f"choose one of {list(STORAGE_ENGINES)}"
+            )
+        if storage_engine == STORAGE_ENGINE_SEGMENT and storage_dir is None:
+            raise ConfigurationError(
+                "the segment storage engine persists to disk and needs a "
+                "storage_dir"
+            )
+        self.storage_engine = storage_engine
+        self._resolved_backend: "ComputeBackend | None" = None
+        self._stores: dict[str, TableStore] = {}
         self._discoveries: dict[str, TaneResult] = {}
         # Registry lock: guards the dicts above (and the lock registry
         # below) for the few microseconds of a lookup/update.  Long work —
@@ -959,7 +1016,16 @@ class ProtocolServer:
         self._storage_dir = Path(storage_dir) if storage_dir is not None else None
         if self._storage_dir is not None:
             self._storage_dir.mkdir(parents=True, exist_ok=True)
-            self._load_all_snapshots()
+            if self.storage_engine == STORAGE_ENGINE_SEGMENT:
+                self._load_all_segment_stores()
+            else:
+                self._load_all_snapshots()
+
+    def _compute_backend(self) -> ComputeBackend:
+        """The resolved compute backend the table stores run on (memoised)."""
+        if self._resolved_backend is None:
+            self._resolved_backend = get_backend(self.backend)
+        return self._resolved_backend
 
     # -- tenant/table namespacing --------------------------------------
     @staticmethod
@@ -1020,18 +1086,25 @@ class ProtocolServer:
         prefix = f"{tenant_id}/"
         return [key[len(prefix) :] for key in keys if key.startswith(prefix)]
 
-    def store(
+    def table_store(
         self, table_id: str = DEFAULT_TABLE_ID, tenant_id: str = DEFAULT_TENANT
-    ) -> Relation:
+    ) -> TableStore:
+        """The :class:`~repro.store.base.TableStore` holding one table."""
         key = self._store_key(tenant_id, table_id)
         with self._lock:
-            relation = self._stores.get(key)
-        if relation is None:
+            store = self._stores.get(key)
+        if store is None:
             raise ProtocolError(
                 f"{self.name} has no table {table_id!r}",
                 code=ErrorCode.UNKNOWN_TABLE.value,
             )
-        return relation
+        return store
+
+    def store(
+        self, table_id: str = DEFAULT_TABLE_ID, tenant_id: str = DEFAULT_TENANT
+    ) -> Relation:
+        """The stored relation, materialised from its table store."""
+        return self.table_store(table_id, tenant_id=tenant_id).relation()
 
     def has_table(
         self, table_id: str = DEFAULT_TABLE_ID, tenant_id: str = DEFAULT_TENANT
@@ -1268,10 +1341,32 @@ class ProtocolServer:
             return self.handle(inner, auth)
 
     # -- handlers ------------------------------------------------------
+    def _get_or_create_store(self, store_key: str) -> TableStore:
+        """The table's store, creating an (empty) engine store on first use.
+
+        Called under the table's *write* lock, so two concurrent receives
+        for one key cannot both create: the second finds the first's store
+        registered.  The store is registered only after its first
+        successful write (see the callers) — a failed receive must not
+        leave an empty table behind.
+        """
+        with self._lock:
+            store = self._stores.get(store_key)
+        if store is not None:
+            return store
+        if self.storage_engine == STORAGE_ENGINE_SEGMENT:
+            segment = _segment_store_module()
+            return segment.SegmentTableStore(
+                self._store_dir(store_key), self._compute_backend(), create=True
+            )
+        return _memory_store_cls()(self._compute_backend())
+
     def _receive_store(self, store_key: str, relation: Relation) -> None:
         with self._table_lock(store_key).write():
+            store = self._get_or_create_store(store_key)
+            store.replace(relation)
             with self._lock:
-                self._stores[store_key] = relation
+                self._stores[store_key] = store
                 # A new ciphertext invalidates any cached discovery result.
                 self._discoveries.pop(store_key, None)
             # Persist while still holding the table's write lock: concurrent
@@ -1279,7 +1374,8 @@ class ProtocolServer:
             # update the store (a stale writer must not win the rename after
             # a newer one), but snapshots of *different* tables — and all
             # query traffic against other tables — proceed in parallel.
-            if self._storage_dir is not None:
+            # (The segment engine persisted inside ``replace`` already.)
+            if self._storage_dir is not None and self.storage_engine == STORAGE_ENGINE_SNAPSHOT:
                 self._write_snapshot(store_key, relation)
 
     def _handle_outsource(self, request: OutsourceRequest, auth: _AuthContext) -> Message:
@@ -1303,92 +1399,98 @@ class ProtocolServer:
     def _handle_insert_delta(self, request: InsertDelta, auth: _AuthContext) -> Message:
         """Splice a view delta into the stored base under the write lock.
 
-        The digest check inside :func:`~repro.api.delta.apply_view_delta`
-        runs under the same write lock as the splice, so the base it
-        verifies is exactly the base it applies to — an interleaved writer
-        yields a clean ``DELTA_MISMATCH`` (the owner then falls back to a
-        full :class:`InsertBatch`), never a corrupted store.
+        The base-digest check inside :meth:`TableStore.apply_delta` runs
+        under the same write lock as the splice, so the base it verifies is
+        exactly the base it applies to — an interleaved writer yields a
+        clean ``DELTA_MISMATCH`` (the owner then falls back to a full
+        :class:`InsertBatch`), never a corrupted store.  On the segment
+        engine the splice itself is the persistence (an O(delta) append);
+        the snapshot engine re-snapshots the updated view.
         """
         store_key = self._store_key(auth.tenant_id, request.table_id)
         self._require_known_table(store_key, request.table_id)
         with self._table_lock(store_key).write():
             with self._lock:
-                base = self._stores[store_key]
-            updated = apply_view_delta(base, request.delta)
+                store = self._stores[store_key]
+            num_rows = store.apply_delta(request.delta)
             with self._lock:
-                self._stores[store_key] = updated
                 self._discoveries.pop(store_key, None)
-            if self._storage_dir is not None:
-                self._write_snapshot(store_key, updated)
+            if self._storage_dir is not None and store.engine == STORAGE_ENGINE_SNAPSHOT:
+                self._write_snapshot(store_key, store.relation())
         return Ack(
             fields={
                 "table_id": request.table_id,
-                "num_rows": updated.num_rows,
+                "num_rows": num_rows,
                 "batch_rows": request.batch_rows,
                 "literal_rows": request.delta.literal_rows,
             }
         )
 
     def _handle_discover(self, request: DiscoverRequest, auth: _AuthContext) -> Message:
-        # Discovery runs on the immutable relation reference without any
-        # table lock: store() is atomic under the registry lock, TANE can
-        # take seconds (holding the read lock would block every mutation),
-        # and a writer-preferring read acquire would stall discovery behind
-        # an in-flight snapshot write for no consistency gain.  A receive
-        # landing mid-run simply swaps the store; the is-check below keeps
-        # the stale result out of the cache.
+        # Discovery runs on a materialised relation without any table lock:
+        # TANE can take seconds (holding the read lock would block every
+        # mutation), and a writer-preferring read acquire would stall
+        # discovery behind an in-flight write for no consistency gain.  A
+        # receive landing mid-run simply advances the store's version; the
+        # (identity, version) check below keeps the stale result out of the
+        # cache.
         store_key = self._store_key(auth.tenant_id, request.table_id)
-        relation = self.store(request.table_id, tenant_id=auth.tenant_id)
+        store = self.table_store(request.table_id, tenant_id=auth.tenant_id)
+        version = store.version
+        relation = store.relation()
         result = tane_with_stats(
             relation, max_lhs_size=request.max_lhs_size, backend=self.backend
         )
         with self._lock:
-            # Cache only if no concurrent receive replaced the store while
+            # Cache only if no concurrent write touched the table while
             # TANE ran — a result computed on the old ciphertext must not
             # resurface as the "last discovery" of the new one.
-            if self._stores.get(store_key) is relation:
+            if self._stores.get(store_key) is store and store.version == version:
                 self._discoveries[store_key] = result
         return DiscoverResult(table_id=request.table_id, result=result)
 
     def _handle_query(self, request: QueryRequest, auth: _AuthContext) -> Message:
         # Executed under the table's read lock: parallel queries share it,
-        # and a mutation (which replaces the stored relation and its coded
-        # view) waits for in-flight executions instead of racing them.
+        # and a mutation (which replaces the stored columns and invalidates
+        # the token cache) waits for in-flight executions instead of racing
+        # them.
         store_key = self._store_key(auth.tenant_id, request.table_id)
         self._require_known_table(store_key, request.table_id)
         with self._table_lock(store_key).read():
-            relation = self.store(request.table_id, tenant_id=auth.tenant_id)
-            if request.attribute not in relation.schema:
+            store = self.table_store(request.table_id, tenant_id=auth.tenant_id)
+            if request.attribute not in store.attributes:
                 raise _unknown_attribute(request.table_id, request.attribute)
-            indexes = relation.coded(self.backend).rows_matching(
-                request.attribute, request.token
-            )
+            indexes = store.rows_matching(request.attribute, request.token)
+            rows = None
+            if request.include_rows:
+                relation = store.relation()
+                rows = relation.select_rows(indexes, name=f"{relation.name}-match")
             return QueryResult(
                 table_id=request.table_id,
                 attribute=request.attribute,
                 row_indexes=tuple(indexes),
-                rows=relation.select_rows(indexes, name=f"{relation.name}-match")
-                if request.include_rows
-                else None,
+                rows=rows,
             )
 
     def _handle_plan_query(self, request: PlanQueryRequest, auth: _AuthContext) -> Message:
         store_key = self._store_key(auth.tenant_id, request.table_id)
         self._require_known_table(store_key, request.table_id)
         with self._table_lock(store_key).read():
-            relation = self.store(request.table_id, tenant_id=auth.tenant_id)
-            schema = relation.schema
+            store = self.table_store(request.table_id, tenant_id=auth.tenant_id)
+            attributes = store.attributes
             for leaf in collect_leaves(request.expr):
-                if leaf.attribute not in schema:
+                if leaf.attribute not in attributes:
                     raise _unknown_attribute(request.table_id, leaf.attribute)
-            indexes, leaf_counts = execute_server_expr(
-                relation.coded(self.backend), request.expr
-            )
+            # A TableStore exposes exactly the executor's surface (backend,
+            # num_rows, match_mask), so the plan runs against the store
+            # directly — on the segment engine the leaf scans read the
+            # memory-mapped code arrays, cached per token.
+            indexes, leaf_counts = execute_server_expr(store, request.expr)
             return PlanQueryResult(
                 table_id=request.table_id,
                 row_indexes=tuple(indexes),
                 leaf_match_counts=tuple(leaf_counts),
-                num_rows=relation.num_rows,
+                num_rows=store.num_rows,
             )
 
     def _handle_save_snapshot(self, request: SaveSnapshot, auth: _AuthContext) -> Message:
@@ -1402,8 +1504,13 @@ class ProtocolServer:
         # The write lock (not just read) serializes the snapshot rename
         # against concurrent receives of the same table.
         with self._table_lock(store_key).write():
-            relation = self.store(request.table_id, tenant_id=auth.tenant_id)
-            path = self._write_snapshot(store_key, relation)
+            store = self.table_store(request.table_id, tenant_id=auth.tenant_id)
+            if store.engine == STORAGE_ENGINE_SEGMENT:
+                # Segment stores are always durable: every write committed a
+                # manifest generation already, so "save" just answers where.
+                path = store.save()
+            else:
+                path = self._write_snapshot(store_key, store.relation())
         return Ack(fields={"table_id": request.table_id, "path": str(path)})
 
     def _handle_load_snapshot(self, request: LoadSnapshot, auth: _AuthContext) -> Message:
@@ -1413,6 +1520,8 @@ class ProtocolServer:
                 code=ErrorCode.SNAPSHOT_UNAVAILABLE.value,
             )
         store_key = self._store_key(auth.tenant_id, request.table_id)
+        if self.storage_engine == STORAGE_ENGINE_SEGMENT:
+            return self._load_segment_table(store_key, request)
         path = self._snapshot_path(store_key)
         # Existence check before allocating a lock (snapshots are never
         # deleted, so the check cannot go stale before the read below).
@@ -1422,11 +1531,45 @@ class ProtocolServer:
                 code=ErrorCode.SNAPSHOT_UNAVAILABLE.value,
             )
         with self._table_lock(store_key).write():
-            relation = decode_relation(path.read_bytes())
+            data = path.read_bytes()
+            store = self._get_or_create_store(store_key)
+            # Adopt the bytes lazily: the frame is structurally validated
+            # (skimmed) now, fully decoded on first row access.
+            num_rows = store.load_snapshot(data)
             with self._lock:
-                self._stores[store_key] = relation
+                self._stores[store_key] = store
                 self._discoveries.pop(store_key, None)
-        return Ack(fields={"table_id": request.table_id, "num_rows": relation.num_rows})
+        return Ack(fields={"table_id": request.table_id, "num_rows": num_rows})
+
+    def _load_segment_table(self, store_key: str, request: LoadSnapshot) -> Message:
+        """The segment engine's ``LoadSnapshot``: re-open from the store dir."""
+        with self._table_lock(store_key).write():
+            with self._lock:
+                store = self._stores.get(store_key)
+            try:
+                if store is not None:
+                    num_rows = store.reload()
+                else:
+                    segment = _segment_store_module()
+                    directory = self._store_dir(store_key)
+                    if not segment.is_segment_store(directory):
+                        raise ProtocolError(
+                            f"no snapshot for table {request.table_id!r}",
+                            code=ErrorCode.SNAPSHOT_UNAVAILABLE.value,
+                        )
+                    store = segment.SegmentTableStore(
+                        directory, self._compute_backend()
+                    )
+                    num_rows = store.num_rows
+            except StoreError as exc:
+                raise ProtocolError(
+                    f"cannot load table {request.table_id!r}: {exc}",
+                    code=ErrorCode.SNAPSHOT_UNAVAILABLE.value,
+                ) from exc
+            with self._lock:
+                self._stores[store_key] = store
+                self._discoveries.pop(store_key, None)
+        return Ack(fields={"table_id": request.table_id, "num_rows": num_rows})
 
     _HANDLERS: dict[type, Any] = {}
     #: Upper bound on concurrently established sessions; the least recently
@@ -1449,6 +1592,18 @@ class ProtocolServer:
                 / f"{check_table_id(table_id)}{SNAPSHOT_SUFFIX}"
             )
         return self._storage_dir / f"{check_table_id(store_key)}{SNAPSHOT_SUFFIX}"
+
+    def _store_dir(self, store_key: str) -> Path:
+        """The segment-store directory of one table (``.f2s`` counterpart)."""
+        assert self._storage_dir is not None
+        if "/" in store_key:
+            tenant_id, table_id = store_key.split("/", 1)
+            return (
+                self._storage_dir
+                / check_tenant_id(tenant_id)
+                / f"{check_table_id(table_id)}{STORE_SUFFIX}"
+            )
+        return self._storage_dir / f"{check_table_id(store_key)}{STORE_SUFFIX}"
 
     def _write_snapshot(self, store_key: str, relation: Relation) -> Path:
         path = self._snapshot_path(store_key)
@@ -1491,9 +1646,16 @@ class ProtocolServer:
         A truncated or corrupted ``.f2t`` — a crash mid-fsync, a bad disk —
         must degrade to "this one table needs a re-outsource", never to "the
         server refuses to start and every other tenant is down too".
+
+        Loading is *lazy*: the frame is skimmed (structure walked, framing
+        and truncation validated — so corrupt files still warn right here)
+        but the cells decode only when the table is first touched, keeping
+        restart cost proportional to the tables actually used.
         """
         try:
-            self._stores[store_key] = decode_relation(path.read_bytes())
+            store = _memory_store_cls().from_snapshot(
+                self._compute_backend(), path.read_bytes()
+            )
         except (WireError, OSError) as exc:
             warnings.warn(
                 f"skipping corrupt snapshot {path}: {exc}; the table "
@@ -1501,6 +1663,45 @@ class ProtocolServer:
                 RuntimeWarning,
                 stacklevel=2,
             )
+            return
+        self._stores[store_key] = store
+
+    def _load_all_segment_stores(self) -> None:
+        assert self._storage_dir is not None
+        for directory in sorted(self._storage_dir.glob(f"*{STORE_SUFFIX}")):
+            table_id = directory.name[: -len(STORE_SUFFIX)]
+            if directory.is_dir() and _TABLE_ID_RE.match(table_id):
+                self._load_one_segment_store(table_id, directory)
+        for subdir in sorted(self._storage_dir.iterdir()):
+            if not subdir.is_dir() or not _TENANT_DIR_RE.match(subdir.name):
+                continue
+            for directory in sorted(subdir.glob(f"*{STORE_SUFFIX}")):
+                table_id = directory.name[: -len(STORE_SUFFIX)]
+                if directory.is_dir() and _TABLE_ID_RE.match(table_id):
+                    self._load_one_segment_store(
+                        f"{subdir.name}/{table_id}", directory
+                    )
+
+    def _load_one_segment_store(self, store_key: str, directory: Path) -> None:
+        """Open one segment store; skip (and warn about) unrecoverable ones.
+
+        Opening checks only manifest consistency and file lengths (flat in
+        the data size); recovery inside may itself warn when it falls back
+        to an older committed generation.  Like snapshots, one broken table
+        must never take the whole server down.
+        """
+        segment = _segment_store_module()
+        try:
+            store = segment.SegmentTableStore(directory, self._compute_backend())
+        except (StoreError, OSError) as exc:
+            warnings.warn(
+                f"skipping corrupt table store {directory}: {exc}; the table "
+                f"{store_key!r} needs a re-outsource",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return
+        self._stores[store_key] = store
 
 
 ProtocolServer._HANDLERS = {

@@ -550,6 +550,10 @@ class ServiceProvider:
     wire_format:
         Wire form used on the loopback transport (``"binary"`` default,
         ``"json"`` to debug payloads).
+    storage_engine:
+        Storage engine of the underlying server: ``"snapshot"`` (default,
+        in-memory tables + whole-file ``.f2t`` snapshots) or ``"segment"``
+        (on-disk columnar segment stores; needs ``storage_dir``).
     """
 
     def __init__(
@@ -559,11 +563,17 @@ class ServiceProvider:
         storage_dir: str | None = None,
         wire_format: str = "binary",
         table_id: str = DEFAULT_TABLE_ID,
+        storage_engine: str = "snapshot",
     ):
         self.name = name
         self.backend = backend
         self.table_id = table_id
-        self.server = ProtocolServer(name=name, backend=backend, storage_dir=storage_dir)
+        self.server = ProtocolServer(
+            name=name,
+            backend=backend,
+            storage_dir=storage_dir,
+            storage_engine=storage_engine,
+        )
         self.client = ProtocolClient(LoopbackTransport(self.server), wire_format=wire_format)
 
     def receive(self, relation: Relation) -> int:

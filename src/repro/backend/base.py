@@ -33,7 +33,9 @@ ciphertext bytes.  The equivalence test suite pins this property.
 from __future__ import annotations
 
 import os
+import sys
 from abc import ABC, abstractmethod
+from array import array as _stdlib_array
 from collections.abc import Sequence
 from typing import Any
 
@@ -77,6 +79,43 @@ class ComputeBackend(ABC):
     @abstractmethod
     def as_code_array(self, codes: Sequence[int]) -> Any:
         """Coerce a plain list of codes into the backend's native array type."""
+
+    def from_code_bytes(self, data: Any, width: int, count: int) -> Any:
+        """Codes from ``count * width`` packed little-endian unsigned bytes.
+
+        ``data`` is a bytes-like object (typically a :class:`memoryview`
+        over a memory-mapped segment file).  The reference implementation
+        copies into a stdlib :mod:`array`; the NumPy backend overrides it
+        with a zero-copy ``np.frombuffer`` view, which is what makes
+        segment-store loads O(1) in data size on that backend.
+        """
+        # repro.wire depends on repro.backend, so the width table is
+        # duplicated here rather than imported.
+        typecode = {1: "B", 2: "H", 4: "I", 8: "Q"}.get(width)
+        if typecode is None:
+            raise BackendError(f"unknown code width {width}")
+        packed = _stdlib_array(typecode)
+        packed.frombytes(bytes(data[: count * width]))
+        if sys.byteorder == "big":  # pragma: no cover - little-endian CI/dev hosts
+            packed.byteswap()
+        if len(packed) != count:
+            raise BackendError(
+                f"code buffer holds {len(packed)} codes, expected {count}"
+            )
+        return packed
+
+    def concat_code_arrays(self, parts: Sequence[Any]) -> Any:
+        """One code array from several, widened so no part's codes clip.
+
+        Used by the segment store to stitch a logically contiguous column
+        out of slices whose on-disk widths differ (older segments were
+        written while the dictionary was still small).
+        """
+        joined = _stdlib_array("q")
+        for part in parts:
+            tolist = getattr(part, "tolist", None)
+            joined.extend(tolist() if tolist is not None else part)
+        return joined
 
     # ------------------------------------------------------------------
     # Grouping / counting

@@ -59,6 +59,21 @@ class NumpyBackend(ComputeBackend):
     def as_code_array(self, codes: Sequence[int]) -> Any:
         return _np().asarray(codes, dtype=_np().int64)
 
+    def from_code_bytes(self, data: Any, width: int, count: int) -> Any:
+        # Zero-copy view over the packed buffer (a memory-mapped segment
+        # file slice): no decode pass, no int64 widening.  Callers that
+        # combine arrays of different widths upcast explicitly.
+        np = _np()
+        if width not in (1, 2, 4, 8):
+            raise BackendError(f"unknown code width {width}")
+        return np.frombuffer(data, dtype=f"<u{width}", count=count)
+
+    def concat_code_arrays(self, parts: Any) -> Any:
+        np = _np()
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([np.asarray(part, dtype=np.int64) for part in parts])
+
     # ------------------------------------------------------------------
     # Grouping / counting
     # ------------------------------------------------------------------

@@ -24,6 +24,8 @@ Subcommands
     owner-issued equality search tokens.  With ``--tenants REGISTRY.json``
     the server requires authenticated multi-tenant sessions: every request
     must arrive signed under a credential minted by ``admin``.
+    ``--storage-engine segment`` swaps the whole-file snapshot persistence
+    for the on-disk columnar segment stores of :mod:`repro.store`.
 ``query``
     Drive the owner side against a running ``serve`` instance: encrypt the
     CSV locally (seeded, so re-runs are byte-identical), ship the server
@@ -54,6 +56,10 @@ without parsing messages.
     Run one of the paper's experiment sweeps and print the result table.
 ``dataset``
     Generate one of the evaluation datasets as CSV.
+``store``
+    Manage a ``serve`` instance's on-disk stores: ``store migrate``
+    converts ``.f2t`` snapshots (tenant subdirectories included) into
+    verified ``.f2s`` segment stores for ``--storage-engine segment``.
 """
 
 from __future__ import annotations
@@ -68,8 +74,10 @@ from repro.api.session import DataOwner, ServiceProvider
 from repro.backend import available_backends
 from repro.exceptions import (
     BackendUnavailableError,
+    ConfigurationError,
     ProtocolError,
     QueryError,
+    StoreError,
     WireError,
 )
 from repro.bench import (
@@ -159,6 +167,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="snapshot directory: received tables persist here and are "
         "reloaded on restart (default: in-memory only)",
+    )
+    serve.add_argument(
+        "--storage-engine",
+        choices=["snapshot", "segment"],
+        default="snapshot",
+        help="how tables persist under --storage: whole-file .f2t snapshots "
+        "(default) or append-only columnar segment stores (O(delta) "
+        "inserts, flat restart cost; requires --storage)",
     )
     serve.add_argument(
         "--port-file",
@@ -287,6 +303,29 @@ def build_parser() -> argparse.ArgumentParser:
     dataset.add_argument("output", help="CSV file to write")
     dataset.add_argument("--rows", type=int, default=1000)
     dataset.add_argument("--seed", type=int, default=0)
+
+    store = subparsers.add_parser(
+        "store", help="manage a serve instance's on-disk table stores"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    migrate = store_sub.add_parser(
+        "migrate",
+        help="convert .f2t snapshots into segment stores (for "
+        "`serve --storage-engine segment`)",
+        description=(
+            "Convert every .f2t snapshot under the storage directory "
+            "(including tenant subdirectories) into a verified .f2s segment "
+            "store next to it. Snapshots are kept unless --remove-snapshots "
+            "is given, so the migration is safe to interrupt and re-run."
+        ),
+    )
+    migrate.add_argument("--storage", required=True, help="the serve --storage directory")
+    migrate.add_argument(
+        "--remove-snapshots",
+        action="store_true",
+        help="delete each .f2t after its segment store verified",
+    )
+    _add_backend_flag(migrate)
     return parser
 
 
@@ -326,15 +365,22 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_bench(args)
         if args.command == "dataset":
             return _cmd_dataset(args)
+        if args.command == "store":
+            return _cmd_store(args)
     except BackendUnavailableError as exc:
         installed = [name for name, ok in available_backends().items() if ok]
         print(f"error: {exc}", file=sys.stderr)
         print(f"available backends here: {', '.join(installed)}", file=sys.stderr)
         return 2
-    except QueryError as exc:
-        # Malformed predicate expressions, unknown attributes.
+    except (QueryError, ConfigurationError) as exc:
+        # Malformed predicate expressions, unknown attributes, bad flag
+        # combinations (e.g. --storage-engine segment without --storage).
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except StoreError as exc:
+        # Unreadable / inconsistent on-disk table stores.
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     except (ProtocolError, WireError) as exc:
         # The stable wire-level ErrorCode (not the message text) picks the
         # exit code: auth 4, capability 5, sequence/delta conflicts 6, and 3
@@ -419,6 +465,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         storage_dir=args.storage,
         tenants=args.tenants,
         allow_anonymous=args.allow_anonymous if args.tenants else None,
+        storage_engine=args.storage_engine,
     )
     sock_server = SocketProtocolServer(server, host=args.host, port=args.port)
     if args.port_file:
@@ -576,6 +623,24 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     write_relation_csv(relation, args.output)
     print(f"wrote {relation.num_rows} rows x {relation.num_attributes} attributes to {args.output}")
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import migrate_storage_dir
+
+    if args.store_command == "migrate":
+        converted = migrate_storage_dir(
+            args.storage, backend=args.backend, remove_snapshots=args.remove_snapshots
+        )
+        for record in converted:
+            label = f"{record['tenant']}/{record['table']}" if record["tenant"] else record["table"]
+            print(f"migrated {label}: {record['rows']} rows -> {record['store']}")
+        print(
+            f"migrated {len(converted)} table(s) under {args.storage}"
+            + (" (snapshots removed)" if args.remove_snapshots else "")
+        )
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -67,6 +67,17 @@ class WireError(ReproError):
     """
 
 
+class StoreError(ReproError):
+    """A storage-engine operation failed or found an inconsistent table dir.
+
+    Raised by :mod:`repro.store` for unrecoverable states — no committed
+    manifest generation survives, a checksum verification fails, or a write
+    is attempted against a closed store.  *Recoverable* damage (a torn
+    segment tail, a corrupt latest manifest with an older good generation)
+    never raises; recovery falls back and warns instead.
+    """
+
+
 class ProtocolError(ReproError):
     """A protocol endpoint rejected a request or returned an error reply.
 

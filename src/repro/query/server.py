@@ -192,15 +192,20 @@ def server_expr_from_doc(
 # Execution: bitset algebra over the coded relation
 # ----------------------------------------------------------------------
 def execute_server_expr(
-    coded: "CodedRelation", expr: ServerExpr
+    coded: Any, expr: ServerExpr
 ) -> tuple[list[int], list[int]]:
-    """Evaluate ``expr`` over a coded relation.
+    """Evaluate ``expr`` over a coded relation (or anything shaped like one).
 
     Returns ``(row_indexes, leaf_match_counts)``: the matched row indexes in
     ascending order, plus the cardinality of every leaf's match set in
     leaf-index order.  All set algebra runs on backend row masks —
     ``rows_and`` / ``rows_or`` / ``rows_not`` — so the python and numpy
     backends produce identical results from the same expression.
+
+    ``coded`` only needs the trio ``backend`` / ``num_rows`` /
+    ``match_mask(attribute, token)``: both
+    :class:`~repro.relational.coded.CodedRelation` and the protocol
+    server's :class:`~repro.store.base.TableStore` engines satisfy it.
     """
     backend = coded.backend
     num_rows = coded.num_rows

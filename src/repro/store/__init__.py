@@ -1,0 +1,52 @@
+"""Per-table storage engines behind the protocol server.
+
+The package splits into the engine-neutral contract (:mod:`.base`, the
+:class:`TableStore` ABC plus the ``STORAGE_ENGINES`` names), the hot-token
+cache both engines share (:mod:`.cache`), the two engines (:mod:`.memory`
+for the legacy in-memory/``.f2t`` path, :mod:`.segment` for the on-disk
+columnar store with its :mod:`.manifest` commit protocol), and the
+snapshot-to-segment converter (:mod:`.migrate`).
+"""
+
+from repro.store.base import (
+    STORAGE_ENGINE_SEGMENT,
+    STORAGE_ENGINE_SNAPSHOT,
+    STORAGE_ENGINES,
+    STORE_SUFFIX,
+    TableStore,
+)
+from repro.store.cache import DEFAULT_CACHE_ENTRIES, TokenBitsetCache
+from repro.store.manifest import (
+    CURRENT_NAME,
+    KEEP_GENERATIONS,
+    Manifest,
+    list_generations,
+    load_manifest,
+    recover_manifest,
+    write_manifest,
+)
+from repro.store.memory import MemoryTableStore
+from repro.store.migrate import migrate_storage_dir
+from repro.store.segment import SEGMENT_MAGIC, SegmentTableStore, is_segment_store
+
+__all__ = [
+    "CURRENT_NAME",
+    "DEFAULT_CACHE_ENTRIES",
+    "KEEP_GENERATIONS",
+    "Manifest",
+    "MemoryTableStore",
+    "SEGMENT_MAGIC",
+    "STORAGE_ENGINES",
+    "STORAGE_ENGINE_SEGMENT",
+    "STORAGE_ENGINE_SNAPSHOT",
+    "STORE_SUFFIX",
+    "SegmentTableStore",
+    "TableStore",
+    "TokenBitsetCache",
+    "is_segment_store",
+    "list_generations",
+    "load_manifest",
+    "migrate_storage_dir",
+    "recover_manifest",
+    "write_manifest",
+]

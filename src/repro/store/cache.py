@@ -1,0 +1,115 @@
+"""The hot-token bitset cache (the caching hook named in the query engine).
+
+Token-based equality queries are highly repetitive in practice: an analyst
+re-issues the same token (or the same boolean plan over the same leaves)
+against a table that changes only when the owner inserts.  The server-side
+cost of such a query is one membership scan over a dense code array — cheap,
+but linear in the table — so the store front-ends it with a small LRU cache
+keyed by ``(attribute, token)``.
+
+Two result forms are cached independently, because the two query paths
+consume different shapes: plain queries want the ascending row-index list,
+planned boolean queries want the backend's row *mask* (a python int bitset
+or a NumPy boolean array) so that ``rows_and``/``rows_or`` algebra never
+re-materialises leaves.  Both forms are immutable-by-convention: index lists
+are stored as tuples, python masks are ints, and the NumPy mask algebra
+always allocates fresh output arrays.
+
+Correctness rests on one rule: **any write to the table invalidates the
+whole cache** (:meth:`TokenBitsetCache.invalidate`).  The stores call it
+under the same mutex that serialises the write, so a stale hit can never be
+observed after a replace, delta apply, or reload.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterable
+
+#: Default bound on cached entries per (table, result-form).
+DEFAULT_CACHE_ENTRIES = 256
+
+#: Sentinel distinguishing "not cached" from a cached falsy result.
+_MISSING = object()
+
+
+class TokenBitsetCache:
+    """A bounded LRU cache of per-token match results for one table."""
+
+    __slots__ = ("max_entries", "hits", "misses", "invalidations", "_rows", "_masks")
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_ENTRIES):
+        self.max_entries = max(1, int(max_entries))
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._rows: "OrderedDict[Any, tuple[int, ...]]" = OrderedDict()
+        self._masks: "OrderedDict[Any, Any]" = OrderedDict()
+
+    @staticmethod
+    def key(attribute: str, token: Iterable[Any]) -> Any:
+        """The cache key of one query leaf.
+
+        Token cells are hashable by the relation contract (strings, ints,
+        frozen ciphertext dataclasses); callers catch ``TypeError`` and skip
+        the cache for anything exotic.
+        """
+        return (attribute, tuple(token))
+
+    # -- row-index results ---------------------------------------------
+    def get_rows(self, key: Any) -> "tuple[int, ...] | None":
+        found = self._rows.get(key, _MISSING)
+        if found is _MISSING:
+            self.misses += 1
+            return None
+        self._rows.move_to_end(key)
+        self.hits += 1
+        return found  # type: ignore[return-value]
+
+    def put_rows(self, key: Any, rows: Iterable[int]) -> None:
+        self._rows[key] = tuple(rows)
+        self._rows.move_to_end(key)
+        while len(self._rows) > self.max_entries:
+            self._rows.popitem(last=False)
+
+    # -- mask results --------------------------------------------------
+    def get_mask(self, key: Any) -> Any:
+        """The cached mask for ``key``, or ``None`` when absent.
+
+        (A mask is never ``None``: empty matches are ``0`` or an all-False
+        array, so the sentinel is unambiguous.)
+        """
+        found = self._masks.get(key, _MISSING)
+        if found is _MISSING:
+            self.misses += 1
+            return None
+        self._masks.move_to_end(key)
+        self.hits += 1
+        return found
+
+    def put_mask(self, key: Any, mask: Any) -> None:
+        self._masks[key] = mask
+        self._masks.move_to_end(key)
+        while len(self._masks) > self.max_entries:
+            self._masks.popitem(last=False)
+
+    # -- write-path invalidation ---------------------------------------
+    def invalidate(self) -> None:
+        """Drop every cached result (called on any write to the table)."""
+        if self._rows or self._masks:
+            self.invalidations += 1
+        self._rows.clear()
+        self._masks.clear()
+
+    @property
+    def entries(self) -> int:
+        return len(self._rows) + len(self._masks)
+
+    def stats(self) -> dict[str, int]:
+        """Counters for tests and benchmarks."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": self.entries,
+            "invalidations": self.invalidations,
+        }

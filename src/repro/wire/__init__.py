@@ -22,18 +22,21 @@ from repro.wire.codec import (
     cell_from_json,
     cell_to_json,
     check_form,
+    decode_cell_run,
     decode_cells,
     decode_encrypted_table,
     decode_fdset,
     decode_relation,
     decode_tane_result,
     detect_form,
+    encode_cell_run,
     encode_cells,
     encode_encrypted_table,
     encode_fdset,
     encode_relation,
     encode_tane_result,
     sanitize_json,
+    skim_relation,
 )
 
 __all__ = [
@@ -45,16 +48,19 @@ __all__ = [
     "cell_from_json",
     "cell_to_json",
     "check_form",
+    "decode_cell_run",
     "decode_cells",
     "decode_encrypted_table",
     "decode_fdset",
     "decode_relation",
     "decode_tane_result",
     "detect_form",
+    "encode_cell_run",
     "encode_cells",
     "encode_encrypted_table",
     "encode_fdset",
     "encode_relation",
     "encode_tane_result",
     "sanitize_json",
+    "skim_relation",
 ]

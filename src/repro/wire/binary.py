@@ -128,6 +128,20 @@ class ByteReader:
         """Read one unsigned byte."""
         return self._take(1)[0]
 
+    def skip(self, count: int) -> None:
+        """Advance past ``count`` bytes without materialising them.
+
+        Bounds-checked like :meth:`_take` (a short frame raises
+        :class:`WireError`), but never slices — the structural skim in
+        :func:`repro.wire.codec.skim_relation` uses this to walk multi-
+        megabyte code arrays for free.
+        """
+        if count < 0 or self.remaining < count:
+            raise WireError(
+                f"truncated binary frame: needed {count} bytes, {self.remaining} left"
+            )
+        self._pos += count
+
     def uvarint(self) -> int:
         value = 0
         shift = 0

@@ -164,6 +164,41 @@ def _read_cell(reader: ByteReader) -> Any:
     raise WireError(f"unknown cell tag {tag} in binary frame")
 
 
+def _skip_cell(reader: ByteReader) -> None:
+    """Advance past one binary cell without constructing its value."""
+    tag = reader.u8()
+    if tag in (_CELL_STR, _CELL_CIPHERTEXT):
+        reader.skip(reader.uvarint())
+    elif tag == _CELL_INT:
+        reader.svarint()
+    elif tag == _CELL_FLOAT:
+        reader.skip(8)
+    elif tag not in (_CELL_TRUE, _CELL_FALSE, _CELL_NONE):
+        raise WireError(f"unknown cell tag {tag} in binary frame")
+
+
+def encode_cell_run(values: Sequence[Any]) -> bytes:
+    """Serialize a bare run of cells (no frame header, no count prefix).
+
+    The segment store's dictionary blobs are append-only concatenations of
+    these runs — appending a delta's new dictionary values is a file append,
+    and the committed value count lives in the manifest instead of a header
+    that would have to be rewritten in place.
+    """
+    writer = ByteWriter()
+    for value in values:
+        _write_cell(writer, value)
+    return writer.getvalue()
+
+
+def decode_cell_run(data: bytes, count: int) -> list[Any]:
+    """Inverse of :func:`encode_cell_run`; ``data`` must hold exactly ``count`` cells."""
+    reader = ByteReader(data)
+    values = [_read_cell(reader) for _ in range(count)]
+    reader.expect_end()
+    return values
+
+
 def encode_cells(cells: Sequence[Any], form: str = WIRE_BINARY) -> bytes:
     """Serialize a flat list of cell values (e.g. a query token)."""
     if check_form(form) == WIRE_JSON:
@@ -264,6 +299,42 @@ def decode_relation(data: bytes) -> Relation:
         columns.append(_expand_column(dictionary, codes, num_rows))
     reader.expect_end()
     return _build_relation(name, attributes, columns)
+
+
+def skim_relation(data: bytes) -> tuple[str, list[str], int]:
+    """Structurally validate a serialized relation; return only its header.
+
+    Walks every length prefix, cell tag, and code array of a binary frame —
+    so truncation and framing corruption raise :class:`WireError` exactly
+    where a full decode would — without constructing a single cell object or
+    expanding a column.  Returns ``(name, attributes, num_rows)``.  Decode is
+    the codec's measured bottleneck, so this is what lets snapshot loading
+    defer the expensive part until a table is actually touched.  The JSON
+    form has no skippable structure and falls back to a full decode.
+    """
+    if detect_form(data) == WIRE_JSON:
+        relation = decode_relation(data)
+        return relation.name, list(relation.attributes), relation.num_rows
+    reader = _binary_load(data, "relation")
+    name = reader.lp_str()
+    num_columns = reader.uvarint()
+    num_rows = reader.uvarint()
+    attributes: list[str] = []
+    for _ in range(num_columns):
+        attributes.append(reader.lp_str())
+        for _ in range(reader.uvarint()):
+            _skip_cell(reader)
+        width = reader.u8()
+        if width not in (1, 2, 4, 8):
+            raise WireError(f"unknown code-array width {width}")
+        count = reader.uvarint()
+        if count != num_rows:
+            raise WireError(
+                f"relation payload: column has {count} rows, header says {num_rows}"
+            )
+        reader.skip(count * width)
+    reader.expect_end()
+    return name, attributes, num_rows
 
 
 def _expand_column(dictionary: list[Any], codes: Iterable[int], num_rows: int) -> list[Any]:
