@@ -1,0 +1,308 @@
+"""Materialisation throughput: per-cell loop vs batched vs process-sharded.
+
+The batched crypto hot path (``Prf.evaluate_many`` + ``encrypt_batch`` +
+bulk XOR) and the ``--workers`` process pool exist to break the pure-Python
+encryption floor.  This module measures the three materialisation modes on
+the job stream of a real pipeline run:
+
+* ``per_cell`` — the seed pipeline's loop: one ``cipher.encrypt`` per cell
+  with an instance cache (reconstructed inline as the baseline),
+* ``batched`` — ``materialize_row_plans`` with ``workers=1`` (one PRF key
+  schedule, bulk urandom, single XOR over concatenated buffers),
+* ``workers4`` — the same work sharded over a 4-process pool.
+
+All three are byte-identical by contract (asserted here under a seeded
+urandom); the JSON artifact records cells/s per mode and backend plus the
+speedups.  The parallel speedup is only asserted on machines with >= 4
+CPUs — on a single-core container the pool measures fork overhead, not
+crypto throughput, and the honest number is recorded without a gate.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.api.pipeline import EncryptionPipeline
+from repro.api.stages import materialize_row_plans
+from repro.backend import get_backend, numpy_available
+from repro.bench.harness import dataset_by_name
+from repro.bench.reporting import format_table
+from repro.core.config import F2Config
+from repro.core.plan import (
+    FreshCell,
+    FreshValueFactory,
+    InstanceCell,
+    RandomCell,
+)
+from repro.crypto.keys import KeyGen
+from repro.crypto.probabilistic import Ciphertext, ProbabilisticCipher
+from repro.relational.table import Relation
+
+from benchmarks.conftest import scale
+
+BENCH_NAME = "materialize"
+
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+
+#: Full-scale row count; the hard asserts only apply at or above this size.
+FULL_ROWS = 2000
+
+
+def _legacy_materialize(relation, row_plans, cipher, fresh_factory):
+    """The seed pipeline's per-cell loop, reconstructed as the baseline."""
+    schema = relation.schema
+    encrypted = Relation(schema, name=f"{relation.name}-legacy")
+    instance_cache: dict[tuple[str, str, str], Ciphertext] = {}
+    encrypt = cipher.encrypt
+    materialize = fresh_factory.materialize
+    cache_get = instance_cache.get
+    for plan in row_plans:
+        row = []
+        cells = plan.cells
+        for attr in schema:
+            spec = cells[attr]
+            spec_type = type(spec)
+            if spec_type is InstanceCell:
+                key = spec.cache_key()
+                cached = cache_get(key)
+                if cached is None:
+                    cached = encrypt(spec.value, variant=spec.variant)
+                    instance_cache[key] = cached
+                row.append(cached)
+            elif spec_type is RandomCell:
+                row.append(encrypt(spec.value, variant=None))
+            else:
+                row.append(materialize(spec.token))
+        encrypted.append(row)
+    return encrypted
+
+
+def _plan_rows(num_rows: int, backend_name: str):
+    """Run the planning stages (MAX..FP) once; return the context's plans."""
+    relation = dataset_by_name("orders", num_rows, seed=0)
+    pipeline = EncryptionPipeline(
+        key=KeyGen.symmetric_from_seed(0),
+        config=F2Config(alpha=0.2, seed=0, backend=backend_name),
+    )
+    ctx = pipeline.new_context(relation)
+    for stage in pipeline.stages[:4]:  # MAX, SSE, SYN, FP
+        stage.run(ctx)
+    return ctx
+
+
+def _seeded_urandom(seed: int = 1234):
+    rng = random.Random(seed)
+    return lambda n: bytes(rng.getrandbits(8) for _ in range(n))
+
+
+def _cell_jobs(ctx) -> list[tuple]:
+    """The unique encryption jobs of the plan set (the crypto hot path)."""
+    jobs: list[tuple] = []
+    seen: set[tuple[str, str, str]] = set()
+    for plan in ctx.row_plans:
+        for attr in ctx.relation.schema:
+            spec = plan.cells[attr]
+            spec_type = type(spec)
+            if spec_type is InstanceCell:
+                key = spec.cache_key()
+                if key not in seen:
+                    seen.add(key)
+                    jobs.append((spec.value, spec.variant))
+            elif spec_type is RandomCell:
+                jobs.append((spec.value, None))
+    return jobs
+
+
+def _run_cell_modes(ctx, num_rows: int) -> list[dict]:
+    """Time the pure cell-encryption job stream (no factory, no assembly)."""
+    from repro.parallel import encrypt_sharded
+
+    jobs = _cell_jobs(ctx)
+    cipher = ctx.cipher
+
+    def timed(label: str, run) -> dict:
+        start = time.perf_counter()
+        run()
+        seconds = time.perf_counter() - start
+        return {
+            "backend": ctx.backend.name,
+            "mode": label,
+            "rows": num_rows,
+            "jobs": len(jobs),
+            "seconds": round(seconds, 4),
+            "cells_per_second": round(len(jobs) / seconds) if seconds > 0 else 0,
+        }
+
+    return [
+        timed("per_cell", lambda: [cipher.encrypt(v, variant=var) for v, var in jobs]),
+        timed("batched", lambda: cipher.encrypt_batch(jobs, backend=ctx.backend)),
+        timed(
+            "workers4",
+            lambda: encrypt_sharded(
+                cipher, jobs, workers=4, backend=ctx.backend, threshold=1024
+            ),
+        ),
+    ]
+
+
+def _run_modes(ctx, num_rows: int) -> list[dict]:
+    """Time the three materialisation modes over one plan set."""
+    cells = len(ctx.row_plans) * ctx.relation.num_attributes
+    seed = ctx.config.seed
+
+    def timed(label: str, workers: int | None) -> dict:
+        factory = FreshValueFactory(seed=seed)
+        start = time.perf_counter()
+        if workers is None:
+            _legacy_materialize(ctx.relation, ctx.row_plans, ctx.cipher, factory)
+        else:
+            materialize_row_plans(
+                ctx.relation,
+                ctx.row_plans,
+                ctx.cipher,
+                factory,
+                None,
+                backend=ctx.backend,
+                workers=workers,
+                parallel_threshold=1024,
+            )
+        seconds = time.perf_counter() - start
+        return {
+            "backend": ctx.backend.name,
+            "mode": label,
+            "rows": num_rows,
+            "row_plans": len(ctx.row_plans),
+            "cells": cells,
+            "seconds": round(seconds, 4),
+            "cells_per_second": round(cells / seconds) if seconds > 0 else 0,
+        }
+
+    return [
+        timed("per_cell", None),
+        timed("batched", 1),
+        timed("workers4", 4),
+    ]
+
+
+def _assert_modes_byte_identical(ctx) -> None:
+    """All modes must produce the same bytes under a pinned entropy stream."""
+    import repro.crypto.probabilistic as prob_module
+
+    real_urandom = prob_module.os.urandom
+    outputs = []
+    try:
+        for workers in (None, 1, 4):
+            prob_module.os.urandom = _seeded_urandom()
+            factory = FreshValueFactory(seed=ctx.config.seed)
+            if workers is None:
+                outputs.append(
+                    _legacy_materialize(ctx.relation, ctx.row_plans, ctx.cipher, factory)
+                )
+            else:
+                relation, _ = materialize_row_plans(
+                    ctx.relation,
+                    ctx.row_plans,
+                    ctx.cipher,
+                    factory,
+                    None,
+                    backend=ctx.backend,
+                    workers=workers,
+                    parallel_threshold=1024,
+                )
+                outputs.append(relation)
+    finally:
+        prob_module.os.urandom = real_urandom
+    assert outputs[1] == outputs[0], "batched materialisation changed the bytes"
+    assert outputs[2] == outputs[0], "sharded materialisation changed the bytes"
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_cell_encryption_throughput(benchmark, bench_json, backend_name):
+    """The crypto hot path alone: unique encryption jobs, three modes."""
+    num_rows = scale(FULL_ROWS)
+    ctx = _plan_rows(num_rows, backend_name)
+    rows = benchmark.pedantic(
+        _run_cell_modes, args=(ctx, num_rows), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            rows,
+            title=f"Cell encryption throughput ({backend_name} backend, orders {num_rows})",
+        )
+    )
+    by_mode = {row["mode"]: row for row in rows}
+    batched_speedup = by_mode["per_cell"]["seconds"] / by_mode["batched"]["seconds"]
+    workers4_speedup = by_mode["per_cell"]["seconds"] / by_mode["workers4"]["seconds"]
+    metadata = {
+        "cpu_count": os.cpu_count(),
+        f"{backend_name}_encrypt_per_cell_cells_per_second": by_mode["per_cell"][
+            "cells_per_second"
+        ],
+        f"{backend_name}_encrypt_batched_cells_per_second": by_mode["batched"][
+            "cells_per_second"
+        ],
+        f"{backend_name}_encrypt_workers4_cells_per_second": by_mode["workers4"][
+            "cells_per_second"
+        ],
+        f"{backend_name}_encrypt_speedup_batched": round(batched_speedup, 2),
+        f"{backend_name}_encrypt_speedup_at_4_workers": round(workers4_speedup, 2),
+    }
+    bench_json.add(f"cell_encryption_{backend_name}", rows, **metadata)
+    if num_rows >= FULL_ROWS:
+        # The vectorised batch path must beat the per-cell loop outright.
+        assert batched_speedup >= 1.1, (
+            f"batched cell encryption under 1.1x the per-cell loop: {by_mode}"
+        )
+        if (os.cpu_count() or 1) >= 4:
+            # The process pool's claim, only meaningful with real cores: the
+            # deterministic HMAC+XOR remainder shards across 4 workers.
+            assert workers4_speedup >= 2.0, (
+                f"4-worker cell encryption under 2x the per-cell loop: {by_mode}"
+            )
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_materialize_throughput(benchmark, bench_json, backend_name):
+    num_rows = scale(FULL_ROWS)
+    ctx = _plan_rows(num_rows, backend_name)
+    _assert_modes_byte_identical(ctx)
+    rows = benchmark.pedantic(
+        _run_modes, args=(ctx, num_rows), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            rows,
+            title=f"Materialisation throughput ({backend_name} backend, orders {num_rows})",
+        )
+    )
+    by_mode = {row["mode"]: row for row in rows}
+    batched_speedup = by_mode["per_cell"]["seconds"] / by_mode["batched"]["seconds"]
+    workers4_speedup = by_mode["per_cell"]["seconds"] / by_mode["workers4"]["seconds"]
+    metadata = {
+        "cpu_count": os.cpu_count(),
+        f"{backend_name}_cells": by_mode["per_cell"]["cells"],
+        f"{backend_name}_per_cell_cells_per_second": by_mode["per_cell"]["cells_per_second"],
+        f"{backend_name}_batched_cells_per_second": by_mode["batched"]["cells_per_second"],
+        f"{backend_name}_workers4_cells_per_second": by_mode["workers4"]["cells_per_second"],
+        f"{backend_name}_materialize_speedup_batched": round(batched_speedup, 2),
+        f"{backend_name}_materialize_speedup_at_4_workers": round(workers4_speedup, 2),
+    }
+    bench_json.add(f"materialize_{backend_name}", rows, **metadata)
+    assert all(row["seconds"] > 0 for row in rows)
+    if num_rows >= FULL_ROWS:
+        # The whole stage includes the fresh-value factory (fixed-cost RNG
+        # whose draw pattern is pinned by byte-identity) and the row
+        # assembly, so the batch win is diluted; guard against regression.
+        assert batched_speedup >= 0.8, (
+            f"batched materialisation regressed the per-cell loop: {by_mode}"
+        )
+        if (os.cpu_count() or 1) >= 4:
+            assert workers4_speedup >= 2.0, (
+                f"4-worker materialisation under 2x the per-cell loop: {by_mode}"
+            )

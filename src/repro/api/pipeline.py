@@ -205,6 +205,16 @@ class StageRecord:
     stage: str
     seconds: float
     row_plans: int
+    #: Ciphertext cells planned when the stage finished (row plans x schema
+    #: width) — the unit the batched materialiser is measured in.
+    cells: int = 0
+
+    @property
+    def cells_per_second(self) -> float:
+        """Stage throughput in cells/s (0.0 when the timer is too coarse)."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.cells / self.seconds
 
 
 class StageRecorder(StageHook):
@@ -225,7 +235,12 @@ class StageRecorder(StageHook):
 
     def on_stage_end(self, stage: Stage, ctx: EncryptionContext, seconds: float) -> None:
         self.records.append(
-            StageRecord(stage=stage.name, seconds=seconds, row_plans=len(ctx.row_plans))
+            StageRecord(
+                stage=stage.name,
+                seconds=seconds,
+                row_plans=len(ctx.row_plans),
+                cells=len(ctx.row_plans) * ctx.relation.num_attributes,
+            )
         )
 
     def on_pipeline_end(self, ctx: EncryptionContext, seconds: float) -> None:

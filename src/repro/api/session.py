@@ -113,16 +113,40 @@ def decrypt_table(encrypted: EncryptedTable, cipher: ProbabilisticCipher) -> Rel
     """Reconstruct the original plaintext relation from an F2 output.
 
     Artificial rows are dropped; original records are reassembled from the
-    authentic cells of the rows derived from them.
+    authentic cells of the rows derived from them.  All authentic cells are
+    collected first and decrypted as one batch (one PRF key schedule, one
+    XOR over the concatenated pads) — the table-level inverse of the batched
+    materialiser.
     """
     groups = encrypted.original_row_groups()
     if not groups:
         raise DecryptionError("the encrypted table contains no original rows")
-    recovered = Relation(encrypted.relation.schema, name=f"{encrypted.relation.name}-decrypted")
+    schema = encrypted.relation.schema
+    jobs: list[Ciphertext] = []
+    record_slots: list[dict[str, int]] = []
     for original_index in sorted(groups):
-        recovered.append(
-            _reconstruct_record(encrypted, groups[original_index], cipher, original_index)
-        )
+        slots: dict[str, int] = {}
+        for row_index in groups[original_index]:
+            provenance = encrypted.provenance[row_index]
+            for attr in provenance.authentic_attributes:
+                if attr in slots:
+                    continue
+                cell = encrypted.relation.value(row_index, attr)
+                if not isinstance(cell, Ciphertext):
+                    raise DecryptionError(f"cell is not a ciphertext: {cell!r}")
+                slots[attr] = len(jobs)
+                jobs.append(cell)
+        missing = [attr for attr in schema if attr not in slots]
+        if missing:
+            raise DecryptionError(
+                f"original row {original_index} cannot be reconstructed; "
+                f"missing attributes {missing}"
+            )
+        record_slots.append(slots)
+    texts = cipher.decrypt_batch(jobs)
+    recovered = Relation(schema, name=f"{encrypted.relation.name}-decrypted")
+    for slots in record_slots:
+        recovered.append([texts[slots[attr]] for attr in schema])
     return recovered
 
 

@@ -11,6 +11,7 @@ byte-for-byte identical to the historical output.
 from __future__ import annotations
 
 import warnings
+from typing import Any
 
 from repro.api.pipeline import EncryptionContext, Stage
 from repro.core.conflict import MasPlan, assemble_row_plans, validate_assembly
@@ -31,6 +32,7 @@ from repro.crypto.probabilistic import Ciphertext, ProbabilisticCipher
 from repro.exceptions import EncryptionError, FdPreservationWarning
 from repro.fd.mas import MaximalAttributeSet, find_mas_with_stats
 from repro.fd.tane import tane
+from repro.parallel import DEFAULT_PARALLEL_THRESHOLD, encrypt_sharded, resolve_workers
 from repro.fd.verify import fd_holds, violating_row_pairs
 from repro.relational.partition import Partition
 from repro.relational.table import Relation
@@ -102,12 +104,27 @@ def materialize_row_plans(
     cipher: ProbabilisticCipher,
     fresh_factory: FreshValueFactory,
     nonce_log: "dict[tuple[str, str], Ciphertext] | None" = None,
+    backend=None,
+    workers: int = 1,
+    parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
 ) -> tuple[Relation, list[RowProvenance]]:
     """Turn symbolic row plans into a ciphertext relation plus provenance.
 
-    Cells are materialised in row-major order — the order determines which
-    random draws each artificial value receives, so it is part of the
-    byte-identity contract for seeded runs.
+    Two passes.  Pass 1 walks the plans in row-major order and *plans* the
+    cell work: unique encryption jobs (instance cells deduplicated by
+    ``cache_key``, random cells deduplicated through ``nonce_log``) are
+    collected in first-encounter order, and artificial values are drawn from
+    the fresh factory immediately (its RNG consumption order is part of the
+    byte-identity contract).  The jobs then encrypt as one batch — bulk
+    urandom draws sliced per cell, one PRF key schedule, one XOR over the
+    concatenated buffers — optionally sharded over ``workers`` processes.
+    Pass 2 assembles the rows from the computed cells.
+
+    The output is byte-identical to encrypting cell-by-cell in row-major
+    order (the seed pipeline's behaviour) for every backend and worker
+    count: random draws happen in the same first-encounter order, the fresh
+    factory is only touched from pass 1, and everything else is a pure
+    function of the key.
 
     ``nonce_log`` is the context's fresh-nonce retention map: a
     :class:`~repro.core.plan.RandomCell` whose ``(attribute, value)`` was
@@ -121,40 +138,62 @@ def materialize_row_plans(
     attributes = tuple(schema)
     encrypted_relation = Relation(schema, name=f"{relation.name}-encrypted")
     provenance: list[RowProvenance] = []
-    instance_cache: dict[tuple[str, str, str], Ciphertext] = {}
-    encrypt = cipher.encrypt
     materialize = fresh_factory.materialize
-    cache_get = instance_cache.get
     log_get = nonce_log.get if nonce_log is not None else None
 
+    # ------------------------------------------------------------------
+    # Pass 1: plan the cell work (row-major, first-encounter order).
+    # Rows are built immediately with a placeholder where an encryption
+    # job is pending; the patch list records exactly those slots, so the
+    # fix-up after batch encryption touches only pending cells, not the
+    # whole table.
+    # ------------------------------------------------------------------
+    jobs: list[tuple[Any, "str | None"]] = []
+    job_of_instance: dict[tuple[str, str, str], int] = {}
+    job_of_log_key: dict[tuple[str, str], int] = {}
+    rows: list[list[Any]] = []
+    patches: list[tuple[list[Any], int, int]] = []  # (row, position, job index)
+    append_row = rows.append
+    append_patch = patches.append
+    append_job = jobs.append
+
     for plan in row_plans:
-        row = []
         cells = plan.cells
-        for attr in attributes:
+        row: list[Any] = []
+        append_cell = row.append
+        for position, attr in enumerate(attributes):
             spec = cells[attr]
             spec_type = type(spec)
             if spec_type is InstanceCell:
                 key = spec.cache_key()
-                cached = cache_get(key)
-                if cached is None:
-                    cached = encrypt(spec.value, variant=spec.variant)
-                    instance_cache[key] = cached
-                row.append(cached)
+                index = job_of_instance.get(key)
+                if index is None:
+                    index = job_of_instance[key] = len(jobs)
+                    append_job((spec.value, spec.variant))
+                append_cell(None)
+                append_patch((row, position, index))
             elif spec_type is RandomCell:
                 if log_get is None:
-                    row.append(encrypt(spec.value, variant=None))
+                    append_cell(None)
+                    append_patch((row, position, len(jobs)))
+                    append_job((spec.value, None))
                 else:
                     log_key = (attr, str(spec.value))
                     cell = log_get(log_key)
-                    if cell is None:
-                        cell = encrypt(spec.value, variant=None)
-                        nonce_log[log_key] = cell
-                    row.append(cell)
+                    if cell is not None:
+                        append_cell(cell)
+                        continue
+                    index = job_of_log_key.get(log_key)
+                    if index is None:
+                        index = job_of_log_key[log_key] = len(jobs)
+                        append_job((spec.value, None))
+                    append_cell(None)
+                    append_patch((row, position, index))
             elif spec_type is FreshCell:
-                row.append(materialize(spec.token))
+                append_cell(materialize(spec.token))
             else:  # pragma: no cover - defensive
                 raise EncryptionError(f"unknown cell specification: {spec!r}")
-        encrypted_relation.append(row)
+        append_row(row)
         source = plan.provenance
         provenance.append(
             RowProvenance(
@@ -163,6 +202,23 @@ def materialize_row_plans(
                 authentic_attributes=source.authentic_attributes,
             )
         )
+
+    # ------------------------------------------------------------------
+    # Batch encryption (optionally sharded across processes), then the
+    # pending-slot fix-up.
+    # ------------------------------------------------------------------
+    if jobs:
+        ciphertexts = encrypt_sharded(
+            cipher, jobs, workers=workers, backend=backend, threshold=parallel_threshold
+        )
+        if nonce_log is not None:
+            for log_key, index in job_of_log_key.items():
+                nonce_log[log_key] = ciphertexts[index]
+        for row, position, index in patches:
+            row[position] = ciphertexts[index]
+
+    for row in rows:
+        encrypted_relation.append(row)
     return encrypted_relation, provenance
 
 
@@ -268,7 +324,13 @@ class MaterializeStage:
 
     def run(self, ctx: EncryptionContext) -> None:
         encrypted_relation, provenance = materialize_row_plans(
-            ctx.relation, ctx.row_plans, ctx.cipher, ctx.fresh_factory, ctx.nonce_log
+            ctx.relation,
+            ctx.row_plans,
+            ctx.cipher,
+            ctx.fresh_factory,
+            ctx.nonce_log,
+            backend=ctx.backend,
+            workers=resolve_workers(ctx.config.workers),
         )
         ctx.encrypted_relation = encrypted_relation
         ctx.provenance = provenance
@@ -334,7 +396,13 @@ class VerifyRepairStage:
         if not repaired_plans:
             return
         extra_relation, extra_provenance = materialize_row_plans(
-            ctx.relation, repaired_plans, ctx.cipher, ctx.fresh_factory, ctx.nonce_log
+            ctx.relation,
+            repaired_plans,
+            ctx.cipher,
+            ctx.fresh_factory,
+            ctx.nonce_log,
+            backend=ctx.backend,
+            workers=resolve_workers(ctx.config.workers),
         )
         merged_relation = encrypted.relation.concat(extra_relation)
         merged_provenance = list(encrypted.provenance) + [

@@ -267,6 +267,26 @@ class ComputeBackend(ABC):
         return rows
 
     # ------------------------------------------------------------------
+    # Bulk byte XOR (the batched cipher's pad application)
+    # ------------------------------------------------------------------
+    def xor_blocks(self, first: bytes, second: bytes) -> bytes:
+        """Byte-wise XOR of two equal-length byte buffers, in one pass.
+
+        The batched probabilistic cipher concatenates every cell's PRF pad
+        into one buffer and every plaintext into another, XORs once, and
+        slices the payloads back out — so this primitive is the whole XOR
+        cost of materialising a table.  The reference implementation is the
+        arbitrary-precision int trick (word-parallel even in pure Python);
+        the NumPy backend overrides it with a vectorised ``uint8`` XOR.
+        """
+        if len(first) != len(second):
+            raise BackendError("xor_blocks requires equal-length buffers")
+        length = len(first)
+        return (
+            int.from_bytes(first, "big") ^ int.from_bytes(second, "big")
+        ).to_bytes(length, "big")
+
+    # ------------------------------------------------------------------
     # Collision-aware greedy grouping (ECG construction)
     # ------------------------------------------------------------------
     @abstractmethod

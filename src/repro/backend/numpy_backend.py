@@ -250,6 +250,19 @@ class NumpyBackend(ComputeBackend):
         return self.materialize_groups(flat)
 
     # ------------------------------------------------------------------
+    # Bulk byte XOR
+    # ------------------------------------------------------------------
+    def xor_blocks(self, first: bytes, second: bytes) -> bytes:
+        np = _np()
+        if len(first) != len(second):
+            raise BackendError("xor_blocks requires equal-length buffers")
+        if not first:
+            return b""
+        a = np.frombuffer(first, dtype=np.uint8)
+        b = np.frombuffer(second, dtype=np.uint8)
+        return np.bitwise_xor(a, b).tobytes()
+
+    # ------------------------------------------------------------------
     # Greedy collision-free grouping
     # ------------------------------------------------------------------
     def greedy_collision_free_groups(

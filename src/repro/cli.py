@@ -121,6 +121,18 @@ def _add_backend_flag(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_workers_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool workers for batched cell encryption (default: "
+        "REPRO_WORKERS env var, then serial); output is byte-identical "
+        "for every worker count",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="f2-repro",
@@ -136,9 +148,12 @@ def build_parser() -> argparse.ArgumentParser:
     encrypt.add_argument("--key-seed", type=int, default=None, help="derive the key from a seed")
     encrypt.add_argument("--summary", default=None, help="optional JSON summary output path")
     encrypt.add_argument(
-        "--stage-times", action="store_true", help="print per-stage pipeline timings"
+        "--stage-times",
+        action="store_true",
+        help="print per-stage pipeline timings and throughput (cells/s)",
     )
     _add_backend_flag(encrypt)
+    _add_workers_flag(encrypt)
 
     insert = subparsers.add_parser(
         "insert", help="incrementally append a batch CSV to an encrypted table"
@@ -151,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     insert.add_argument("--key-seed", type=int, default=None, help="derive the key from a seed")
     insert.add_argument("--summary", default=None, help="optional JSON summary output path")
     _add_backend_flag(insert)
+    _add_workers_flag(insert)
 
     discover = subparsers.add_parser("discover", help="run TANE FD discovery on a CSV table")
     discover.add_argument("input", help="CSV file (plaintext or ciphertext)")
@@ -256,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
         "string printed by `admin mint`, or @path-to-a-file holding it)",
     )
     _add_backend_flag(query)
+    _add_workers_flag(query)
 
     admin = subparsers.add_parser(
         "admin", help="manage the tenant registry of an authenticated server"
@@ -396,7 +413,10 @@ def main(argv: list[str] | None = None) -> int:
 def _make_owner(args: argparse.Namespace, hooks=None) -> DataOwner:
     key = KeyGen.symmetric_from_seed(args.key_seed) if args.key_seed is not None else None
     config = F2Config(
-        alpha=args.alpha, split_factor=args.split_factor, backend=args.backend
+        alpha=args.alpha,
+        split_factor=args.split_factor,
+        backend=args.backend,
+        workers=getattr(args, "workers", None),
     )
     return DataOwner(key=key, config=config, hooks=hooks)
 
@@ -419,6 +439,9 @@ def _cmd_encrypt(args: argparse.Namespace) -> int:
     if args.stage_times:
         summary["stage_seconds"] = {
             record.stage: round(record.seconds, 6) for record in recorder.records
+        }
+        summary["stage_cells_per_second"] = {
+            record.stage: round(record.cells_per_second, 1) for record in recorder.records
         }
     _emit_summary(summary, args.summary)
     return 0
@@ -517,7 +540,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
     check_attributes(predicate, relation.schema)
     owner = DataOwner(
         key=KeyGen.symmetric_from_seed(args.key_seed),
-        config=F2Config(alpha=args.alpha, split_factor=args.split_factor, backend=args.backend),
+        config=F2Config(
+            alpha=args.alpha,
+            split_factor=args.split_factor,
+            backend=args.backend,
+            workers=args.workers,
+        ),
     )
     if args.explain:
         # Rebuild the owner-side state (plans) locally and print the plan;

@@ -128,22 +128,79 @@ def assemble_row_plans(
     bindings = _collect_row_bindings(relation, mas_plans)
     rng = random.Random(seed)
 
+    # Columns fetched once (cell access in the row loop is then two list
+    # indexings instead of a schema lookup per cell), and the overlap
+    # structure precomputed once: a row can only conflict when at least two
+    # of its bound MASs share an attribute, so rows of non-overlapping MAS
+    # sets skip the conflict machinery entirely.
+    columns = [relation.column(attr) for attr in schema_attributes]
+    overlapping_indexes = {
+        frozenset((first.index, second.index))
+        for first, second in combinations(mas_plans, 2)
+        if first.attribute_set & second.attribute_set
+    }
+    covering_lists = [mas_attribute_map[attr] for attr in schema_attributes]
+    full_schema_set = frozenset(schema_attributes)
+
     row_plans: list[RowPlan] = []
     conflicting_tuples = 0
     conflict_rows_added = 0
 
     for row_index in range(relation.num_rows):
-        row_values = {attr: relation.value(row_index, attr) for attr in schema_attributes}
         row_bindings = bindings.get(row_index, [])
+        binding_by_mas = {binding.mas_index: binding for binding in row_bindings}
+
+        conflict_pairs: list[tuple[int, int]] = []
+        if resolve_conflicts and len(binding_by_mas) >= 2 and overlapping_indexes:
+            conflict_pairs = _conflicting_pairs(binding_by_mas, overlapping_indexes, rng)
+
+        if not conflict_pairs:
+            # Fast path (the overwhelmingly common case): one version that
+            # retains every binding — built directly, without the version
+            # bookkeeping.  Identical output to the general path below.
+            cells: dict[str, CellSpec] = {}
+            for position, attr in enumerate(schema_attributes):
+                value = columns[position][row_index]
+                chosen = None
+                for index in covering_lists[position]:
+                    binding = binding_by_mas.get(index)
+                    if binding is not None and binding.constrained:
+                        chosen = binding
+                        break
+                if chosen is None:
+                    for index in covering_lists[position]:
+                        binding = binding_by_mas.get(index)
+                        if binding is not None:
+                            chosen = binding
+                            break
+                if chosen is None:
+                    cells[attr] = RandomCell(value=value)
+                else:
+                    cells[attr] = InstanceCell(value=value, variant=chosen.instance.variant)
+            row_plans.append(
+                RowPlan(
+                    cells=cells,
+                    provenance=RowProvenanceSpec(
+                        kind="original",
+                        source_row=row_index,
+                        authentic_attributes=full_schema_set,
+                    ),
+                )
+            )
+            continue
+
+        row_values = {
+            attr: columns[position][row_index]
+            for position, attr in enumerate(schema_attributes)
+        }
         versions, had_conflict = _build_versions_for_row(
             row_index,
             row_values,
-            row_bindings,
+            binding_by_mas,
+            conflict_pairs,
             mas_attribute_map,
             schema_attributes,
             fresh_factory,
-            resolve_conflicts,
-            rng,
         )
         if had_conflict:
             conflicting_tuples += 1
@@ -212,16 +269,18 @@ def _collect_row_bindings(
 def _build_versions_for_row(
     row_index: int,
     row_values: dict[str, object],
-    row_bindings: list[_RowBinding],
+    binding_by_mas: dict[int, _RowBinding],
+    conflict_pairs: list[tuple[int, int]],
     mas_attribute_map: dict[str, list[int]],
     schema_attributes: tuple[str, ...],
     fresh_factory: FreshValueFactory,
-    resolve_conflicts: bool,
-    rng: random.Random,
 ) -> tuple[list[RowPlan], bool]:
-    """Build the ciphertext row(s) representing one original row."""
-    binding_by_mas = {binding.mas_index: binding for binding in row_bindings}
+    """Build the ciphertext row(s) representing one genuinely conflicting row.
 
+    The caller handles the no-conflict fast path; this general machinery
+    only runs for rows with at least one conflicting MAS pair (already
+    computed, in shuffled order).
+    """
     # A "version" is a candidate output row: the set of MASs whose authentic
     # binding it retains, plus the attributes already replaced by fresh values.
     versions: list[dict[str, object]] = [
@@ -229,36 +288,34 @@ def _build_versions_for_row(
     ]
     had_conflict = False
 
-    if resolve_conflicts:
-        conflict_pairs = _conflicting_pairs(binding_by_mas, rng)
-        for first_mas, second_mas in conflict_pairs:
-            for version in list(versions):
-                retained: set[int] = version["mas_indexes"]  # type: ignore[assignment]
-                if first_mas not in retained or second_mas not in retained:
-                    continue
-                had_conflict = True
-                versions.remove(version)
-                first_attrs = frozenset(binding_by_mas[first_mas].attributes)
-                second_attrs = frozenset(binding_by_mas[second_mas].attributes)
-                shared = first_attrs & second_attrs
-                fresh_attrs: set[str] = version["fresh_attributes"]  # type: ignore[assignment]
-                # Version 1 keeps the X-side binding; Y - Z becomes fresh.
-                versions.append(
-                    {
-                        "mas_indexes": retained - {second_mas},
-                        "fresh_attributes": fresh_attrs | (second_attrs - shared),
-                    }
-                )
-                # Version 2 keeps only the Y-side binding; everything outside
-                # Y becomes fresh so that no other MAS's frequency is doubled.
-                versions.append(
-                    {
-                        "mas_indexes": {second_mas},
-                        "fresh_attributes": fresh_attrs
-                        | (set(schema_attributes) - second_attrs),
-                    }
-                )
-                break  # A conflicting pair splits exactly one version.
+    for first_mas, second_mas in conflict_pairs:
+        for version in list(versions):
+            retained: set[int] = version["mas_indexes"]  # type: ignore[assignment]
+            if first_mas not in retained or second_mas not in retained:
+                continue
+            had_conflict = True
+            versions.remove(version)
+            first_attrs = frozenset(binding_by_mas[first_mas].attributes)
+            second_attrs = frozenset(binding_by_mas[second_mas].attributes)
+            shared = first_attrs & second_attrs
+            fresh_attrs: set[str] = version["fresh_attributes"]  # type: ignore[assignment]
+            # Version 1 keeps the X-side binding; Y - Z becomes fresh.
+            versions.append(
+                {
+                    "mas_indexes": retained - {second_mas},
+                    "fresh_attributes": fresh_attrs | (second_attrs - shared),
+                }
+            )
+            # Version 2 keeps only the Y-side binding; everything outside
+            # Y becomes fresh so that no other MAS's frequency is doubled.
+            versions.append(
+                {
+                    "mas_indexes": {second_mas},
+                    "fresh_attributes": fresh_attrs
+                    | (set(schema_attributes) - second_attrs),
+                }
+            )
+            break  # A conflicting pair splits exactly one version.
 
     row_plans = []
     for version_index, version in enumerate(versions):
@@ -299,27 +356,34 @@ def _build_versions_for_row(
 
 def _conflicting_pairs(
     binding_by_mas: dict[int, _RowBinding],
+    overlapping_indexes: set[frozenset[int]],
     rng: random.Random,
 ) -> list[tuple[int, int]]:
     """Overlapping MAS pairs whose bindings for this row genuinely conflict.
 
     Both bindings must be constrained (post-scaling frequency >= 2) and must
     disagree on the variant; otherwise the unconstrained side simply adopts
-    the other side's value.
+    the other side's value.  ``overlapping_indexes`` is the precomputed set
+    of MAS index pairs with a shared attribute, so non-overlapping pairs are
+    rejected without touching the bindings.
+
+    ``rng.shuffle`` is a no-op consuming zero RNG state on lists shorter
+    than two, so skipping it there keeps the stream identical to always
+    shuffling.
     """
     pairs = []
     for first, second in combinations(sorted(binding_by_mas), 2):
+        if frozenset((first, second)) not in overlapping_indexes:
+            continue
         first_binding = binding_by_mas[first]
         second_binding = binding_by_mas[second]
-        shared = set(first_binding.attributes) & set(second_binding.attributes)
-        if not shared:
-            continue
         if not (first_binding.constrained and second_binding.constrained):
             continue
         if first_binding.instance.variant == second_binding.instance.variant:
             continue
         pairs.append((first, second))
-    rng.shuffle(pairs)
+    if len(pairs) >= 2:
+        rng.shuffle(pairs)
     return pairs
 
 

@@ -9,6 +9,7 @@ standard library, and extensible to arbitrary output lengths.
 from __future__ import annotations
 
 import hmac
+from collections.abc import Sequence
 
 
 class Prf:
@@ -20,6 +21,10 @@ class Prf:
         if not key:
             raise ValueError("the PRF key must be non-empty")
         self._key = bytes(key)
+        # Precomputed key schedule: the HMAC inner/outer pads are derived
+        # from the key once and reused via ``copy()`` by ``evaluate_many``,
+        # so a batch pays the key setup a single time instead of per cell.
+        self._template = hmac.new(self._key, digestmod="sha256")
 
     @property
     def key(self) -> bytes:
@@ -48,6 +53,53 @@ class Prf:
             produced += len(block)
             counter += 1
         return b"".join(blocks)[:output_length]
+
+    def evaluate_many(
+        self,
+        messages: Sequence[bytes],
+        output_lengths: "int | Sequence[int]",
+    ) -> list[bytes]:
+        """Batched :meth:`evaluate`: one PRF output per message.
+
+        ``output_lengths`` is either one length shared by every message or a
+        parallel sequence of per-message lengths.  The outputs are
+        byte-identical to calling :meth:`evaluate` per message; the batch
+        only amortises the HMAC key schedule (one precomputed template,
+        ``copy()`` per message) and the Python call overhead.
+        """
+        if isinstance(output_lengths, int):
+            lengths: Sequence[int] = [output_lengths] * len(messages)
+        else:
+            lengths = output_lengths
+            if len(lengths) != len(messages):
+                raise ValueError("one output length per message is required")
+        copy = self._template.copy
+        block_bytes = self._BLOCK_BYTES
+        suffix = b"\x00\x00\x00\x00"
+        outputs: list[bytes] = []
+        append = outputs.append
+        for message, length in zip(messages, lengths):
+            if length < 0:
+                raise ValueError("output_length must be non-negative")
+            if length <= block_bytes:
+                mac = copy()
+                mac.update(message)
+                mac.update(suffix)
+                append(mac.digest()[:length])
+                continue
+            blocks = []
+            produced = 0
+            counter = 0
+            while produced < length:
+                mac = copy()
+                mac.update(message)
+                mac.update(counter.to_bytes(4, "big"))
+                block = mac.digest()
+                blocks.append(block)
+                produced += len(block)
+                counter += 1
+            append(b"".join(blocks)[:length])
+        return outputs
 
     def evaluate_int(self, message: bytes, bits: int) -> int:
         """Return ``F_k(message)`` as an integer with at most ``bits`` bits."""

@@ -22,6 +22,7 @@ reproducible for the data owner.
 from __future__ import annotations
 
 import os
+from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Any
 
@@ -98,6 +99,29 @@ class ProbabilisticCipher:
     def nonce_length(self) -> int:
         return self._nonce_length
 
+    @property
+    def key_material(self) -> bytes:
+        """The raw key bytes (enough to reconstruct this cipher elsewhere).
+
+        Process-pool workers rebuild an identical cipher from this — the
+        nonce-derivation subkey is a pure function of the material, so the
+        reconstruction encrypts byte-identically.
+        """
+        return self._prf.key
+
+    def draw_nonces(self, count: int) -> list[bytes]:
+        """Draw ``count`` fresh nonces as one bulk ``os.urandom`` read.
+
+        ``urandom`` is a stream, so the slices equal ``count`` individual
+        draws made in the same order — which is what lets the parent process
+        fix the entropy plan before sharding deterministic work to workers.
+        """
+        if count <= 0:
+            return []
+        length = self._nonce_length
+        blob = os.urandom(count * length)
+        return [blob[start : start + length] for start in range(0, count * length, length)]
+
     # ------------------------------------------------------------------
     # Core API (Encrypt / Decrypt of Section 2.3)
     # ------------------------------------------------------------------
@@ -134,6 +158,120 @@ class ProbabilisticCipher:
         pad = self._prf.evaluate(ciphertext.nonce, len(ciphertext.payload))
         try:
             return xor_bytes(pad, ciphertext.payload).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DecryptionError("decryption produced invalid UTF-8 (wrong key?)") from exc
+
+    # ------------------------------------------------------------------
+    # Batch API (the materialiser's hot path)
+    # ------------------------------------------------------------------
+    def encrypt_batch(
+        self,
+        items: Sequence[tuple[Any, Any]],
+        nonces: "Sequence[bytes | None] | None" = None,
+        backend=None,
+    ) -> list[Ciphertext]:
+        """Encrypt many ``(plaintext, variant)`` cells in one vectorised pass.
+
+        Byte-identical to calling :meth:`encrypt` per item in order —
+        including the entropy consumption: every ``variant=None`` item
+        without a pre-supplied nonce draws from ``os.urandom`` in item
+        order, as one bulk draw sliced per cell (``urandom`` is a stream,
+        so the slices equal the per-call draws).
+
+        Parameters
+        ----------
+        items:
+            ``(plaintext, variant)`` pairs, exactly as :meth:`encrypt` takes
+            them.
+        nonces:
+            Optional parallel sequence of pre-drawn nonces; a non-``None``
+            entry is used verbatim (process-pool workers receive their
+            random nonces this way so the parent alone touches the entropy
+            stream).  ``None`` entries fall back to the normal draw/derive.
+        backend:
+            Optional :class:`repro.backend.base.ComputeBackend` whose
+            ``xor_blocks`` applies the pads (NumPy vectorises it); ``None``
+            uses the big-int reference XOR.
+        """
+        count = len(items)
+        if nonces is not None and len(nonces) != count:
+            raise EncryptionError("one pre-drawn nonce entry per item is required")
+        messages = [_encode(plaintext) for plaintext, _ in items]
+
+        # Nonce plan: deterministic variants batch through the nonce PRF;
+        # the remaining draws come from one bulk urandom read, sliced in
+        # item order.
+        nonce_length = self._nonce_length
+        out_nonces: list[bytes] = [b""] * count
+        derive_messages: list[bytes] = []
+        derive_slots: list[int] = []
+        draw_slots: list[int] = []
+        for index, (plaintext, variant) in enumerate(items):
+            if nonces is not None and nonces[index] is not None:
+                out_nonces[index] = nonces[index]
+            elif variant is None:
+                draw_slots.append(index)
+            else:
+                derive_slots.append(index)
+                derive_messages.append(
+                    messages[index] + b"|variant|" + _encode(variant)
+                )
+        if derive_slots:
+            derived = self._nonce_prf.evaluate_many(derive_messages, nonce_length)
+            for slot, nonce in zip(derive_slots, derived):
+                out_nonces[slot] = nonce
+        if draw_slots:
+            blob = os.urandom(len(draw_slots) * nonce_length)
+            for position, slot in enumerate(draw_slots):
+                start = position * nonce_length
+                out_nonces[slot] = blob[start : start + nonce_length]
+
+        # Pads: one PRF evaluation per cell over the shared key schedule,
+        # then a single XOR over the concatenated buffers.
+        lengths = [len(message) for message in messages]
+        pads = self._prf.evaluate_many(out_nonces, lengths)
+        pad_buffer = b"".join(pads)
+        message_buffer = b"".join(messages)
+        if backend is not None:
+            payload_buffer = backend.xor_blocks(pad_buffer, message_buffer)
+        else:
+            payload_buffer = xor_bytes(pad_buffer, message_buffer)
+
+        ciphertexts: list[Ciphertext] = []
+        append = ciphertexts.append
+        cursor = 0
+        for index in range(count):
+            end = cursor + lengths[index]
+            append(Ciphertext(nonce=out_nonces[index], payload=payload_buffer[cursor:end]))
+            cursor = end
+        return ciphertexts
+
+    def decrypt_batch(
+        self,
+        ciphertexts: Sequence[Ciphertext],
+        backend=None,
+    ) -> list[str]:
+        """Batched :meth:`decrypt`: recover many cells in one vectorised pass."""
+        for ciphertext in ciphertexts:
+            if not isinstance(ciphertext, Ciphertext):
+                raise DecryptionError(f"not a ciphertext: {ciphertext!r}")
+        lengths = [len(ciphertext.payload) for ciphertext in ciphertexts]
+        pads = self._prf.evaluate_many(
+            [ciphertext.nonce for ciphertext in ciphertexts], lengths
+        )
+        pad_buffer = b"".join(pads)
+        payload_buffer = b"".join(ciphertext.payload for ciphertext in ciphertexts)
+        if backend is not None:
+            plain_buffer = backend.xor_blocks(pad_buffer, payload_buffer)
+        else:
+            plain_buffer = xor_bytes(pad_buffer, payload_buffer)
+        try:
+            texts: list[str] = []
+            cursor = 0
+            for length in lengths:
+                texts.append(plain_buffer[cursor : cursor + length].decode("utf-8"))
+                cursor += length
+            return texts
         except UnicodeDecodeError as exc:
             raise DecryptionError("decryption produced invalid UTF-8 (wrong key?)") from exc
 

@@ -1,0 +1,159 @@
+"""Process-parallel sharding of deterministic encryption work.
+
+The materialiser's cell work is embarrassingly parallel *after* the entropy
+plan is fixed: instance cells derive their nonce from the key, and every
+random-nonce cell has its nonce drawn by the parent before any worker runs
+(one bulk ``os.urandom`` read in first-encounter order — the same bytes the
+serial path would draw).  What remains per cell is pure HMAC-SHA256 + XOR,
+a function of ``(key, value, variant, nonce)`` only, so shards can run in
+any order on any process and reassemble byte-identically.
+
+Worker selection (first match wins):
+
+1. an explicit ``F2Config(workers=...)`` / CLI ``--workers`` value,
+2. the ``REPRO_WORKERS`` environment variable,
+3. serial (one worker).
+
+Batches below :data:`DEFAULT_PARALLEL_THRESHOLD` cells run serially even
+when workers are configured — process startup and pickling dwarf the crypto
+for small tables.  Any failure to stand up the pool (restricted
+environments, unpicklable exotic cell values) falls back to the serial
+batch path, which produces the same bytes.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.crypto.probabilistic import Ciphertext, ProbabilisticCipher
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Minimum number of cells before a process pool is worth its startup cost.
+DEFAULT_PARALLEL_THRESHOLD = 4096
+
+#: Per-process cipher built once by the pool initializer.
+_WORKER_CIPHER: "ProbabilisticCipher | None" = None
+
+
+def resolve_workers(explicit: "int | None" = None) -> int:
+    """The effective worker count: explicit > ``REPRO_WORKERS`` > serial."""
+    if explicit is not None:
+        return max(1, int(explicit))
+    env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            return 1
+    return 1
+
+
+def shard_ranges(count: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``range(count)`` into up to ``shards`` contiguous, even ranges."""
+    shards = max(1, min(shards, count))
+    base, extra = divmod(count, shards)
+    ranges = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def _init_worker(key_material: bytes, nonce_length: int) -> None:
+    """Pool initializer: build the per-process cipher once."""
+    global _WORKER_CIPHER
+    from repro.crypto.keys import SymmetricKey
+    from repro.crypto.probabilistic import ProbabilisticCipher
+
+    _WORKER_CIPHER = ProbabilisticCipher(
+        SymmetricKey(key_material), nonce_length=nonce_length
+    )
+
+
+def _encrypt_chunk(
+    payload: tuple[list[tuple[str, "str | None"]], list[bytes]],
+) -> list[tuple[bytes, bytes]]:
+    """One shard of deterministic cell work, run inside a pool worker.
+
+    Every item arrives with its nonce fixed by the parent, so this never
+    touches the entropy source — the output depends only on the key and the
+    payload, whatever process or order computed it.
+    """
+    items, nonces = payload
+    assert _WORKER_CIPHER is not None
+    ciphertexts = _WORKER_CIPHER.encrypt_batch(items, nonces=nonces)
+    return [(ciphertext.nonce, ciphertext.payload) for ciphertext in ciphertexts]
+
+
+def encrypt_sharded(
+    cipher: "ProbabilisticCipher",
+    items: Sequence[tuple[Any, Any]],
+    workers: int = 1,
+    backend=None,
+    threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+) -> "list[Ciphertext]":
+    """Encrypt ``items`` like ``cipher.encrypt_batch``, sharded over processes.
+
+    Byte-identical to the serial batch (and hence to per-cell ``encrypt``)
+    for every worker count: the parent draws all random nonces first, in
+    item order, and workers only run the deterministic remainder.
+    """
+    count = len(items)
+    if workers <= 1 or count < max(2, threshold):
+        return cipher.encrypt_batch(items, backend=backend)
+
+    # Fix the entropy plan up front: one bulk draw, item order, parent only.
+    nonces: list["bytes | None"] = [None] * count
+    draw_slots = [index for index, (_, variant) in enumerate(items) if variant is None]
+    if draw_slots:
+        for slot, nonce in zip(draw_slots, cipher.draw_nonces(len(draw_slots))):
+            nonces[slot] = nonce
+
+    # Normalise to picklable primitives; ``_encode`` stringifies every value
+    # anyway, so this cannot change the bytes.
+    flat_items: list[tuple[str, "str | None"]] = [
+        (value if type(value) is str else str(value),
+         None if variant is None else (variant if type(variant) is str else str(variant)))
+        for value, variant in items
+    ]
+
+    try:
+        from concurrent.futures import ProcessPoolExecutor, BrokenExecutor
+        import multiprocessing
+
+        try:
+            mp_context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            mp_context = None
+        chunks = [
+            (flat_items[start:stop], nonces[start:stop])
+            for start, stop in shard_ranges(count, workers)
+        ]
+        with ProcessPoolExecutor(
+            max_workers=len(chunks),
+            mp_context=mp_context,
+            initializer=_init_worker,
+            initargs=(cipher.key_material, cipher.nonce_length),
+        ) as pool:
+            shard_results = list(pool.map(_encrypt_chunk, chunks))
+    except (OSError, ValueError, BrokenExecutor, RuntimeError):
+        # Restricted environments (no fork, no semaphores) or a crashed
+        # pool: the serial batch is byte-identical, only slower.  The
+        # pre-drawn nonces are passed through so the entropy stream is not
+        # consumed twice.
+        return cipher.encrypt_batch(items, nonces=nonces, backend=backend)
+
+    from repro.crypto.probabilistic import Ciphertext
+
+    return [
+        Ciphertext(nonce=nonce, payload=payload)
+        for shard in shard_results
+        for nonce, payload in shard
+    ]

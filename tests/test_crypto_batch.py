@@ -1,0 +1,272 @@
+"""The batched crypto hot path: PRF batch evaluation, batch encryption.
+
+The contract under test is *byte-identity*: every batch API must produce
+exactly the bytes of its per-cell loop equivalent — including the order in
+which entropy is consumed — because the golden-ciphertext pins in
+``test_backend_equivalence.py`` hold for every batching/worker configuration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+
+import pytest
+
+from repro.backend import get_backend, numpy_available
+from repro.backend.base import BackendError
+from repro.crypto.keys import KeyGen
+from repro.crypto.prf import Prf, xor_bytes
+from repro.crypto.probabilistic import Ciphertext, ProbabilisticCipher
+from repro.exceptions import DecryptionError, EncryptionError
+
+needs_numpy = pytest.mark.skipif(not numpy_available(), reason="NumPy not installed")
+
+KEY = KeyGen.symmetric_from_seed(99)
+
+
+def _patch_urandom(monkeypatch, seed: int = 1234) -> None:
+    rng = random.Random(seed)
+    monkeypatch.setattr(
+        "repro.crypto.probabilistic.os.urandom",
+        lambda n: bytes(rng.getrandbits(8) for _ in range(n)),
+    )
+
+
+def _counter_mode_reference(key: bytes, message: bytes, length: int) -> bytes:
+    """The counter-mode expansion spelled out by hand (no one-shot shortcut)."""
+    blocks = []
+    produced = 0
+    counter = 0
+    while produced < length:
+        block = hmac.new(key, message + counter.to_bytes(4, "big"), hashlib.sha256).digest()
+        blocks.append(block)
+        produced += len(block)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+# ----------------------------------------------------------------------
+# Prf.evaluate edge cases (satellite: boundary + one-shot equivalence)
+# ----------------------------------------------------------------------
+class TestPrfEvaluateEdges:
+    def test_zero_length_output(self):
+        prf = Prf(b"k" * 32)
+        assert prf.evaluate(b"msg", 0) == b""
+
+    @pytest.mark.parametrize("length", [1, 31, 32])
+    def test_one_shot_path_matches_counter_mode(self, length):
+        """<= 32 bytes takes the single-HMAC shortcut; the bytes must equal
+        the counter-mode loop's first block (counter 0 is the b"\\x00"*4
+        suffix the shortcut appends)."""
+        key = b"k" * 32
+        prf = Prf(key)
+        assert prf.evaluate(b"msg", length) == _counter_mode_reference(key, b"msg", length)
+
+    @pytest.mark.parametrize("length", [33, 64, 65, 100])
+    def test_multi_block_matches_reference(self, length):
+        key = b"edge-key"
+        prf = Prf(key)
+        assert prf.evaluate(b"payload", length) == _counter_mode_reference(
+            key, b"payload", length
+        )
+
+    def test_block_boundary_is_prefix_consistent(self):
+        """33 bytes extends 32 bytes: same first block, one more counter."""
+        prf = Prf(b"k" * 32)
+        at_32 = prf.evaluate(b"m", 32)
+        at_33 = prf.evaluate(b"m", 33)
+        assert at_33[:32] == at_32
+
+    def test_negative_length_rejected(self):
+        prf = Prf(b"k" * 32)
+        with pytest.raises(ValueError):
+            prf.evaluate(b"m", -1)
+
+
+class TestPrfEvaluateMany:
+    @pytest.mark.parametrize("length", [0, 1, 16, 32, 33, 64, 100])
+    def test_matches_evaluate_per_message(self, length):
+        prf = Prf(b"batch-key")
+        messages = [b"", b"a", b"hello world", b"x" * 200]
+        batch = prf.evaluate_many(messages, length)
+        assert batch == [prf.evaluate(message, length) for message in messages]
+
+    def test_per_message_lengths(self):
+        prf = Prf(b"batch-key")
+        messages = [b"a", b"b", b"c", b"d"]
+        lengths = [0, 7, 32, 41]
+        batch = prf.evaluate_many(messages, lengths)
+        assert [len(output) for output in batch] == lengths
+        assert batch == [
+            prf.evaluate(message, length) for message, length in zip(messages, lengths)
+        ]
+
+    def test_empty_batch(self):
+        assert Prf(b"k").evaluate_many([], 16) == []
+
+    def test_length_count_mismatch_rejected(self):
+        prf = Prf(b"k")
+        with pytest.raises(ValueError):
+            prf.evaluate_many([b"a", b"b"], [16])
+
+    def test_negative_length_rejected(self):
+        prf = Prf(b"k")
+        with pytest.raises(ValueError):
+            prf.evaluate_many([b"a"], [-3])
+
+
+# ----------------------------------------------------------------------
+# Backend xor_blocks
+# ----------------------------------------------------------------------
+class TestXorBlocks:
+    def test_python_matches_reference_xor(self):
+        backend = get_backend("python")
+        rng = random.Random(7)
+        first = bytes(rng.getrandbits(8) for _ in range(333))
+        second = bytes(rng.getrandbits(8) for _ in range(333))
+        assert backend.xor_blocks(first, second) == xor_bytes(first, second)
+
+    def test_empty_buffers(self):
+        assert get_backend("python").xor_blocks(b"", b"") == b""
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(BackendError):
+            get_backend("python").xor_blocks(b"ab", b"a")
+
+    @needs_numpy
+    def test_numpy_matches_python(self):
+        python_backend = get_backend("python")
+        numpy_backend = get_backend("numpy")
+        rng = random.Random(11)
+        for size in (0, 1, 16, 1024, 4097):
+            first = bytes(rng.getrandbits(8) for _ in range(size))
+            second = bytes(rng.getrandbits(8) for _ in range(size))
+            assert numpy_backend.xor_blocks(first, second) == python_backend.xor_blocks(
+                first, second
+            )
+
+    @needs_numpy
+    def test_numpy_length_mismatch_rejected(self):
+        with pytest.raises(BackendError):
+            get_backend("numpy").xor_blocks(b"abc", b"ab")
+
+
+# ----------------------------------------------------------------------
+# Batch encryption / decryption
+# ----------------------------------------------------------------------
+def _mixed_items() -> list[tuple[object, object]]:
+    """Instance cells (variants), random cells (None), and repeats."""
+    return [
+        ("Hoboken", "mas0:v1"),
+        ("07030", None),
+        (12345, "mas1:v2"),
+        ("Hoboken", "mas0:v1"),  # same (value, variant): identical ciphertext
+        ("free-text cell", None),
+        ("", None),  # empty plaintext
+        ("", "mas0:v9"),
+    ]
+
+
+class TestEncryptBatch:
+    def test_byte_identical_to_per_cell_loop(self, monkeypatch):
+        items = _mixed_items()
+        _patch_urandom(monkeypatch, seed=55)
+        cipher = ProbabilisticCipher(KEY)
+        serial = [cipher.encrypt(value, variant) for value, variant in items]
+        _patch_urandom(monkeypatch, seed=55)
+        cipher = ProbabilisticCipher(KEY)
+        batch = cipher.encrypt_batch(items)
+        assert batch == serial
+
+    @needs_numpy
+    def test_numpy_backend_byte_identical(self, monkeypatch):
+        items = _mixed_items()
+        _patch_urandom(monkeypatch, seed=55)
+        reference = ProbabilisticCipher(KEY).encrypt_batch(items)
+        _patch_urandom(monkeypatch, seed=55)
+        via_numpy = ProbabilisticCipher(KEY).encrypt_batch(
+            items, backend=get_backend("numpy")
+        )
+        assert via_numpy == reference
+
+    def test_pre_supplied_nonces_used_verbatim(self):
+        cipher = ProbabilisticCipher(KEY)
+        nonces = [bytes([index]) * cipher.nonce_length for index in range(3)]
+        batch = cipher.encrypt_batch(
+            [("a", None), ("b", None), ("c", None)], nonces=nonces
+        )
+        assert [ciphertext.nonce for ciphertext in batch] == nonces
+        assert cipher.decrypt_batch(batch) == ["a", "b", "c"]
+
+    def test_partial_nonces_mix_with_draws(self, monkeypatch):
+        _patch_urandom(monkeypatch, seed=9)
+        cipher = ProbabilisticCipher(KEY)
+        fixed = b"\xaa" * cipher.nonce_length
+        batch = cipher.encrypt_batch(
+            [("a", None), ("b", None)], nonces=[fixed, None]
+        )
+        assert batch[0].nonce == fixed
+        assert batch[1].nonce != fixed
+        assert cipher.decrypt_batch(batch) == ["a", "b"]
+
+    def test_nonce_count_mismatch_rejected(self):
+        cipher = ProbabilisticCipher(KEY)
+        with pytest.raises(EncryptionError):
+            cipher.encrypt_batch([("a", None)], nonces=[])
+
+    def test_empty_batch(self):
+        assert ProbabilisticCipher(KEY).encrypt_batch([]) == []
+
+    def test_draw_nonces_equals_individual_draws(self, monkeypatch):
+        _patch_urandom(monkeypatch, seed=4242)
+        import os as _os
+        from repro.crypto import probabilistic as prob_module
+
+        individual = [prob_module.os.urandom(16) for _ in range(5)]
+        _patch_urandom(monkeypatch, seed=4242)
+        cipher = ProbabilisticCipher(KEY, nonce_length=16)
+        assert cipher.draw_nonces(5) == individual
+        assert cipher.draw_nonces(0) == []
+
+
+class TestDecryptBatch:
+    def test_matches_per_cell_decrypt(self):
+        cipher = ProbabilisticCipher(KEY)
+        batch = cipher.encrypt_batch(_mixed_items())
+        assert cipher.decrypt_batch(batch) == [
+            cipher.decrypt(ciphertext) for ciphertext in batch
+        ]
+
+    @needs_numpy
+    def test_numpy_backend_matches(self):
+        cipher = ProbabilisticCipher(KEY)
+        batch = cipher.encrypt_batch(_mixed_items())
+        assert cipher.decrypt_batch(batch, backend=get_backend("numpy")) == (
+            cipher.decrypt_batch(batch)
+        )
+
+    def test_rejects_non_ciphertext(self):
+        cipher = ProbabilisticCipher(KEY)
+        with pytest.raises(DecryptionError):
+            cipher.decrypt_batch([b"not-a-ciphertext"])
+
+    def test_wrong_key_raises(self):
+        batch = ProbabilisticCipher(KEY).encrypt_batch([("secret", None)] * 3)
+        other = ProbabilisticCipher(KeyGen.symmetric_from_seed(1000))
+        with pytest.raises(DecryptionError):
+            other.decrypt_batch(batch)
+
+    def test_empty_batch(self):
+        assert ProbabilisticCipher(KEY).decrypt_batch([]) == []
+
+
+class TestKeyMaterialRoundTrip:
+    def test_reconstructed_cipher_is_byte_identical(self):
+        from repro.crypto.keys import SymmetricKey
+
+        cipher = ProbabilisticCipher(KEY, nonce_length=16)
+        rebuilt = ProbabilisticCipher(SymmetricKey(cipher.key_material), nonce_length=16)
+        items = [("value", "variant-a"), ("other", "variant-b")]
+        assert rebuilt.encrypt_batch(items) == cipher.encrypt_batch(items)

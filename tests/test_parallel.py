@@ -1,0 +1,243 @@
+"""Process-parallel materialisation: sharding, worker resolution, identity.
+
+The hard gate mirrors the materialiser's contract: for every worker count
+the output bytes equal the serial per-cell path — the parent fixes the
+entropy plan, workers run only deterministic HMAC + XOR.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import random
+
+import pytest
+
+from repro.api.pipeline import EncryptionPipeline
+from repro.api.stages import materialize_row_plans
+from repro.bench.harness import dataset_by_name
+from repro.core.config import F2Config
+from repro.core.plan import (
+    FreshCell,
+    FreshValueFactory,
+    InstanceCell,
+    RandomCell,
+    RowPlan,
+    RowProvenanceSpec,
+)
+from repro.crypto.keys import KeyGen
+from repro.crypto.probabilistic import ProbabilisticCipher
+from repro.exceptions import ConfigurationError
+from repro.parallel import (
+    DEFAULT_PARALLEL_THRESHOLD,
+    WORKERS_ENV_VAR,
+    encrypt_sharded,
+    resolve_workers,
+    shard_ranges,
+)
+from repro.relational.table import Relation
+
+KEY = KeyGen.symmetric_from_seed(77)
+
+
+def _patch_urandom(monkeypatch, seed: int = 1234) -> None:
+    rng = random.Random(seed)
+    monkeypatch.setattr(
+        "repro.crypto.probabilistic.os.urandom",
+        lambda n: bytes(rng.getrandbits(8) for _ in range(n)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker resolution and sharding
+# ----------------------------------------------------------------------
+class TestResolveWorkers:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "8")
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+        assert resolve_workers(None) == 4
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_garbage_env_is_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "many")
+        assert resolve_workers(None) == 1
+
+    def test_floor_is_one(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "0")
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-2) == 1
+
+
+class TestShardRanges:
+    @pytest.mark.parametrize(
+        "count,shards", [(10, 3), (4096, 4), (5, 5), (3, 8), (1, 1), (7, 2)]
+    )
+    def test_covers_range_contiguously(self, count, shards):
+        ranges = shard_ranges(count, shards)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == count
+        for (_, stop), (next_start, _) in zip(ranges, ranges[1:]):
+            assert stop == next_start
+
+    def test_even_split(self):
+        sizes = [stop - start for start, stop in shard_ranges(10, 3)]
+        assert sorted(sizes) == [3, 3, 4]
+
+    def test_never_more_shards_than_items(self):
+        assert len(shard_ranges(3, 8)) == 3
+
+    def test_zero_items(self):
+        assert shard_ranges(0, 4) == [(0, 0)]
+
+
+# ----------------------------------------------------------------------
+# Sharded encryption byte-identity
+# ----------------------------------------------------------------------
+def _job_items(count: int = 64) -> list[tuple[object, object]]:
+    items: list[tuple[object, object]] = []
+    for index in range(count):
+        if index % 3 == 0:
+            items.append((f"value-{index}", f"mas{index % 4}:variant{index % 5}"))
+        else:
+            items.append((f"unique-{index}", None))
+    return items
+
+
+class TestEncryptSharded:
+    def test_below_threshold_is_serial(self, monkeypatch):
+        items = _job_items(8)
+        _patch_urandom(monkeypatch, seed=21)
+        serial = ProbabilisticCipher(KEY).encrypt_batch(items)
+        _patch_urandom(monkeypatch, seed=21)
+        sharded = encrypt_sharded(ProbabilisticCipher(KEY), items, workers=4)
+        assert sharded == serial
+        assert len(items) < DEFAULT_PARALLEL_THRESHOLD
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_parallel_byte_identical_to_serial(self, monkeypatch, workers):
+        items = _job_items(64)
+        _patch_urandom(monkeypatch, seed=33)
+        serial = ProbabilisticCipher(KEY).encrypt_batch(items)
+        _patch_urandom(monkeypatch, seed=33)
+        sharded = encrypt_sharded(
+            ProbabilisticCipher(KEY), items, workers=workers, threshold=2
+        )
+        assert sharded == serial
+
+    def test_pool_failure_falls_back_without_double_draw(self, monkeypatch):
+        items = _job_items(64)
+        _patch_urandom(monkeypatch, seed=44)
+        serial = ProbabilisticCipher(KEY).encrypt_batch(items)
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no process pools here")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", broken_pool)
+        _patch_urandom(monkeypatch, seed=44)
+        sharded = encrypt_sharded(
+            ProbabilisticCipher(KEY), items, workers=4, threshold=2
+        )
+        assert sharded == serial
+
+
+# ----------------------------------------------------------------------
+# Materialiser identity across worker counts
+# ----------------------------------------------------------------------
+def _mixed_row_plans(num_rows: int = 24) -> tuple[Relation, list[RowPlan]]:
+    relation = Relation(("A", "B", "C"), name="plans")
+    plans: list[RowPlan] = []
+    for row in range(num_rows):
+        relation.append([f"a{row}", f"b{row % 5}", f"c{row}"])
+        cells = {
+            "A": InstanceCell(value=f"a{row % 6}", variant=f"mas0:v{row % 3}"),
+            "B": RandomCell(value=f"b-unique-{row}"),
+            "C": (
+                FreshCell(token=f"=t:{row % 7}")
+                if row % 2
+                else RandomCell(value=f"c-unique-{row}")
+            ),
+        }
+        plans.append(
+            RowPlan(
+                cells=cells,
+                provenance=RowProvenanceSpec(
+                    kind="original", source_row=row, authentic_attributes=frozenset("ABC")
+                ),
+            )
+        )
+    return relation, plans
+
+
+class TestMaterializeWorkers:
+    def _run(self, monkeypatch, workers: int, with_log: bool):
+        relation, plans = _mixed_row_plans()
+        _patch_urandom(monkeypatch, seed=5)
+        encrypted, provenance = materialize_row_plans(
+            relation,
+            plans,
+            ProbabilisticCipher(KEY),
+            FreshValueFactory(seed=7),
+            nonce_log={} if with_log else None,
+            workers=workers,
+            parallel_threshold=2,
+        )
+        return encrypted, provenance
+
+    @pytest.mark.parametrize("with_log", [False, True])
+    def test_workers_do_not_change_bytes(self, monkeypatch, with_log):
+        serial, serial_provenance = self._run(monkeypatch, 1, with_log)
+        parallel, parallel_provenance = self._run(monkeypatch, 2, with_log)
+        assert parallel == serial
+        assert [p.kind for p in parallel_provenance] == [
+            p.kind for p in serial_provenance
+        ]
+
+
+# ----------------------------------------------------------------------
+# Full pipeline: F2Config(workers=...) is byte-transparent
+# ----------------------------------------------------------------------
+def _pipeline_hash(monkeypatch, workers: "int | None") -> str:
+    relation = dataset_by_name("orders", 200, seed=0)
+    _patch_urandom(monkeypatch)
+    pipeline = EncryptionPipeline(
+        key=KeyGen.symmetric_from_seed(0),
+        config=F2Config(alpha=0.2, seed=0, workers=workers),
+    )
+    encrypted = pipeline.run(relation)
+    digest = hashlib.sha256()
+    for row in encrypted.relation.rows():
+        for cell in row:
+            digest.update(str(cell).encode())
+            digest.update(b"|")
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+class TestPipelineWorkers:
+    def test_worker_count_is_byte_transparent(self, monkeypatch):
+        assert _pipeline_hash(monkeypatch, 2) == _pipeline_hash(monkeypatch, None)
+
+    def test_env_var_is_byte_transparent(self, monkeypatch):
+        baseline = _pipeline_hash(monkeypatch, None)
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        assert _pipeline_hash(monkeypatch, None) == baseline
+
+
+class TestConfigWorkers:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            F2Config(workers=0)
+        with pytest.raises(ConfigurationError):
+            F2Config(workers=-1)
+        assert F2Config(workers=3).workers == 3
+        assert F2Config().workers is None
+
+    def test_workers_in_to_dict(self):
+        assert F2Config(workers=2).to_dict()["workers"] == 2

@@ -177,6 +177,55 @@ class TestSegmentTableStore:
         with pytest.raises(StoreError, match="not a segment store"):
             SegmentTableStore(tmp_path / "absent.f2s", get_backend("python"))
 
+    def test_single_attribute_query_decodes_only_that_column(self, tmp_path, monkeypatch):
+        """Column pruning pin (ROADMAP open item 2): a one-attribute query on
+        a reopened store must decode exactly one dictionary and materialise
+        exactly one code column, however wide the schema is."""
+        relation = Relation.from_columns(
+            {
+                "city": ["hoboken", "nyc", "hoboken", "jersey"],
+                "zip": ["07030", "10001", "07030", "07302"],
+                "side": ["E", "W", "E", "N"],
+            },
+            name="orders",
+        )
+        backend = get_backend("python")
+        store = SegmentTableStore(tmp_path / f"t{STORE_SUFFIX}", backend, create=True)
+        store.replace(relation)
+        store.close()
+
+        import repro.store.segment as segment_module
+
+        dictionary_decodes = []
+        real_decode = segment_module.decode_cell_run
+
+        def counting_decode(data, values):
+            dictionary_decodes.append(values)
+            return real_decode(data, values)
+
+        monkeypatch.setattr(segment_module, "decode_cell_run", counting_decode)
+
+        column_decodes = []
+        real_from_code_bytes = type(backend).from_code_bytes
+
+        def counting_from_code_bytes(self, data, width, count):
+            column_decodes.append(count)
+            return real_from_code_bytes(self, data, width, count)
+
+        monkeypatch.setattr(type(backend), "from_code_bytes", counting_from_code_bytes)
+
+        reopened = SegmentTableStore(tmp_path / f"t{STORE_SUFFIX}", backend)
+        assert dictionary_decodes == []  # opening only skims the manifest
+        assert column_decodes == []
+        assert reopened.rows_matching("zip", ("07030",)) == [0, 2]
+        assert len(dictionary_decodes) == 1  # only the zip dictionary
+        assert len(column_decodes) == 1  # only the zip code column
+        # A second query on the same attribute hits the lazy caches.
+        assert reopened.rows_matching("zip", ("10001",)) == [1]
+        assert len(dictionary_decodes) == 1
+        assert len(column_decodes) == 1
+        reopened.close()
+
     def test_save_and_reload(self, tmp_path):
         directory = tmp_path / f"t{STORE_SUFFIX}"
         store = SegmentTableStore(directory, get_backend("python"), create=True)
