@@ -28,6 +28,7 @@ on message substrings.
 
 from __future__ import annotations
 
+import base64
 import enum
 import hashlib
 import hmac
@@ -41,7 +42,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
 
-from repro.exceptions import AuthError, ProtocolError
+from repro.exceptions import AuthError, ProtocolError, StoreIntegrityWarning
 
 
 class ErrorCode(str, enum.Enum):
@@ -82,6 +83,10 @@ class ErrorCode(str, enum.Enum):
     BAD_REQUEST = "BAD_REQUEST"
     #: Anything else (an unexpected server-side failure).
     INTERNAL = "INTERNAL"
+    #: An optimistic write named a base version the table has moved past.
+    VERSION_CONFLICT = "VERSION_CONFLICT"
+    #: A store, snapshot, or Merkle root failed integrity verification.
+    INTEGRITY_VIOLATION = "INTEGRITY_VIOLATION"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -103,6 +108,19 @@ _TOKEN_PREFIX = "f2tok1"
 
 #: Domain separator of the frame signature (versioned with the scheme).
 _SIG_DOMAIN = b"f2-signed-frame/1"
+
+#: Domain separator of the *reply* signature (a distinct key, see below).
+_REPLY_SIG_DOMAIN = b"f2-signed-reply/1"
+
+#: Key-derivation domains: reply signing and ticket sealing use keys
+#: *derived* from the tenant secret rather than the secret itself, so a
+#: component that only ever signs replies can hold the derived key without
+#: being able to forge client requests (and vice versa).
+_REPLY_KEY_DOMAIN = b"f2-reply-key/1"
+_TICKET_KEY_DOMAIN = b"f2-resume-ticket/1"
+
+#: Printable prefix of a sealed session-resumption ticket.
+_TICKET_PREFIX = "f2tkt1"
 
 
 def check_tenant_id(tenant_id: str) -> str:
@@ -204,6 +222,98 @@ def verify_frame(
     """Constant-time check of a frame signature."""
     expected = sign_frame(secret, session_id, sequence, payload)
     return hmac.compare_digest(expected, str(signature))
+
+
+# ----------------------------------------------------------------------
+# Reply signatures (the server authenticating itself to the client)
+# ----------------------------------------------------------------------
+def derive_reply_key(secret: bytes) -> bytes:
+    """The reply-signing key derived from a tenant secret.
+
+    Derivation (HMAC with a fixed domain) rather than reuse means the reply
+    key cannot forge client *request* frames: a compromised query replica
+    holding only the derived key still cannot impersonate the owner.
+    Rotating the tenant secret rotates the reply key with it.
+    """
+    return hmac.new(secret, _REPLY_KEY_DOMAIN, hashlib.sha256).digest()
+
+
+def sign_reply(secret: bytes, session_id: str, sequence: int, payload: bytes) -> str:
+    """HMAC-SHA256 reply signature over ``(session, request sequence, payload)``.
+
+    Binding the *request's* sequence number into the MAC pins each reply to
+    the exact request it answers — a recorded reply cannot be replayed
+    against a later request of the same session.
+    """
+    mac = hmac.new(derive_reply_key(secret), _REPLY_SIG_DOMAIN, hashlib.sha256)
+    mac.update(session_id.encode("utf-8"))
+    mac.update(b"|")
+    mac.update(str(int(sequence)).encode("ascii"))
+    mac.update(b"|")
+    mac.update(payload)
+    return mac.hexdigest()
+
+
+def verify_reply(
+    secret: bytes, session_id: str, sequence: int, payload: bytes, signature: str
+) -> bool:
+    """Constant-time check of a reply signature."""
+    expected = sign_reply(secret, session_id, sequence, payload)
+    return hmac.compare_digest(expected, str(signature))
+
+
+# ----------------------------------------------------------------------
+# Session-resumption tickets
+# ----------------------------------------------------------------------
+def _ticket_key(secret: bytes) -> bytes:
+    return hmac.new(secret, _TICKET_KEY_DOMAIN, hashlib.sha256).digest()
+
+
+def seal_ticket(secret: bytes, doc: dict[str, Any]) -> str:
+    """Seal a session-state document into a printable resumption ticket.
+
+    The ticket is ``f2tkt1.<b64url(json)>.<hmac-hex>`` with the MAC keyed by
+    a key derived from the tenant's *current* secret — rotating or revoking
+    the credential invalidates every outstanding ticket by construction,
+    with no server-side ticket store to purge.
+    """
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    body = base64.urlsafe_b64encode(blob).decode("ascii").rstrip("=")
+    mac = hmac.new(_ticket_key(secret), body.encode("ascii"), hashlib.sha256)
+    return ".".join((_TICKET_PREFIX, body, mac.hexdigest()))
+
+
+def open_ticket(secret: bytes, ticket: str) -> dict[str, Any]:
+    """Verify and decode a resumption ticket sealed by :func:`seal_ticket`.
+
+    Raises :class:`AuthError` (``AUTH_FAILED``) on any malformed or
+    wrongly-MAC'd ticket — including every ticket sealed under a secret that
+    has since been rotated.
+    """
+    parts = str(ticket).strip().split(".")
+    if len(parts) != 3 or parts[0] != _TICKET_PREFIX:
+        raise AuthError(
+            "malformed resumption ticket", code=ErrorCode.AUTH_FAILED.value
+        )
+    _, body, signature = parts
+    mac = hmac.new(_ticket_key(secret), body.encode("ascii"), hashlib.sha256)
+    if not hmac.compare_digest(mac.hexdigest(), signature):
+        raise AuthError(
+            "resumption ticket does not verify (stale key or tampered ticket)",
+            code=ErrorCode.AUTH_FAILED.value,
+        )
+    try:
+        padded = body + "=" * (-len(body) % 4)
+        doc = json.loads(base64.urlsafe_b64decode(padded.encode("ascii")))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise AuthError(
+            "malformed resumption ticket body", code=ErrorCode.AUTH_FAILED.value
+        ) from exc
+    if not isinstance(doc, dict):
+        raise AuthError(
+            "malformed resumption ticket body", code=ErrorCode.AUTH_FAILED.value
+        )
+    return doc
 
 
 # ----------------------------------------------------------------------
@@ -413,7 +523,7 @@ class TenantRegistry:
             warnings.warn(
                 f"tenant registry {self._path} changed but cannot be "
                 f"reloaded ({exc}); keeping the previous keys",
-                RuntimeWarning,
+                StoreIntegrityWarning,
                 stacklevel=3,
             )
             return

@@ -78,6 +78,12 @@ class ViewDelta:
     #: as the new committed digest instead of re-hashing every row.  Empty
     #: when the sender predates the field — receivers then re-derive it.
     new_digest: str = ""
+    #: Merkle root (hex) of the view the delta produces, when the owner
+    #: tracks integrity state (see :mod:`repro.integrity`).  Like
+    #: ``new_digest`` it is owner-computed and recorded — a storage engine
+    #: without the cached leaf hashes records it instead of re-hashing.
+    #: Empty when the sender does not verify.
+    new_root: str = ""
 
     @property
     def literal_rows(self) -> int:

@@ -59,17 +59,23 @@ from repro.api.auth import (
     TenantRegistry,
     check_capability,
     check_tenant_id,
+    open_ticket,
+    seal_ticket,
     sign_frame,
+    sign_reply,
     verify_frame,
+    verify_reply,
 )
 from repro.api.delta import ViewDelta
 from repro.backend import ComputeBackend, get_backend
 from repro.exceptions import (
     AuthError,
     ConfigurationError,
+    IntegrityError,
     ProtocolError,
     QueryError,
     StoreError,
+    StoreIntegrityWarning,
     WireError,
 )
 from repro.fd.tane import TaneResult, tane_with_stats
@@ -99,10 +105,12 @@ from repro.wire import (
     WIRE_JSON,
     check_form,
     decode_cells,
+    decode_merkle_proofs,
     decode_relation,
     decode_tane_result,
     detect_form,
     encode_cells,
+    encode_merkle_proofs,
     encode_relation,
     encode_tane_result,
     sanitize_json,
@@ -117,10 +125,14 @@ MESSAGE_VERSION = 1
 
 #: Service protocol versions this endpoint speaks.  Version 1 is the
 #: anonymous single-tenant protocol (plain messages, no sessions); version 2
-#: adds the authenticated multi-tenant session layer.  ``Hello`` negotiates
-#: the highest version both sides share; signed sessions require >= 2.
-PROTOCOL_VERSIONS = (1, 2)
+#: adds the authenticated multi-tenant session layer; version 3 adds the
+#: trustworthy-server plane — server-signed replies, Merkle roots / proofs
+#: in replies, version-CAS deltas, and resumption tickets.  ``Hello``
+#: negotiates the highest version both sides share; signed sessions require
+#: >= 2; replies are server-signed on sessions negotiated at >= 3.
+PROTOCOL_VERSIONS = (1, 2, 3)
 SESSION_MIN_VERSION = 2
+SIGNED_REPLY_MIN_VERSION = 3
 
 #: Default table id used by the session facades.
 DEFAULT_TABLE_ID = "default"
@@ -263,9 +275,12 @@ class OutsourceRequest(Message):
     kind: ClassVar[str] = "outsource_request"
     table_id: str
     relation: Relation
+    #: Ask the ack for the server's Merkle root over the stored rows (the
+    #: owner checks it against her own tree at write time).
+    with_root: bool = False
 
     def _meta(self) -> dict[str, Any]:
-        return {"table_id": self.table_id}
+        return {"table_id": self.table_id, "with_root": self.with_root}
 
     def _attachments(self, form: str) -> dict[str, bytes]:
         return {"relation": encode_relation(self.relation, form)}
@@ -275,6 +290,7 @@ class OutsourceRequest(Message):
         return cls(
             table_id=check_table_id(meta.get("table_id", "")),
             relation=decode_relation(_require(attachments, "relation", cls.kind)),
+            with_root=bool(meta.get("with_root", False)),
         )
 
 
@@ -292,9 +308,14 @@ class InsertBatch(Message):
     table_id: str
     relation: Relation
     batch_rows: int = 0
+    with_root: bool = False
 
     def _meta(self) -> dict[str, Any]:
-        return {"table_id": self.table_id, "batch_rows": self.batch_rows}
+        return {
+            "table_id": self.table_id,
+            "batch_rows": self.batch_rows,
+            "with_root": self.with_root,
+        }
 
     def _attachments(self, form: str) -> dict[str, bytes]:
         return {"relation": encode_relation(self.relation, form)}
@@ -305,6 +326,7 @@ class InsertBatch(Message):
             table_id=check_table_id(meta.get("table_id", "")),
             relation=decode_relation(_require(attachments, "relation", cls.kind)),
             batch_rows=int(meta.get("batch_rows", 0)),
+            with_root=bool(meta.get("with_root", False)),
         )
 
 
@@ -369,12 +391,16 @@ class QueryRequest(Message):
     #: the returned indexes), and splitting-and-scaling makes the matched
     #: subset the dominant payload — so this is opt-in for keyless consumers.
     include_rows: bool = False
+    #: Ship the table's commit version and Merkle root with the result, for
+    #: the owner's freshness/root check.
+    with_root: bool = False
 
     def _meta(self) -> dict[str, Any]:
         return {
             "table_id": self.table_id,
             "attribute": self.attribute,
             "include_rows": self.include_rows,
+            "with_root": self.with_root,
         }
 
     def _attachments(self, form: str) -> dict[str, bytes]:
@@ -390,6 +416,7 @@ class QueryRequest(Message):
             attribute=attribute,
             token=tuple(decode_cells(_require(attachments, "token", cls.kind))),
             include_rows=bool(meta.get("include_rows", False)),
+            with_root=bool(meta.get("with_root", False)),
         )
 
 
@@ -408,13 +435,21 @@ class QueryResult(Message):
     attribute: str
     row_indexes: tuple[int, ...]
     rows: Relation | None = None
+    #: Commit version / Merkle root of the queried table, attached only when
+    #: the request set ``with_root`` (``-1`` / ``""`` otherwise).
+    version: int = -1
+    merkle_root: str = ""
 
     def _meta(self) -> dict[str, Any]:
-        return {
+        meta: dict[str, Any] = {
             "table_id": self.table_id,
             "attribute": self.attribute,
             "row_indexes": list(self.row_indexes),
         }
+        if self.merkle_root or self.version >= 0:
+            meta["version"] = self.version
+            meta["merkle_root"] = self.merkle_root
+        return meta
 
     def _attachments(self, form: str) -> dict[str, bytes]:
         if self.rows is None:
@@ -432,6 +467,8 @@ class QueryResult(Message):
             attribute=str(meta.get("attribute", "")),
             row_indexes=tuple(int(index) for index in indexes),
             rows=None if rows_payload is None else decode_relation(rows_payload),
+            version=int(meta.get("version", -1)),
+            merkle_root=str(meta.get("merkle_root", "")),
         )
 
 
@@ -451,9 +488,19 @@ class PlanQueryRequest(Message):
     kind: ClassVar[str] = "plan_query_request"
     table_id: str
     expr: ServerExpr
+    #: Attach one Merkle inclusion proof per matched row to the result
+    #: (implies the version/root fields as well).
+    include_proofs: bool = False
+    #: Attach the commit version and Merkle root without proofs.
+    with_root: bool = False
 
     def _meta(self) -> dict[str, Any]:
-        return {"table_id": self.table_id, "expr": server_expr_to_doc(self.expr)}
+        return {
+            "table_id": self.table_id,
+            "expr": server_expr_to_doc(self.expr),
+            "include_proofs": self.include_proofs,
+            "with_root": self.with_root,
+        }
 
     def _attachments(self, form: str) -> dict[str, bytes]:
         return {
@@ -478,6 +525,8 @@ class PlanQueryRequest(Message):
         return cls(
             table_id=check_table_id(meta.get("table_id", "")),
             expr=server_expr_from_doc(doc, tokens),
+            include_proofs=bool(meta.get("include_proofs", False)),
+            with_root=bool(meta.get("with_root", False)),
         )
 
 
@@ -497,13 +546,33 @@ class PlanQueryResult(Message):
     row_indexes: tuple[int, ...]
     leaf_match_counts: tuple[int, ...]
     num_rows: int
+    #: Commit version / Merkle root, attached when the request asked for
+    #: them (``with_root`` or ``include_proofs``).
+    version: int = -1
+    merkle_root: str = ""
+    #: One inclusion proof (tuple of sibling digests) per matched row, in
+    #: ``row_indexes`` order; ``None`` unless ``include_proofs`` was set.
+    proofs: "tuple[tuple[bytes, ...], ...] | None" = None
 
     def _meta(self) -> dict[str, Any]:
-        return {
+        meta: dict[str, Any] = {
             "table_id": self.table_id,
             "row_indexes": list(self.row_indexes),
             "leaf_match_counts": list(self.leaf_match_counts),
             "num_rows": self.num_rows,
+        }
+        if self.merkle_root or self.version >= 0:
+            meta["version"] = self.version
+            meta["merkle_root"] = self.merkle_root
+        return meta
+
+    def _attachments(self, form: str) -> dict[str, bytes]:
+        if self.proofs is None:
+            return {}
+        return {
+            "proofs": encode_merkle_proofs(
+                self.num_rows, [list(path) for path in self.proofs], form
+            )
         }
 
     @classmethod
@@ -517,11 +586,24 @@ class PlanQueryResult(Message):
             # num_rows anchors the owner's leakage denominator and her
             # desync check; defaulting it would make both silently wrong.
             raise WireError("plan_query_result without a stored row count")
+        proofs = None
+        proofs_payload = attachments.get("proofs")
+        if proofs_payload is not None:
+            proof_leaves, paths = decode_merkle_proofs(proofs_payload)
+            if proof_leaves != int(num_rows):
+                raise WireError(
+                    f"plan_query_result proofs claim {proof_leaves} leaves "
+                    f"but the result reports {num_rows} rows"
+                )
+            proofs = tuple(tuple(path) for path in paths)
         return cls(
             table_id=check_table_id(meta.get("table_id", "")),
             row_indexes=tuple(int(index) for index in indexes),
             leaf_match_counts=tuple(int(count) for count in counts),
             num_rows=int(num_rows),
+            version=int(meta.get("version", -1)),
+            merkle_root=str(meta.get("merkle_root", "")),
+            proofs=proofs,
         )
 
 
@@ -571,6 +653,12 @@ class InsertDelta(Message):
     table_id: str
     delta: ViewDelta
     batch_rows: int = 0
+    #: Commit version the delta was computed against.  ``>= 0`` arms the
+    #: server's compare-and-swap: a store whose commit version moved on is
+    #: reported as ``VERSION_CONFLICT`` instead of being spliced blind.
+    #: ``-1`` keeps the pre-CAS behaviour (digest check only).
+    base_version: int = -1
+    with_root: bool = False
 
     def _meta(self) -> dict[str, Any]:
         return {
@@ -581,6 +669,9 @@ class InsertDelta(Message):
             "segments": [list(segment) for segment in self.delta.segments],
             "table_name": self.delta.table_name,
             "new_digest": self.delta.new_digest,
+            "new_root": self.delta.new_root,
+            "base_version": self.base_version,
+            "with_root": self.with_root,
         }
 
     def _attachments(self, form: str) -> dict[str, bytes]:
@@ -604,11 +695,14 @@ class InsertDelta(Message):
             else decode_relation(literals_payload),
             table_name=str(meta.get("table_name", "")),
             new_digest=str(meta.get("new_digest", "")),
+            new_root=str(meta.get("new_root", "")),
         )
         return cls(
             table_id=check_table_id(meta.get("table_id", "")),
             delta=delta,
             batch_rows=int(meta.get("batch_rows", 0)),
+            base_version=int(meta.get("base_version", -1)),
+            with_root=bool(meta.get("with_root", False)),
         )
 
 
@@ -664,6 +758,11 @@ class HelloAck(Message):
     version: int
     wire_format: str
     server_name: str = ""
+    #: HMAC-sealed session-resumption ticket (protocol >= 3): a reconnecting
+    #: client presents it in a :class:`Resume` message to recover its session
+    #: and sequence window without a full re-handshake.  Sealed under the
+    #: tenant's *current* key, so rotation invalidates it by construction.
+    resume_ticket: str = ""
 
     def _meta(self) -> dict[str, Any]:
         return {
@@ -671,6 +770,7 @@ class HelloAck(Message):
             "version": self.version,
             "wire_format": self.wire_format,
             "server_name": self.server_name,
+            "resume_ticket": self.resume_ticket,
         }
 
     @classmethod
@@ -683,6 +783,7 @@ class HelloAck(Message):
             version=int(meta.get("version", 0)),
             wire_format=check_form(str(meta.get("wire_format", ""))),
             server_name=str(meta.get("server_name", "")),
+            resume_ticket=str(meta.get("resume_ticket", "")),
         )
 
 
@@ -737,6 +838,133 @@ class SignedEnvelope(Message):
         signature = meta.get("signature")
         if not isinstance(session_id, str) or not isinstance(signature, str):
             raise WireError("signed envelope without session id or signature")
+        return cls(
+            session_id=session_id,
+            sequence=int(meta.get("sequence", -1)),
+            signature=signature,
+            payload=payload,
+        )
+
+
+@dataclass(frozen=True)
+class Resume(Message):
+    """Client -> server: resume a session from a :class:`HelloAck` ticket.
+
+    Sent unsigned (a reconnecting client has no sequence window yet); the
+    ticket's MAC *is* the authentication, and like the handshake itself a
+    forged or replayed ticket only yields a session its sender cannot sign
+    frames for.  After a key rotation or revocation every outstanding
+    ticket stops verifying and the client must run a full handshake.
+    """
+
+    kind: ClassVar[str] = "resume"
+    ticket: str
+
+    def _meta(self) -> dict[str, Any]:
+        return {"ticket": self.ticket}
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "Resume":
+        ticket = meta.get("ticket")
+        if not isinstance(ticket, str) or not ticket:
+            raise WireError("resume without a ticket")
+        return cls(ticket=ticket)
+
+
+@dataclass(frozen=True)
+class ResumeAck(Message):
+    """Server -> client: the resumed session and its next sequence number.
+
+    ``next_sequence`` re-synchronises the client's signing window: for a
+    still-live session it is the server's current expectation; for a session
+    that was evicted (or lost to a restart) the server re-creates the
+    session state under the same id with a *fresh random* starting sequence,
+    so frames recorded from the ticket's previous life can never land inside
+    the new window.
+    """
+
+    kind: ClassVar[str] = "resume_ack"
+    session_id: str
+    version: int
+    wire_format: str
+    next_sequence: int
+    server_name: str = ""
+
+    def _meta(self) -> dict[str, Any]:
+        return {
+            "session_id": self.session_id,
+            "version": self.version,
+            "wire_format": self.wire_format,
+            "next_sequence": self.next_sequence,
+            "server_name": self.server_name,
+        }
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "ResumeAck":
+        session_id = meta.get("session_id")
+        if not isinstance(session_id, str) or not session_id:
+            raise WireError("resume_ack without a session id")
+        return cls(
+            session_id=session_id,
+            version=int(meta.get("version", 0)),
+            wire_format=check_form(str(meta.get("wire_format", ""))),
+            next_sequence=int(meta.get("next_sequence", 1)),
+            server_name=str(meta.get("server_name", "")),
+        )
+
+
+@dataclass(frozen=True)
+class SignedReply(Message):
+    """Server -> client: an authenticated reply envelope (protocol >= 3).
+
+    ``payload`` is the complete encoded reply message; the signature is
+    HMAC-SHA256 over ``(session_id, request sequence, payload)`` keyed by
+    the tenant's *derived reply key* (see :func:`repro.api.auth.sign_reply`).
+    Echoing the request's sequence number pins the reply to the exact
+    request it answers — a recorded reply replayed against a later request
+    fails verification.  The payload travels exactly like a
+    :class:`SignedEnvelope` payload (raw in binary, base64-wrapped in JSON).
+    """
+
+    kind: ClassVar[str] = "signed_reply"
+    session_id: str
+    sequence: int
+    signature: str
+    payload: bytes
+
+    def _meta(self) -> dict[str, Any]:
+        return {
+            "session_id": self.session_id,
+            "sequence": self.sequence,
+            "signature": self.signature,
+        }
+
+    def _attachments(self, form: str) -> dict[str, bytes]:
+        if form == WIRE_JSON:
+            wrapped = {"b64": base64.b64encode(self.payload).decode("ascii")}
+            return {"payload": json.dumps(wrapped, separators=(",", ":")).encode("utf-8")}
+        return {"payload": self.payload}
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "SignedReply":
+        raw = attachments.get("payload")
+        if raw is None:
+            raise WireError("signed reply without a payload")
+        payload = raw
+        if not raw.startswith(MESSAGE_MAGIC):
+            try:
+                doc = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                doc = None
+            if isinstance(doc, dict) and set(doc) == {"b64"}:
+                try:
+                    payload = base64.b64decode(str(doc["b64"]), validate=True)
+                except (ValueError, TypeError) as exc:
+                    raise WireError("signed reply payload is not valid base64") from exc
+        session_id = meta.get("session_id")
+        signature = meta.get("signature")
+        if not isinstance(session_id, str) or not isinstance(signature, str):
+            raise WireError("signed reply without session id or signature")
         return cls(
             session_id=session_id,
             sequence=int(meta.get("sequence", -1)),
@@ -802,7 +1030,10 @@ MESSAGE_TYPES: dict[str, type[Message]] = {
         LoadSnapshot,
         Hello,
         HelloAck,
+        Resume,
+        ResumeAck,
         SignedEnvelope,
+        SignedReply,
         Ack,
         ErrorReply,
     )
@@ -837,6 +1068,35 @@ def _error_reply(exc: Exception, default: str = "") -> ErrorReply:
         else:
             code = default or ErrorCode.INTERNAL.value
     return ErrorReply(error=type(exc).__name__, message=str(exc), code=str(code))
+
+
+def _peek_ticket(ticket: str) -> dict[str, Any]:
+    """The *unverified* body of a resumption ticket.
+
+    Resuming is a chicken-and-egg lookup: the MAC key is the tenant's, but
+    the tenant is named inside the ticket.  So the body is peeked first to
+    find the registry entry, and :func:`repro.api.auth.open_ticket` then
+    authenticates the whole ticket against that tenant's current key —
+    nothing read here is trusted until that check passes.
+    """
+    parts = str(ticket).strip().split(".")
+    if len(parts) != 3:
+        raise AuthError(
+            "malformed resumption ticket", code=ErrorCode.AUTH_FAILED.value
+        )
+    body = parts[1]
+    try:
+        padded = body + "=" * (-len(body) % 4)
+        doc = json.loads(base64.urlsafe_b64decode(padded.encode("ascii")))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise AuthError(
+            "malformed resumption ticket body", code=ErrorCode.AUTH_FAILED.value
+        ) from exc
+    if not isinstance(doc, dict):
+        raise AuthError(
+            "malformed resumption ticket body", code=ErrorCode.AUTH_FAILED.value
+        )
+    return doc
 
 
 def _unknown_attribute(table_id: str, attribute: str) -> QueryError:
@@ -1142,6 +1402,8 @@ class ProtocolServer:
             return _error_reply(exc, default=ErrorCode.WIRE_MALFORMED.value).encode(WIRE_JSON)
         if isinstance(request, Hello):
             return self._dispatch_safely(self._handle_hello, request).encode(form)
+        if isinstance(request, Resume):
+            return self._dispatch_safely(self._handle_resume, request).encode(form)
         if isinstance(request, SignedEnvelope):
             return self._dispatch_safely(self._handle_signed, request).encode(form)
         if not self._allow_anonymous:
@@ -1257,10 +1519,111 @@ class ProtocolServer:
                 oldest = min(self._sessions.values(), key=lambda s: s.last_used)
                 del self._sessions[oldest.session_id]
             self._sessions[session.session_id] = session
+        resume_ticket = ""
+        if session.version >= SIGNED_REPLY_MIN_VERSION:
+            resume_ticket = seal_ticket(
+                bytes.fromhex(key.secret_hex),
+                {
+                    "session_id": session.session_id,
+                    "tenant_id": session.tenant_id,
+                    "capability": session.capability,
+                    "token_id": session.token_id,
+                    "version": session.version,
+                    "wire_format": session.wire_format,
+                },
+            )
         return HelloAck(
             session_id=session.session_id,
             version=session.version,
             wire_format=session.wire_format,
+            server_name=self.name,
+            resume_ticket=resume_ticket,
+        )
+
+    def _handle_resume(self, request: Resume) -> Message:
+        """Re-establish a session from an HMAC-sealed resumption ticket.
+
+        The ticket body names its tenant, so the server can look up the
+        *current* key to check the MAC against — which is exactly what makes
+        rotation and revocation retroactive: a ticket sealed under a
+        previous key simply stops verifying.  A still-live session resumes
+        with its current sequence expectation; an evicted (or restart-lost)
+        one is re-created under the same id with a fresh random sequence
+        window, so frames recorded before the resume can never replay into
+        it.
+        """
+        if self.tenants is None:
+            raise AuthError(
+                f"{self.name} has no tenant registry; authenticated sessions "
+                "are not available",
+                code=ErrorCode.AUTH_UNKNOWN_TENANT.value,
+            )
+        peek = _peek_ticket(request.ticket)
+        tenant_id = check_tenant_id(str(peek.get("tenant_id", "")))
+        capability = check_capability(str(peek.get("capability", "")))
+        key = self.tenants.key_for(tenant_id, capability)
+        if key is None:
+            raise AuthError(
+                f"tenant {tenant_id!r} has no {capability!r} key",
+                code=ErrorCode.AUTH_FAILED.value,
+            )
+        if key.revoked:
+            raise AuthError(
+                f"the {capability!r} key of tenant {tenant_id!r} has been revoked",
+                code=ErrorCode.AUTH_REVOKED.value,
+            )
+        # The MAC check: raises AUTH_FAILED for any ticket not sealed under
+        # the tenant's current key (tampered, forged, or pre-rotation).
+        doc = open_ticket(bytes.fromhex(key.secret_hex), request.ticket)
+        session_id = str(doc.get("session_id", ""))
+        version = int(doc.get("version", 0))
+        wire_format = str(doc.get("wire_format", ""))
+        if (
+            not session_id
+            or version < SIGNED_REPLY_MIN_VERSION
+            or wire_format not in WIRE_FORMS
+        ):
+            raise AuthError(
+                "malformed resumption ticket body",
+                code=ErrorCode.AUTH_FAILED.value,
+            )
+        now = time.monotonic()
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is not None and (
+                session.tenant_id != tenant_id or session.capability != capability
+            ):
+                # A colliding id from another tenant's live session: never
+                # hand over someone else's sequence window.
+                raise AuthError(
+                    "resumption ticket does not match the live session",
+                    code=ErrorCode.AUTH_FAILED.value,
+                )
+            if session is None:
+                session = _SessionState(
+                    session_id=session_id,
+                    tenant_id=tenant_id,
+                    capability=capability,
+                    token_id=str(doc.get("token_id", "")),
+                    version=version,
+                    wire_format=wire_format,
+                    # Fresh random window far above any plausible prior
+                    # sequence: replayed frames from the session's previous
+                    # life cannot match it.
+                    next_sequence=(1 << 32) + int.from_bytes(os.urandom(4), "big"),
+                    last_used=now,
+                )
+                while len(self._sessions) >= self.MAX_SESSIONS:
+                    oldest = min(self._sessions.values(), key=lambda s: s.last_used)
+                    del self._sessions[oldest.session_id]
+                self._sessions[session_id] = session
+            session.last_used = now
+            next_sequence = session.next_sequence
+        return ResumeAck(
+            session_id=session.session_id,
+            version=session.version,
+            wire_format=session.wire_format,
+            next_sequence=next_sequence,
             server_name=self.name,
         )
 
@@ -1338,7 +1701,25 @@ class ProtocolServer:
             # one logical command stream (the client serializes its signed
             # calls anyway), and releasing earlier would let a later frame
             # overtake this one inside the handlers.
-            return self.handle(inner, auth)
+            reply = self.handle(inner, auth)
+            if session.version >= SIGNED_REPLY_MIN_VERSION and not isinstance(
+                reply, ErrorReply
+            ):
+                # v3 sessions authenticate every *successful* reply, bound
+                # to the request's sequence number.  Error replies stay
+                # unsigned (some are raised before any session is even
+                # resolved); clients therefore treat them as advisory — a
+                # forged error can deny service, never fake data.
+                payload = reply.encode(session.wire_format)
+                return SignedReply(
+                    session_id=session.session_id,
+                    sequence=request.sequence,
+                    signature=sign_reply(
+                        secret, session.session_id, request.sequence, payload
+                    ),
+                    payload=payload,
+                )
+            return reply
 
     # -- handlers ------------------------------------------------------
     def _get_or_create_store(self, store_key: str) -> TableStore:
@@ -1361,7 +1742,15 @@ class ProtocolServer:
             )
         return _memory_store_cls()(self._compute_backend())
 
-    def _receive_store(self, store_key: str, relation: Relation) -> None:
+    def _receive_store(
+        self, store_key: str, relation: Relation, with_root: bool = False
+    ) -> dict[str, Any]:
+        """Adopt a full view; returns the ack's integrity fields.
+
+        The returned ``version`` (and ``merkle_root`` when asked for) is
+        read under the same write lock as the replace, so it names exactly
+        the commit this request produced.
+        """
         with self._table_lock(store_key).write():
             store = self._get_or_create_store(store_key)
             store.replace(relation)
@@ -1376,25 +1765,33 @@ class ProtocolServer:
             # query traffic against other tables — proceed in parallel.
             # (The segment engine persisted inside ``replace`` already.)
             if self._storage_dir is not None and self.storage_engine == STORAGE_ENGINE_SNAPSHOT:
-                self._write_snapshot(store_key, relation)
+                self._write_snapshot(store_key, relation, store=store)
+            fields: dict[str, Any] = {"version": store.commit_version}
+            if with_root:
+                fields["merkle_root"] = store.merkle_root()
+            return fields
 
     def _handle_outsource(self, request: OutsourceRequest, auth: _AuthContext) -> Message:
-        self._receive_store(
-            self._store_key(auth.tenant_id, request.table_id), request.relation
+        fields = self._receive_store(
+            self._store_key(auth.tenant_id, request.table_id),
+            request.relation,
+            with_root=request.with_root,
         )
-        return Ack(fields={"table_id": request.table_id, "num_rows": request.relation.num_rows})
+        fields.update(table_id=request.table_id, num_rows=request.relation.num_rows)
+        return Ack(fields=fields)
 
     def _handle_insert(self, request: InsertBatch, auth: _AuthContext) -> Message:
-        self._receive_store(
-            self._store_key(auth.tenant_id, request.table_id), request.relation
+        fields = self._receive_store(
+            self._store_key(auth.tenant_id, request.table_id),
+            request.relation,
+            with_root=request.with_root,
         )
-        return Ack(
-            fields={
-                "table_id": request.table_id,
-                "num_rows": request.relation.num_rows,
-                "batch_rows": request.batch_rows,
-            }
+        fields.update(
+            table_id=request.table_id,
+            num_rows=request.relation.num_rows,
+            batch_rows=request.batch_rows,
         )
+        return Ack(fields=fields)
 
     def _handle_insert_delta(self, request: InsertDelta, auth: _AuthContext) -> Message:
         """Splice a view delta into the stored base under the write lock.
@@ -1412,19 +1809,34 @@ class ProtocolServer:
         with self._table_lock(store_key).write():
             with self._lock:
                 store = self._stores[store_key]
+            if request.base_version >= 0 and store.commit_version != request.base_version:
+                # The optimistic-concurrency gate: the delta was computed
+                # against a commit version that is no longer current, so
+                # another writer's splice landed in between.  Reject before
+                # touching the store — the owner rebases onto the winner's
+                # acknowledged view and retries, never falls back to a full
+                # rewrite.
+                raise ProtocolError(
+                    f"table {request.table_id!r} is at commit version "
+                    f"{store.commit_version}, the delta was computed against "
+                    f"version {request.base_version}: rebase and retry",
+                    code=ErrorCode.VERSION_CONFLICT.value,
+                )
             num_rows = store.apply_delta(request.delta)
             with self._lock:
                 self._discoveries.pop(store_key, None)
             if self._storage_dir is not None and store.engine == STORAGE_ENGINE_SNAPSHOT:
-                self._write_snapshot(store_key, store.relation())
-        return Ack(
-            fields={
+                self._write_snapshot(store_key, store.relation(), store=store)
+            fields: dict[str, Any] = {
                 "table_id": request.table_id,
                 "num_rows": num_rows,
                 "batch_rows": request.batch_rows,
                 "literal_rows": request.delta.literal_rows,
+                "version": store.commit_version,
             }
-        )
+            if request.with_root:
+                fields["merkle_root"] = store.merkle_root()
+        return Ack(fields=fields)
 
     def _handle_discover(self, request: DiscoverRequest, auth: _AuthContext) -> Message:
         # Discovery runs on a materialised relation without any table lock:
@@ -1465,11 +1877,16 @@ class ProtocolServer:
             if request.include_rows:
                 relation = store.relation()
                 rows = relation.select_rows(indexes, name=f"{relation.name}-match")
+            version, root = -1, ""
+            if request.with_root:
+                version, root = store.commit_version, store.merkle_root()
             return QueryResult(
                 table_id=request.table_id,
                 attribute=request.attribute,
                 row_indexes=tuple(indexes),
                 rows=rows,
+                version=version,
+                merkle_root=root,
             )
 
     def _handle_plan_query(self, request: PlanQueryRequest, auth: _AuthContext) -> Message:
@@ -1486,11 +1903,21 @@ class ProtocolServer:
             # directly — on the segment engine the leaf scans read the
             # memory-mapped code arrays, cached per token.
             indexes, leaf_counts = execute_server_expr(store, request.expr)
+            version, root, proofs = -1, "", None
+            if request.include_proofs:
+                # Proofs before root: both come off the same lazily-built
+                # tree, so the root always matches the proofs' tree.
+                proofs = tuple(tuple(path) for path in store.merkle_proofs(indexes))
+            if request.include_proofs or request.with_root:
+                version, root = store.commit_version, store.merkle_root()
             return PlanQueryResult(
                 table_id=request.table_id,
                 row_indexes=tuple(indexes),
                 leaf_match_counts=tuple(leaf_counts),
                 num_rows=store.num_rows,
+                version=version,
+                merkle_root=root,
+                proofs=proofs,
             )
 
     def _handle_save_snapshot(self, request: SaveSnapshot, auth: _AuthContext) -> Message:
@@ -1510,7 +1937,7 @@ class ProtocolServer:
                 # manifest generation already, so "save" just answers where.
                 path = store.save()
             else:
-                path = self._write_snapshot(store_key, store.relation())
+                path = self._write_snapshot(store_key, store.relation(), store=store)
         return Ack(fields={"table_id": request.table_id, "path": str(path)})
 
     def _handle_load_snapshot(self, request: LoadSnapshot, auth: _AuthContext) -> Message:
@@ -1536,6 +1963,7 @@ class ProtocolServer:
             # Adopt the bytes lazily: the frame is structurally validated
             # (skimmed) now, fully decoded on first row access.
             num_rows = store.load_snapshot(data)
+            self._restore_commit_version(store, path)
             with self._lock:
                 self._stores[store_key] = store
                 self._discoveries.pop(store_key, None)
@@ -1605,7 +2033,9 @@ class ProtocolServer:
             )
         return self._storage_dir / f"{check_table_id(store_key)}{STORE_SUFFIX}"
 
-    def _write_snapshot(self, store_key: str, relation: Relation) -> Path:
+    def _write_snapshot(
+        self, store_key: str, relation: Relation, store: "TableStore | None" = None
+    ) -> Path:
         path = self._snapshot_path(store_key)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Write-then-rename so a crash mid-write never corrupts a snapshot;
@@ -1624,7 +2054,41 @@ class ProtocolServer:
             except OSError:
                 pass
             raise
+        if store is not None:
+            self._write_sidecar(path, store, relation.num_rows)
         return path
+
+    def _write_sidecar(self, snapshot_path: Path, store: TableStore, num_rows: int) -> None:
+        """Write the ``.f2i`` integrity sidecar beside a snapshot.
+
+        The sidecar is the snapshot engine's counterpart of the segment
+        manifest's ``merkle_root`` field: the committed root, row count, and
+        commit version, which ``f2-repro verify`` checks the snapshot bytes
+        against and the startup loader restores the commit version from
+        (so the owner's freshness chain can tell a restart from a rollback).
+        """
+        from repro.integrity.verify import SIDECAR_FORMAT, SIDECAR_SUFFIX
+
+        sidecar = snapshot_path.with_suffix(SIDECAR_SUFFIX)
+        doc = {
+            "format": SIDECAR_FORMAT,
+            "merkle_root": store.merkle_root(),
+            "num_rows": int(num_rows),
+            "version": store.commit_version,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{snapshot_path.stem}.", suffix=".tmp", dir=snapshot_path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, separators=(",", ":"))
+            os.replace(tmp_name, sidecar)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     def _load_all_snapshots(self) -> None:
         assert self._storage_dir is not None
@@ -1660,11 +2124,26 @@ class ProtocolServer:
             warnings.warn(
                 f"skipping corrupt snapshot {path}: {exc}; the table "
                 f"{store_key!r} needs a re-outsource",
-                RuntimeWarning,
+                StoreIntegrityWarning,
                 stacklevel=2,
             )
             return
+        self._restore_commit_version(store, path)
         self._stores[store_key] = store
+
+    @staticmethod
+    def _restore_commit_version(store: TableStore, snapshot_path: Path) -> None:
+        """Re-seat a loaded snapshot store's commit version from its sidecar.
+
+        A missing or unreadable sidecar leaves the version at zero (pre-
+        integrity snapshots keep loading); the ``verify`` command is the
+        place that complains about a malformed sidecar.
+        """
+        from repro.integrity.verify import read_sidecar
+
+        doc = read_sidecar(snapshot_path)
+        if doc:
+            store.set_commit_version(int(doc.get("version", 0)))
 
     def _load_all_segment_stores(self) -> None:
         assert self._storage_dir is not None
@@ -1697,11 +2176,28 @@ class ProtocolServer:
             warnings.warn(
                 f"skipping corrupt table store {directory}: {exc}; the table "
                 f"{store_key!r} needs a re-outsource",
-                RuntimeWarning,
+                StoreIntegrityWarning,
                 stacklevel=2,
             )
             return
         self._stores[store_key] = store
+
+    # -- storage verification ------------------------------------------
+    def verify_stores(self, table: "str | None" = None):
+        """Offline-verify every table persisted under the storage directory.
+
+        Runs the same walk as ``f2-repro verify``: the engine's own
+        consistency pass plus a full Merkle-root recomputation per table.
+        Returns the list of :class:`repro.integrity.verify.TableReport`
+        (empty when the server has no storage directory).
+        """
+        if self._storage_dir is None:
+            return []
+        from repro.integrity.verify import verify_storage_dir
+
+        return verify_storage_dir(
+            self._storage_dir, table=table, backend=self._compute_backend()
+        )
 
 
 ProtocolServer._HANDLERS = {
@@ -1964,6 +2460,15 @@ class ProtocolClient:
         self._session_id: str | None = None
         self._next_sequence = 1
         self._session_lock = threading.Lock()
+        self._protocol_version = 0
+        #: The HelloAck's resumption ticket (protocol >= 3); :meth:`resume`
+        #: uses it to recover the session after a disconnect or eviction.
+        self.resume_ticket: str = ""
+        #: The last :class:`Ack` a typed operation received — the way
+        #: callers of the int-returning operations (outsource / insert /
+        #: insert_delta) read the ack's integrity fields (``version``,
+        #: ``merkle_root``) without re-plumbing every return type.
+        self.last_ack: "Ack | None" = None
 
     # -- authenticated sessions ----------------------------------------
     @property
@@ -2006,6 +2511,48 @@ class ProtocolClient:
             self._session_id = reply.session_id
             self._next_sequence = 1
             self.wire_format = reply.wire_format
+            self._protocol_version = reply.version
+            self.resume_ticket = reply.resume_ticket
+        return reply
+
+    def resume(
+        self, ticket: str = "", credential: "Credential | str | None" = None
+    ) -> "ResumeAck":
+        """Resume the session from a resumption ticket (protocol >= 3).
+
+        Recovers the session id and sequence window the server hands back —
+        no full handshake round trip, no renegotiation.  Uses the last
+        :class:`HelloAck`'s ticket unless one is passed explicitly; the
+        credential from :meth:`authenticate` must still be loaded, or passed
+        here by a freshly constructed client (the ticket only *identifies*
+        the session, frames are still signed with the credential's key).
+        Raises ``AuthError`` (``AUTH_FAILED``) when the ticket no longer
+        verifies — e.g. after a key rotation.
+        """
+        ticket = ticket or self.resume_ticket
+        if not ticket:
+            raise ProtocolError("no resumption ticket (authenticate first)")
+        if credential is not None:
+            if isinstance(credential, str):
+                credential = Credential.from_token(credential)
+            self._credential = credential
+        if self._credential is None:
+            raise ProtocolError(
+                "resume needs the handshake credential still loaded "
+                "(call authenticate, or pass credential=)"
+            )
+        with self._session_lock:
+            self._session_id = None
+            reply = self._roundtrip(Resume(ticket=ticket))
+            if not isinstance(reply, ResumeAck):
+                raise ProtocolError(
+                    f"expected a ResumeAck reply to the resume, got {reply.kind!r}"
+                )
+            self._session_id = reply.session_id
+            self._next_sequence = reply.next_sequence
+            self.wire_format = reply.wire_format
+            self._protocol_version = reply.version
+            self.resume_ticket = ticket
         return reply
 
     def _roundtrip(self, request: Message) -> Message:
@@ -2048,6 +2595,14 @@ class ProtocolClient:
                 # session rather than risk a silent desync.
                 self._session_id = None
                 raise
+            try:
+                reply = self._unwrap_reply(reply, sequence)
+            except IntegrityError:
+                # A reply that fails authentication says the channel (or the
+                # server) is hostile; the local session state can no longer
+                # be trusted to be in sync.
+                self._session_id = None
+                raise
             if isinstance(reply, ErrorReply):
                 if reply.code in _SESSION_FATAL_CODES:
                     self._session_id = None
@@ -2060,8 +2615,55 @@ class ProtocolClient:
             self._next_sequence = sequence + 1
             return reply
 
+    def _unwrap_reply(self, reply: Message, sequence: int) -> Message:
+        """Authenticate (and unwrap) one reply of a signed session.
+
+        On sessions negotiated at protocol >= 3 every successful reply must
+        arrive as a :class:`SignedReply` bound to this request's sequence
+        number; anything else — a bad signature, a reply replayed from
+        another request, a bare unsigned success — raises
+        :class:`~repro.exceptions.IntegrityError`.  Unsigned *error* replies
+        pass through: several are raised before the server can resolve a
+        session key, so they are inherently unauthenticated (an in-path
+        forger can deny service with one, never fake data).
+        """
+        if isinstance(reply, SignedReply):
+            assert self._credential is not None and self._session_id is not None
+            if reply.session_id != self._session_id or reply.sequence != sequence:
+                raise IntegrityError(
+                    f"signed reply is bound to request {reply.sequence} of "
+                    f"session {reply.session_id!r}, not this request"
+                )
+            if not verify_reply(
+                self._credential.secret,
+                self._session_id,
+                sequence,
+                reply.payload,
+                reply.signature,
+            ):
+                raise IntegrityError(
+                    "server reply signature does not verify (tampered reply "
+                    "or wrong key)"
+                )
+            try:
+                return Message.decode(reply.payload)
+            except Exception as exc:  # noqa: BLE001 - verified bytes, still hostile once
+                raise IntegrityError(
+                    f"signed reply payload does not decode: {exc}"
+                ) from exc
+        if self._protocol_version >= SIGNED_REPLY_MIN_VERSION and not isinstance(
+            reply, ErrorReply
+        ):
+            raise IntegrityError(
+                f"expected a signed reply on a v{self._protocol_version} "
+                f"session, got an unsigned {reply.kind!r} (stripped signature?)"
+            )
+        return reply
+
     def _expect(self, request: Message, reply_type: type) -> Any:
         reply = self.call(request)
+        if isinstance(reply, Ack):
+            self.last_ack = reply
         if not isinstance(reply, reply_type):
             raise ProtocolError(
                 f"expected a {reply_type.__name__} reply to {request.kind!r}, "
@@ -2070,36 +2672,69 @@ class ProtocolClient:
         return reply
 
     # -- typed operations ----------------------------------------------
-    def outsource(self, table_id: str, relation: Relation) -> int:
-        """Ship a ciphertext relation; returns the provider's row count."""
+    def outsource(
+        self, table_id: str, relation: Relation, with_root: bool = False
+    ) -> int:
+        """Ship a ciphertext relation; returns the provider's row count.
+
+        ``with_root=True`` asks the ack for the server's Merkle root over
+        what it stored (read it from :attr:`last_ack`).
+        """
         ack = self._expect(
-            OutsourceRequest(table_id=check_table_id(table_id), relation=relation), Ack
+            OutsourceRequest(
+                table_id=check_table_id(table_id),
+                relation=relation,
+                with_root=with_root,
+            ),
+            Ack,
         )
         return int(ack.fields.get("num_rows", relation.num_rows))
 
-    def insert(self, table_id: str, relation: Relation, batch_rows: int = 0) -> int:
+    def insert(
+        self,
+        table_id: str,
+        relation: Relation,
+        batch_rows: int = 0,
+        with_root: bool = False,
+    ) -> int:
         """Replace the stored view after an incremental insert."""
         ack = self._expect(
             InsertBatch(
                 table_id=check_table_id(table_id),
                 relation=relation,
                 batch_rows=batch_rows,
+                with_root=with_root,
             ),
             Ack,
         )
         return int(ack.fields.get("num_rows", relation.num_rows))
 
-    def insert_delta(self, table_id: str, delta: ViewDelta, batch_rows: int = 0) -> int:
+    def insert_delta(
+        self,
+        table_id: str,
+        delta: ViewDelta,
+        batch_rows: int = 0,
+        base_version: int = -1,
+        with_root: bool = False,
+    ) -> int:
         """Splice an incremental insert's view delta into the stored table.
 
         Raises :class:`~repro.exceptions.ProtocolError` with
         ``code == "DELTA_MISMATCH"`` when the server's base view is not the
         one the delta was computed against — callers fall back to
-        :meth:`insert` with the full view.
+        :meth:`insert` with the full view.  ``base_version >= 0`` arms the
+        per-table compare-and-swap instead: a store whose commit version
+        moved answers ``VERSION_CONFLICT`` *before* the digest check, and
+        the caller rebases and retries (see
+        :class:`repro.integrity.writers.WriteCoordinator`).
         """
         ack = self._expect(
             InsertDelta(
-                table_id=check_table_id(table_id), delta=delta, batch_rows=batch_rows
+                table_id=check_table_id(table_id),
+                delta=delta,
+                batch_rows=batch_rows,
+                base_version=base_version,
+                with_root=with_root,
             ),
             Ack,
         )
@@ -2114,12 +2749,19 @@ class ProtocolClient:
         return reply.result
 
     def query(
-        self, table_id: str, attribute: str, token, include_rows: bool = False
+        self,
+        table_id: str,
+        attribute: str,
+        token,
+        include_rows: bool = False,
+        with_root: bool = False,
     ) -> QueryResult:
         """Equality query: filter rows against an owner-issued search token.
 
         ``include_rows=True`` additionally ships the matched ciphertext rows
         back; the owner-side decrypt path only needs the indexes.
+        ``with_root=True`` attaches the table's commit version and Merkle
+        root for the owner's freshness check.
         """
         return self._expect(
             QueryRequest(
@@ -2127,19 +2769,33 @@ class ProtocolClient:
                 attribute=attribute,
                 token=tuple(token),
                 include_rows=include_rows,
+                with_root=with_root,
             ),
             QueryResult,
         )
 
-    def plan_query(self, table_id: str, expr: ServerExpr) -> PlanQueryResult:
+    def plan_query(
+        self,
+        table_id: str,
+        expr: ServerExpr,
+        include_proofs: bool = False,
+        with_root: bool = False,
+    ) -> PlanQueryResult:
         """Execute a planned boolean selection server-side.
 
         ``expr`` is the server part of a :class:`~repro.query.planner.QueryPlan`;
         the reply carries the matched row indexes plus the per-leaf match
-        cardinalities for leakage accounting.
+        cardinalities for leakage accounting.  ``include_proofs=True`` also
+        ships one Merkle inclusion proof per matched row (plus the commit
+        version and root); ``with_root=True`` ships version and root alone.
         """
         return self._expect(
-            PlanQueryRequest(table_id=check_table_id(table_id), expr=expr),
+            PlanQueryRequest(
+                table_id=check_table_id(table_id),
+                expr=expr,
+                include_proofs=include_proofs,
+                with_root=with_root,
+            ),
             PlanQueryResult,
         )
 

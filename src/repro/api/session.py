@@ -28,6 +28,7 @@ reusing the retained plans (see :mod:`repro.api.incremental`).
 
 from __future__ import annotations
 
+import os
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.api.auth import Credential, ErrorCode
@@ -47,7 +48,15 @@ from repro.core.encrypted import EncryptedTable
 from repro.core.security import SecurityReport, verify_alpha_security
 from repro.crypto.keys import KeyGen, SymmetricKey
 from repro.crypto.probabilistic import Ciphertext, ProbabilisticCipher
-from repro.exceptions import DecryptionError, EncryptionError, ProtocolError, QueryError
+from repro.exceptions import (
+    DecryptionError,
+    EncryptionError,
+    IntegrityError,
+    ProtocolError,
+    QueryError,
+)
+from repro.integrity.state import TableIntegrityState
+from repro.integrity.writers import WriteCoordinator
 from repro.fd.fd import FDSet
 from repro.fd.tane import TaneResult, tane
 from repro.query.ast import Predicate, check_attributes, evaluate_predicate
@@ -693,6 +702,16 @@ class RemoteOwnerSession:
     rows.  A MAS-change fallback, a poor alignment, or a server-side base
     mismatch silently degrades to the full ``InsertBatch`` path.
 
+    ``verify=True`` (or the ``REPRO_VERIFY`` environment variable) turns on
+    owner-side integrity verification: the session mirrors the server's
+    Merkle tree in a :class:`~repro.integrity.state.TableIntegrityState`,
+    every write is CAS-armed with the last acknowledged commit version, and
+    every query reply is checked — root agreement, ``(version, root)``
+    freshness, and per-matched-row inclusion proofs — before decryption.
+    Passing a shared :class:`~repro.integrity.writers.WriteCoordinator`
+    additionally lets several sessions (each with its own client/thread)
+    write one table concurrently through optimistic CAS with rebase.
+
     ::
 
         owner = DataOwner.from_seed(42)
@@ -715,26 +734,61 @@ class RemoteOwnerSession:
         table_id: str = DEFAULT_TABLE_ID,
         credential: "Credential | str | None" = None,
         delta_updates: bool = True,
+        verify: "bool | None" = None,
+        coordinator: "WriteCoordinator | None" = None,
     ):
         self.owner = owner
         self.client = client
         self.table_id = table_id
         self.delta_updates = delta_updates
+        if verify is None:
+            verify = os.environ.get("REPRO_VERIFY", "").lower() not in ("", "0", "false", "no")
+        #: When set, every write asks the ack for the server's Merkle root,
+        #: every query carries ``with_root`` (plans also request inclusion
+        #: proofs), and replies are checked against :attr:`integrity` before
+        #: any decryption — tampering, rollback, or a forked table raises
+        #: :class:`~repro.exceptions.IntegrityError`.
+        self.verify = bool(verify)
+        #: Shared multi-writer coordinator; when present, inserts go through
+        #: the optimistic CAS/rebase loop instead of the single-writer path.
+        self.coordinator = coordinator
+        if coordinator is not None:
+            if self.verify and coordinator.integrity is None:
+                coordinator.integrity = TableIntegrityState(table_id)
+            self.integrity: "TableIntegrityState | None" = coordinator.integrity
+        else:
+            self.integrity = TableIntegrityState(table_id) if self.verify else None
         #: The server view this session last shipped (the delta base).
         self._last_view: Relation | None = None
+        #: The server commit version of the last acknowledged push; armed as
+        #: the CAS base of the next ``InsertDelta``.
+        self._last_version = -1
         #: The :class:`~repro.api.delta.ViewDelta` of the most recent
         #: delta-shipped insert (``None`` when the full view was sent).
         self.last_delta: ViewDelta | None = None
         if credential is not None:
             self.client.authenticate(credential)
 
+    def _ack_state(self) -> tuple[int, str]:
+        """``(commit version, merkle root)`` of the client's last ack."""
+        ack = self.client.last_ack
+        if ack is None:
+            return -1, ""
+        return int(ack.fields.get("version", -1)), str(ack.fields.get("merkle_root", ""))
+
     def outsource(self, relation: Relation) -> int:
         """Encrypt locally and ship the server view; returns stored rows."""
         encrypted = self.owner.outsource(relation)
         view = encrypted.server_view()
-        count = self.client.outsource(self.table_id, view)
+        count = self.client.outsource(self.table_id, view, with_root=self.verify)
+        version, root = self._ack_state()
         self._last_view = view
+        self._last_version = version
         self.last_delta = None
+        if self.coordinator is not None:
+            self.coordinator.record_push(view, version, root)
+        elif self.integrity is not None:
+            self.integrity.record_push(view, version, root)
         return count
 
     def insert_rows(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> int:
@@ -744,8 +798,17 @@ class RemoteOwnerSession:
         the alignment against the last pushed view reuses enough rows;
         otherwise (MAS-change fallback, first push unseen, degenerate
         alignment, or a server-side ``DELTA_MISMATCH``) ships the full view.
+        Under verification the delta is armed with the last acknowledged
+        commit version as its CAS base, so a write the owner never made is
+        caught before it can be built upon.
+
+        With a shared :attr:`coordinator`, concurrent writers instead push
+        optimistically and rebase on ``VERSION_CONFLICT`` — never falling
+        back to a full-view rewrite.
         """
         rows = list(rows)
+        if self.coordinator is not None:
+            return self._insert_rows_coordinated(rows)
         encrypted = self.owner.insert_rows(rows)
         view = encrypted.server_view()
         report = self.owner.last_update_report
@@ -760,21 +823,94 @@ class RemoteOwnerSession:
             if delta.reuse_fraction >= self.MIN_DELTA_REUSE:
                 try:
                     count = self.client.insert_delta(
-                        self.table_id, delta, batch_rows=len(rows)
+                        self.table_id,
+                        delta,
+                        batch_rows=len(rows),
+                        base_version=self._last_version if self.verify else -1,
+                        with_root=self.verify,
                     )
                 except ProtocolError as exc:
-                    if exc.code != ErrorCode.DELTA_MISMATCH.value:
+                    if exc.code not in (
+                        ErrorCode.DELTA_MISMATCH.value,
+                        ErrorCode.VERSION_CONFLICT.value,
+                    ):
                         raise
                     # The server's base is not the view we think we pushed
-                    # (e.g. a restart restored an older snapshot); re-ship
-                    # the full view and realign from there.
+                    # (e.g. a restart restored an older snapshot, or another
+                    # writer advanced the table); re-ship the full view and
+                    # realign from there.
                 else:
+                    version, root = self._ack_state()
                     self._last_view = view
+                    self._last_version = version
                     self.last_delta = delta
+                    if self.integrity is not None:
+                        if self.integrity.expected_root:
+                            self.integrity.record_delta(delta, version, root)
+                        else:
+                            self.integrity.record_push(view, version, root)
                     return count
         count = self.client.insert(self.table_id, view, batch_rows=len(rows))
+        version, root = self._ack_state()
         self._last_view = view
+        self._last_version = version
+        if self.integrity is not None:
+            self.integrity.record_push(view, version, root)
         return count
+
+    def _insert_rows_coordinated(self, rows: list) -> int:
+        """One writer's turn of the optimistic multi-writer protocol.
+
+        Encryption runs under the coordinator's owner lock (the F2 pipeline
+        is serial); the push races other writers against the server's
+        per-table version CAS.  A ``VERSION_CONFLICT`` loser waits for the
+        winner's ack, then either discovers its rows already landed inside a
+        later writer's view (no-op) or rebases its delta onto the new
+        acknowledged base and retries.  No path falls back to a full-view
+        rewrite.
+        """
+        coord = self.coordinator
+        assert coord is not None
+        with coord.owner_lock:
+            seq = coord.next_sequence()
+            encrypted = self.owner.insert_rows(rows)
+            view = encrypted.server_view()
+        self.last_delta = None
+        while True:
+            base_view, base_version, acked_seq, generation = coord.snapshot_base()
+            if acked_seq >= seq:
+                # A later writer's acknowledged view already contains this
+                # writer's rows (owner views are cumulative).
+                coord.stats.noop_pushes += 1
+                return base_view.num_rows if base_view is not None else view.num_rows
+            if base_view is None:
+                raise ProtocolError(
+                    f"table {self.table_id!r}: coordinated insert before any "
+                    "acknowledged outsource"
+                )
+            delta = compute_view_delta(base_view, view)
+            try:
+                count = self.client.insert_delta(
+                    self.table_id,
+                    delta,
+                    batch_rows=len(rows),
+                    base_version=base_version,
+                    with_root=self.verify,
+                )
+            except ProtocolError as exc:
+                if exc.code != ErrorCode.VERSION_CONFLICT.value:
+                    raise
+                coord.stats.cas_conflicts += 1
+                coord.wait_past(generation)
+                coord.stats.rebases += 1
+                continue
+            version, root = self._ack_state()
+            coord.stats.delta_pushes += 1
+            coord.record_delta_ack(seq, view, delta, version, root)
+            self.last_delta = delta
+            self._last_view = view
+            self._last_version = version
+            return count
 
     def discover_fds(self, max_lhs_size: int | None = None) -> TaneResult:
         """Remote FD discovery, validated against the owner's plaintext.
@@ -801,7 +937,11 @@ class RemoteOwnerSession:
         if attribute not in self.owner.queryable_attributes():
             return self.owner.select_plaintext(attribute, value)
         token = self.owner.derive_search_token(attribute, value)
-        result = self.client.query(self.table_id, attribute, token)
+        result = self.client.query(
+            self.table_id, attribute, token, with_root=self.verify
+        )
+        if self.verify and self.integrity is not None:
+            self.integrity.check_reply(result.version, result.merkle_root)
         return self.owner.decrypt_query_result(result)
 
     def select(self, predicate: "Predicate | str") -> Relation:
@@ -825,7 +965,37 @@ class RemoteOwnerSession:
         if plan.server is None:
             matches = self.owner.select_plaintext_where(plan.predicate)
             return matches, self.owner.query_leakage_report(plan)
-        result = self.client.plan_query(self.table_id, plan.server)
+        # Proofs are only checkable against a tree the owner built from a
+        # view she pushed herself; a session that never pushed (the
+        # ``--no-push`` pattern — F2 re-encryption is randomised, so the
+        # view cannot be recomputed locally) degrades to freshness-only
+        # verification of the (version, root) chain.
+        want_proofs = (
+            self.verify
+            and self.integrity is not None
+            and bool(self.integrity.expected_root)
+        )
+        result = self.client.plan_query(
+            self.table_id,
+            plan.server,
+            include_proofs=want_proofs,
+            with_root=self.verify,
+        )
+        if self.verify and self.integrity is not None:
+            # All checks run BEFORE any decryption: the reply's (version,
+            # root, row count) claims first, then one inclusion proof per
+            # matched row against the agreed root.
+            self.integrity.check_reply(result.version, result.merkle_root, result.num_rows)
+            if want_proofs:
+                if result.proofs is None:
+                    raise IntegrityError(
+                        f"table {self.table_id!r}: provider omitted the "
+                        "requested inclusion proofs",
+                        table_id=self.table_id,
+                    )
+                self.integrity.verify_proofs(
+                    result.row_indexes, result.proofs, result.num_rows, result.merkle_root
+                )
         matches = self.owner.decrypt_plan_result(plan, result)
         return matches, self.owner.query_leakage_report(plan, result)
 

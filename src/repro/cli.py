@@ -26,6 +26,14 @@ Subcommands
     must arrive signed under a credential minted by ``admin``.
     ``--storage-engine segment`` swaps the whole-file snapshot persistence
     for the on-disk columnar segment stores of :mod:`repro.store`.
+    ``--verify-on-start`` refuses to boot over a storage directory that
+    fails the same integrity check ``verify`` runs.
+``verify``
+    Check every table under a ``serve --storage`` directory offline: the
+    segment engine's full-CRC ``verify()`` pass plus a Merkle-root
+    recomputation against the root recorded in the committed manifest (or
+    the snapshot's ``.f2i`` sidecar).  Any mismatch exits 7
+    (``INTEGRITY_VIOLATION``).
 ``query``
     Drive the owner side against a running ``serve`` instance: encrypt the
     CSV locally (seeded, so re-runs are byte-identical), ship the server
@@ -44,10 +52,11 @@ Subcommands
 
 Exit codes: ``0`` success, ``2`` usage/query errors, ``3`` transport and
 wire failures, ``4`` authentication failures (``AUTH_*``), ``5`` capability
-violations (``FORBIDDEN``), ``6`` sequence/delta conflicts
-(``BAD_SEQUENCE`` / ``DELTA_MISMATCH``) — the stable
-:class:`repro.api.auth.ErrorCode` travels on the wire, so scripts can branch
-without parsing messages.
+violations (``FORBIDDEN``), ``6`` sequence/delta/version conflicts
+(``BAD_SEQUENCE`` / ``DELTA_MISMATCH`` / ``VERSION_CONFLICT``), ``7``
+integrity violations (``INTEGRITY_VIOLATION`` — tampered, rolled-back, or
+forked stores and replies) — the stable :class:`repro.api.auth.ErrorCode`
+travels on the wire, so scripts can branch without parsing messages.
 ``attack``
     Encrypt a generated dataset and report the empirical success of the
     frequency-analysis and Kerckhoffs attacks against it and against the
@@ -75,6 +84,7 @@ from repro.backend import available_backends
 from repro.exceptions import (
     BackendUnavailableError,
     ConfigurationError,
+    IntegrityError,
     ProtocolError,
     QueryError,
     StoreError,
@@ -211,6 +221,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --tenants: still accept unauthenticated requests "
         "(they act as the implicit local tenant)",
     )
+    serve.add_argument(
+        "--verify-on-start",
+        action="store_true",
+        help="with --storage: run the `verify` integrity check over the "
+        "restored stores and refuse to serve if any table fails",
+    )
     _add_backend_flag(serve)
 
     query = subparsers.add_parser(
@@ -343,6 +359,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="delete each .f2t after its segment store verified",
     )
     _add_backend_flag(migrate)
+
+    verify = subparsers.add_parser(
+        "verify",
+        help="check the integrity of a serve instance's on-disk stores",
+        description=(
+            "Walk a `serve --storage` directory (tenant subdirectories "
+            "included) and verify every table: segment stores get the "
+            "engine's full-CRC verify() pass plus a Merkle-root "
+            "recomputation against the committed manifest; snapshots are "
+            "decoded in full and checked against their .f2i integrity "
+            "sidecar. Exits 7 (INTEGRITY_VIOLATION) on any mismatch."
+        ),
+    )
+    verify.add_argument("--storage", required=True, help="the serve --storage directory")
+    verify.add_argument(
+        "--table", default=None, help="restrict the check to one table id"
+    )
+    _add_backend_flag(verify)
     return parser
 
 
@@ -357,6 +391,8 @@ ERROR_CODE_EXITS = {
     "FORBIDDEN": 5,
     "BAD_SEQUENCE": 6,
     "DELTA_MISMATCH": 6,
+    "VERSION_CONFLICT": 6,
+    "INTEGRITY_VIOLATION": 7,
 }
 
 
@@ -384,6 +420,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_dataset(args)
         if args.command == "store":
             return _cmd_store(args)
+        if args.command == "verify":
+            return _cmd_verify(args)
     except BackendUnavailableError as exc:
         installed = [name for name, ok in available_backends().items() if ok]
         print(f"error: {exc}", file=sys.stderr)
@@ -394,6 +432,11 @@ def main(argv: list[str] | None = None) -> int:
         # combinations (e.g. --storage-engine segment without --storage).
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except IntegrityError as exc:
+        # Owner-side verification failures (tampered replies, rollback).
+        print(f"error: {exc}", file=sys.stderr)
+        print("error-code: INTEGRITY_VIOLATION", file=sys.stderr)
+        return ERROR_CODE_EXITS["INTEGRITY_VIOLATION"]
     except StoreError as exc:
         # Unreadable / inconsistent on-disk table stores.
         print(f"error: {exc}", file=sys.stderr)
@@ -490,6 +533,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         allow_anonymous=args.allow_anonymous if args.tenants else None,
         storage_engine=args.storage_engine,
     )
+    if args.verify_on_start:
+        if not args.storage:
+            raise ConfigurationError("--verify-on-start requires --storage")
+        reports = server.verify_stores()
+        if not _print_verify_reports(reports):
+            print("refusing to serve over a failed integrity check", file=sys.stderr)
+            return ERROR_CODE_EXITS["INTEGRITY_VIOLATION"]
+        print(f"verified {len(reports)} stored table(s) on start")
     sock_server = SocketProtocolServer(server, host=args.host, port=args.port)
     if args.port_file:
         Path(args.port_file).write_text(str(sock_server.port), encoding="utf-8")
@@ -573,8 +624,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
     )
     try:
         if args.no_push:
-            # Rebuild the owner-side state (plans, provenance) without
-            # shipping: a seeded run reproduces the outsourced ciphertexts.
+            # Rebuild the owner-side state (plans, search tokens) without
+            # shipping.  Re-encryption is randomised, so the recomputed view
+            # is NOT byte-identical to the stored one — tokens still match
+            # because they are derived per key, but a verified session can
+            # only check reply freshness, not a locally seeded Merkle root.
             owner.outsource(relation)
         else:
             shipped = session.outsource(relation)
@@ -650,6 +704,46 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     relation = dataset_by_name(args.name, args.rows, seed=args.seed)
     write_relation_csv(relation, args.output)
     print(f"wrote {relation.num_rows} rows x {relation.num_attributes} attributes to {args.output}")
+    return 0
+
+
+def _print_verify_reports(reports) -> bool:
+    """Print one line per table report; returns True when every table passed."""
+    ok = True
+    for report in reports:
+        if report.ok:
+            root = report.computed_root[:16] + "..." if report.computed_root else "-"
+            recorded = " (no recorded root)" if not report.recorded_root else ""
+            print(
+                f"ok   {report.label} [{report.engine}]: {report.rows} rows, "
+                f"root {root}{recorded}"
+            )
+        else:
+            ok = False
+            print(
+                f"FAIL {report.label} [{report.engine}]: {report.error}",
+                file=sys.stderr,
+            )
+    return ok
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.integrity.verify import verify_storage_dir
+
+    reports = verify_storage_dir(args.storage, table=args.table, backend=args.backend)
+    if not reports:
+        scope = f" matching table {args.table!r}" if args.table else ""
+        print(f"no tables{scope} under {args.storage}")
+        return 0
+    if not _print_verify_reports(reports):
+        failed = sum(1 for r in reports if not r.ok)
+        print(
+            f"integrity check FAILED for {failed} of {len(reports)} table(s)",
+            file=sys.stderr,
+        )
+        print("error-code: INTEGRITY_VIOLATION", file=sys.stderr)
+        return ERROR_CODE_EXITS["INTEGRITY_VIOLATION"]
+    print(f"verified {len(reports)} table(s): all good")
     return 0
 
 

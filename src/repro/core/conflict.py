@@ -300,19 +300,24 @@ def _build_versions_for_row(
             shared = first_attrs & second_attrs
             fresh_attrs: set[str] = version["fresh_attributes"]  # type: ignore[assignment]
             # Version 1 keeps the X-side binding; Y - Z becomes fresh.
+            first_fresh = fresh_attrs | (second_attrs - shared)
             versions.append(
                 {
-                    "mas_indexes": retained - {second_mas},
-                    "fresh_attributes": fresh_attrs | (second_attrs - shared),
+                    "mas_indexes": _uncorrupted(
+                        retained - {second_mas}, first_fresh, binding_by_mas
+                    ),
+                    "fresh_attributes": first_fresh,
                 }
             )
             # Version 2 keeps only the Y-side binding; everything outside
             # Y becomes fresh so that no other MAS's frequency is doubled.
+            second_fresh = fresh_attrs | (set(schema_attributes) - second_attrs)
             versions.append(
                 {
-                    "mas_indexes": {second_mas},
-                    "fresh_attributes": fresh_attrs
-                    | (set(schema_attributes) - second_attrs),
+                    "mas_indexes": _uncorrupted(
+                        {second_mas}, second_fresh, binding_by_mas
+                    ),
+                    "fresh_attributes": second_fresh,
                 }
             )
             break  # A conflicting pair splits exactly one version.
@@ -352,6 +357,29 @@ def _build_versions_for_row(
             )
         )
     return row_plans, had_conflict
+
+
+def _uncorrupted(
+    retained: set[int],
+    fresh_attributes: set[str],
+    binding_by_mas: dict[int, _RowBinding],
+) -> set[int]:
+    """Retained MASs whose attribute sets are untouched by the fresh set.
+
+    A binding is only safe to keep *in full*: emitting an instance's
+    ciphertext on part of a MAS while freshening the rest would place the
+    instance's prefix next to a value the instance never had, breaking any
+    FD whose LHS lies inside the kept part — and by MAS maximality the RHS
+    of such an FD always lies in the same MAS, so a fully kept MAS can
+    never violate one.  Attributes of a dropped binding fall through to
+    plain probabilistic encryption (authentic value, unique ciphertext),
+    which cannot duplicate an FD's left-hand side.
+    """
+    return {
+        index
+        for index in retained
+        if not (frozenset(binding_by_mas[index].attributes) & fresh_attributes)
+    }
 
 
 def _conflicting_pairs(

@@ -127,6 +127,36 @@ class QuerySyntaxError(QueryError):
     """
 
 
+class IntegrityError(ReproError):
+    """Owner-side verification of the untrusted server failed.
+
+    Raised by :mod:`repro.integrity` when a reply signature does not verify,
+    an inclusion proof does not lead to the advertised Merkle root, the
+    server's root disagrees with the owner's replica, or the ``(version,
+    root)`` freshness chain regresses (a provider rolled back to an older
+    generation).  This is a *security* failure, not an I/O failure: the
+    response must not be trusted or decrypted.
+
+    ``table_id`` names the affected table when known (``""`` otherwise).
+    """
+
+    def __init__(self, message: str, table_id: str = ""):
+        super().__init__(message)
+        self.table_id = table_id
+
+
+class StoreIntegrityWarning(RuntimeWarning):
+    """On-disk table state was damaged but recovery continued.
+
+    Emitted (instead of failing) wherever the server can keep serving after
+    finding corrupt persisted state: a torn manifest or segment that forces
+    recovery to fall back a generation, a corrupt snapshot or store skipped
+    at startup, or a tenant registry file that cannot be re-read.  Filter
+    with ``warnings.simplefilter("error", StoreIntegrityWarning)`` to turn
+    any such degradation into a hard failure.
+    """
+
+
 class FdPreservationWarning(UserWarning):
     """A plaintext FD is absent from the ciphertext (a false *negative*).
 

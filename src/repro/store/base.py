@@ -41,6 +41,7 @@ from repro.store.cache import DEFAULT_CACHE_ENTRIES, TokenBitsetCache
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (delta -> api)
     from repro.api.delta import ViewDelta
+    from repro.integrity.merkle import MerkleTree
 
 #: The storage engines the protocol server can be asked to run.
 STORAGE_ENGINE_SNAPSHOT = "snapshot"
@@ -65,6 +66,8 @@ class TableStore(ABC):
         self._cache = TokenBitsetCache(max_entries=cache_entries)
         self._mutex = threading.RLock()
         self._version = 0
+        self._commit_version = 0
+        self._merkle: "MerkleTree | None" = None
 
     # -- identity ------------------------------------------------------
     @property
@@ -83,6 +86,81 @@ class TableStore(ABC):
 
     def cache_stats(self) -> dict[str, int]:
         return self._cache.stats()
+
+    # -- integrity plane -----------------------------------------------
+    @property
+    def commit_version(self) -> int:
+        """Monotonic *committed-write* counter, the CAS base for deltas.
+
+        Unlike :attr:`version` (a process-local cache-invalidation counter
+        that restarts at zero), the commit version survives restarts on
+        durable engines — the segment engine maps it to its persisted
+        manifest generation, the snapshot engine restores it from the
+        ``.f2i`` integrity sidecar — so the owner's ``(version, root)``
+        freshness chain can tell an honest restart from a rollback.
+        """
+        return self._commit_version
+
+    def set_commit_version(self, value: int) -> None:
+        """Restore the committed version (engine load paths only)."""
+        with self._mutex:
+            self._commit_version = int(value)
+
+    def merkle_tree(self) -> "MerkleTree":
+        """The table's Merkle tree, built lazily from the stored relation."""
+        from repro.integrity.merkle import MerkleTree, relation_leaves
+
+        with self._mutex:
+            if self._merkle is None:
+                if self.num_rows == 0 and not self.attributes:
+                    self._merkle = MerkleTree()
+                else:
+                    self._merkle = MerkleTree(relation_leaves(self.relation()))
+            return self._merkle
+
+    def merkle_root(self) -> str:
+        """Hex root over the current ciphertext rows."""
+        return self.merkle_tree().root
+
+    def merkle_proofs(self, indexes: Iterable[int]) -> list[list[bytes]]:
+        """Inclusion proofs for the given row indexes, in the given order."""
+        tree = self.merkle_tree()
+        return [tree.proof(index) for index in indexes]
+
+    def _merkle_candidate(self, delta: "ViewDelta", base_rows: int) -> "MerkleTree | None":
+        """The tree a (structurally validated) delta produces, or ``None``.
+
+        Never mutates the cached tree — engines commit the data write first
+        and only then adopt the candidate, so a failed commit leaves the
+        committed tree in step.  A pure-append delta costs one O(n)-copy /
+        zero-hash clone plus O(log n) hashing per literal row; anything else
+        rebuilds the node levels from the remapped leaf list, still hashing
+        only the literal rows.  ``None`` when no tree is cached — the lazy
+        rebuild path (:meth:`merkle_tree`) covers it later.
+        """
+        if self._merkle is None:
+            return None
+        from repro.api.delta import OP_COPY, OP_LITERAL
+        from repro.integrity.merkle import (
+            MerkleTree,
+            leaves_after_delta,
+            relation_leaves,
+        )
+
+        segments = delta.segments
+        pure_append = (
+            bool(segments)
+            and segments[0][0] == OP_COPY
+            and int(segments[0][1]) == 0
+            and int(segments[0][2]) == base_rows
+            and all(segment[0] == OP_LITERAL for segment in segments[1:])
+        )
+        if pure_append:
+            candidate = self._merkle.copy()
+            if delta.literals is not None:
+                candidate.extend(relation_leaves(delta.literals))
+            return candidate
+        return MerkleTree(leaves_after_delta(self._merkle.leaves, delta))
 
     # -- data plane ----------------------------------------------------
     @property
@@ -164,3 +242,7 @@ class TableStore(ABC):
         """Post-write bookkeeping shared by the engines (under the mutex)."""
         self._version += 1
         self._cache.invalidate()
+
+    def _committed(self) -> None:
+        """Advance the committed version (one durable write landed)."""
+        self._commit_version += 1

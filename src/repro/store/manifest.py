@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-from repro.exceptions import StoreError
+from repro.exceptions import StoreError, StoreIntegrityWarning
 
 #: File-name grammar of the three store file kinds.
 CURRENT_NAME = "CURRENT"
@@ -95,6 +95,11 @@ class Manifest:
     #: never rewrites committed rows.
     view: list[list[int]] = field(default_factory=list)
     dictionaries: list[DictionaryBlob] = field(default_factory=list)
+    #: Merkle root (hex) over the committed view's rows — the integrity
+    #: counterpart of ``view_digest``.  Empty when the committing writer did
+    #: not track one (pre-integrity deltas); ``verify()`` then reports the
+    #: root as unrecorded instead of failing.
+    merkle_root: str = ""
 
     def referenced_files(self) -> set[str]:
         names = {entry.name for entry in self.files}
@@ -110,6 +115,7 @@ class Manifest:
             "attributes": list(self.attributes),
             "num_rows": self.num_rows,
             "view_digest": self.view_digest,
+            "merkle_root": self.merkle_root,
             "files": [
                 {
                     "name": entry.name,
@@ -169,6 +175,7 @@ class Manifest:
                 attributes=attributes,
                 num_rows=int(doc["num_rows"]),
                 view_digest=str(doc.get("view_digest", "")),
+                merkle_root=str(doc.get("merkle_root", "")),
                 files=files,
                 view=view,
                 dictionaries=dictionaries,
@@ -307,9 +314,10 @@ def recover_manifest(directory: Path) -> Manifest:
     """Resolve the newest usable committed generation of a table directory.
 
     Tries the ``CURRENT`` pointer first, then every other generation
-    newest-first, warning (``RuntimeWarning``, like the snapshot engine's
-    corrupt-file skip) whenever it has to fall back.  Raises
-    :class:`~repro.exceptions.StoreError` when no generation is usable.
+    newest-first, warning (:class:`~repro.exceptions.StoreIntegrityWarning`,
+    like the snapshot engine's corrupt-file skip) whenever it has to fall
+    back.  Raises :class:`~repro.exceptions.StoreError` when no generation
+    is usable.
     """
     candidates: list[Path] = []
     current_target: "Path | None" = None
@@ -337,7 +345,7 @@ def recover_manifest(directory: Path) -> Manifest:
                 warnings.warn(
                     f"segment store {directory}: falling back to committed "
                     f"generation {manifest.generation} ({'; '.join(failures)})",
-                    RuntimeWarning,
+                    StoreIntegrityWarning,
                     stacklevel=2,
                 )
             _truncate_torn_tails(directory, manifest)

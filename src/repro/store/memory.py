@@ -85,10 +85,17 @@ class MemoryTableStore(TableStore):
             self._name = relation.name
             self._attributes = tuple(relation.attributes)
             self._num_rows = relation.num_rows
+            self._merkle = None
             self._wrote()
+            self._committed()
 
     def load_snapshot(self, data: bytes) -> int:
-        """Adopt encoded snapshot bytes (decode deferred); returns row count."""
+        """Adopt encoded snapshot bytes (decode deferred); returns row count.
+
+        A load restores persisted state rather than committing a new write,
+        so the caller (the server's startup path) re-seats the committed
+        version from the ``.f2i`` sidecar afterwards.
+        """
         name, attributes, num_rows = skim_relation(data)
         with self._mutex:
             self._relation = None
@@ -96,13 +103,17 @@ class MemoryTableStore(TableStore):
             self._name = name
             self._attributes = tuple(attributes)
             self._num_rows = num_rows
+            self._merkle = None
             self._wrote()
             return num_rows
 
     def apply_delta(self, delta: ViewDelta) -> int:
         with self._mutex:
+            base_rows = self.num_rows
             updated = apply_view_delta(self.relation(), delta)
-            self.replace(updated)
+            candidate = self._merkle_candidate(delta, base_rows)
+            self.replace(updated)  # drops the cached tree; re-seat it below
+            self._merkle = candidate
             return updated.num_rows
 
     # -- query plane ---------------------------------------------------

@@ -136,6 +136,17 @@ class SegmentTableStore(TableStore):
         return 0 if self._manifest is None else self._manifest.generation
 
     @property
+    def commit_version(self) -> int:
+        """The manifest generation *is* the committed version.
+
+        Persisted and strictly increasing (``next_generation`` scans file
+        names, so even a fallback never reuses a number) — which is what
+        lets the owner's freshness chain distinguish an honest restart
+        (generation resumes where it was) from a rollback (it regresses).
+        """
+        return self.generation
+
+    @property
     def attributes(self) -> tuple[str, ...]:
         manifest = self._manifest
         return () if manifest is None else tuple(manifest.attributes)
@@ -187,12 +198,18 @@ class SegmentTableStore(TableStore):
                 generation, [(col.codes, col.num_values) for col in columns],
                 relation.num_rows,
             )
+            # A replace ships the full relation, so the O(n) tree build here
+            # rides on an already-O(n) write; deltas stay incremental.
+            from repro.integrity.merkle import MerkleTree, relation_leaves
+
+            tree = MerkleTree(relation_leaves(relation))
             manifest = Manifest(
                 generation=generation,
                 table_name=relation.name,
                 attributes=list(relation.attributes),
                 num_rows=relation.num_rows,
                 view_digest=relation_digest(relation),
+                merkle_root=tree.root,
                 files=[segment],
                 view=[[0, 0, relation.num_rows]] if relation.num_rows else [],
                 dictionaries=dictionaries,
@@ -202,6 +219,7 @@ class SegmentTableStore(TableStore):
             self._invalidate_data()
             self._dicts = new_dicts
             self._relation = relation
+            self._merkle = tree
             prune(self._directory)
             self._wrote()
 
@@ -261,12 +279,19 @@ class SegmentTableStore(TableStore):
             if not digest:
                 updated = apply_view_delta(self.relation(), delta)
                 digest = relation_digest(updated)
+            # New root, by cost: incrementally from the cached tree when one
+            # exists; else recorded from the owner's `new_root` (the same
+            # trust model as `new_digest`); else left empty and rebuilt
+            # lazily on the first root request.
+            candidate = self._merkle_candidate(delta, manifest.num_rows)
+            root = candidate.root if candidate is not None else delta.new_root
             new_manifest = Manifest(
                 generation=generation,
                 table_name=delta.table_name or manifest.table_name,
                 attributes=list(manifest.attributes),
                 num_rows=num_rows,
                 view_digest=digest,
+                merkle_root=root,
                 files=files,
                 view=view,
                 dictionaries=dictionaries,
@@ -280,9 +305,29 @@ class SegmentTableStore(TableStore):
                     cached[0].extend(values)
                     cached[1].update(code_of)
             self._relation = updated
+            self._merkle = candidate
             prune(self._directory)
             self._wrote()
             return num_rows
+
+    def merkle_root(self) -> str:
+        """Committed root: cached tree, else the manifest's recorded root.
+
+        Falls back to the base class's lazy full rebuild only when neither
+        exists (a store whose last writes predate root tracking).
+        """
+        with self._mutex:
+            if self._merkle is not None:
+                return self._merkle.root
+            manifest = self._manifest
+            if manifest is not None and manifest.merkle_root:
+                return manifest.merkle_root
+            return super().merkle_root()
+
+    def recorded_merkle_root(self) -> str:
+        """The manifest's recorded root (may be empty), without rebuilding."""
+        with self._mutex:
+            return "" if self._manifest is None else self._manifest.merkle_root
 
     # -- query plane ---------------------------------------------------
     def _rows_matching_uncached(self, attribute: str, token: Iterable[Any]) -> list[int]:
@@ -610,6 +655,7 @@ class SegmentTableStore(TableStore):
             self._invalidate_data()
             self._dicts = {}
             self._relation = None
+            self._merkle = None
             self._wrote()
             return self._manifest.num_rows
 

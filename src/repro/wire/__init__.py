@@ -38,8 +38,16 @@ from repro.wire.codec import (
     sanitize_json,
     skim_relation,
 )
+from repro.wire.proofs import (
+    PROOFS_MAGIC,
+    decode_merkle_proofs,
+    encode_merkle_proofs,
+)
 
 __all__ = [
+    "PROOFS_MAGIC",
+    "decode_merkle_proofs",
+    "encode_merkle_proofs",
     "BINARY_MAGIC",
     "BINARY_VERSION",
     "WIRE_BINARY",

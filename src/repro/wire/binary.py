@@ -128,6 +128,10 @@ class ByteReader:
         """Read one unsigned byte."""
         return self._take(1)[0]
 
+    def raw(self, count: int) -> bytes:
+        """Read ``count`` raw bytes (bounds-checked, no length prefix)."""
+        return self._take(count)
+
     def skip(self, count: int) -> None:
         """Advance past ``count`` bytes without materialising them.
 

@@ -208,7 +208,8 @@ class TestHandshake:
         credential = registry.mint("acme", "owner")
         client = loopback(tenanted_server)
         ack = client.authenticate(credential)
-        assert ack.version == 2
+        assert ack.version == 3
+        assert ack.resume_ticket.startswith("f2tkt1.")
         assert ack.wire_format == "binary"  # the client's preference
         assert client.session_id == ack.session_id
 

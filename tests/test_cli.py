@@ -395,3 +395,85 @@ class TestAttackCommand:
         output = capsys.readouterr().out
         assert "deterministic" in output
         assert "f2" in output
+
+
+class TestVerifyCommand:
+    @pytest.fixture
+    def populated_storage(self, tmp_path):
+        """A storage dir holding one table per engine flavour."""
+        from repro.api.protocol import LoopbackTransport, ProtocolClient, ProtocolServer
+        from repro.api.session import DataOwner
+        from repro.core.config import F2Config
+
+        owner = DataOwner.from_seed(5, config=F2Config(alpha=0.5, seed=2))
+        owner.outsource(read_csv(self.plaintext(tmp_path)))
+        dirs = {}
+        for engine in ("snapshot", "segment"):
+            storage = tmp_path / f"stor-{engine}"
+            server = ProtocolServer(storage_dir=storage, storage_engine=engine)
+            ProtocolClient(LoopbackTransport(server)).outsource(
+                "orders", owner.server_view()
+            )
+            dirs[engine] = storage
+        return dirs
+
+    @staticmethod
+    def plaintext(tmp_path):
+        path = tmp_path / "plain.csv"
+        write_csv(generate_fd_table(40, num_zipcodes=4, seed=1), path)
+        return path
+
+    @pytest.mark.parametrize("engine", ["snapshot", "segment"])
+    def test_verify_passes_on_clean_store(self, populated_storage, engine, capsys):
+        exit_code = main(["verify", "--storage", str(populated_storage[engine])])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "all good" in out and "orders" in out
+
+    def test_verify_restricts_to_one_table(self, populated_storage, capsys):
+        storage = populated_storage["snapshot"]
+        assert main(["verify", "--storage", str(storage), "--table", "orders"]) == 0
+        assert main(["verify", "--storage", str(storage), "--table", "ghost"]) == 0
+        assert "no tables" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("engine", ["snapshot", "segment"])
+    def test_verify_exits_7_on_tampered_store(self, populated_storage, engine, capsys):
+        storage = populated_storage[engine]
+        pattern = "orders.f2s/seg-*.seg" if engine == "segment" else "orders.f2t"
+        target = sorted(storage.glob(pattern))[0]
+        data = bytearray(target.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        target.write_bytes(bytes(data))
+
+        exit_code = main(["verify", "--storage", str(storage)])
+        assert exit_code == 7
+        err = capsys.readouterr().err
+        assert "INTEGRITY_VIOLATION" in err and "FAIL" in err
+
+    def test_verify_missing_directory_is_a_store_error(self, tmp_path, capsys):
+        exit_code = main(["verify", "--storage", str(tmp_path / "nope")])
+        assert exit_code == 3
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_serve_verify_on_start_refuses_tampered_storage(
+        self, populated_storage, capsys
+    ):
+        storage = populated_storage["segment"]
+        target = sorted(storage.glob("orders.f2s/seg-*.seg"))[0]
+        data = bytearray(target.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        target.write_bytes(bytes(data))
+
+        exit_code = main(
+            [
+                "serve", "--port", "0", "--storage", str(storage),
+                "--storage-engine", "segment", "--verify-on-start",
+            ]
+        )
+        assert exit_code == 7
+        assert "refusing to serve" in capsys.readouterr().err
+
+    def test_serve_verify_on_start_requires_storage(self, capsys):
+        exit_code = main(["serve", "--port", "0", "--verify-on-start"])
+        assert exit_code == 2
+        assert "--verify-on-start requires --storage" in capsys.readouterr().err

@@ -1,27 +1,28 @@
-"""Regression coverage for the known FD-preservation false negative.
+"""Regression coverage for the (fixed) FD-preservation false negative.
 
-ROADMAP ("Known algorithmic bug"): on small tables with several overlapping
-MASs plus conflicts, conflict resolution can *lose* a true FD — the
-ciphertext no longer satisfies a dependency the plaintext holds, violating
-Theorem 3.7.  Hypothesis found the falsifying example pinned below during
-PR 1, reproduced on the seed code (not a regression of the pipeline work).
+ROADMAP ("Known algorithmic bug", PR 1): on small tables with several
+overlapping MASs plus conflicts, conflict resolution could *lose* a true
+FD — a version of a conflicting row kept an instance's ciphertext on part
+of a MAS while freshening the rest, so the instance's prefix appeared next
+to a value the instance never had, violating Theorem 3.7.  Fixed in
+``repro.core.conflict._uncorrupted``: a version only retains bindings whose
+MAS is untouched by its fresh set (a fully kept MAS cannot break an FD,
+because by MAS maximality the RHS of any FD whose LHS lies inside the MAS
+also lies inside it).
 
-The encoding here is deliberate:
-
-* the broken behaviour is an ``xfail(strict=True)`` test — the day someone
-  fixes conflict resolution, the xfail flips to XPASS and fails the suite,
-  forcing the marker's removal (and making the fix visible);
-* the verify/repair stage must at least *detect* the loss and warn
-  (:class:`repro.exceptions.FdPreservationWarning`), so operators of strict
-  pipelines are not silently handed a table with missing dependencies.
+The pinned falsifying example now encrypts correctly; the detection pass in
+:class:`repro.api.stages.VerifyRepairStage` stays, and its warning path is
+exercised directly against a doctored ciphertext.
 """
 
 from __future__ import annotations
 
 import warnings
+from types import SimpleNamespace
 
 import pytest
 
+from repro.api.stages import VerifyRepairStage
 from repro.core.config import F2Config
 from repro.core.scheme import F2Scheme
 from repro.crypto.keys import KeyGen
@@ -31,10 +32,9 @@ from repro.fd.tane import tane
 from repro.fd.verify import fd_holds
 from repro.relational.table import Relation
 
-#: The ROADMAP falsifying example: plaintext holds {X0, X2} -> X3, but after
-#: encryption with alpha=0.5, key seed 1, config seed 1 the ciphertext only
-#: holds {X0, X1, X2} -> X3 (the cross-MAS agreement pattern loses the
-#: violation witness).
+#: The ROADMAP falsifying example: plaintext holds {X0, X2} -> X3; before
+#: the conflict-resolution fix the ciphertext only held {X0, X1, X2} -> X3
+#: (a conflict version carried a partial MAS instance, losing the witness).
 LOST_FD_TABLE = Relation(
     ["X0", "X1", "X2", "X3"],
     [
@@ -63,27 +63,50 @@ def test_plaintext_holds_the_fd():
     assert any(fd == LOST_FD for fd in tane(LOST_FD_TABLE))
 
 
-@pytest.mark.xfail(
-    strict=True,
-    reason="known false negative: conflict resolution across overlapping MASs "
-    "loses the {X0,X2} -> X3 witness (ROADMAP 'Known algorithmic bug'); "
-    "remove this marker when conflict resolution respects cross-MAS "
-    "instance co-occurrence",
-)
 def test_lost_fd_is_preserved():
+    """The historical falsifying example survives encryption intact."""
     encrypted = _encrypt()
     assert fd_holds(encrypted.server_view(), LOST_FD), (
         "Theorem 3.7 violated: plaintext FD absent from the ciphertext"
     )
+    assert tane(LOST_FD_TABLE).equivalent_to(tane(encrypted.server_view()))
 
 
-def test_verify_repair_warns_about_lost_fd():
-    """The cheap detection pass must flag the false negative, not fix it."""
-    with pytest.warns(FdPreservationWarning, match=r"X0.*X2.*X3"):
+def test_verify_repair_is_quiet_on_the_fixed_example():
+    """verify_and_repair no longer warns on the pinned table."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", FdPreservationWarning)
         encrypted = _encrypt(verify_and_repair=True)
-    lost = encrypted.metadata.get("lost_fds")
-    assert lost, "the lost FDs must be recorded in the table metadata"
-    assert any("X3" in text for text in lost)
+    assert "lost_fds" not in encrypted.metadata
+
+
+def test_lost_fd_detection_still_fires_on_a_doctored_ciphertext():
+    """The false-negative detector itself keeps working.
+
+    No known input reproduces a lost FD any more, so the warning path is
+    driven directly: a fake ciphertext relation breaks {X0, X2} -> X3 by
+    giving two rows the same (X0, X2) pair but different X3 values.
+    """
+    doctored = Relation(
+        ["X0", "X1", "X2", "X3"],
+        [
+            ["c0", "c1a", "c2", "c3a"],
+            ["c0", "c1b", "c2", "c3b"],
+        ],
+        name="doctored",
+    )
+    ctx = SimpleNamespace(
+        relation=LOST_FD_TABLE,
+        config=F2Config(alpha=ALPHA, verify_and_repair=True),
+        backend=None,
+        metadata={},
+    )
+    encrypted = SimpleNamespace(relation=doctored, metadata={})
+    ciphertext_fds = tane(doctored)
+    with pytest.warns(FdPreservationWarning, match=r"X0.*X2.*X3"):
+        VerifyRepairStage._warn_about_lost_fds(ctx, encrypted, ciphertext_fds)
+    assert encrypted.metadata.get("lost_fds")
+    assert any("X3" in text for text in encrypted.metadata["lost_fds"])
 
 
 def test_verify_repair_is_quiet_when_fds_survive(zipcode_table):

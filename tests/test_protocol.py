@@ -699,11 +699,11 @@ class TestConcurrentQueries:
         release_write = threading.Event()
         original = ProtocolServer._write_snapshot
 
-        def slow_snapshot(self, table_id, relation):
+        def slow_snapshot(self, table_id, relation, store=None):
             if table_id == "a":
                 in_write.set()
                 assert release_write.wait(timeout=10)
-            return original(self, table_id, relation)
+            return original(self, table_id, relation, store=store)
 
         query_done = threading.Event()
         errors: list[Exception] = []
