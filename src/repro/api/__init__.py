@@ -64,10 +64,13 @@ from repro.api.protocol import (
     SignedEnvelope,
     SocketProtocolServer,
     SocketTransport,
+    StatsReply,
+    StatsRequest,
 )
 from repro.api.pipeline import (
     EncryptionContext,
     EncryptionPipeline,
+    ObsStageHook,
     Stage,
     StageHook,
     StageRecord,
@@ -119,6 +122,7 @@ __all__ = [
     "MasDiscoveryStage",
     "MaterializeStage",
     "Message",
+    "ObsStageHook",
     "OutsourceRequest",
     "PROTOCOL_VERSIONS",
     "PlanQueryRequest",
@@ -138,6 +142,8 @@ __all__ = [
     "StageHook",
     "StageRecord",
     "StageRecorder",
+    "StatsReply",
+    "StatsRequest",
     "TenantRegistry",
     "TimingHook",
     "VerifyRepairStage",

@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Protocol, runtime_checkable
 
+from repro import obs
 from repro.backend import ComputeBackend, get_backend
 from repro.core.config import F2Config
 from repro.core.conflict import AssemblyResult, MasPlan
@@ -198,6 +199,35 @@ class TimingHook(StageHook):
         ctx.stats.seconds_total += seconds
 
 
+class ObsStageHook(StageHook):
+    """Feeds the process-wide :mod:`repro.obs` registry.
+
+    Third consumer of the single stage-event stream that also drives
+    :class:`TimingHook` (stats timers) and :class:`StageRecorder` (flat
+    records for ``--stage-times`` and the bench harness) — the pipeline
+    measures each stage exactly once and every consumer reads the same
+    ``seconds``.  No-op under the ``REPRO_METRICS=0`` kill switch.
+    """
+
+    def on_stage_end(self, stage: Stage, ctx: EncryptionContext, seconds: float) -> None:
+        if not obs.REGISTRY.enabled:
+            return
+        obs.histogram("pipeline.stage_seconds", stage=stage.name).observe(seconds)
+        cells = len(ctx.row_plans) * ctx.relation.num_attributes
+        if cells:
+            obs.counter("pipeline.stage_cells", stage=stage.name).inc(cells)
+            if seconds > 0.0:
+                obs.gauge("pipeline.cells_per_second", stage=stage.name).set(
+                    cells / seconds
+                )
+
+    def on_pipeline_end(self, ctx: EncryptionContext, seconds: float) -> None:
+        if not obs.REGISTRY.enabled:
+            return
+        obs.counter("pipeline.runs").inc()
+        obs.histogram("pipeline.total_seconds").observe(seconds)
+
+
 @dataclass
 class StageRecord:
     """One stage execution as observed by :class:`StageRecorder`."""
@@ -280,7 +310,7 @@ class EncryptionPipeline:
         self.key = key or KeyGen.symmetric()
         self.cipher = ProbabilisticCipher(self.key, nonce_length=self.config.nonce_length)
         self.stages: list[Stage] = list(stages) if stages is not None else default_stages(self.config)
-        self.hooks: list[StageHook] = [TimingHook()] + list(hooks or [])
+        self.hooks: list[StageHook] = [TimingHook(), ObsStageHook()] + list(hooks or [])
 
     # ------------------------------------------------------------------
     # Execution
@@ -311,7 +341,8 @@ class EncryptionPipeline:
             for hook in self.hooks:
                 hook.on_stage_start(stage, ctx)
             stage_start = time.perf_counter()
-            stage.run(ctx)
+            with obs.span("pipeline.stage", stage=stage.name):
+                stage.run(ctx)
             elapsed = time.perf_counter() - stage_start
             for hook in self.hooks:
                 hook.on_stage_end(stage, ctx, elapsed)

@@ -67,6 +67,7 @@ from repro.api.auth import (
     verify_reply,
 )
 from repro.api.delta import ViewDelta
+from repro import obs
 from repro.backend import ComputeBackend, get_backend
 from repro.exceptions import (
     AuthError,
@@ -178,6 +179,12 @@ def check_table_id(table_id: str) -> str:
 # ----------------------------------------------------------------------
 # Message envelope
 # ----------------------------------------------------------------------
+#: Reserved meta key carrying ``[trace_id, parent_span_id]`` across the
+#: wire.  Emitted only when a trace context is attached, so messages
+#: without one encode byte-identically to the pre-observability wire.
+TRACE_META_KEY = "_trace"
+
+
 @dataclass(frozen=True)
 class Message:
     """Base class: a typed message = meta fields + bulk attachments.
@@ -199,11 +206,31 @@ class Message:
     def _build(cls, meta: dict[str, Any], attachments: dict[str, bytes]) -> "Message":
         raise NotImplementedError
 
+    # -- trace propagation ---------------------------------------------
+    def with_trace(self, trace_id: str, parent_span_id: str = "") -> "Message":
+        """Attach a trace context; rides the wire under ``_trace`` meta.
+
+        The context travels *inside* a signed envelope's payload, so it is
+        covered by the frame signature like every other request field.
+        (The dataclasses are frozen but not slotted, so the side-channel
+        attribute never perturbs field equality or the encoded meta of
+        messages without a trace.)
+        """
+        object.__setattr__(self, "_trace_ctx", (trace_id, parent_span_id))
+        return self
+
+    def trace_context(self) -> tuple[str, str]:
+        """The attached ``(trace_id, parent_span_id)``, or ``("", "")``."""
+        return getattr(self, "_trace_ctx", ("", ""))
+
     # -- encoding ------------------------------------------------------
     def encode(self, form: str = WIRE_BINARY) -> bytes:
         """Serialize the message in ``form`` ("json" or "binary")."""
         check_form(form)
         meta = sanitize_json(self._meta())
+        trace_ctx = getattr(self, "_trace_ctx", None)
+        if trace_ctx is not None:
+            meta[TRACE_META_KEY] = [trace_ctx[0], trace_ctx[1]]
         attachments = self._attachments(form)
         if form == WIRE_JSON:
             doc = {
@@ -265,7 +292,15 @@ class Message:
             raise WireError(f"unknown protocol message kind {kind!r}")
         if not isinstance(meta, dict):
             raise WireError(f"protocol message {kind!r} carries a non-object meta")
-        return message_cls._build(meta, attachments)
+        trace_ctx = meta.pop(TRACE_META_KEY, None)
+        message = message_cls._build(meta, attachments)
+        if (
+            isinstance(trace_ctx, (list, tuple))
+            and len(trace_ctx) == 2
+            and trace_ctx[0]
+        ):
+            message.with_trace(str(trace_ctx[0]), str(trace_ctx[1]))
+        return message
 
 
 @dataclass(frozen=True)
@@ -974,6 +1009,64 @@ class SignedReply(Message):
 
 
 @dataclass(frozen=True)
+class StatsRequest(Message):
+    """Owner -> provider: the live observability snapshot.
+
+    Owner capability only — the stats surface names tables, error
+    messages, and traffic shapes across the whole process, which is more
+    than a read-only analyst should see.
+
+    ``trace_id`` asks for the spans of one specific trace (the client
+    merges them with its own half of the tree); otherwise the reply
+    carries the last ``max_traces`` finished trace trees.
+    """
+
+    kind: ClassVar[str] = "stats_request"
+    include_metrics: bool = True
+    include_traces: bool = True
+    trace_id: str = ""
+    max_traces: int = 20
+
+    def _meta(self) -> dict[str, Any]:
+        return {
+            "include_metrics": self.include_metrics,
+            "include_traces": self.include_traces,
+            "trace_id": self.trace_id,
+            "max_traces": self.max_traces,
+        }
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "StatsRequest":
+        return cls(
+            include_metrics=bool(meta.get("include_metrics", True)),
+            include_traces=bool(meta.get("include_traces", True)),
+            trace_id=str(meta.get("trace_id", "")),
+            max_traces=int(meta.get("max_traces", 20)),
+        )
+
+
+@dataclass(frozen=True)
+class StatsReply(Message):
+    """The provider's observability snapshot, one JSON document.
+
+    ``stats`` carries the metrics registry snapshot, per-table store
+    stats, the error ring, the slow-query ring, and recent traces — see
+    :meth:`ProtocolServer.stats_doc` for the exact shape.
+    """
+
+    kind: ClassVar[str] = "stats_reply"
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def _meta(self) -> dict[str, Any]:
+        return {"stats": self.stats}
+
+    @classmethod
+    def _build(cls, meta, attachments) -> "StatsReply":
+        stats = meta.get("stats")
+        return cls(stats=stats if isinstance(stats, dict) else {})
+
+
+@dataclass(frozen=True)
 class Ack(Message):
     """Generic success reply; ``fields`` carries request-specific details."""
 
@@ -1034,6 +1127,8 @@ MESSAGE_TYPES: dict[str, type[Message]] = {
         ResumeAck,
         SignedEnvelope,
         SignedReply,
+        StatsRequest,
+        StatsReply,
         Ack,
         ErrorReply,
     )
@@ -1116,22 +1211,46 @@ class _RWLock:
     alone.  Once a writer is waiting, new readers queue behind it, so a
     steady stream of queries cannot starve a mutation.  Not reentrant —
     handlers acquire at most one table lock and never nest.
+
+    Every acquisition records *wait* (queueing behind other holders) and
+    *hold* time into the ``store.lock_wait_seconds`` /
+    ``store.lock_hold_seconds`` histograms, labelled by table and mode —
+    the direct measurement of how much traffic serializes per table.
     """
 
-    __slots__ = ("_cond", "_readers", "_writer", "_writers_waiting")
+    __slots__ = ("_cond", "_readers", "_writer", "_writers_waiting", "_table", "_hists")
 
-    def __init__(self) -> None:
+    def __init__(self, table: str = "") -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._writer = False
         self._writers_waiting = 0
+        self._table = table
+        # Histogram handles cached per mode: registry label lookups cost
+        # more than the observe itself, and every query pays this path.
+        # (``REGISTRY.reset`` zeroes handles in place, so they stay live.)
+        self._hists: dict[str, tuple] = {}
+
+    def _observe(self, mode: str, waited: float, held: float) -> None:
+        hists = self._hists.get(mode)
+        if hists is None:
+            hists = (
+                obs.histogram("store.lock_wait_seconds", mode=mode, table=self._table),
+                obs.histogram("store.lock_hold_seconds", mode=mode, table=self._table),
+            )
+            self._hists[mode] = hists
+        hists[0].observe(waited)
+        hists[1].observe(held)
 
     @contextmanager
     def read(self):
+        recording = obs.REGISTRY.enabled
+        wait_start = time.perf_counter() if recording else 0.0
         with self._cond:
             while self._writer or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+        acquired = time.perf_counter() if recording else 0.0
         try:
             yield
         finally:
@@ -1139,9 +1258,14 @@ class _RWLock:
                 self._readers -= 1
                 if not self._readers:
                     self._cond.notify_all()
+            if recording:
+                released = time.perf_counter()
+                self._observe("read", acquired - wait_start, released - acquired)
 
     @contextmanager
     def write(self):
+        recording = obs.REGISTRY.enabled
+        wait_start = time.perf_counter() if recording else 0.0
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -1150,12 +1274,16 @@ class _RWLock:
             finally:
                 self._writers_waiting -= 1
             self._writer = True
+        acquired = time.perf_counter() if recording else 0.0
         try:
             yield
         finally:
             with self._cond:
                 self._writer = False
                 self._cond.notify_all()
+            if recording:
+                released = time.perf_counter()
+                self._observe("write", acquired - wait_start, released - acquired)
 
 
 # ----------------------------------------------------------------------
@@ -1230,6 +1358,12 @@ class ProtocolServer:
         Explicitly allow unauthenticated requests alongside a tenant
         registry (they act as the local tenant).  Defaults to ``True`` when
         ``tenants`` is ``None`` and ``False`` otherwise.
+    slow_query_ms:
+        Arm the structured slow-query log: any request whose handling takes
+        at least this many milliseconds is recorded (with its rendered
+        trace tree) in :attr:`slow_queries` and logged through the
+        ``repro.obs.slowlog`` logging channel.  ``None`` (the default)
+        disables the log.  Requires metrics enabled (``REPRO_METRICS``).
     """
 
     def __init__(
@@ -1240,9 +1374,20 @@ class ProtocolServer:
         tenants: "TenantRegistry | str | Path | None" = None,
         allow_anonymous: "bool | None" = None,
         storage_engine: str = STORAGE_ENGINE_SNAPSHOT,
+        slow_query_ms: "float | None" = None,
     ):
         self.name = name
         self.backend = backend
+        self.started_at = time.time()
+        #: Last-N server errors, one entry per :class:`ErrorReply` produced;
+        #: shipped inside :class:`StatsReply`.
+        self.errors = obs.ErrorRing()
+        #: Requests slower than ``slow_query_ms`` land here with their
+        #: rendered trace trees (``None`` keeps the log disarmed).
+        self.slow_queries = obs.SlowQueryLog(slow_query_ms)
+        # Per-message-kind metric handles, cached: the registry's labelled
+        # lookup costs more than the increments on the query hot path.
+        self._kind_metrics: dict[str, tuple] = {}
         if storage_engine not in STORAGE_ENGINES:
             raise ConfigurationError(
                 f"unknown storage engine {storage_engine!r}: "
@@ -1314,7 +1459,7 @@ class ProtocolServer:
         with self._lock:
             lock = self._table_locks.get(store_key)
             if lock is None:
-                lock = self._table_locks[store_key] = _RWLock()
+                lock = self._table_locks[store_key] = _RWLock(store_key)
             return lock
 
     def _require_known_table(self, store_key: str, table_id: str) -> None:
@@ -1399,27 +1544,74 @@ class ProtocolServer:
             form = WIRE_BINARY if data[: len(MESSAGE_MAGIC)] == MESSAGE_MAGIC else WIRE_JSON
             request = Message.decode(data)
         except Exception as exc:  # noqa: BLE001 - see docstring
-            return _error_reply(exc, default=ErrorCode.WIRE_MALFORMED.value).encode(WIRE_JSON)
+            reply = _error_reply(exc, default=ErrorCode.WIRE_MALFORMED.value)
+            self._note_error(reply, kind="undecodable")
+            out = reply.encode(WIRE_JSON)
+            self._note_traffic("undecodable", len(data), len(out))
+            return out
         if isinstance(request, Hello):
-            return self._dispatch_safely(self._handle_hello, request).encode(form)
-        if isinstance(request, Resume):
-            return self._dispatch_safely(self._handle_resume, request).encode(form)
-        if isinstance(request, SignedEnvelope):
-            return self._dispatch_safely(self._handle_signed, request).encode(form)
-        if not self._allow_anonymous:
-            return ErrorReply(
+            reply = self._dispatch_safely(self._handle_hello, request)
+        elif isinstance(request, Resume):
+            reply = self._dispatch_safely(self._handle_resume, request)
+        elif isinstance(request, SignedEnvelope):
+            reply = self._dispatch_safely(self._handle_signed, request)
+        elif not self._allow_anonymous:
+            reply = ErrorReply(
                 error="AuthError",
                 message=f"{self.name} requires an authenticated session "
                 "(send a Hello handshake and sign your requests)",
                 code=ErrorCode.AUTH_REQUIRED.value,
-            ).encode(form)
-        return self.handle(request).encode(form)
+            )
+            self._note_error(reply, kind=request.kind)
+        else:
+            reply = self.handle(request)
+        out = reply.encode(form)
+        self._note_traffic(request.kind, len(data), len(out))
+        return out
 
     def _dispatch_safely(self, handler, request: Message) -> Message:
         try:
             return handler(request)
         except Exception as exc:  # noqa: BLE001 - a request must not kill the server
-            return _error_reply(exc)
+            reply = _error_reply(exc)
+            self._note_error(
+                reply, kind=request.kind, trace_id=request.trace_context()[0]
+            )
+            return reply
+
+    # -- instrumentation helpers ---------------------------------------
+    def _kind_handles(self, kind: str) -> tuple:
+        """Cached ``(requests, request_seconds, bytes_in, bytes_out)``
+        handles for one message kind (``REGISTRY.reset`` zeroes handles in
+        place, so cached ones stay live)."""
+        handles = self._kind_metrics.get(kind)
+        if handles is None:
+            handles = (
+                obs.counter("server.requests", kind=kind),
+                obs.histogram("server.request_seconds", kind=kind),
+                obs.counter("server.bytes_received", kind=kind),
+                obs.counter("server.bytes_sent", kind=kind),
+            )
+            self._kind_metrics[kind] = handles
+        return handles
+
+    def _note_traffic(self, kind: str, bytes_in: int, bytes_out: int) -> None:
+        """Per-message-kind wire byte counters (delta-vs-full insert bytes
+        fall straight out of ``kind="insert_delta"`` vs ``kind="insert"``)."""
+        if not obs.REGISTRY.enabled:
+            return
+        _, _, received, sent = self._kind_handles(kind)
+        received.inc(bytes_in)
+        sent.inc(bytes_out)
+
+    def _note_error(self, reply: ErrorReply, kind: str = "", trace_id: str = "") -> None:
+        """Count one produced :class:`ErrorReply` and remember it in the ring.
+
+        The ring records even with metrics disabled — it is server state
+        (what went wrong recently), not a rate.
+        """
+        obs.counter("server.errors", code=reply.code).inc()
+        self.errors.record(reply.code, reply.message, kind=kind, trace_id=trace_id)
 
     def handle(self, request: Message, auth: _AuthContext = _ANONYMOUS) -> Message:
         """Dispatch one decoded request to its handler; errors become replies.
@@ -1428,7 +1620,46 @@ class ProtocolServer:
         local tenant for plain requests, or the session's tenant/capability
         for a signed frame.  Capability enforcement happens here, per
         message type, before any handler runs.
+
+        This is also the observability chokepoint for every *logical*
+        request (plain or the inner message of a signed frame): one
+        ``server.<kind>`` span — adopting the request's wire trace context,
+        so the tree grafts under the client's span — plus per-kind request
+        count/latency metrics, error accounting, and the slow-query check.
         """
+        if not obs.REGISTRY.enabled:
+            return self._dispatch(request, auth)
+        kind = request.kind
+        table = getattr(request, "table_id", "")
+        span_obj = None
+        trace_id = ""
+        if obs.tracing_active():
+            trace_id, parent_id = request.trace_context()
+            span_obj = obs.start_span(
+                f"server.{kind}", trace_id or None, parent_id, table=table
+            )
+        start = time.perf_counter()
+        try:
+            reply = self._dispatch(request, auth)
+        finally:
+            obs.finish_span(span_obj)
+        elapsed = span_obj.seconds if span_obj is not None else time.perf_counter() - start
+        requests, request_seconds, _, _ = self._kind_handles(kind)
+        requests.inc()
+        request_seconds.observe(elapsed)
+        if isinstance(reply, ErrorReply):
+            self._note_error(
+                reply,
+                kind=kind,
+                trace_id=span_obj.trace_id if span_obj is not None else trace_id,
+            )
+        if self.slow_queries.enabled:
+            self.slow_queries.maybe_record(
+                span_obj, kind=kind, table=table, tenant=auth.tenant_id
+            )
+        return reply
+
+    def _dispatch(self, request: Message, auth: _AuthContext) -> Message:
         handler = self._HANDLERS.get(type(request))
         if handler is None:
             return ErrorReply(
@@ -1638,6 +1869,13 @@ class ProtocolServer:
         frame (fresh sequence, bad signature) are both rejected without
         moving the window.
         """
+        trace_id, parent_id = request.trace_context()
+        with obs.span(
+            "server.signed_dispatch", trace_id or None, parent_id
+        ):
+            return self._handle_signed_traced(request)
+
+    def _handle_signed_traced(self, request: SignedEnvelope) -> Message:
         with self._lock:
             session = self._sessions.get(request.session_id)
         if session is None:
@@ -1710,13 +1948,15 @@ class ProtocolServer:
                 # unsigned (some are raised before any session is even
                 # resolved); clients therefore treat them as advisory — a
                 # forged error can deny service, never fake data.
-                payload = reply.encode(session.wire_format)
+                with obs.span("server.sign_reply", kind=reply.kind):
+                    payload = reply.encode(session.wire_format)
+                    signature = sign_reply(
+                        secret, session.session_id, request.sequence, payload
+                    )
                 return SignedReply(
                     session_id=session.session_id,
                     sequence=request.sequence,
-                    signature=sign_reply(
-                        secret, session.session_id, request.sequence, payload
-                    ),
+                    signature=signature,
                     payload=payload,
                 )
             return reply
@@ -1872,7 +2112,10 @@ class ProtocolServer:
             store = self.table_store(request.table_id, tenant_id=auth.tenant_id)
             if request.attribute not in store.attributes:
                 raise _unknown_attribute(request.table_id, request.attribute)
-            indexes = store.rows_matching(request.attribute, request.token)
+            with obs.span(
+                "store.rows_matching", table=request.table_id, engine=store.engine
+            ):
+                indexes = store.rows_matching(request.attribute, request.token)
             rows = None
             if request.include_rows:
                 relation = store.relation()
@@ -1902,12 +2145,23 @@ class ProtocolServer:
             # num_rows, match_mask), so the plan runs against the store
             # directly — on the segment engine the leaf scans read the
             # memory-mapped code arrays, cached per token.
-            indexes, leaf_counts = execute_server_expr(store, request.expr)
+            with obs.span(
+                "store.execute_expr", table=request.table_id, engine=store.engine
+            ):
+                indexes, leaf_counts = execute_server_expr(store, request.expr)
             version, root, proofs = -1, "", None
             if request.include_proofs:
                 # Proofs before root: both come off the same lazily-built
                 # tree, so the root always matches the proofs' tree.
-                proofs = tuple(tuple(path) for path in store.merkle_proofs(indexes))
+                with obs.span(
+                    "integrity.prove", table=request.table_id, matches=len(indexes)
+                ) as proof_span:
+                    proofs = tuple(tuple(path) for path in store.merkle_proofs(indexes))
+                proof_bytes = sum(len(node) for path in proofs for node in path)
+                obs.counter("integrity.proof_bytes").inc(proof_bytes)
+                obs.counter("integrity.proofs_generated").inc(len(proofs))
+                if proof_span is not None:
+                    proof_span.tags["bytes"] = proof_bytes
             if request.include_proofs or request.with_root:
                 version, root = store.commit_version, store.merkle_root()
             return PlanQueryResult(
@@ -1999,14 +2253,102 @@ class ProtocolServer:
                 self._discoveries.pop(store_key, None)
         return Ack(fields={"table_id": request.table_id, "num_rows": num_rows})
 
+    # -- the stats surface ---------------------------------------------
+    def collect_store_gauges(self) -> None:
+        """Refresh the pull-style per-table gauges from live store state.
+
+        Cache hit/miss/invalidation totals, row counts, segment counts,
+        mmap'd bytes, and decode counts are *read* from the stores here —
+        at snapshot time — instead of being pushed on the hot path, so
+        the per-event cost of store observability is zero.
+        """
+        if not obs.REGISTRY.enabled:
+            return
+        with self._lock:
+            stores = dict(self._stores)
+        for store_key, store in stores.items():
+            try:
+                stats = store.store_stats()
+            except Exception:  # noqa: BLE001 - stats must never break serving
+                continue
+            for name, value in stats.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    obs.gauge(f"store.{name}", table=store_key).set(value)
+            for name, value in (stats.get("cache") or {}).items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    obs.gauge(f"store.cache_{name}", table=store_key).set(value)
+
+    def stats_doc(
+        self,
+        include_metrics: bool = True,
+        include_traces: bool = True,
+        trace_id: str = "",
+        max_traces: int = 20,
+    ) -> dict[str, Any]:
+        """The :class:`StatsReply` document: one JSON-safe view of the
+        server's metrics, per-table store stats, errors, slow queries, and
+        recent traces."""
+        self.collect_store_gauges()
+        with self._lock:
+            stores = dict(self._stores)
+        tables: dict[str, Any] = {}
+        for store_key, store in sorted(stores.items()):
+            try:
+                tables[store_key] = store.store_stats()
+            except Exception:  # noqa: BLE001 - stats must never break serving
+                tables[store_key] = {"error": "unavailable"}
+        doc: dict[str, Any] = {
+            "server": self.name,
+            "storage_engine": self.storage_engine,
+            "uptime_seconds": time.time() - self.started_at,
+            "metrics_enabled": obs.REGISTRY.enabled,
+            "tracing_enabled": obs.tracing_active(),
+            "tables": tables,
+            "errors": {"total": self.errors.total, "recent": self.errors.snapshot()},
+            "slow_queries": {
+                "threshold_ms": self.slow_queries.threshold_ms,
+                "total": self.slow_queries.total,
+                "recent": self.slow_queries.snapshot(),
+            },
+        }
+        if include_metrics:
+            doc["metrics"] = obs.snapshot()
+        if include_traces:
+            if trace_id:
+                doc["traces"] = [obs.TRACES.spans_for(trace_id)]
+            else:
+                doc["traces"] = obs.TRACES.latest(max(0, int(max_traces)))
+        return doc
+
+    def _handle_stats(self, request: StatsRequest, auth: _AuthContext) -> Message:
+        return StatsReply(
+            stats=sanitize_json(
+                self.stats_doc(
+                    include_metrics=request.include_metrics,
+                    include_traces=request.include_traces,
+                    trace_id=request.trace_id,
+                    max_traces=request.max_traces,
+                )
+            )
+        )
+
     _HANDLERS: dict[type, Any] = {}
     #: Upper bound on concurrently established sessions; the least recently
     #: verified session is evicted on overflow (it can re-handshake).
     MAX_SESSIONS: ClassVar[int] = 4096
     #: Message types only an owner-capability session (or an anonymous local
     #: request) may send; analyst sessions are read-only by construction.
+    #: ``StatsRequest`` is owner-only too: the stats surface names tables,
+    #: error messages, and traffic shapes across the whole process.
     _OWNER_ONLY: ClassVar[frozenset] = frozenset(
-        {OutsourceRequest, InsertBatch, InsertDelta, SaveSnapshot, LoadSnapshot}
+        {
+            OutsourceRequest,
+            InsertBatch,
+            InsertDelta,
+            SaveSnapshot,
+            LoadSnapshot,
+            StatsRequest,
+        }
     )
 
     # -- snapshot persistence ------------------------------------------
@@ -2209,6 +2551,7 @@ ProtocolServer._HANDLERS = {
     PlanQueryRequest: ProtocolServer._handle_plan_query,
     SaveSnapshot: ProtocolServer._handle_save_snapshot,
     LoadSnapshot: ProtocolServer._handle_load_snapshot,
+    StatsRequest: ProtocolServer._handle_stats,
 }
 
 
@@ -2469,6 +2812,9 @@ class ProtocolClient:
         #: insert_delta) read the ack's integrity fields (``version``,
         #: ``merkle_root``) without re-plumbing every return type.
         self.last_ack: "Ack | None" = None
+        #: Trace id minted for the most recent :meth:`call` — the handle
+        #: for fetching the server half of the trace tree via :meth:`stats`.
+        self.last_trace_id: str = ""
 
     # -- authenticated sessions ----------------------------------------
     @property
@@ -2567,7 +2913,23 @@ class ProtocolClient:
         Unauthenticated clients send the request as-is; authenticated ones
         sign it into an envelope under the session lock (sequence numbers
         must reach the server in issue order).
+
+        Every call runs under a ``client.<kind>`` span whose trace id is
+        attached to the request (and its envelope) over the wire — the
+        server adopts it, so both halves of the round trip share one
+        trace tree, retrievable by :attr:`last_trace_id`.
         """
+        if not obs.tracing_active():
+            return self._call_traced(request)
+        with obs.span(
+            f"client.{request.kind}", table=getattr(request, "table_id", "")
+        ) as span_obj:
+            if span_obj is not None:
+                request.with_trace(span_obj.trace_id, span_obj.span_id)
+                self.last_trace_id = span_obj.trace_id
+            return self._call_traced(request)
+
+    def _call_traced(self, request: Message) -> Message:
         if self._session_id is None:
             return self._roundtrip(request)
         with self._session_lock:
@@ -2584,6 +2946,12 @@ class ProtocolClient:
                 ),
                 payload=payload,
             )
+            trace_ctx = request.trace_context()
+            if trace_ctx[0]:
+                # The envelope carries the same context in its own (unsigned)
+                # meta so auth-layer failures still correlate; the inner
+                # request's copy is the one under the signature.
+                envelope.with_trace(*trace_ctx)
             try:
                 reply = Message.decode(
                     self.transport.request(envelope.encode(self.wire_format))
@@ -2629,28 +2997,29 @@ class ProtocolClient:
         """
         if isinstance(reply, SignedReply):
             assert self._credential is not None and self._session_id is not None
-            if reply.session_id != self._session_id or reply.sequence != sequence:
-                raise IntegrityError(
-                    f"signed reply is bound to request {reply.sequence} of "
-                    f"session {reply.session_id!r}, not this request"
-                )
-            if not verify_reply(
-                self._credential.secret,
-                self._session_id,
-                sequence,
-                reply.payload,
-                reply.signature,
-            ):
-                raise IntegrityError(
-                    "server reply signature does not verify (tampered reply "
-                    "or wrong key)"
-                )
-            try:
-                return Message.decode(reply.payload)
-            except Exception as exc:  # noqa: BLE001 - verified bytes, still hostile once
-                raise IntegrityError(
-                    f"signed reply payload does not decode: {exc}"
-                ) from exc
+            with obs.span("client.verify_reply", bytes=len(reply.payload)):
+                if reply.session_id != self._session_id or reply.sequence != sequence:
+                    raise IntegrityError(
+                        f"signed reply is bound to request {reply.sequence} of "
+                        f"session {reply.session_id!r}, not this request"
+                    )
+                if not verify_reply(
+                    self._credential.secret,
+                    self._session_id,
+                    sequence,
+                    reply.payload,
+                    reply.signature,
+                ):
+                    raise IntegrityError(
+                        "server reply signature does not verify (tampered reply "
+                        "or wrong key)"
+                    )
+                try:
+                    return Message.decode(reply.payload)
+                except Exception as exc:  # noqa: BLE001 - verified bytes, still hostile once
+                    raise IntegrityError(
+                        f"signed reply payload does not decode: {exc}"
+                    ) from exc
         if self._protocol_version >= SIGNED_REPLY_MIN_VERSION and not isinstance(
             reply, ErrorReply
         ):
@@ -2798,6 +3167,31 @@ class ProtocolClient:
             ),
             PlanQueryResult,
         )
+
+    def stats(
+        self,
+        include_metrics: bool = True,
+        include_traces: bool = True,
+        trace_id: str = "",
+        max_traces: int = 20,
+    ) -> dict[str, Any]:
+        """Fetch the server's observability snapshot (owner capability).
+
+        ``trace_id`` narrows the reply's traces to one id — pass
+        :attr:`last_trace_id` right after a query to fetch the server half
+        of that query's trace tree and merge it with the local half from
+        :data:`repro.obs.TRACES`.
+        """
+        reply = self._expect(
+            StatsRequest(
+                include_metrics=include_metrics,
+                include_traces=include_traces,
+                trace_id=trace_id,
+                max_traces=max_traces,
+            ),
+            StatsReply,
+        )
+        return reply.stats
 
     def save_snapshot(self, table_id: str) -> str:
         """Force-persist a store; returns the snapshot path on the server."""

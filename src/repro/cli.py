@@ -44,6 +44,13 @@ Subcommands
     ``--explain`` prints the plan (server tokens vs owner residual) without
     contacting the server; ``--token f2tok1...`` (or ``--token @file``)
     authenticates against a tenanted server.
+``stats``
+    Fetch a running provider's live observability surface over the
+    protocol: per-table store stats, request/error counters, latency
+    histograms, recent trace trees, and the slow-query ring.  ``--json``
+    prints the raw document, ``--watch N`` refreshes every N seconds,
+    ``--trace-id`` pulls the server half of one specific trace.  On an
+    authenticated server the owner capability is required (``--token``).
 ``admin``
     Manage the tenant registry of a ``--tenants`` deployment: ``mint`` /
     ``rotate`` print a fresh credential token for a tenant capability
@@ -76,6 +83,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.api.pipeline import StageRecorder
@@ -227,7 +235,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --storage: run the `verify` integrity check over the "
         "restored stores and refuse to serve if any table fails",
     )
+    serve.add_argument(
+        "--metrics-file",
+        default=None,
+        metavar="PATH",
+        help="periodically dump the metrics registry here: Prometheus text "
+        "at PATH plus JSON at PATH.json (a PATH ending in .json dumps JSON "
+        "only); writes are atomic (tmp + rename) so scrapers never see a "
+        "torn file",
+    )
+    serve.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="seconds between --metrics-file dumps (default 10)",
+    )
+    serve.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log any request slower than MS milliseconds with its full "
+        "trace tree (channel repro.obs.slowlog; also kept in the stats "
+        "ring served by `f2-repro stats`)",
+    )
     _add_backend_flag(serve)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="live stats of a running `serve` provider",
+        description=(
+            "Fetch the provider's observability surface over the protocol: "
+            "per-table store stats, request/error counters, latency "
+            "histograms, recent traces, and the slow-query ring. Requires "
+            "the owner capability on an authenticated server."
+        ),
+    )
+    stats.add_argument("--host", default="127.0.0.1", help="server address")
+    stats.add_argument("--port", type=int, default=9077, help="server TCP port")
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw stats document as JSON instead of the summary",
+    )
+    stats.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="refresh every SECONDS until interrupted",
+    )
+    stats.add_argument(
+        "--trace-id",
+        default=None,
+        metavar="ID",
+        help="fetch only the server-side spans of this trace id "
+        "(e.g. a client's last_trace_id or a slow-query log line)",
+    )
+    stats.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="omit the metrics registry snapshot from the reply",
+    )
+    stats.add_argument(
+        "--wire",
+        choices=["binary", "json"],
+        default="binary",
+        help="wire form for protocol messages (default binary)",
+    )
+    stats.add_argument(
+        "--token",
+        default=None,
+        metavar="TOKEN",
+        help="credential token for an authenticated server (owner "
+        "capability; f2tok1. string or @path-to-a-file holding it)",
+    )
 
     query = subparsers.add_parser(
         "query",
@@ -408,6 +491,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_discover(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
         if args.command == "query":
             return _cmd_query(args)
         if args.command == "admin":
@@ -532,6 +617,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tenants=args.tenants,
         allow_anonymous=args.allow_anonymous if args.tenants else None,
         storage_engine=args.storage_engine,
+        slow_query_ms=args.slow_query_ms,
     )
     if args.verify_on_start:
         if not args.storage:
@@ -553,6 +639,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"tenant auth {mode}: {len(server.tenants.tenant_ids())} tenant(s) "
             f"from {args.tenants}"
         )
+    dumper = None
+    if args.metrics_file:
+        from repro import obs
+
+        if not obs.enabled():
+            print(
+                "warning: --metrics-file with REPRO_METRICS=0 dumps an "
+                "empty registry",
+                file=sys.stderr,
+            )
+        dumper = obs.MetricsDumper(
+            args.metrics_file,
+            interval=args.metrics_interval,
+            collect=server.collect_store_gauges,
+        )
+        dumper.start()
+        print(f"metrics dump every {args.metrics_interval:g}s to {args.metrics_file}")
+    if args.slow_query_ms is not None:
+        print(f"slow-query log armed at {args.slow_query_ms:g}ms")
     print(
         f"f2-repro provider listening on {sock_server.host}:{sock_server.port} "
         f"(storage: {args.storage or 'in-memory'}); Ctrl-C to stop"
@@ -562,7 +667,130 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("shutting down")
     finally:
+        if dumper is not None:
+            dumper.stop()
         sock_server.shutdown()
+    return 0
+
+
+def _read_credential(token_arg: "str | None"):
+    """A :class:`Credential` from a ``--token`` value, or ``None``.
+
+    Accepts the raw ``f2tok1.`` string or ``@path`` to a file holding it.
+    """
+    if not token_arg:
+        return None
+    token = token_arg
+    if token.startswith("@"):
+        try:
+            token = Path(token[1:]).read_text(encoding="utf-8").strip()
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read token file: {exc}") from exc
+    from repro.api.auth import Credential
+
+    return Credential.from_token(token)
+
+
+def _print_stats_summary(doc: dict) -> None:
+    """Human-readable rendering of a ``StatsReply`` document."""
+    from repro.obs import render_trace
+
+    uptime = float(doc.get("uptime_seconds") or 0.0)
+    print(
+        f"server: {doc.get('server', '?')}  "
+        f"engine: {doc.get('storage_engine', '?')}  "
+        f"uptime: {uptime:.0f}s  "
+        f"metrics: {'on' if doc.get('metrics_enabled') else 'off'}"
+    )
+    tables = doc.get("tables") or {}
+    if tables:
+        print("tables:")
+        for key, stats in sorted(tables.items()):
+            if not isinstance(stats, dict) or "error" in stats:
+                print(f"  {key}: <unavailable>")
+                continue
+            cache = stats.get("cache") or {}
+            print(
+                f"  {key}: rows={stats.get('num_rows')} "
+                f"engine={stats.get('engine')} "
+                f"version={stats.get('commit_version')} "
+                f"cache_hits={cache.get('hits')} "
+                f"cache_misses={cache.get('misses')}"
+            )
+    metrics = doc.get("metrics") or {}
+    requests = [
+        entry
+        for entry in metrics.get("counters", [])
+        if entry.get("name") == "server.requests"
+    ]
+    if requests:
+        latencies = {
+            tuple(sorted((hist.get("labels") or {}).items())): hist
+            for hist in metrics.get("histograms", [])
+            if hist.get("name") == "server.request_seconds"
+        }
+        print("requests:")
+        for entry in sorted(
+            requests, key=lambda item: (item.get("labels") or {}).get("kind", "")
+        ):
+            labels = entry.get("labels") or {}
+            line = f"  {labels.get('kind', '?')}: {entry.get('value')} calls"
+            hist = latencies.get(tuple(sorted(labels.items())))
+            if hist and hist.get("count"):
+                mean_ms = hist["sum"] / hist["count"] * 1000.0
+                line += f", mean {mean_ms:.3f}ms"
+            print(line)
+    errors = doc.get("errors") or {}
+    print(f"errors: {errors.get('total', 0)} total")
+    for entry in (errors.get("recent") or [])[-5:]:
+        trace = f" trace={entry['trace_id']}" if entry.get("trace_id") else ""
+        print(f"  [{entry.get('code')}] {entry.get('kind')}{trace}: {entry.get('message')}")
+    slow = doc.get("slow_queries") or {}
+    threshold = slow.get("threshold_ms")
+    if threshold is not None:
+        print(f"slow queries (>{threshold:g}ms): {slow.get('total', 0)} total")
+        for entry in (slow.get("recent") or [])[-3:]:
+            print(
+                f"  trace={entry.get('trace_id')} kind={entry.get('kind')} "
+                f"ms={entry.get('ms', 0.0):.3f}"
+            )
+    traces = doc.get("traces") or []
+    shown = [spans for spans in traces if spans][-3:]
+    if shown:
+        print(f"recent traces ({len(shown)} of {len(traces)}):")
+        for spans in shown:
+            trace_id = spans[0].get("trace_id", "?") if spans else "?"
+            print(f"  trace {trace_id}:")
+            for line in render_trace(spans).splitlines():
+                print(f"    {line}")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.api.protocol import ProtocolClient, SocketTransport
+
+    credential = _read_credential(args.token)
+    client = ProtocolClient(SocketTransport(args.host, args.port), wire_format=args.wire)
+    try:
+        if credential is not None:
+            client.authenticate(credential)
+        while True:
+            doc = client.stats(
+                include_metrics=not args.no_metrics,
+                trace_id=args.trace_id or "",
+            )
+            if args.json:
+                print(json.dumps(doc, indent=2, default=str))
+            else:
+                _print_stats_summary(doc)
+            if args.watch is None:
+                break
+            time.sleep(args.watch)
+            if not args.json:
+                print()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        client.close()
     return 0
 
 
@@ -604,18 +832,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         owner.outsource(relation)
         print(owner.plan_query(predicate).explain())
         return 0
-    credential = None
-    if args.token:
-        token = args.token
-        if token.startswith("@"):
-            try:
-                token = Path(token[1:]).read_text(encoding="utf-8").strip()
-            except OSError as exc:
-                print(f"error: cannot read token file: {exc}", file=sys.stderr)
-                return 2
-        from repro.api.auth import Credential
-
-        credential = Credential.from_token(token)
+    credential = _read_credential(args.token)
     client = ProtocolClient(
         SocketTransport(args.host, args.port), wire_format=args.wire
     )

@@ -29,6 +29,19 @@ from typing import Any
 from repro.crypto.keys import SymmetricKey
 from repro.crypto.prf import Prf, xor_bytes
 from repro.exceptions import DecryptionError, EncryptionError
+from repro.obs import metrics as _metrics
+
+# Batch-shape metrics only — no timing, no entropy: the byte-identity
+# contract pins the urandom stream, so observability must stay read-only
+# here.  All no-ops under the REPRO_METRICS=0 kill switch.
+_ENCRYPT_BATCH_CELLS = _metrics.histogram(
+    "crypto.encrypt_batch_cells", buckets=_metrics.SIZE_BUCKETS
+)
+_DECRYPT_BATCH_CELLS = _metrics.histogram(
+    "crypto.decrypt_batch_cells", buckets=_metrics.SIZE_BUCKETS
+)
+_CELLS_ENCRYPTED = _metrics.counter("crypto.cells_encrypted")
+_CELLS_DECRYPTED = _metrics.counter("crypto.cells_decrypted")
 
 
 @dataclass(frozen=True)
@@ -244,6 +257,8 @@ class ProbabilisticCipher:
             end = cursor + lengths[index]
             append(Ciphertext(nonce=out_nonces[index], payload=payload_buffer[cursor:end]))
             cursor = end
+        _ENCRYPT_BATCH_CELLS.observe(count)
+        _CELLS_ENCRYPTED.inc(count)
         return ciphertexts
 
     def decrypt_batch(
@@ -271,6 +286,8 @@ class ProbabilisticCipher:
             for length in lengths:
                 texts.append(plain_buffer[cursor : cursor + length].decode("utf-8"))
                 cursor += length
+            _DECRYPT_BATCH_CELLS.observe(len(ciphertexts))
+            _CELLS_DECRYPTED.inc(len(ciphertexts))
             return texts
         except UnicodeDecodeError as exc:
             raise DecryptionError("decryption produced invalid UTF-8 (wrong key?)") from exc

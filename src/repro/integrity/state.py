@@ -23,14 +23,22 @@ feed one shared instance.
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING, Sequence
 
+from repro import obs
 from repro.exceptions import IntegrityError
 from repro.integrity.merkle import MerkleTree, relation_leaves, verify_proof
+from repro.obs import metrics as _metrics
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.api.delta import ViewDelta
     from repro.relational.table import Relation
+
+# Client-side verification cost (no-ops under REPRO_METRICS=0).
+_VERIFY_SECONDS = _metrics.histogram("integrity.verify_seconds")
+_PROOFS_VERIFIED = _metrics.counter("integrity.proofs_verified")
+_PROOF_BYTES_VERIFIED = _metrics.counter("integrity.proof_bytes_verified")
 
 
 class TableIntegrityState:
@@ -130,6 +138,27 @@ class TableIntegrityState:
         The leaf hashes come from the owner's own tree — the server proves
         *placement*, it never gets to supply the row bytes being proven.
         """
+        with obs.span(
+            "integrity.verify_proofs",
+            table=self.table_id,
+            proofs=len(proofs),
+        ) as span_obj:
+            started = time.perf_counter()
+            self._verify_proofs(row_indexes, proofs, num_leaves, root)
+            if span_obj is not None:
+                _VERIFY_SECONDS.observe(time.perf_counter() - started)
+                _PROOFS_VERIFIED.inc(len(proofs))
+                _PROOF_BYTES_VERIFIED.inc(
+                    sum(len(node) for path in proofs for node in path)
+                )
+
+    def _verify_proofs(
+        self,
+        row_indexes: Sequence[int],
+        proofs: Sequence[Sequence[bytes]],
+        num_leaves: int,
+        root: str,
+    ) -> None:
         with self._lock:
             tree = self._tree
         if tree is None:

@@ -1,0 +1,95 @@
+"""``repro.obs`` — metrics, tracing, and export for the encrypted service.
+
+The subsystem has three pillars, each a module:
+
+* :mod:`repro.obs.metrics` — a process-wide, thread-safe
+  :class:`MetricsRegistry` of counters, gauges, and fixed-bucket
+  histograms.  No dependencies, cheap enough to leave always on, with a
+  ``REPRO_METRICS=0`` kill switch.
+* :mod:`repro.obs.trace` — lightweight spans with monotonic timings and
+  parent/child nesting.  A per-request *trace id* minted by the protocol
+  client rides inside the (signed) envelope so one query yields a single
+  cross-process trace tree.
+* :mod:`repro.obs.export` — Prometheus-text and JSON renderings of a
+  registry snapshot, atomic file dumps, and a periodic dumper thread.
+
+:mod:`repro.obs.log` adds the server-side error ring and the structured
+slow-query log.
+
+The cardinal rule, pinned by the golden-hash tests running with metrics
+forced on: **observability never draws entropy and never touches a
+ciphertext path**.  Trace and span ids come from a process counter + the
+wall clock, never ``os.urandom`` — the byte-identity contract reserves
+the entropy stream for the cipher.
+"""
+
+from repro.obs.export import (
+    MetricsDumper,
+    to_json_doc,
+    to_prometheus_text,
+    write_metrics_file,
+)
+from repro.obs.log import ErrorRing, SlowQueryLog
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    enabled,
+    gauge,
+    histogram,
+    metrics_enabled,
+    reset,
+    snapshot,
+)
+from repro.obs.trace import (
+    TRACES,
+    Span,
+    TraceStore,
+    current_span,
+    current_trace_id,
+    finish_span,
+    mint_span_id,
+    mint_trace_id,
+    render_trace,
+    set_tracing,
+    span,
+    start_span,
+    tracing_active,
+)
+
+__all__ = [
+    "REGISTRY",
+    "TRACES",
+    "Counter",
+    "ErrorRing",
+    "Gauge",
+    "Histogram",
+    "MetricsDumper",
+    "MetricsRegistry",
+    "SlowQueryLog",
+    "Span",
+    "TraceStore",
+    "counter",
+    "current_span",
+    "current_trace_id",
+    "enabled",
+    "finish_span",
+    "gauge",
+    "histogram",
+    "metrics_enabled",
+    "mint_span_id",
+    "mint_trace_id",
+    "render_trace",
+    "reset",
+    "set_tracing",
+    "snapshot",
+    "span",
+    "start_span",
+    "tracing_active",
+    "to_json_doc",
+    "to_prometheus_text",
+    "write_metrics_file",
+]

@@ -1,0 +1,115 @@
+"""Server-side rings: recent errors and the structured slow-query log.
+
+Both are bounded deques with JSON-safe snapshots so ``StatsReply`` can
+carry them over the wire verbatim.  The slow-query log additionally
+emits one single-line record per offender through the stdlib ``logging``
+channel ``repro.obs.slowlog`` — the line always contains the trace id,
+and the full rendered trace tree travels in the ring entry.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from typing import Any
+
+from repro.obs.trace import Span, render_trace
+
+slow_query_logger = logging.getLogger("repro.obs.slowlog")
+
+
+class ErrorRing:
+    """Last-N server errors, one record per ``ErrorReply`` produced."""
+
+    def __init__(self, capacity: int = 64):
+        self._lock = threading.Lock()
+        self._ring: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self.total = 0
+
+    def record(
+        self,
+        code: str,
+        message: str,
+        kind: str = "",
+        trace_id: str = "",
+    ) -> None:
+        entry = {
+            "at": time.time(),
+            "code": str(code),
+            "message": str(message)[:500],
+            "kind": str(kind),
+            "trace_id": str(trace_id),
+        }
+        with self._lock:
+            self._ring.append(entry)
+            self.total += 1
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return list(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+
+class SlowQueryLog:
+    """Requests slower than ``threshold_ms``, with their trace trees.
+
+    ``threshold_ms=None`` disables the log entirely (the default —
+    ``serve --slow-query-ms`` arms it).  ``maybe_record`` takes the
+    finished dispatch span: the rendered subtree shows exactly where the
+    time went for that one request.
+    """
+
+    def __init__(self, threshold_ms: "float | None" = None, capacity: int = 32):
+        self.threshold_ms = threshold_ms if threshold_ms is None else float(threshold_ms)
+        self._lock = threading.Lock()
+        self._ring: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self.total = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_ms is not None
+
+    def maybe_record(self, span_obj: "Span | None", kind: str = "", **tags: Any) -> bool:
+        """Record the request if it crossed the threshold; True if it did."""
+        if self.threshold_ms is None or span_obj is None:
+            return False
+        elapsed_ms = span_obj.seconds * 1000.0
+        if elapsed_ms < self.threshold_ms:
+            return False
+        tree = render_trace(span_obj.tree_docs())
+        entry = {
+            "at": time.time(),
+            "trace_id": span_obj.trace_id,
+            "kind": str(kind or span_obj.name),
+            "ms": elapsed_ms,
+            "threshold_ms": self.threshold_ms,
+            "tags": {str(k): str(v) for k, v in tags.items() if v not in (None, "")},
+            "tree": tree,
+        }
+        with self._lock:
+            self._ring.append(entry)
+            self.total += 1
+        tag_text = " ".join(f"{k}={v}" for k, v in sorted(entry["tags"].items()))
+        slow_query_logger.warning(
+            "slow-query trace=%s kind=%s ms=%.3f threshold_ms=%.3f%s\n%s",
+            entry["trace_id"],
+            entry["kind"],
+            elapsed_ms,
+            self.threshold_ms,
+            f" {tag_text}" if tag_text else "",
+            tree,
+        )
+        return True
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return list(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()

@@ -1,0 +1,343 @@
+"""Process-wide metrics: counters, gauges, fixed-bucket histograms.
+
+Design constraints, in priority order:
+
+1. **Hot-path cheap.**  Every protocol request, lock acquisition, and
+   cache probe records a handful of events; the registry must cost
+   single-digit microseconds per event.  Each metric instance carries its
+   own small lock (never the registry lock) and records with one guarded
+   arithmetic update.  When the registry is disabled every record method
+   returns after a single attribute read.
+2. **Thread-safe.**  The server handles requests from a thread pool;
+   counts must be exact under contention (the concurrency tests assert
+   no lost updates).
+3. **No dependencies, no entropy.**  Plain stdlib, and nothing here ever
+   touches ``os.urandom`` — the byte-identity contract reserves the
+   entropy stream for the cipher.
+
+The kill switch is the ``REPRO_METRICS`` environment variable: metrics
+are **on by default**; ``REPRO_METRICS=0`` (or ``false``/``no``/``off``)
+disables recording process-wide.  ``REGISTRY.set_enabled()`` flips the
+same flag at runtime (the overhead benchmark uses it to compare on/off
+without re-execing).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable
+
+_FALSEY = {"0", "false", "no", "off"}
+
+#: Default histogram buckets (seconds): tuned for request latencies from
+#: tens of microseconds (cached bitset probes) to multi-second pipeline
+#: stages.  Upper bounds are inclusive (Prometheus ``le`` semantics).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: Buckets for size-like observations (bytes, cells, batch sizes).
+SIZE_BUCKETS: tuple[float, ...] = (
+    64.0,
+    256.0,
+    1024.0,
+    4096.0,
+    16384.0,
+    65536.0,
+    262144.0,
+    1048576.0,
+    4194304.0,
+    16777216.0,
+)
+
+
+def metrics_enabled(environ: "dict[str, str] | None" = None) -> bool:
+    """The ``REPRO_METRICS`` policy: on unless explicitly turned off."""
+    env = os.environ if environ is None else environ
+    return str(env.get("REPRO_METRICS", "1")).strip().lower() not in _FALSEY
+
+
+def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
+    """Canonical (sorted, stringified) label form used as the dict key."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Common shape: a name, canonical labels, a lock, a registry flag."""
+
+    __slots__ = ("name", "labels", "_lock", "_registry")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, labels: tuple):
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._registry = registry
+
+    @property
+    def label_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+
+class Counter(_Metric):
+    """A monotonically increasing count."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, registry: "MetricsRegistry", name: str, labels: tuple):
+        super().__init__(registry, name, labels)
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if not self._registry._enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (or is set outright)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, registry: "MetricsRegistry", name: str, labels: tuple):
+        super().__init__(registry, name, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not self._registry._enabled:
+            return
+        with self._lock:
+            self._value = value
+
+    def add(self, amount: float) -> None:
+        if not self._registry._enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram with Prometheus ``le`` (inclusive) bounds.
+
+    Bucket counts are stored per-bucket and cumulated at snapshot time;
+    an observation above the last bound lands in the implicit ``+Inf``
+    bucket.  Bounds are fixed at first creation of the (name, labels)
+    series — later fetches reuse the existing series.
+    """
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        labels: tuple,
+        buckets: "Iterable[float] | None" = None,
+    ):
+        super().__init__(registry, name, labels)
+        bounds = tuple(sorted(float(b) for b in (buckets or DEFAULT_BUCKETS)))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # trailing slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        if not self._registry._enabled:
+            return
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> dict[str, Any]:
+        """Cumulative bucket counts, Prometheus-shaped."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            acc = self._sum
+        cumulative: list[dict[str, Any]] = []
+        running = 0
+        for bound, bucket_count in zip(self.buckets, counts):
+            running += bucket_count
+            cumulative.append({"le": bound, "count": running})
+        cumulative.append({"le": "+Inf", "count": total})
+        return {"count": total, "sum": acc, "buckets": cumulative}
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * len(self._counts)
+            self._sum = 0.0
+            self._count = 0
+
+
+class MetricsRegistry:
+    """Thread-safe home of every metric series in the process.
+
+    Fetching a series (``counter(name, **labels)``) always returns the
+    same live object for the same (name, labels) pair, so callers may
+    cache the handle across the enabled/disabled flip — the flag is
+    checked per record, not per fetch.
+    """
+
+    def __init__(self, enabled: "bool | None" = None):
+        self._enabled = metrics_enabled() if enabled is None else bool(enabled)
+        self._lock = threading.Lock()
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+
+    # -- the kill switch ------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def set_enabled(self, on: bool) -> None:
+        self._enabled = bool(on)
+
+    # -- series accessors ----------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        metric = self._counters.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._counters.get(key)
+                if metric is None:
+                    metric = Counter(self, name, key[1])
+                    self._counters[key] = metric
+        return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        metric = self._gauges.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._gauges.get(key)
+                if metric is None:
+                    metric = Gauge(self, name, key[1])
+                    self._gauges[key] = metric
+        return metric
+
+    def histogram(
+        self, name: str, buckets: "Iterable[float] | None" = None, **labels: Any
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        metric = self._histograms.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._histograms.get(key)
+                if metric is None:
+                    metric = Histogram(self, name, key[1], buckets)
+                    self._histograms[key] = metric
+        return metric
+
+    # -- snapshot / reset ----------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """One JSON-safe document of every series' current state."""
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        return {
+            "enabled": self._enabled,
+            "counters": [
+                {"name": m.name, "labels": m.label_dict, "value": m.value}
+                for m in counters
+            ],
+            "gauges": [
+                {"name": m.name, "labels": m.label_dict, "value": m.value}
+                for m in gauges
+            ],
+            "histograms": [
+                {"name": m.name, "labels": m.label_dict, **m.snapshot()}
+                for m in histograms
+            ],
+        }
+
+    def reset(self) -> None:
+        """Zero every series in place (handles held by callers stay live)."""
+        with self._lock:
+            metrics = (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._histograms.values())
+            )
+        for metric in metrics:
+            metric._reset()
+
+
+#: The process-wide default registry every instrumentation point uses.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, **labels: Any) -> Counter:
+    return REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels: Any) -> Gauge:
+    return REGISTRY.gauge(name, **labels)
+
+
+def histogram(name: str, buckets: "Iterable[float] | None" = None, **labels: Any) -> Histogram:
+    return REGISTRY.histogram(name, buckets, **labels)
+
+
+def snapshot() -> dict[str, Any]:
+    return REGISTRY.snapshot()
+
+
+def reset() -> None:
+    REGISTRY.reset()
+
+
+def enabled() -> bool:
+    return REGISTRY.enabled

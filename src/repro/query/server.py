@@ -26,10 +26,16 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.exceptions import QueryError, WireError
+from repro.obs import metrics as _metrics
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.crypto.probabilistic import Ciphertext
     from repro.relational.coded import CodedRelation
+
+# No-ops under the REPRO_METRICS=0 kill switch.
+_EXPRS_EXECUTED = _metrics.counter("query.exprs")
+_EXPR_LEAVES = _metrics.histogram("query.expr_leaves", buckets=_metrics.SIZE_BUCKETS)
+_EXPR_MATCHES = _metrics.histogram("query.expr_matches", buckets=_metrics.SIZE_BUCKETS)
 
 
 class ServerExpr:
@@ -233,7 +239,11 @@ def execute_server_expr(
 
     mask = walk(expr)
     ordered = [counts[leaf.index] for leaf in leaves]
-    return backend.mask_to_rows(mask), ordered
+    rows = backend.mask_to_rows(mask)
+    _EXPRS_EXECUTED.inc()
+    _EXPR_LEAVES.observe(len(leaves))
+    _EXPR_MATCHES.observe(len(rows))
+    return rows, ordered
 
 
 def describe_server_expr(expr: ServerExpr) -> str:

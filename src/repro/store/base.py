@@ -87,6 +87,23 @@ class TableStore(ABC):
     def cache_stats(self) -> dict[str, int]:
         return self._cache.stats()
 
+    def store_stats(self) -> dict[str, Any]:
+        """JSON-safe live stats of this store (the ``StatsReply`` surface).
+
+        Engines extend the document with their own fields (segment counts,
+        mmap'd bytes, decode counts).  Read at stats-snapshot time only —
+        store observability costs nothing on the query hot path.
+        """
+        with self._mutex:
+            return {
+                "engine": self.engine,
+                "num_rows": self.num_rows,
+                "num_attributes": len(self.attributes),
+                "version": self._version,
+                "commit_version": self._commit_version,
+                "cache": self._cache.stats(),
+            }
+
     # -- integrity plane -----------------------------------------------
     @property
     def commit_version(self) -> int:

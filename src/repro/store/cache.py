@@ -26,8 +26,17 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Iterable
 
+from repro.obs import metrics as _metrics
+
 #: Default bound on cached entries per (table, result-form).
 DEFAULT_CACHE_ENTRIES = 256
+
+# Process-wide rates across every table's cache; the per-store counters on
+# each instance stay the exact per-table numbers (``stats()``).  These are
+# no-ops under the REPRO_METRICS=0 kill switch.
+_CACHE_HITS = _metrics.counter("store.cache_hits")
+_CACHE_MISSES = _metrics.counter("store.cache_misses")
+_CACHE_INVALIDATIONS = _metrics.counter("store.cache_invalidations")
 
 #: Sentinel distinguishing "not cached" from a cached falsy result.
 _MISSING = object()
@@ -61,9 +70,11 @@ class TokenBitsetCache:
         found = self._rows.get(key, _MISSING)
         if found is _MISSING:
             self.misses += 1
+            _CACHE_MISSES.inc()
             return None
         self._rows.move_to_end(key)
         self.hits += 1
+        _CACHE_HITS.inc()
         return found  # type: ignore[return-value]
 
     def put_rows(self, key: Any, rows: Iterable[int]) -> None:
@@ -82,9 +93,11 @@ class TokenBitsetCache:
         found = self._masks.get(key, _MISSING)
         if found is _MISSING:
             self.misses += 1
+            _CACHE_MISSES.inc()
             return None
         self._masks.move_to_end(key)
         self.hits += 1
+        _CACHE_HITS.inc()
         return found
 
     def put_mask(self, key: Any, mask: Any) -> None:
@@ -98,6 +111,7 @@ class TokenBitsetCache:
         """Drop every cached result (called on any write to the table)."""
         if self._rows or self._masks:
             self.invalidations += 1
+            _CACHE_INVALIDATIONS.inc()
         self._rows.clear()
         self._masks.clear()
 

@@ -29,6 +29,10 @@ from repro.store.base import TableStore
 # can observe / stub the lazy decode.
 from repro.wire import decode_relation, skim_relation
 
+from repro.obs import metrics as _metrics
+
+_SNAPSHOT_DECODES = _metrics.counter("store.snapshot_decodes")
+
 
 class MemoryTableStore(TableStore):
     """One table held in memory, optionally pending in encoded form."""
@@ -42,6 +46,9 @@ class MemoryTableStore(TableStore):
         self._name = ""
         self._attributes: tuple[str, ...] = ()
         self._num_rows = 0
+        #: How many times pending snapshot bytes were decoded into a
+        #: relation (observability: the cost lazy loading deferred).
+        self.decodes = 0
 
     @classmethod
     def from_snapshot(cls, backend: ComputeBackend, data: bytes) -> "MemoryTableStore":
@@ -76,6 +83,8 @@ class MemoryTableStore(TableStore):
                     raise StoreError("memory store holds no table yet")
                 pending, self._pending = self._pending, None
                 self._relation = decode_relation(pending)
+                self.decodes += 1
+                _SNAPSHOT_DECODES.inc()
             return self._relation
 
     def replace(self, relation: Relation) -> None:
@@ -125,3 +134,12 @@ class MemoryTableStore(TableStore):
 
     def _match_mask_uncached(self, attribute: str, token: Iterable[Any]) -> Any:
         return self._coded().match_mask(attribute, token)
+
+    # -- observability -------------------------------------------------
+    def store_stats(self) -> dict[str, Any]:
+        stats = super().store_stats()
+        with self._mutex:
+            stats["loaded"] = self.loaded
+            stats["decodes"] = self.decodes
+            stats["pending_bytes"] = len(self._pending) if self._pending else 0
+        return stats

@@ -70,6 +70,13 @@ from repro.store.manifest import (
 from repro.wire.binary import code_width
 from repro.wire.codec import decode_cell_run, encode_cell_run
 
+from repro.obs import metrics as _metrics
+
+# Process-wide lazy-decode rates across every segment store; per-store
+# counts live on the instances (``store_stats``).
+_DICT_DECODES = _metrics.counter("store.dict_decodes")
+_CODE_LOADS = _metrics.counter("store.code_loads")
+
 #: Magic + version header of every segment file.
 SEGMENT_MAGIC = b"F2SG"
 SEGMENT_VERSION = 1
@@ -118,6 +125,9 @@ class SegmentTableStore(TableStore):
         # Persists across deltas (extended in place after each commit), so
         # coding a delta's literal rows is O(delta), not O(distinct values):
         self._dicts: dict[int, tuple[list[Any], dict[Any, int]]] = {}
+        #: Observability: how often the lazy views were (re)built.
+        self.dict_decodes = 0
+        self.code_loads = 0
         if create:
             self._directory.mkdir(parents=True, exist_ok=True)
         has_generations = is_segment_store(self._directory)
@@ -379,6 +389,8 @@ class SegmentTableStore(TableStore):
                 values,
                 {value: code for code, value in enumerate(values)},
             )
+            self.dict_decodes += 1
+            _DICT_DECODES.inc()
         return cached
 
     def _codes(self, index: int) -> tuple[Any, "int | None"]:
@@ -417,6 +429,8 @@ class SegmentTableStore(TableStore):
                     None,
                 )
             self._columns[index] = cached
+            self.code_loads += 1
+            _CODE_LOADS.inc()
         return cached
 
     def _buffer(self, name: str) -> memoryview:
@@ -599,6 +613,20 @@ class SegmentTableStore(TableStore):
                 code=ErrorCode.BAD_REQUEST.value,
             )
         return pieces
+
+    # -- observability -------------------------------------------------
+    def store_stats(self) -> dict[str, Any]:
+        stats = super().store_stats()
+        with self._mutex:
+            manifest = self._manifest
+            stats["generation"] = self.generation
+            stats["segments"] = 0 if manifest is None else len(manifest.files)
+            stats["mapped_bytes"] = sum(
+                len(buffer) for buffer in self._buffers.values()
+            )
+            stats["dict_decodes"] = self.dict_decodes
+            stats["code_loads"] = self.code_loads
+        return stats
 
     # -- maintenance ---------------------------------------------------
     def verify(self) -> bool:
