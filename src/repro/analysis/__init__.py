@@ -1,0 +1,62 @@
+"""Invariant-enforcing static analysis for the F2 reproduction.
+
+The codebase rests on a handful of load-bearing invariants that no unit
+test can fully pin, because they are universally quantified over the
+source itself:
+
+* **Entropy discipline** — the byte-identity contract (golden ciphertext
+  hashes, worker-count transparency, delta determinism) only holds while
+  every random byte is drawn through the sanctioned crypto entry points.
+  One stray ``os.urandom`` call silently breaks it.
+* **Plaintext boundary** — the paper's keyless-server guarantee only
+  holds while server-evaluated modules can never reach owner-only
+  decrypt/key APIs, not even transitively through an import.
+* **Lock discipline** — the per-table ``_RWLock`` sections must stay
+  short: blocking I/O inside a write section serializes a whole table's
+  traffic behind one disk flush.
+* **Wire exhaustiveness** — every protocol message needs a handler,
+  every ``ErrorCode`` needs a CLI exit row, and error replies must stay
+  observable, or a new message type ships half-wired.
+* **Metrics discipline** — metric handles are created at module scope or
+  cached; minting them inside per-row loops turns observability into the
+  hot path.
+* **Exception discipline** — recovery paths in the server and store may
+  not silently swallow broad exceptions.
+
+:mod:`repro.analysis` turns those prose rules into machine-checked CI
+gates: an AST-based lint pass (``f2-repro lint``) with inline
+``# repro: allow(<rule>): <why>`` suppressions, a committed baseline for
+grandfathered findings, and an optional mypy typed-API gate.
+"""
+
+from repro.analysis.framework import (
+    Diagnostic,
+    LintError,
+    Project,
+    SourceFile,
+    Suppression,
+)
+from repro.analysis.baseline import Baseline, load_baseline, write_baseline
+from repro.analysis.graph import ImportGraph
+from repro.analysis.report import render_json, render_text
+from repro.analysis.rules import ALL_RULES, rule_by_name
+from repro.analysis.runner import LintResult, run_lint, run_mypy_gate
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "Diagnostic",
+    "ImportGraph",
+    "LintError",
+    "LintResult",
+    "Project",
+    "SourceFile",
+    "Suppression",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "rule_by_name",
+    "run_lint",
+    "run_mypy_gate",
+    "write_baseline",
+]

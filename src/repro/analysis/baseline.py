@@ -1,0 +1,113 @@
+"""Baseline handling: grandfathered findings live in a committed file.
+
+A baseline lets a new rule land as a blocking CI gate on day one: the
+findings it surfaces on the existing tree are recorded (by line-free
+fingerprint, so unrelated edits above a finding don't churn the file)
+and only *new* findings fail the build.  ``f2-repro lint --fix-baseline``
+rewrites the file from the current tree; shrinking it over time is the
+point — CI fails if the baseline lists fingerprints that no longer fire,
+so fixed findings can't silently linger as free passes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.framework import Diagnostic, LintError
+
+BASELINE_NAME = ".f2-lint-baseline.json"
+
+
+def _fingerprint(diagnostic: Diagnostic) -> str:
+    return hashlib.sha256(diagnostic.fingerprint_text().encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """The committed set of grandfathered lint findings (+ mypy slot)."""
+
+    fingerprints: dict[str, str] = field(default_factory=dict)  #: fp -> description
+    mypy: "list[str] | None" = None  #: grandfathered mypy lines, None = unpopulated
+
+    def contains(self, diagnostic: Diagnostic) -> bool:
+        return _fingerprint(diagnostic) in self.fingerprints
+
+    def apply(self, diagnostics: list[Diagnostic]) -> "tuple[list[Diagnostic], list[str]]":
+        """Mark baselined diagnostics; also report stale fingerprints.
+
+        Returns ``(updated_diagnostics, stale_descriptions)`` where stale
+        entries are baseline rows that matched nothing this run — the
+        finding was fixed, so the row must be removed (``--fix-baseline``).
+        """
+        seen: set[str] = set()
+        updated: list[Diagnostic] = []
+        for diag in diagnostics:
+            fp = _fingerprint(diag)
+            if not diag.suppressed and fp in self.fingerprints:
+                seen.add(fp)
+                updated.append(
+                    Diagnostic(
+                        rule=diag.rule,
+                        path=diag.path,
+                        line=diag.line,
+                        message=diag.message,
+                        baselined=True,
+                    )
+                )
+            else:
+                updated.append(diag)
+        stale = [
+            desc for fp, desc in sorted(self.fingerprints.items()) if fp not in seen
+        ]
+        return updated, stale
+
+
+def baseline_path(root: "Path | str") -> Path:
+    return Path(root) / BASELINE_NAME
+
+
+def load_baseline(root: "Path | str") -> Baseline:
+    """Load ``<root>/.f2-lint-baseline.json``; missing file = empty baseline."""
+    path = baseline_path(root)
+    if not path.exists():
+        return Baseline()
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise LintError(f"baseline {path} must be a JSON object")
+    fingerprints = doc.get("lint", {})
+    if not isinstance(fingerprints, dict):
+        raise LintError(f"baseline {path}: 'lint' must map fingerprints to text")
+    mypy = doc.get("mypy")
+    if mypy is not None and not isinstance(mypy, list):
+        raise LintError(f"baseline {path}: 'mypy' must be a list or null")
+    return Baseline(fingerprints=dict(fingerprints), mypy=mypy)
+
+
+def write_baseline(
+    root: "Path | str",
+    diagnostics: list[Diagnostic],
+    mypy_lines: "list[str] | None" = None,
+) -> Path:
+    """Rewrite the baseline from the current (unsuppressed) findings."""
+    fingerprints = {
+        _fingerprint(d): f"{d.location()} [{d.rule}] {d.message}"
+        for d in diagnostics
+        if not d.suppressed
+    }
+    doc = {
+        "_comment": (
+            "Grandfathered lint findings. Entries are line-free fingerprints; "
+            "regenerate with `f2-repro lint --fix-baseline`. Shrink, never grow."
+        ),
+        "lint": dict(sorted(fingerprints.items())),
+        "mypy": sorted(mypy_lines) if mypy_lines is not None else None,
+    }
+    path = baseline_path(root)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,238 @@
+"""Rule framework: parsed source files, diagnostics, and suppressions.
+
+A lint run parses every ``src/repro/**/*.py`` file under a project root
+into a :class:`SourceFile` (source text + AST + dotted module name +
+inline suppressions) and hands the resulting :class:`Project` to each
+rule.  Rules yield :class:`Diagnostic` records; the runner then applies
+suppressions and the committed baseline before deciding the exit code.
+
+Suppression grammar
+-------------------
+An inline comment of the form::
+
+    some_call()  # repro: allow(rule-name): why this one is fine
+
+suppresses ``rule-name`` diagnostics on that line.  A comment alone on a
+line suppresses the *next* line instead, for calls too long to share a
+line with their justification.  The justification text after the second
+colon is **mandatory** — an allow without one is itself reported (rule
+``suppression-hygiene``), as is an allow that never matched a diagnostic
+(stale suppressions rot into false documentation).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.exceptions import ReproError
+
+
+class LintError(ReproError):
+    """The lint pass itself could not run (bad root, unparseable file)."""
+
+
+#: Matches ``repro: allow(rule-a, rule-b): justification text`` comments.
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\(\s*(?P<rules>[\w\-, ]+?)\s*\)\s*(?::\s*(?P<why>.*?))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: allow(...)`` comment."""
+
+    rules: tuple[str, ...]
+    line: int          #: line the comment sits on (1-based)
+    target_line: int   #: line the suppression applies to
+    justification: str
+    used: bool = False
+
+    def matches(self, rule: str, line: int) -> bool:
+        return line == self.target_line and rule in self.rules
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violation at a ``file:line`` location."""
+
+    rule: str
+    path: str      #: project-root-relative, forward slashes
+    line: int
+    message: str
+    suppressed: bool = False
+    justification: str = ""
+    baselined: bool = False
+
+    @property
+    def active(self) -> bool:
+        """True when this diagnostic should fail the lint run."""
+        return not self.suppressed and not self.baselined
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def fingerprint_text(self) -> str:
+        """Stable identity for baselining (line numbers excluded: a
+        baselined finding must survive unrelated edits above it)."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_doc(self) -> dict:
+        doc = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+        if self.suppressed:
+            doc["suppressed"] = True
+            doc["justification"] = self.justification
+        if self.baselined:
+            doc["baselined"] = True
+        return doc
+
+
+class SourceFile:
+    """One parsed source file: text, AST, module name, suppressions."""
+
+    def __init__(self, root: Path, path: Path):
+        self.path = path
+        self.relpath = path.relative_to(root).as_posix()
+        try:
+            self.text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+        try:
+            self.tree = ast.parse(self.text, filename=str(path))
+        except SyntaxError as exc:
+            raise LintError(f"cannot parse {self.relpath}: {exc}") from exc
+        self.lines = self.text.splitlines()
+        self.module = _module_name(root, path)
+        self.suppressions = list(_parse_suppressions(self.text))
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def suppression_for(self, rule: str, line: int) -> Suppression | None:
+        for suppression in self.suppressions:
+            if suppression.matches(rule, line):
+                return suppression
+        return None
+
+
+def _module_name(root: Path, path: Path) -> str:
+    """Dotted module name for ``src/<pkg>/...`` layouts (``repro.api.auth``)."""
+    rel = path.relative_to(root)
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _parse_suppressions(text: str) -> Iterator[Suppression]:
+    # Tokenize so that allow() examples inside docstrings and string
+    # literals (this very file has several) are not parsed as live
+    # suppressions — only real COMMENT tokens count.
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _ALLOW_RE.search(token.string)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        index = token.start[0]
+        # A comment-only line shields the next line; a trailing comment
+        # shields its own.
+        comment_only = token.line.strip().startswith("#")
+        yield Suppression(
+            rules=rules,
+            line=index,
+            target_line=index + 1 if comment_only else index,
+            justification=(match.group("why") or "").strip(),
+        )
+
+
+class Project:
+    """Every parsed source file under ``<root>/src/repro``."""
+
+    def __init__(self, root: Path, files: list[SourceFile]):
+        self.root = root
+        self.files = files
+        self.by_module = {f.module: f for f in files}
+
+    @classmethod
+    def load(cls, root: "Path | str") -> "Project":
+        root = Path(root).resolve()
+        package_root = root / "src" / "repro"
+        if not package_root.is_dir():
+            raise LintError(
+                f"{root} does not look like a project root: no src/repro package"
+            )
+        paths = sorted(package_root.rglob("*.py"))
+        files = [SourceFile(root, path) for path in paths]
+        return cls(root, files)
+
+    def modules(self, prefix: str = "") -> Iterator[SourceFile]:
+        for file in self.files:
+            if not prefix or file.module == prefix or file.module.startswith(prefix + "."):
+                yield file
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`name` / :attr:`summary` and implement
+    :meth:`check`, yielding raw diagnostics (suppression and baseline
+    handling happen in the runner, so rules stay pure).
+    """
+
+    name: str = ""
+    summary: str = ""
+
+    def check(self, project: Project) -> Iterable[Diagnostic]:  # pragma: no cover
+        raise NotImplementedError
+
+    def diagnostic(self, file: SourceFile, node: "ast.AST | int", message: str) -> Diagnostic:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Diagnostic(rule=self.name, path=file.relpath, line=line, message=message)
+
+
+def walk_without_nested_functions(node: ast.AST) -> Iterator[ast.AST]:
+    """Yield descendants of ``node`` without crossing into nested
+    function/class definitions (used for "inside this block" scans where
+    a nested ``def`` runs at a different time than the block itself)."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def dotted_call_name(node: ast.expr) -> str:
+    """``a.b.c`` for a Name/Attribute chain, ``""`` when not a plain chain."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return ""

@@ -1,0 +1,164 @@
+"""Import/call-graph builder for the boundary rules.
+
+The plaintext-boundary rule needs more than "module X does not import
+module Y": an owner-only API reached through a chain of innocent-looking
+imports is just as much a hole in the keyless-server guarantee.  So the
+graph records every import edge (module-level *and* function-level —
+lazy imports are still reachable code) with its source line, resolves
+relative imports against the importing module's package, and answers
+reachability queries with the full edge chain so the diagnostic can show
+*how* the boundary leaks, not just that it does.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.analysis.framework import Project, SourceFile
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import: ``importer`` pulls in ``target`` at ``line``.
+
+    ``names`` is the tuple of imported names for ``from target import
+    a, b`` forms (empty for plain ``import target``); ``type_only`` marks
+    imports guarded by ``if TYPE_CHECKING:`` — they never execute, so
+    boundary reachability ignores them while name-level checks still see
+    them (an annotation-only decrypt import is still a design smell worth
+    flagging at the call site it enables).
+    """
+
+    importer: str
+    target: str
+    line: int
+    names: tuple[str, ...] = ()
+    type_only: bool = False
+
+
+class ImportGraph:
+    """All import edges between project modules, with reachability."""
+
+    def __init__(self, edges: list[ImportEdge], modules: set[str]):
+        self.edges = edges
+        self.modules = modules
+        self._out: dict[str, list[ImportEdge]] = {}
+        for edge in edges:
+            self._out.setdefault(edge.importer, []).append(edge)
+
+    @classmethod
+    def build(cls, project: Project) -> "ImportGraph":
+        edges: list[ImportEdge] = []
+        modules = set(project.by_module)
+        for file in project.files:
+            edges.extend(_file_edges(file))
+        return cls(edges, modules)
+
+    def edges_from(self, module: str) -> list[ImportEdge]:
+        return self._out.get(module, [])
+
+    def direct_imports(self, module: str) -> set[str]:
+        return {edge.target for edge in self.edges_from(module)}
+
+    def find_path(
+        self,
+        start: str,
+        targets: Iterable[str],
+        include_type_only: bool = False,
+    ) -> "list[ImportEdge] | None":
+        """Shortest import chain from ``start`` to any of ``targets``.
+
+        Traversal stays inside the project's own modules (stdlib and
+        third-party imports are dead ends), and a target is matched both
+        exactly and as a package prefix (reaching ``repro.crypto.keys``
+        matches the target ``repro.crypto.keys``; reaching
+        ``repro.crypto`` as a package import matches any
+        ``repro.crypto.*`` target only if the package re-exports it —
+        conservatively we treat a package import as reaching the package
+        module itself, which is enough because ``__init__`` re-exports
+        appear as that module's own edges).
+        """
+        target_set = set(targets)
+
+        def is_target(module: str) -> bool:
+            return module in target_set
+
+        seen = {start}
+        queue: deque[tuple[str, list[ImportEdge]]] = deque([(start, [])])
+        while queue:
+            module, chain = queue.popleft()
+            for edge in self.edges_from(module):
+                if edge.type_only and not include_type_only:
+                    continue
+                nxt = edge.target
+                if is_target(nxt):
+                    return chain + [edge]
+                if nxt in seen or nxt not in self.modules:
+                    continue
+                seen.add(nxt)
+                queue.append((nxt, chain + [edge]))
+        return None
+
+
+def _file_edges(file: SourceFile) -> Iterator[ImportEdge]:
+    package_parts = file.module.split(".")
+    if not file.path.name == "__init__.py":
+        package_parts = package_parts[:-1]
+
+    type_only_lines = _type_checking_spans(file.tree)
+
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield ImportEdge(
+                    importer=file.module,
+                    target=alias.name,
+                    line=node.lineno,
+                    type_only=node.lineno in type_only_lines,
+                )
+        elif isinstance(node, ast.ImportFrom):
+            target = _resolve_from(node, package_parts)
+            if target is None:
+                continue
+            yield ImportEdge(
+                importer=file.module,
+                target=target,
+                line=node.lineno,
+                names=tuple(alias.name for alias in node.names),
+                type_only=node.lineno in type_only_lines,
+            )
+
+
+def _resolve_from(node: ast.ImportFrom, package_parts: list[str]) -> "str | None":
+    if node.level == 0:
+        return node.module
+    # Relative import: climb ``level`` packages from the importing module.
+    base = package_parts[: len(package_parts) - (node.level - 1)]
+    if node.level - 1 > len(package_parts):
+        return None
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+def _type_checking_spans(tree: ast.AST) -> set[int]:
+    """Line numbers inside ``if TYPE_CHECKING:`` blocks."""
+    lines: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        name = ""
+        if isinstance(test, ast.Name):
+            name = test.id
+        elif isinstance(test, ast.Attribute):
+            name = test.attr
+        if name != "TYPE_CHECKING":
+            continue
+        for child in node.body:
+            end = getattr(child, "end_lineno", child.lineno)
+            lines.update(range(child.lineno, end + 1))
+    return lines

@@ -1,0 +1,67 @@
+"""Diagnostic rendering: human text and machine JSON.
+
+Both renderers consume the same sorted diagnostic list so the text and
+JSON outputs always agree on what fired.  Sorting is (path, line, rule)
+— stable across runs and insensitive to rule execution order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.framework import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.runner import LintResult
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
+    return sorted(diagnostics, key=lambda d: (d.path, d.line, d.rule, d.message))
+
+
+def render_text(result: "LintResult", verbose: bool = False) -> str:
+    """Human-readable report: one ``path:line: [rule] message`` per finding."""
+    lines: list[str] = []
+    active = sort_diagnostics(d for d in result.diagnostics if d.active)
+    for diag in active:
+        lines.append(f"{diag.location()}: [{diag.rule}] {diag.message}")
+    if verbose:
+        for diag in sort_diagnostics(d for d in result.diagnostics if d.suppressed):
+            why = diag.justification or "(no justification)"
+            lines.append(
+                f"{diag.location()}: [{diag.rule}] suppressed — {why}"
+            )
+        for diag in sort_diagnostics(d for d in result.diagnostics if d.baselined):
+            lines.append(f"{diag.location()}: [{diag.rule}] baselined")
+    counts = result.counts()
+    if active:
+        per_rule = ", ".join(
+            f"{rule}: {n}" for rule, n in sorted(counts["by_rule"].items())
+        )
+        lines.append("")
+        lines.append(
+            f"lint: {counts['active']} finding(s) ({per_rule}); "
+            f"{counts['suppressed']} suppressed, {counts['baselined']} baselined"
+        )
+    else:
+        lines.append(
+            f"lint: clean ({counts['files']} files, {counts['rules']} rules, "
+            f"{counts['suppressed']} suppressed, {counts['baselined']} baselined)"
+        )
+    if result.mypy is not None:
+        lines.append(result.mypy.summary())
+    return "\n".join(lines)
+
+
+def render_json(result: "LintResult") -> str:
+    """Machine-readable report (stable key order, sorted findings)."""
+    counts = result.counts()
+    doc = {
+        "ok": result.ok,
+        "counts": counts,
+        "diagnostics": [d.to_doc() for d in sort_diagnostics(result.diagnostics)],
+    }
+    if result.mypy is not None:
+        doc["mypy"] = result.mypy.to_doc()
+    return json.dumps(doc, indent=2, sort_keys=True)

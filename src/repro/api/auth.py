@@ -430,6 +430,7 @@ class TenantRegistry:
                 "local access; pick another tenant id",
                 code=ErrorCode.BAD_REQUEST.value,
             )
+        # repro: allow(entropy-discipline): credential minting must be unpredictable; secrets are never part of the deterministic ciphertext contract
         secret = os.urandom(32)
         with self._lock:
             # Pick up concurrent admin edits before mutating, so a mint in

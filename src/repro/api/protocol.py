@@ -75,6 +75,7 @@ from repro.exceptions import (
     IntegrityError,
     ProtocolError,
     QueryError,
+    ReproError,
     StoreError,
     StoreIntegrityWarning,
     WireError,
@@ -1734,6 +1735,7 @@ class ProtocolServer:
                 code=ErrorCode.AUTH_REVOKED.value,
             )
         session = _SessionState(
+            # repro: allow(entropy-discipline): session ids are transport-layer, never touch ciphertext bytes
             session_id=os.urandom(16).hex(),
             tenant_id=request.tenant_id,
             capability=request.capability,
@@ -1841,6 +1843,7 @@ class ProtocolServer:
                     # Fresh random window far above any plausible prior
                     # sequence: replayed frames from the session's previous
                     # life cannot match it.
+                    # repro: allow(entropy-discipline): anti-replay jitter is transport-layer, never touches ciphertext bytes
                     next_sequence=(1 << 32) + int.from_bytes(os.urandom(4), "big"),
                     last_used=now,
                 )
@@ -2005,6 +2008,7 @@ class ProtocolServer:
             # query traffic against other tables — proceed in parallel.
             # (The segment engine persisted inside ``replace`` already.)
             if self._storage_dir is not None and self.storage_engine == STORAGE_ENGINE_SNAPSHOT:
+                # repro: allow(lock-discipline): rename ordering requires persisting under the write lock (see comment above)
                 self._write_snapshot(store_key, relation, store=store)
             fields: dict[str, Any] = {"version": store.commit_version}
             if with_root:
@@ -2066,6 +2070,7 @@ class ProtocolServer:
             with self._lock:
                 self._discoveries.pop(store_key, None)
             if self._storage_dir is not None and store.engine == STORAGE_ENGINE_SNAPSHOT:
+                # repro: allow(lock-discipline): delta snapshots must rename in commit order, so they stay under the write lock
                 self._write_snapshot(store_key, store.relation(), store=store)
             fields: dict[str, Any] = {
                 "table_id": request.table_id,
@@ -2191,6 +2196,7 @@ class ProtocolServer:
                 # manifest generation already, so "save" just answers where.
                 path = store.save()
             else:
+                # repro: allow(lock-discipline): explicit save must serialize against concurrent receives of the same table
                 path = self._write_snapshot(store_key, store.relation(), store=store)
         return Ack(fields={"table_id": request.table_id, "path": str(path)})
 
@@ -2212,6 +2218,7 @@ class ProtocolServer:
                 code=ErrorCode.SNAPSHOT_UNAVAILABLE.value,
             )
         with self._table_lock(store_key).write():
+            # repro: allow(lock-discipline): the swap-in read must exclude readers of the half-loaded store
             data = path.read_bytes()
             store = self._get_or_create_store(store_key)
             # Adopt the bytes lazily: the frame is structurally validated
@@ -2269,13 +2276,18 @@ class ProtocolServer:
         for store_key, store in stores.items():
             try:
                 stats = store.store_stats()
-            except Exception:  # noqa: BLE001 - stats must never break serving
+            except (ReproError, OSError):
+                # A broken store must not break the stats of healthy ones;
+                # anything outside the expected failure types is a bug and
+                # propagates. stats_doc() reports the table as unavailable.
                 continue
             for name, value in stats.items():
                 if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    # repro: allow(metrics-discipline): pull-path with a dynamic per-table label set; runs at snapshot time, not per-event
                     obs.gauge(f"store.{name}", table=store_key).set(value)
             for name, value in (stats.get("cache") or {}).items():
                 if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    # repro: allow(metrics-discipline): pull-path with a dynamic per-table label set; runs at snapshot time, not per-event
                     obs.gauge(f"store.cache_{name}", table=store_key).set(value)
 
     def stats_doc(
@@ -2295,8 +2307,10 @@ class ProtocolServer:
         for store_key, store in sorted(stores.items()):
             try:
                 tables[store_key] = store.store_stats()
-            except Exception:  # noqa: BLE001 - stats must never break serving
-                tables[store_key] = {"error": "unavailable"}
+            except (ReproError, OSError) as exc:
+                # Keep serving stats for the healthy tables, but say *why*
+                # this one is out instead of swallowing the failure.
+                tables[store_key] = {"error": "unavailable", "detail": str(exc)}
         doc: dict[str, Any] = {
             "server": self.name,
             "storage_engine": self.storage_engine,

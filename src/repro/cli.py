@@ -443,6 +443,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_flag(migrate)
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the invariant-enforcing static-analysis pass",
+        description=(
+            "Run repro.analysis over the source tree: entropy discipline, "
+            "the plaintext/keyless-server boundary, lock and metrics "
+            "discipline, wire exhaustiveness, and exception discipline in "
+            "recovery paths. Exits 0 when clean, 1 with file:line "
+            "diagnostics when a rule fires, 2 on usage errors."
+        ),
+    )
+    lint.add_argument(
+        "--root",
+        default=".",
+        help="project root containing src/repro (default: current directory)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="R",
+        help="run only rule R (repeatable; default: all rules)",
+    )
+    lint.add_argument(
+        "--fix-baseline",
+        action="store_true",
+        help="rewrite .f2-lint-baseline.json from the current findings",
+    )
+    lint.add_argument(
+        "--mypy",
+        action="store_true",
+        help="also run the mypy typed-API gate (skipped if mypy is absent)",
+    )
+    lint.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list suppressed and baselined findings",
+    )
+
     verify = subparsers.add_parser(
         "verify",
         help="check the integrity of a serve instance's on-disk stores",
@@ -476,6 +518,15 @@ ERROR_CODE_EXITS = {
     "DELTA_MISMATCH": 6,
     "VERSION_CONFLICT": 6,
     "INTEGRITY_VIOLATION": 7,
+    # Explicit rows for the generic-failure family: all exit 3 today, but
+    # a script branching on these names must never see the row vanish.
+    "VERSION_UNSUPPORTED": 3,
+    "UNKNOWN_TABLE": 3,
+    "UNKNOWN_ATTRIBUTE": 3,
+    "SNAPSHOT_UNAVAILABLE": 3,
+    "WIRE_MALFORMED": 3,
+    "BAD_REQUEST": 3,
+    "INTERNAL": 3,
 }
 
 
@@ -507,6 +558,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_store(args)
         if args.command == "verify":
             return _cmd_verify(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
     except BackendUnavailableError as exc:
         installed = [name for name, ok in available_backends().items() if ok]
         print(f"error: {exc}", file=sys.stderr)
@@ -980,6 +1033,40 @@ def _cmd_store(args: argparse.Namespace) -> int:
         )
         return 0
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import LintError, run_lint, run_mypy_gate
+    from repro.analysis.baseline import load_baseline, write_baseline
+    from repro.analysis.report import render_json, render_text
+
+    try:
+        if args.fix_baseline:
+            raw = run_lint(args.root, rules=args.rule, use_baseline=False)
+            mypy_lines = None
+            if args.mypy:
+                gate = run_mypy_gate(args.root, baseline=load_baseline(args.root))
+                if gate.ran:
+                    mypy_lines = gate.findings
+            path = write_baseline(
+                args.root,
+                [d for d in raw.diagnostics if d.rule != "suppression-hygiene"],
+                mypy_lines=mypy_lines,
+            )
+            kept = sum(1 for d in raw.diagnostics if d.active)
+            print(f"baseline rewritten: {path} ({kept} finding(s) grandfathered)")
+            return 0
+        result = run_lint(args.root, rules=args.rule)
+        if args.mypy:
+            result.mypy = run_mypy_gate(args.root)
+        if args.json:
+            print(render_json(result))
+        else:
+            print(render_text(result, verbose=args.verbose))
+        return 0 if result.ok else 1
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

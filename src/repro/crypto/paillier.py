@@ -20,7 +20,7 @@ supported and exact.
 from __future__ import annotations
 
 import math
-import secrets
+import secrets  # repro: allow(entropy-discipline): Paillier key/blinding material must be OS-random; probabilistic by design, outside the byte-identity contract
 from dataclasses import dataclass
 from typing import Any
 
@@ -32,6 +32,7 @@ _SMALL_PRIMES = [
 ]
 
 
+# repro: allow(entropy-discipline): Miller-Rabin witnesses come from OS randomness on purpose
 def _is_probable_prime(candidate: int, rounds: int = 40, rng: secrets.SystemRandom | None = None) -> bool:
     """Miller–Rabin primality test."""
     if candidate < 2:
@@ -41,7 +42,7 @@ def _is_probable_prime(candidate: int, rounds: int = 40, rng: secrets.SystemRand
             return True
         if candidate % prime == 0:
             return False
-    rng = rng or secrets.SystemRandom()
+    rng = rng or secrets.SystemRandom()  # repro: allow(entropy-discipline): primality witnesses must be unpredictable
     d = candidate - 1
     r = 0
     while d % 2 == 0:
@@ -61,6 +62,7 @@ def _is_probable_prime(candidate: int, rounds: int = 40, rng: secrets.SystemRand
     return True
 
 
+# repro: allow(entropy-discipline): prime generation draws OS randomness by definition
 def _random_prime(bits: int, rng: secrets.SystemRandom) -> int:
     """Generate a random prime with exactly ``bits`` bits."""
     while True:
@@ -110,6 +112,7 @@ class PaillierKeyPair:
         """
         if bits < 128:
             raise EncryptionError("Paillier modulus below 128 bits is not allowed")
+        # repro: allow(entropy-discipline): key generation is the one place that must be non-deterministic
         rng = secrets.SystemRandom()
         half = bits // 2
         while True:
@@ -133,6 +136,7 @@ class PaillierCipher:
 
     def __init__(self, keys: PaillierKeyPair):
         self._keys = keys
+        # repro: allow(entropy-discipline): Paillier blinding factors r must be unpredictable per encryption
         self._rng = secrets.SystemRandom()
 
     @property

@@ -1,0 +1,5 @@
+"""Fixture: the owner-only session module (target of the leak)."""
+
+
+def restore(blob):
+    return blob

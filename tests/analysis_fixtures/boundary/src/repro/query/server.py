@@ -1,0 +1,7 @@
+"""Fixture: a clean server module — container imports are fine."""
+
+from repro.wire.codec import Ciphertext
+
+
+def evaluate(rows):
+    return [row for row in rows if isinstance(row, Ciphertext)]

@@ -1,0 +1,12 @@
+"""Fixture: a store module crossing the plaintext boundary directly."""
+
+from repro.crypto.keys import SymmetricKey  # line 3: true positive
+
+
+class Store:
+    def peek(self, cipher, row):
+        return cipher.decrypt(row)  # line 8: true positive
+
+    def peek_suppressed(self, cipher, row):
+        # repro: allow(plaintext-boundary): fixture demonstrating a justified allow
+        return cipher.decrypt(row)

@@ -1,0 +1,7 @@
+"""Fixture: the boundary leaks transitively through a helper import."""
+
+from repro.util.helper import resume  # innocent-looking edge
+
+
+def restore(blob):
+    return resume(blob)

@@ -1,0 +1,7 @@
+"""Fixture helper: not server-side itself, but imports an owner module."""
+
+import repro.api.session
+
+
+def resume(blob):
+    return repro.api.session.restore(blob)

@@ -1,0 +1,5 @@
+"""Fixture stand-in for the wire codec (no owner-only imports)."""
+
+
+class Ciphertext:
+    pass

@@ -1,0 +1,8 @@
+"""Fixture: sanctioned crypto module — entropy draws are clean here."""
+
+import os
+import secrets
+
+
+def key_material():
+    return os.urandom(32) + secrets.token_bytes(16)

@@ -1,0 +1,7 @@
+"""Fixture: repro.obs is denied any randomness source."""
+
+import random  # line 3: true positive (obs never draws entropy)
+
+
+def jitter(seed):
+    return random.Random(seed)  # line 7: true positive (even seeded)

@@ -1,0 +1,29 @@
+"""Fixture: entropy draws outside the sanctioned crypto modules."""
+
+import os
+import secrets
+
+
+def fresh_nonce():
+    return os.urandom(16)  # line 8: true positive
+
+
+def fresh_token():
+    return secrets.token_hex(8)  # line 12: true positive
+
+
+def allowed_draw():
+    # repro: allow(entropy-discipline): fixture demonstrating a justified allow
+    return os.urandom(8)
+
+
+def seeded_is_fine(seed):
+    import random
+
+    return random.Random(seed).random()  # deterministic: clean
+
+
+def unseeded_is_not():
+    import random
+
+    return random.Random()  # line 29: true positive (OS-seeded)

@@ -1,0 +1,37 @@
+"""Fixture: broad exception handling in store recovery paths."""
+
+
+def swallow_bad(path):
+    try:
+        return path.read_bytes()
+    except Exception:  # line 7: true positive (silent swallow)
+        return None
+
+
+def bare_bad(path):
+    try:
+        return path.read_bytes()
+    except:  # noqa: E722  # line 14: true positive (bare except)
+        return None
+
+
+def convert_ok(path):
+    try:
+        return path.read_bytes()
+    except Exception as exc:
+        raise RuntimeError(f"recovery failed: {exc}") from exc
+
+
+def narrow_ok(path):
+    try:
+        return path.read_bytes()
+    except OSError:
+        return None
+
+
+def swallow_suppressed(path):
+    try:
+        return path.read_bytes()
+    # repro: allow(exception-discipline): fixture demonstrating a justified allow
+    except Exception:
+        return None

@@ -1,0 +1,17 @@
+"""Fixture: suppression-hygiene violations."""
+
+import os
+
+
+def no_justification():
+    return os.urandom(4)  # repro: allow(entropy-discipline)
+
+
+def stale_allow():
+    # repro: allow(lock-discipline): nothing on the next line ever fires this rule
+    return 42
+
+
+def unknown_rule():
+    # repro: allow(no-such-rule): the rule name is misspelled
+    return 43

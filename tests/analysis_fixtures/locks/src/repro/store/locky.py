@@ -1,0 +1,41 @@
+"""Fixture: blocking I/O and nesting inside _RWLock sections."""
+
+
+class Table:
+    def __init__(self, lock, sock, path):
+        self._table_lock = lock
+        self._sock = sock
+        self._path = path
+
+    def flush_bad(self):
+        with self._table_lock.write():
+            self._sock.sendall(b"frame")  # line 12: true positive
+
+    def snapshot_bad(self):
+        with self._table_lock.write():
+            self._path.write_bytes(b"snapshot")  # line 16: true positive
+
+    def flush_suppressed(self):
+        with self._table_lock.write():
+            # repro: allow(lock-discipline): fixture demonstrating a justified allow
+            self._sock.sendall(b"frame")
+
+    def flush_ok(self):
+        with self._table_lock.write():
+            frame = b"frame"
+        self._sock.sendall(frame)  # outside the section: clean
+
+    def read_is_fine(self):
+        with self._table_lock.read():
+            return list(self._rows)
+
+
+class TwoTables:
+    def __init__(self, lock_a, lock_b):
+        self._lock_a = lock_a
+        self._lock_b = lock_b
+
+    def copy_bad(self):
+        with self._lock_a.read():
+            with self._lock_b.write():  # line 40: true positive (nested)
+                pass

@@ -1,0 +1,24 @@
+"""Fixture: metric handles minted inside per-row loops."""
+
+from repro import obs
+
+
+def hot_bad(rows):
+    for row in rows:
+        obs.counter("rows.processed").inc()  # line 8: true positive
+
+
+def hot_suppressed(rows):
+    for row in rows:
+        # repro: allow(metrics-discipline): fixture demonstrating a justified allow
+        obs.counter("rows.processed").inc()
+
+
+def hot_ok(rows):
+    processed = obs.counter("rows.processed")
+    for row in rows:
+        processed.inc()  # cached handle: clean
+
+
+def setup_ok():
+    return obs.gauge("table.rows")  # no loop: clean

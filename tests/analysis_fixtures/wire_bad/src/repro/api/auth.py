@@ -1,0 +1,7 @@
+"""Fixture: ErrorCode enum with a member the CLI forgets to map."""
+
+
+class ErrorCode:
+    BAD_REQUEST = "BAD_REQUEST"
+    FORBIDDEN = "FORBIDDEN"
+    SNAPSHOT_UNAVAILABLE = "SNAPSHOT_UNAVAILABLE"

@@ -1,0 +1,26 @@
+"""Fixture: a message type registered on the wire but never handled."""
+
+
+class QueryRequest:
+    pass
+
+
+class InsertBatch:
+    pass
+
+
+class QueryResult:
+    pass
+
+
+MESSAGE_TYPES = {
+    "query_request": QueryRequest,
+    "insert_batch": InsertBatch,  # line 18: true positive (no handler)
+    "query_result": QueryResult,  # replies need no handler: clean
+}
+
+
+class ProtocolServer:
+    _HANDLERS = {
+        QueryRequest: "_handle_query",
+    }

@@ -1,0 +1,7 @@
+"""Fixture: exit-code table missing an ErrorCode row."""
+
+ERROR_CODE_EXITS = {
+    "BAD_REQUEST": 3,
+    "FORBIDDEN": 5,
+    # SNAPSHOT_UNAVAILABLE missing: true positive
+}

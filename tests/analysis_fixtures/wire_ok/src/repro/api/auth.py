@@ -1,0 +1,6 @@
+"""Fixture: every ErrorCode member has a CLI exit row."""
+
+
+class ErrorCode:
+    BAD_REQUEST = "BAD_REQUEST"
+    FORBIDDEN = "FORBIDDEN"

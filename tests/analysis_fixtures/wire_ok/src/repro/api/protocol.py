@@ -1,0 +1,38 @@
+"""Fixture: a fully wired protocol — every check passes."""
+
+from repro import obs
+
+
+class QueryRequest:
+    pass
+
+
+class Hello:
+    pass
+
+
+class QueryResult:
+    pass
+
+
+MESSAGE_TYPES = {
+    "query_request": QueryRequest,
+    "hello": Hello,
+    "query_result": QueryResult,
+}
+
+
+class ProtocolServer:
+    _HANDLERS = {
+        QueryRequest: "_handle_query",
+    }
+
+    def handle(self, message):
+        if isinstance(message, Hello):  # isinstance dispatch counts
+            return self._hello(message)
+        return self._dispatch(message)
+
+    def _fail(self, reply):
+        obs.counter("server.errors", code=reply.code).inc()
+        self.errors.record(reply.code)
+        return reply

@@ -1,0 +1,6 @@
+"""Fixture: complete exit-code table."""
+
+ERROR_CODE_EXITS = {
+    "BAD_REQUEST": 3,
+    "FORBIDDEN": 5,
+}

@@ -420,6 +420,37 @@ class TestStatsProtocol:
         assert gauges[("store.num_rows", "t1")] > 0
         assert ("store.cache_hits", "t1") in gauges
 
+    def test_stats_reports_broken_store_with_detail(self, zipcode_table):
+        """Regression for the lint-surfaced `except Exception` swallow: a
+        store whose stats raise a typed error is reported as unavailable
+        *with the reason*, healthy tables keep their stats, and gauge
+        collection skips the broken store without dying."""
+        from repro.exceptions import StoreError
+
+        server = ProtocolServer()
+        client = ProtocolClient(LoopbackTransport(server))
+        RemoteOwnerSession(make_owner(), client, table_id="ok").outsource(zipcode_table)
+        RemoteOwnerSession(make_owner(), client, table_id="bad").outsource(zipcode_table)
+
+        broken = server.table_store("bad")
+        broken.store_stats = lambda: (_ for _ in ()).throw(StoreError("segment manifest corrupt"))
+
+        server.collect_store_gauges()  # must not raise
+        doc = server.stats_doc()
+        assert doc["tables"]["ok"]["num_rows"] > 0
+        assert doc["tables"]["bad"]["error"] == "unavailable"
+        assert "segment manifest corrupt" in doc["tables"]["bad"]["detail"]
+
+    def test_stats_propagates_unexpected_bugs(self, zipcode_table):
+        """The narrowed handler only catches (ReproError, OSError): a
+        genuine bug (TypeError) in store_stats must not be swallowed."""
+        server = ProtocolServer()
+        client = ProtocolClient(LoopbackTransport(server))
+        RemoteOwnerSession(make_owner(), client, table_id="t1").outsource(zipcode_table)
+        server.table_store("t1").store_stats = lambda: (_ for _ in ()).throw(TypeError("bug"))
+        with pytest.raises(TypeError):
+            server.stats_doc()
+
 
 # ----------------------------------------------------------------------
 # Trace-id propagation over the real socket transport
